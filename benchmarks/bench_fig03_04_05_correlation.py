@@ -1,0 +1,71 @@
+"""Figures 3, 4 and 5: workload IR-drop vs. signoff, Rtog/IR-drop correlation,
+and the Rtog distribution with and without HR optimization.
+
+Expected shapes (paper):
+* Fig. 3 — each workload's worst IR-drop sits well below the signoff worst case
+  (50–65 % of it), and fluctuates during processing;
+* Fig. 4 — per-macro IR-drop correlates linearly with per-macro Rtog (r ~ 0.98);
+* Fig. 5 — observed peak Rtog never exceeds HR, and HR optimization shifts the
+  whole Rtog distribution (and its peak) down.
+"""
+
+import numpy as np
+
+from repro.analysis import format_series, pearson_correlation
+from repro.core.ir_booster import BoosterMode
+from repro.sim.trace import profile_task_rtog
+from common import BENCH_CHIP, HW_WORKLOADS, baseline_simulation, compiled_workload
+
+
+def test_fig03_workload_irdrop_vs_signoff(benchmark):
+    def run():
+        results = {}
+        for model in HW_WORKLOADS:
+            sim = baseline_simulation(model)
+            results[model] = sim.worst_ir_drop / BENCH_CHIP.signoff_ir_drop
+        return results
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series("Fig 3: workload worst IR-drop / signoff worst-case", ratios))
+    for model, ratio in ratios.items():
+        assert 0.2 < ratio < 1.0, f"{model} worst drop should be below signoff"
+
+
+def test_fig04_rtog_irdrop_correlation(benchmark):
+    def run():
+        sim = baseline_simulation("resnet18")
+        peak_rtog = [m.peak_rtog for m in sim.macro_results]
+        peak_drop = [m.worst_drop for m in sim.macro_results]
+        mean_rtog = [m.mean_rtog for m in sim.macro_results]
+        mean_drop = [m.mean_drop for m in sim.macro_results]
+        return (pearson_correlation(peak_rtog, peak_drop),
+                pearson_correlation(mean_rtog, mean_drop))
+
+    peak_corr, mean_corr = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"Fig 4: per-macro Rtog vs IR-drop correlation: peak={peak_corr:.3f} "
+          f"mean={mean_corr:.3f} (paper: 0.977 DPIM)")
+    assert peak_corr > 0.9
+    assert mean_corr > 0.9
+
+
+def test_fig05_rtog_distribution_bounded_by_hr(benchmark):
+    def run():
+        results = {}
+        for lhr in (False, True):
+            compiled = compiled_workload("resnet18", lhr=lhr, wds_delta=None,
+                                         mapping="sequential")
+            task = compiled.tasks[min(2, len(compiled.tasks) - 1)]
+            profile = profile_task_rtog(task, BENCH_CHIP.macro, waves=48, seed=5)
+            results["hr_opt" if lhr else "baseline"] = (
+                profile.hamming_rate, profile.peak_rtog, profile.mean_rtog)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for label, (hr, peak, mean) in results.items():
+        print(f"Fig 5 [{label}]: HR={hr:.3f} peak Rtog={peak:.3f} mean Rtog={mean:.3f}")
+    for hr, peak, _ in results.values():
+        assert peak <= hr + 1e-9            # Eq. 4: peak never exceeds HR
+    assert results["hr_opt"][0] < results["baseline"][0]      # HR-opt lowers HR

@@ -1,0 +1,93 @@
+"""Figures 7, 12 and 13: weight distribution under LHR, per-layer HR, HR vs accuracy.
+
+Expected shapes (paper):
+* Fig. 7  — with LHR the quantized weights pile up on low-HR codes (0, +-8, ...),
+  so the average HR of the distribution drops;
+* Fig. 12 — per-layer HR of ResNet18 falls for every layer with +LHR and falls
+  further with +WDS(16); HR is fairly uniform across layers;
+* Fig. 13 — across all six workloads the HR drops (a)->(d) while the task metric
+  stays close to the baseline.
+"""
+
+import numpy as np
+
+from repro.analysis import format_series, format_table
+from repro.core.lhr import integer_hamming_table
+from repro.core.wds import plan_wds
+from repro.models import get_model_spec
+from common import SW_WORKLOADS, qat_result
+
+
+def test_fig07_weight_distribution_aligns_with_low_hr_codes(benchmark):
+    def run():
+        table = integer_hamming_table(8)
+        stats = {}
+        for lhr in (False, True):
+            result = qat_result("resnet18", lhr=lhr)
+            codes = np.concatenate([c.reshape(-1) for c in result.weight_codes().values()])
+            mean_code_hr = float(table[codes - (-128)].mean())
+            at_minima = float(np.isin(codes, [0, 8, -8, 16, -16]).mean())
+            stats["lhr" if lhr else "baseline"] = (mean_code_hr, at_minima)
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for label, (hr, frac) in stats.items():
+        print(f"Fig 7 [{label}]: mean per-code HR={hr:.3f}, "
+              f"fraction at local HR minima={frac:.3f}")
+    assert stats["lhr"][0] < stats["baseline"][0]
+    assert stats["lhr"][1] > stats["baseline"][1]
+
+
+def test_fig12_layerwise_hr(benchmark):
+    def run():
+        baseline = qat_result("resnet18", lhr=False)
+        lhr = qat_result("resnet18", lhr=True)
+        wds = plan_wds(lhr.weight_codes(), bits=8, delta=16)
+        return baseline.layer_hr, lhr.layer_hr, wds.hr_after
+
+    base_hr, lhr_hr, wds_hr = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series("Fig 12 baseline HR (mean/max)",
+                        {"mean": np.mean(list(base_hr.values())),
+                         "max": np.max(list(base_hr.values()))}))
+    print(format_series("Fig 12 +LHR HR (mean/max)",
+                        {"mean": np.mean(list(lhr_hr.values())),
+                         "max": np.max(list(lhr_hr.values()))}))
+    print(format_series("Fig 12 +LHR+WDS(16) HR (mean/max)",
+                        {"mean": np.mean(list(wds_hr.values())),
+                         "max": np.max(list(wds_hr.values()))}))
+    reduced = sum(lhr_hr[layer] < base_hr[layer] for layer in base_hr)
+    assert reduced >= 0.8 * len(base_hr)                 # nearly every layer improves
+    assert np.mean(list(wds_hr.values())) < np.mean(list(lhr_hr.values()))
+
+
+def test_fig13_hr_vs_accuracy(benchmark):
+    def run():
+        rows = {}
+        for model in SW_WORKLOADS:
+            base = qat_result(model, lhr=False)
+            lhr = qat_result(model, lhr=True)
+            wds16 = plan_wds(lhr.weight_codes(), bits=8, delta=16)
+            rows[model] = {
+                "baseline_hr": base.hr_average, "baseline_metric": base.metric,
+                "lhr_hr": lhr.hr_average, "lhr_metric": lhr.metric,
+                "wds16_hr": wds16.mean_hr_after,
+                "metric_name": base.metric_name,
+                "higher_better": get_model_spec(model).higher_is_better,
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table_rows = []
+    for model, r in rows.items():
+        table_rows.append([model, f"{r['baseline_hr']:.3f}", f"{r['lhr_hr']:.3f}",
+                           f"{r['wds16_hr']:.3f}", f"{r['baseline_metric']:.2f}",
+                           f"{r['lhr_metric']:.2f}", r["metric_name"]])
+    print()
+    print(format_table(["model", "HR base", "HR +LHR", "HR +WDS16", "metric base",
+                        "metric +LHR", "metric"], table_rows,
+                       title="Fig 13: HR decrease vs task metric"))
+    for model, r in rows.items():
+        assert r["lhr_hr"] < r["baseline_hr"], model
+        assert r["wds16_hr"] < r["lhr_hr"] + 1e-9, model

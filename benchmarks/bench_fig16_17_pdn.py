@@ -1,0 +1,96 @@
+"""Figures 16 and 17: chip IR-drop heat map and current/voltage traces before vs after AIM.
+
+Expected shapes (paper):
+* Fig. 16 — IR-drop hotspots concentrate on the active PIM macros; after AIM the
+  hotspot magnitudes shrink while the spatial pattern stays similar;
+* Fig. 17 — demanded drive current and bump current fall after AIM, and the bump
+  voltage sits closer to the ideal supply (less droop).
+"""
+
+import numpy as np
+
+from repro.analysis import format_series
+from repro.power import IRDropModel, PowerDeliveryNetwork, chip_ir_drop_map
+from repro.pim.chip import PIMChip
+from common import BENCH_CHIP, BENCH_TABLE, aim_simulation, baseline_simulation
+
+
+def _macro_positions():
+    chip = PIMChip(BENCH_CHIP)
+    return [chip.macro_position(i) for i in range(BENCH_CHIP.total_macros)], chip.grid_shape
+
+
+def _solve_map(simulation, pair_voltage, pair_frequency):
+    positions, (rows, cols) = _macro_positions()
+    model = IRDropModel(supply_voltage=BENCH_CHIP.nominal_voltage,
+                        signoff_drop=BENCH_CHIP.signoff_ir_drop,
+                        nominal_frequency=BENCH_CHIP.nominal_frequency)
+    pdn = PowerDeliveryNetwork(rows, cols, supply_voltage=BENCH_CHIP.nominal_voltage)
+    rtog = np.zeros(BENCH_CHIP.total_macros)
+    for macro in simulation.macro_results:
+        rtog[macro.macro_index] = macro.mean_rtog
+    used_positions = [positions[i] for i in range(BENCH_CHIP.total_macros)]
+    return chip_ir_drop_map(model, pdn, rtog, used_positions,
+                            voltages=[pair_voltage] * len(rtog),
+                            frequencies=[pair_frequency] * len(rtog))
+
+
+def test_fig16_layout_heatmap(benchmark):
+    def run():
+        baseline = baseline_simulation("resnet18")
+        aim = aim_simulation("resnet18")
+        nominal = BENCH_TABLE.nominal_dvfs_pair()
+        improved = BENCH_TABLE.select_pair(35, "low_power")
+        before = _solve_map(baseline, nominal.voltage, nominal.frequency)
+        after = _solve_map(aim, improved.voltage, improved.frequency)
+        return before, after
+
+    before, after = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series("Fig 16 before AIM", {"worst_drop_mV": before.worst_drop * 1e3,
+                                              "mean_drop_mV": before.mean_drop * 1e3}))
+    print(format_series("Fig 16 after AIM", {"worst_drop_mV": after.worst_drop * 1e3,
+                                             "mean_drop_mV": after.mean_drop * 1e3}))
+    assert after.worst_drop < before.worst_drop
+    assert after.mean_drop < before.mean_drop
+
+
+def test_fig17_current_and_bump_traces(benchmark):
+    def run():
+        baseline = baseline_simulation("resnet18")
+        aim = aim_simulation("resnet18")
+        model = IRDropModel(supply_voltage=BENCH_CHIP.nominal_voltage,
+                            signoff_drop=BENCH_CHIP.signoff_ir_drop,
+                            nominal_frequency=BENCH_CHIP.nominal_frequency)
+        nominal = BENCH_TABLE.nominal_dvfs_pair()
+        improved = BENCH_TABLE.select_pair(35, "low_power")
+
+        def demand(sim, pair):
+            return np.array([
+                model.macro_current(m.mean_rtog, pair.voltage, pair.frequency)
+                for m in sim.macro_results
+            ])
+
+        before = demand(baseline, nominal)
+        after = demand(aim, improved)
+        positions, (rows, cols) = _macro_positions()
+        pdn = PowerDeliveryNetwork(rows, cols, supply_voltage=BENCH_CHIP.nominal_voltage)
+        used = [positions[m.macro_index] for m in baseline.macro_results]
+        bump_before = pdn.solve_for_macros(before, used)
+        used_after = [positions[m.macro_index] for m in aim.macro_results]
+        bump_after = pdn.solve_for_macros(after, used_after)
+        return before, after, bump_before, bump_after
+
+    before, after, bump_before, bump_after = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series("Fig 17 demanded drive current (A)",
+                        {"before": before.sum(), "after": after.sum()}))
+    print(format_series("Fig 17 peak bump current (A)",
+                        {"before": bump_before.bump_current.max(),
+                         "after": bump_after.bump_current.max()}))
+    print(format_series("Fig 17 worst bump-side droop (mV)",
+                        {"before": bump_before.worst_drop * 1e3,
+                         "after": bump_after.worst_drop * 1e3}))
+    assert after.sum() < before.sum()
+    assert bump_after.bump_current.max() < bump_before.bump_current.max()
+    assert bump_after.worst_drop < bump_before.worst_drop

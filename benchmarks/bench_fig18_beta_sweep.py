@@ -1,0 +1,50 @@
+"""Figure 18: the beta trade-off — IR-drop mitigation ability vs. delay cycles.
+
+Expected shape (paper): a smaller beta (tighter Algorithm-2 windows) yields more
+aggressive operation and therefore more IR-drop mitigation, but also more
+IRFailures and hence more recompute/delay cycles; a larger beta is the opposite.
+Results are normalized against IR-Booster running at the safe level only.
+"""
+
+import numpy as np
+
+from repro.analysis import format_series
+from repro.core.ir_booster import BoosterMode
+from common import compiled_workload, run_sim
+
+BETAS = (10, 30, 50, 70, 90)
+
+
+def test_fig18_beta_sweep(benchmark):
+    def run():
+        compiled = compiled_workload("vit", lhr=True, wds_delta=16, mapping="hr_aware",
+                                     mode=BoosterMode.SPRINT)
+        reference = run_sim(compiled, controller="booster_safe", mode=BoosterMode.SPRINT,
+                            cycles=500)
+        sweep = {}
+        for beta in BETAS:
+            result = run_sim(compiled, controller="booster", mode=BoosterMode.SPRINT,
+                             beta=beta, cycles=500)
+            mitigation = (reference.mean_ir_drop - result.mean_ir_drop) \
+                / max(reference.mean_ir_drop, 1e-12)
+            sweep[beta] = {
+                "normalized_delay": (result.total_stall_cycles + 1)
+                / (reference.total_stall_cycles + 1),
+                "failures": result.total_failures,
+                "extra_mitigation": mitigation,
+            }
+        return sweep
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series("Fig 18 delay (normalized)",
+                        {b: sweep[b]["normalized_delay"] for b in BETAS}))
+    print(format_series("Fig 18 IRFailures", {b: float(sweep[b]["failures"]) for b in BETAS}))
+    print(format_series("Fig 18 extra mitigation vs safe-only",
+                        {b: sweep[b]["extra_mitigation"] for b in BETAS}))
+
+    # Smaller beta -> at least as many failures/delay as the largest beta.
+    assert sweep[10]["failures"] >= sweep[90]["failures"]
+    assert sweep[10]["normalized_delay"] >= sweep[90]["normalized_delay"] - 1e-9
+    # Aggressive adjustment never *increases* the mean drop vs safe-only by much.
+    assert all(s["extra_mitigation"] > -0.25 for s in sweep.values())

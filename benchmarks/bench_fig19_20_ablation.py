@@ -1,0 +1,91 @@
+"""Figures 19 and 20: component ablation and energy-efficiency stacking.
+
+Expected shapes (paper):
+* Fig. 19 — every added component (LHR -> +WDS -> +IR-Booster) improves IR-drop,
+  power and effective TOPS over the baseline; conv workloads gain relatively
+  more from LHR/WDS while transformer workloads lean on IR-Booster (their
+  attention matmuls are input-determined);
+* Fig. 20 — IR-Booster alone already improves energy efficiency (1.5-2.1x in the
+  paper); adding LHR and then WDS increases the gain further.
+"""
+
+import numpy as np
+
+from repro.analysis import format_ratio, format_table
+from repro.core.ir_booster import BoosterMode
+from common import BENCH_CHIP, HW_WORKLOADS, compiled_workload, run_sim
+
+#: Ablation steps: (label, lhr, wds_delta, mapping, controller)
+STEPS = (
+    ("baseline", False, None, "sequential", "dvfs"),
+    ("+LHR", True, None, "sequential", "booster_safe"),
+    ("+WDS(16)", True, 16, "sequential", "booster_safe"),
+    ("+IR-Booster", True, 16, "hr_aware", "booster"),
+)
+
+
+def ablation(model: str, mode: str):
+    rows = {}
+    for label, lhr, wds, mapping, controller in STEPS:
+        compiled = compiled_workload(model, lhr=lhr, wds_delta=wds, mapping=mapping,
+                                     mode=mode)
+        result = run_sim(compiled, controller=controller, mode=mode)
+        rows[label] = result
+    return rows
+
+
+def test_fig19_ablation(benchmark):
+    def run():
+        return {model: ablation(model, BoosterMode.LOW_POWER) for model in HW_WORKLOADS}
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for model, rows in data.items():
+        table_rows = []
+        for label, result in rows.items():
+            table_rows.append([label, f"{result.worst_ir_drop * 1e3:.1f}",
+                               f"{result.average_macro_power_mw:.3f}",
+                               f"{result.effective_tops:.3f}"])
+        print(format_table(["configuration", "worst IR-drop (mV)", "macro power (mW)",
+                            "effective TOPS"], table_rows,
+                           title=f"Fig 19 ablation — {model} (low-power mode)"))
+
+    for model, rows in data.items():
+        baseline = rows["baseline"]
+        full = rows["+IR-Booster"]
+        # Each metric improves end to end.
+        assert full.worst_ir_drop < baseline.worst_ir_drop, model
+        assert full.average_macro_power_mw < baseline.average_macro_power_mw, model
+        # LHR/WDS monotonically reduce the drop among the software-only steps.
+        assert rows["+WDS(16)"].worst_ir_drop <= rows["+LHR"].worst_ir_drop + 1e-6, model
+
+
+def test_fig20_energy_efficiency_stacking(benchmark):
+    def run():
+        gains = {}
+        for model in HW_WORKLOADS:
+            baseline = run_sim(compiled_workload(model, False, None, "sequential"),
+                               controller="dvfs", mode=BoosterMode.LOW_POWER)
+            booster_only = run_sim(compiled_workload(model, False, None, "sequential"),
+                                   controller="booster", mode=BoosterMode.LOW_POWER)
+            booster_lhr = run_sim(compiled_workload(model, True, None, "sequential"),
+                                  controller="booster", mode=BoosterMode.LOW_POWER)
+            booster_lhr_wds = run_sim(compiled_workload(model, True, 16, "sequential"),
+                                      controller="booster", mode=BoosterMode.LOW_POWER)
+            gains[model] = {
+                "IR-Booster": booster_only.efficiency_gain_vs(baseline),
+                "IR-Booster+LHR": booster_lhr.efficiency_gain_vs(baseline),
+                "IR-Booster+LHR+WDS": booster_lhr_wds.efficiency_gain_vs(baseline),
+            }
+        return gains
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["model", "IR-Booster", "+LHR", "+LHR+WDS"],
+        [[m, format_ratio(g["IR-Booster"]), format_ratio(g["IR-Booster+LHR"]),
+          format_ratio(g["IR-Booster+LHR+WDS"])] for m, g in gains.items()],
+        title="Fig 20: energy-efficiency improvement over DVFS baseline"))
+    for model, g in gains.items():
+        assert g["IR-Booster"] > 1.0, model
+        assert g["IR-Booster+LHR+WDS"] >= g["IR-Booster"] - 0.05, model

@@ -1,0 +1,106 @@
+"""Figure 22 and Section 6.10: AIM on an APIM macro / pure adder tree, and overheads.
+
+Expected shapes (paper):
+* Fig. 22-(a) — applying AIM's HR optimization to a 28nm APIM macro still yields
+  roughly half of the IR-drop reduction seen on DPIM;
+* Fig. 22-(b) — the bit-serial adder tree on its own also benefits (its switching
+  activity follows the same Rtog statistics);
+* Sec. 6.10 — the added hardware (shift compensator, IR monitor, controller)
+  costs well under 1 % area and a few tenths of a percent power.
+"""
+
+import numpy as np
+
+from repro.analysis import format_percent, format_series
+from repro.pim import AdderTree, BankConfig, MacroConfig, PIMMacro, ShiftCompensator
+from repro.power import IRDropModel, IRMonitor, OverheadReport
+from repro.workloads import ActivationStreamGenerator
+from common import qat_result
+
+
+APIM_CONFIG = MacroConfig(banks=8, bank=BankConfig(rows=32, weight_bits=8, input_bits=4),
+                          is_analog=True, adc_bits=8)
+
+
+def _macro_drop(codes: np.ndarray, analog: bool, sensitivity: float) -> float:
+    """Mean Eq.-2 drop of a macro running the given weight tile.
+
+    ``sensitivity`` scales the dynamic component: analog macros are less
+    sensitive to activity-driven mitigation (paper Sec. 7), modelled as a larger
+    activity-independent floor.
+    """
+    config = APIM_CONFIG if analog else MacroConfig(
+        banks=8, bank=BankConfig(rows=32, weight_bits=8, input_bits=4))
+    macro = PIMMacro(config)
+    macro.load_weight_matrix(codes[:config.rows, :config.banks])
+    generator = ActivationStreamGenerator(rows=config.rows, input_bits=4, seed=0)
+    execution = macro.execute(generator.generate(24))
+    model = IRDropModel(static_fraction=0.10 + (0.25 if analog else 0.0))
+    return float(model.drop_array(
+        np.clip(execution.rtog_mean_trace * sensitivity, 0, 1)).mean())
+
+
+def test_fig22_apim_and_adder_tree(benchmark):
+    def run():
+        baseline_matrix = _first_tile(qat_result("vit", lhr=False))
+        optimized_matrix = _first_tile(qat_result("vit", lhr=True))
+        results = {}
+        for label, analog in (("dpim", False), ("apim", True)):
+            before = _macro_drop(baseline_matrix, analog, sensitivity=1.0)
+            after = _macro_drop(optimized_matrix, analog, sensitivity=1.0)
+            results[label] = 1.0 - after / before
+        # Pure adder tree: switching activity scales with the number of non-zero
+        # product bits, so lower HR directly lowers tree activity.
+        tree = AdderTree(leaves=32, operand_bits=8)
+        rng = np.random.default_rng(0)
+        dense = rng.integers(-64, 64, size=32)
+        sparse = dense * (rng.random(32) < 0.5)
+        results["adder_tree"] = 1.0 - (tree.activity(sparse).total_activity /
+                                       tree.activity(dense).total_activity)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series("Fig 22 normalized IR-drop reduction",
+                        {k: v for k, v in results.items()}))
+    assert results["dpim"] > 0.0
+    assert results["apim"] > 0.0
+    # Analog macros benefit less than digital ones (paper: ~50 % vs 58-69 %).
+    assert results["apim"] <= results["dpim"] + 1e-9
+    assert results["adder_tree"] > 0.0
+
+
+def _first_tile(result):
+    name = max(result.weight_codes(), key=lambda k: result.weight_codes()[k].size)
+    codes = result.weight_codes()[name]
+    matrix = codes.reshape(codes.shape[0], -1).T if codes.ndim > 2 else codes.T
+    return matrix
+
+
+def test_sec610_overhead(benchmark):
+    def run():
+        compensator = ShiftCompensator(delta=16, banks=64)
+        monitor = IRMonitor()
+        report = OverheadReport(
+            shift_compensator_area=compensator.overhead.area_fraction,
+            shift_compensator_power=compensator.overhead.power_fraction,
+            ir_monitor_area=monitor.overhead_area_fraction,
+            ir_monitor_power=monitor.overhead_power_fraction)
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series("Sec 6.10 overhead fractions", {
+        "SC area": report.shift_compensator_area,
+        "SC power": report.shift_compensator_power,
+        "monitor area": report.ir_monitor_area,
+        "monitor power": report.ir_monitor_power,
+        "total area": report.total_area_fraction,
+        "total power": report.total_power_fraction,
+    }))
+    # Paper bounds: SC < 0.2 % area / < 1 % power; monitor < 0.1 % / < 0.5 %.
+    assert report.shift_compensator_area < 0.002
+    assert report.shift_compensator_power < 0.01
+    assert report.ir_monitor_area <= 0.001
+    assert report.ir_monitor_power <= 0.005
+    assert report.total_area_fraction < 0.01

@@ -1,0 +1,58 @@
+"""Table 1 and Figure 9: the safe-level -> a-level profile and the V-f pair grid.
+
+Expected shapes (paper):
+* Table 1 — higher safe levels leave more headroom, so their initial aggressive
+  levels sit further below them; a-levels never exceed the booster range 20-60 %;
+* Fig. 9  — within the V-f grid, a lower Rtog level permits either a lower
+  voltage at the same frequency or a higher frequency at the same voltage,
+  whereas the 100 % DVFS row is the most conservative everywhere.
+"""
+
+from repro.analysis import format_table
+from repro.core.ir_booster import A_LEVEL_INIT, initial_aggressive_level, safe_level_from_hr
+from common import BENCH_TABLE
+
+
+def test_table1_alevel_profile(benchmark):
+    def run():
+        rows = []
+        for safe in sorted(A_LEVEL_INIT, reverse=True):
+            a_level = initial_aggressive_level(safe, BENCH_TABLE)
+            rows.append((safe, a_level))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(["safe level (%)", "initial a-level (%)"],
+                       [[s, a] for s, a in rows],
+                       title="Table 1: safe level -> initial aggressive level"))
+    booster_levels = BENCH_TABLE.booster_levels()
+    for safe, a_level in rows:
+        assert a_level in booster_levels
+        if safe != 100:
+            assert a_level <= safe
+    # Headroom grows with the safe level.
+    gaps = {safe: safe - a for safe, a in rows if safe != 100}
+    assert gaps[60] >= gaps[30] >= gaps[20]
+
+
+def test_fig09_vf_grid_properties(benchmark):
+    def run():
+        return BENCH_TABLE.as_grid()
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    rows = []
+    for level in sorted(grid):
+        pairs = grid[level]
+        rows.append([level] + [f"{p.voltage:.3f}V@{p.frequency/1e9:.2f}GHz" for p in pairs])
+    print(format_table(["level"] + [f"f{i}" for i in range(len(BENCH_TABLE.frequencies))],
+                       rows, title="Fig 9: IR-Booster V-f pair grid"))
+
+    # At every frequency step, voltage decreases monotonically with the level.
+    for step in range(len(BENCH_TABLE.frequencies)):
+        voltages = [grid[level][step].voltage for level in sorted(grid) if level != 100]
+        assert all(a <= b + 1e-12 for a, b in zip(voltages, voltages[1:]))
+        assert grid[100][step].voltage >= voltages[-1]
+    # Safe-level mapping example from the paper: HRG 47.5 % -> level 50.
+    assert safe_level_from_hr(0.475, BENCH_TABLE) == 50

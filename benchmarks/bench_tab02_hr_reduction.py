@@ -1,0 +1,65 @@
+"""Table 2: HRaverage / HRmax reduction of +LHR, +WDS(8), +WDS(16) over baseline QAT.
+
+Expected shape (paper): every workload's HR drops with +LHR and drops further
+with +WDS; delta = 16 beats delta = 8; reductions land in the tens of percent.
+"""
+
+import numpy as np
+
+from repro.analysis import format_percent, format_table
+from repro.core.wds import plan_wds
+from common import SW_WORKLOADS, qat_result
+
+
+def hr_for_variant(model: str, variant: str) -> tuple:
+    """(HRaverage, HRmax) for baseline / +LHR / +WDS(8) / +WDS(16)."""
+    if variant == "baseline":
+        result = qat_result(model, lhr=False)
+        return result.hr_average, result.hr_max
+    result = qat_result(model, lhr=True)
+    if variant == "lhr":
+        return result.hr_average, result.hr_max
+    delta = 8 if variant == "wds8" else 16
+    plan = plan_wds(result.weight_codes(), bits=8, delta=delta)
+    return plan.mean_hr_after, plan.max_hr_after
+
+
+def build_table2() -> dict:
+    rows = {}
+    for model in SW_WORKLOADS:
+        base_avg, base_max = hr_for_variant(model, "baseline")
+        rows[model] = {}
+        for variant in ("lhr", "wds8", "wds16"):
+            avg, peak = hr_for_variant(model, variant)
+            rows[model][variant] = {
+                "hr_aver_reduction": 1.0 - avg / base_avg if base_avg else 0.0,
+                "hr_max_reduction": 1.0 - peak / base_max if base_max else 0.0,
+            }
+    return rows
+
+
+def test_table2_hr_reduction(benchmark):
+    rows = benchmark.pedantic(build_table2, rounds=1, iterations=1)
+    table_rows = []
+    for model, variants in rows.items():
+        table_rows.append([
+            model,
+            format_percent(variants["lhr"]["hr_aver_reduction"]),
+            format_percent(variants["wds8"]["hr_aver_reduction"]),
+            format_percent(variants["wds16"]["hr_aver_reduction"]),
+            format_percent(variants["lhr"]["hr_max_reduction"]),
+            format_percent(variants["wds16"]["hr_max_reduction"]),
+        ])
+    print()
+    print(format_table(
+        ["model", "HRaver +LHR", "HRaver +WDS(8)", "HRaver +WDS(16)",
+         "HRmax +LHR", "HRmax +WDS(16)"],
+        table_rows, title="Table 2: HR reduction over baseline QAT"))
+
+    # Shape assertions: LHR reduces HR everywhere; WDS(16) reduces it the most.
+    for model, variants in rows.items():
+        assert variants["lhr"]["hr_aver_reduction"] > 0.0, model
+        assert variants["wds16"]["hr_aver_reduction"] >= \
+            variants["wds8"]["hr_aver_reduction"] - 0.02, model
+        assert variants["wds16"]["hr_aver_reduction"] > \
+            variants["lhr"]["hr_aver_reduction"], model

@@ -1,0 +1,94 @@
+"""Table 3, Figure 14 and Figure 15: PTQ+LHR, the WDS delta sweep, and pruning.
+
+Expected shapes (paper):
+* Table 3 — adding LHR to OmniQuant-/BRECQ-style PTQ lowers HRaver with only a
+  marginal change of perplexity / accuracy (smaller HR gains than QAT);
+* Fig. 14 — normalized HR vs delta: only the recommended power-of-two deltas
+  (8 and 16 for INT8) reduce HR, other deltas increase it;
+* Fig. 15 — pruning alone reduces HR at an accuracy cost; LHR/WDS are orthogonal
+  and can be combined with pruning for further HR reduction.
+"""
+
+import numpy as np
+
+from repro.analysis import format_series, format_table
+from repro.core.wds import plan_wds
+from repro.models import get_model_spec
+from repro.quant import (
+    PruningConfig,
+    PTQConfig,
+    gradual_magnitude_prune,
+    ptq_brecq_like,
+    ptq_omniquant_like,
+)
+from common import qat_result
+
+
+def test_table3_ptq_with_lhr(benchmark):
+    def run():
+        rows = {}
+        for model, method, label in (("gpt2", ptq_omniquant_like, "OmniQuant-like"),
+                                     ("llama3", ptq_omniquant_like, "OmniQuant-like"),
+                                     ("resnet18", ptq_brecq_like, "BRECQ-like"),
+                                     ("mobilenetv2", ptq_brecq_like, "BRECQ-like")):
+            spec = get_model_spec(model)
+            base = method(spec, PTQConfig(bits=8, use_lhr=False))
+            lhr = method(spec, PTQConfig(bits=8, use_lhr=True))
+            rows[f"{label}/{model}"] = (base.hr_average, lhr.hr_average,
+                                        base.metric, lhr.metric)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["PTQ/model", "HR w/o LHR", "HR w LHR", "metric w/o", "metric w"],
+        [[k, f"{a:.3f}", f"{b:.3f}", f"{c:.2f}", f"{d:.2f}"]
+         for k, (a, b, c, d) in rows.items()],
+        title="Table 3: PTQ + LHR"))
+    for key, (base_hr, lhr_hr, _, _) in rows.items():
+        assert lhr_hr < base_hr, key
+
+
+def test_fig14_delta_sweep(benchmark):
+    def run():
+        lhr = qat_result("resnet18", lhr=True)
+        codes = lhr.weight_codes()
+        reference = plan_wds(codes, bits=8, delta=0, max_overflow=1.0).mean_hr_after
+        sweep = {}
+        for delta in range(0, 18):
+            plan = plan_wds(codes, bits=8, delta=delta, max_overflow=1.0)
+            sweep[delta] = plan.mean_hr_after / reference
+        return sweep
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series("Fig 14: normalized HR vs delta (ResNet18, INT8)", sweep))
+    assert sweep[8] < 1.0 and sweep[16] < 1.0          # recommended deltas help
+    assert sweep[16] <= sweep[8] + 1e-9                # 16 at least as good as 8
+    bad_deltas = [sweep[d] for d in (1, 2, 3, 5, 6, 7)]
+    assert all(v > 1.0 for v in bad_deltas)            # misaligned deltas hurt
+
+
+def test_fig15_pruning_comparison(benchmark):
+    def run():
+        spec = get_model_spec("resnet18")
+        results = {}
+        lhr = qat_result("resnet18", lhr=True)
+        results["lhr"] = (lhr.hr_average, lhr.metric)
+        wds = plan_wds(lhr.weight_codes(), bits=8, delta=8)
+        results["lhr+wds8"] = (wds.mean_hr_after, lhr.metric)
+        for sparsity in (0.3, 0.5):
+            pruned = gradual_magnitude_prune(
+                spec, PruningConfig(target_sparsity=sparsity, steps=2, finetune_batches=3))
+            results[f"prune{int(sparsity * 100)}"] = (pruned.hr_average, pruned.metric)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(["configuration", "HR", "accuracy"],
+                       [[k, f"{hr:.3f}", f"{acc:.2f}"] for k, (hr, acc) in results.items()],
+                       title="Fig 15: LHR/WDS vs pruning (ResNet18)"))
+    # Pruning reduces HR below the un-pruned baseline ~0.5 and deeper sparsity
+    # reduces it further; LHR+WDS achieves reductions without zeroing weights.
+    assert results["prune50"][0] < results["prune30"][0]
+    assert results["lhr+wds8"][0] < results["lhr"][0]

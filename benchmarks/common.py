@@ -1,0 +1,93 @@
+"""Shared, cached building blocks for the benchmark harnesses.
+
+Every benchmark regenerates one paper table or figure.  The expensive inputs
+(QAT runs, compiled workloads) are cached at module level so that the full
+``pytest benchmarks/ --benchmark-only`` sweep stays within a few minutes while
+each harness still exercises the real code paths.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.ir_booster import BoosterMode
+from repro.models import get_model_spec
+from repro.pim.config import ChipConfig, small_chip_config
+from repro.power.vf_table import VFTable
+from repro.quant import QATConfig, QATResult, run_qat
+from repro.sim import CompiledWorkload, CompilerConfig, RuntimeConfig, compile_workload, simulate
+from repro.sim.results import SimulationResult
+from repro.workloads import WorkloadProfile, build_workload_profile
+
+#: Models used by the hardware-facing experiments (one conv, one transformer),
+#: matching the paper's choice of ResNet18 and ViT as representatives.
+HW_WORKLOADS = ("resnet18", "vit")
+
+#: All six workloads of the software experiments (Table 2, Fig. 13).
+SW_WORKLOADS = ("resnet18", "mobilenetv2", "yolov5", "vit", "llama3", "gpt2")
+
+#: Geometry used by the benchmark harnesses: smaller than the 64-macro reference
+#: chip so sweeps finish quickly, but with the same group structure.
+BENCH_CHIP: ChipConfig = small_chip_config(groups=8, macros_per_group=2, banks=4, rows=32)
+BENCH_TABLE = VFTable(nominal_voltage=BENCH_CHIP.nominal_voltage,
+                      nominal_frequency=BENCH_CHIP.nominal_frequency,
+                      signoff_ir_drop=BENCH_CHIP.signoff_ir_drop)
+
+QAT_EPOCHS = 2
+SIM_CYCLES = 600
+
+
+@lru_cache(maxsize=None)
+def qat_result(model: str, lhr: bool) -> QATResult:
+    """Cached QAT run (baseline or +LHR) for one workload."""
+    spec = get_model_spec(model)
+    config = QATConfig(bits=8, epochs=QAT_EPOCHS, learning_rate=3e-3,
+                       lhr_lambda=2.0 if lhr else 0.0, seed=0)
+    return run_qat(spec, config)
+
+
+@lru_cache(maxsize=None)
+def workload_profile(model: str, lhr: bool) -> WorkloadProfile:
+    """Cached operator profile built from the (cached) QAT result."""
+    result = qat_result(model, lhr)
+    spec = get_model_spec(model)
+    return build_workload_profile(result.model, name=model, family=spec.family,
+                                  codes_by_layer=result.weight_codes(), bits=8,
+                                  attention_seq_len=16, seed=0)
+
+
+@lru_cache(maxsize=None)
+def compiled_workload(model: str, lhr: bool, wds_delta: Optional[int],
+                      mapping: str = "sequential",
+                      mode: str = BoosterMode.LOW_POWER) -> CompiledWorkload:
+    """Cached compilation of one workload variant onto the benchmark chip."""
+    profile = workload_profile(model, lhr)
+    config = CompilerConfig(bits=8, wds_delta=wds_delta, mapping_strategy=mapping,
+                            mode=mode, max_tasks_per_operator=2, seed=0)
+    return compile_workload(profile, BENCH_CHIP, BENCH_TABLE, config)
+
+
+def run_sim(compiled: CompiledWorkload, controller: str, mode: str,
+            beta: int = 50, cycles: int = SIM_CYCLES, seed: int = 0) -> SimulationResult:
+    """One runtime simulation with the benchmark defaults."""
+    config = RuntimeConfig(cycles=cycles, controller=controller, mode=mode, beta=beta,
+                           seed=seed)
+    return simulate(compiled, config, table=BENCH_TABLE)
+
+
+def baseline_simulation(model: str, mode: str = BoosterMode.LOW_POWER,
+                        cycles: int = SIM_CYCLES) -> SimulationResult:
+    """The un-optimized reference: baseline QAT, no WDS, sequential mapping, DVFS."""
+    compiled = compiled_workload(model, lhr=False, wds_delta=None, mapping="sequential")
+    return run_sim(compiled, controller="dvfs", mode=mode, cycles=cycles)
+
+
+def aim_simulation(model: str, mode: str = BoosterMode.LOW_POWER, beta: int = 50,
+                   cycles: int = SIM_CYCLES) -> SimulationResult:
+    """The full-AIM configuration: LHR + WDS(16) + HR-aware mapping + IR-Booster."""
+    compiled = compiled_workload(model, lhr=True, wds_delta=16, mapping="hr_aware",
+                                 mode=mode)
+    return run_sim(compiled, controller="booster", mode=mode, beta=beta, cycles=cycles)

@@ -1,0 +1,55 @@
+"""Autonomous-driving style workload: conv perception networks with LHR + WDS.
+
+The paper motivates AIM with edge scenarios (autonomous driving chips such as
+Houmo's) that run a small, fixed set of conv-heavy perception models.  This
+example quantizes two such models (a ResNet classifier and a YOLO-style
+detector) with and without the LHR regularizer, plans WDS per layer, and
+reports the per-layer HR picture a deployment engineer would look at before
+choosing IR-Booster levels.
+
+Run with:  python examples/autonomous_driving_pipeline.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_percent, format_table
+from repro.core.wds import plan_wds
+from repro.models import get_model_spec
+from repro.quant import QATConfig, run_qat
+
+
+def optimize(model_name: str) -> None:
+    spec = get_model_spec(model_name)
+    baseline = run_qat(spec, QATConfig(bits=8, epochs=2, learning_rate=3e-3,
+                                       lhr_lambda=0.0, seed=0))
+    optimized = run_qat(spec, QATConfig(bits=8, epochs=2, learning_rate=3e-3,
+                                        lhr_lambda=2.0, seed=0))
+    wds_plan = plan_wds(optimized.weight_codes(), bits=8, delta=None)
+
+    print(f"\n=== {model_name} ({spec.metric_name}) ===")
+    rows = []
+    for layer in baseline.layer_hr:
+        rows.append([
+            layer,
+            f"{baseline.layer_hr[layer]:.3f}",
+            f"{optimized.layer_hr[layer]:.3f}",
+            f"{wds_plan.hr_after[layer]:.3f}",
+            wds_plan.deltas[layer],
+        ])
+    print(format_table(["layer", "HR baseline", "HR +LHR", "HR +LHR+WDS", "delta"],
+                       rows[:12] + ([["...", "", "", "", ""]] if len(rows) > 12 else [])))
+    print(f"HR average: {baseline.hr_average:.3f} -> {optimized.hr_average:.3f} "
+          f"-> {wds_plan.mean_hr_after:.3f} "
+          f"({format_percent(1 - wds_plan.mean_hr_after / baseline.hr_average)} reduction)")
+    print(f"Task metric: {baseline.metric:.2f} -> {optimized.metric:.2f}")
+    print(f"Worst overflow from WDS clamping: "
+          f"{format_percent(max(wds_plan.overflow.values() or [0.0]), decimals=2)} of weights")
+
+
+def main() -> None:
+    for model_name in ("resnet18", "yolov5"):
+        optimize(model_name)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: run the full AIM pipeline on one workload and print the headline numbers.
+
+This walks the same path as the paper's end-to-end example (Sec. 5.2.2):
+LHR-regularized quantization-aware training, WDS, HR-aware task mapping,
+and a cycle-level simulation with IR-Booster — compared against the
+un-optimized DVFS baseline.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import AIMConfig, AIMPipeline
+from repro.core.ir_booster import BoosterMode
+from repro.pim.config import small_chip_config
+
+
+def main() -> None:
+    # A reduced chip keeps the example under a minute; swap in
+    # repro.pim.default_chip_config() for the paper-scale 64-macro design.
+    chip = small_chip_config(groups=8, macros_per_group=2, banks=4, rows=32)
+
+    config = AIMConfig(
+        bits=8,
+        use_lhr=True, lhr_lambda=2.0, qat_epochs=2,
+        wds_delta=16,
+        mapping_strategy="hr_aware",
+        controller="booster", mode=BoosterMode.LOW_POWER,
+        beta=50, cycles=800,
+        max_tasks_per_operator=2,
+    )
+
+    pipeline = AIMPipeline("resnet18", chip_config=chip, config=config)
+    outcome = pipeline.execute(compare_against_baseline=True)
+
+    print(f"Workload: {outcome.workload}")
+    print(f"  HR average (after LHR+WDS planning): {outcome.hr_average:.3f}")
+    print(f"  Task metric ({outcome.qat_result.metric_name}): "
+          f"{outcome.qat_result.metric:.2f}")
+    print(f"  Worst macro IR-drop: {outcome.simulation.worst_ir_drop * 1e3:.1f} mV "
+          f"(signoff worst case: {chip.signoff_ir_drop * 1e3:.0f} mV)")
+    print(f"  IR-drop mitigation vs signoff: {outcome.ir_drop_mitigation * 100:.1f}%")
+    print(f"  Per-macro power: {outcome.simulation.average_macro_power_mw:.3f} mW "
+          f"(baseline {outcome.baseline_simulation.average_macro_power_mw:.3f} mW)")
+    print(f"  Energy-efficiency gain: {outcome.energy_efficiency_gain:.2f}x")
+    print(f"  Effective throughput: {outcome.simulation.effective_tops:.3f} TOPS")
+
+
+if __name__ == "__main__":
+    main()

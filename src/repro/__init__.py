@@ -1,0 +1,28 @@
+"""repro — a reproduction of "AIM: Software and Hardware Co-design for
+Architecture-level IR-drop Mitigation in High-performance PIM" (ISCA 2025).
+
+Package layout
+--------------
+* :mod:`repro.core`      — the paper's contribution: Rtog/HR metrics, LHR, WDS,
+  IR-Booster, HR-aware task mapping, and the end-to-end pipeline.
+* :mod:`repro.nn`        — numpy autograd NN framework (training substrate).
+* :mod:`repro.models`    — scaled-down ResNet18 / MobileNetV2 / YOLOv5 / ViT /
+  GPT-2 / Llama model zoo.
+* :mod:`repro.quant`     — QAT, PTQ and pruning flows.
+* :mod:`repro.pim`       — behavioural SRAM-PIM chip model (banks → chip).
+* :mod:`repro.power`     — V-f tables, PDN solver, IR-drop model, monitors, energy.
+* :mod:`repro.sim`       — compiler and cycle-level runtime.
+* :mod:`repro.workloads` — operator profiles and synthetic input streams.
+* :mod:`repro.analysis`  — statistics and report formatting.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, core, models, nn, pim, power, quant, sim, workloads
+from .core import AIMConfig, AIMOutcome, AIMPipeline
+
+__all__ = [
+    "core", "nn", "models", "quant", "pim", "power", "sim", "workloads", "analysis",
+    "AIMPipeline", "AIMConfig", "AIMOutcome",
+    "__version__",
+]

@@ -1,0 +1,9 @@
+"""Analysis helpers: correlations, fits, and report formatting."""
+
+from .correlation import LinearFit, linear_fit, pearson_correlation, rank_correlation
+from .reporting import format_percent, format_ratio, format_series, format_table
+
+__all__ = [
+    "pearson_correlation", "rank_correlation", "linear_fit", "LinearFit",
+    "format_table", "format_series", "format_percent", "format_ratio",
+]

@@ -1,0 +1,53 @@
+"""Plain-text table/series formatting for the benchmark harnesses.
+
+Every benchmark prints the rows/series of the corresponding paper table or
+figure; these helpers keep that output consistent and grep-able so
+EXPERIMENTS.md can quote it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_percent", "format_ratio"]
+
+
+def format_percent(value: float, decimals: int = 1) -> str:
+    """0.283 -> '28.3%'."""
+    return f"{100.0 * value:.{decimals}f}%"
+
+
+def format_ratio(value: float, decimals: int = 2) -> str:
+    """2.29 -> '2.29x'."""
+    return f"{value:.{decimals}f}x"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width text table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row length does not match header length")
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[c]) for row in cells) for c in range(columns)]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, values: Mapping[object, float], decimals: int = 3) -> str:
+    """One-line series: 'name: k1=v1 k2=v2 ...' — used for figure-style outputs."""
+    parts = [f"{key}={value:.{decimals}f}" for key, value in values.items()]
+    return f"{name}: " + " ".join(parts)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

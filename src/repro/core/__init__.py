@@ -1,0 +1,82 @@
+"""AIM core: the paper's primary contribution.
+
+* :mod:`repro.core.metrics` — Rtog / HM / HR (Eq. 1, 3, 4)
+* :mod:`repro.core.lhr` — the differentiable lower-hamming-rate regularizer (Eq. 5, 6)
+* :mod:`repro.core.wds` — weight distribution shift and its compensation (Alg. 1)
+* :mod:`repro.core.ir_booster` — safe/aggressive level logic (Table 1, Alg. 2)
+* :mod:`repro.core.task_mapping` — HR-aware simulated-annealing mapping (Alg. 3)
+* :mod:`repro.core.aim` — the end-to-end pipeline (Sec. 5.2.2)
+"""
+
+from .aim import AIMConfig, AIMOutcome, AIMPipeline
+from .ir_booster import (
+    A_LEVEL_INIT,
+    BoosterMode,
+    GroupBoosterState,
+    IRBoosterController,
+    initial_aggressive_level,
+    safe_level_from_hr,
+)
+from .lhr import (
+    LHRRegularizer,
+    integer_hamming_table,
+    interpolated_hamming_rate,
+    interpolated_hamming_rate_grad,
+    layer_hamming_loss,
+    lhr_loss,
+)
+from .metrics import (
+    hamming_rate,
+    hamming_value,
+    rtog,
+    rtog_trace,
+    rtog_upper_bound,
+    to_twos_complement_bits,
+    weighted_hamming_rate,
+)
+from .task_mapping import (
+    MAPPING_STRATEGIES,
+    AnnealingConfig,
+    MappingEvaluation,
+    MappingEvaluator,
+    TaskMapping,
+    build_mapping,
+    hr_aware_mapping,
+    random_mapping,
+    sequential_mapping,
+    zigzag_mapping,
+)
+from .wds import (
+    WDSPlan,
+    choose_delta,
+    int_range,
+    matmul_with_wds,
+    overflow_fraction,
+    plan_wds,
+    recommended_deltas,
+    shift_compensation,
+    shift_weights,
+    shifted_hamming_rate,
+)
+
+__all__ = [
+    # metrics
+    "to_twos_complement_bits", "hamming_value", "hamming_rate", "weighted_hamming_rate",
+    "rtog", "rtog_trace", "rtog_upper_bound",
+    # lhr
+    "integer_hamming_table", "interpolated_hamming_rate", "interpolated_hamming_rate_grad",
+    "layer_hamming_loss", "lhr_loss", "LHRRegularizer",
+    # wds
+    "int_range", "shift_weights", "shifted_hamming_rate", "overflow_fraction",
+    "shift_compensation", "matmul_with_wds", "recommended_deltas", "choose_delta",
+    "WDSPlan", "plan_wds",
+    # ir-booster
+    "A_LEVEL_INIT", "safe_level_from_hr", "initial_aggressive_level", "BoosterMode",
+    "GroupBoosterState", "IRBoosterController",
+    # mapping
+    "TaskMapping", "MappingEvaluation", "MappingEvaluator", "AnnealingConfig",
+    "sequential_mapping", "zigzag_mapping", "random_mapping", "hr_aware_mapping",
+    "build_mapping", "MAPPING_STRATEGIES",
+    # pipeline
+    "AIMConfig", "AIMOutcome", "AIMPipeline",
+]

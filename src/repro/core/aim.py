@@ -1,0 +1,208 @@
+"""End-to-end AIM pipeline (paper Sec. 5.2.2).
+
+``AIMPipeline`` glues the pieces together in the order the paper describes:
+
+1. **Offline software optimization** — quantization-aware training with the LHR
+   regularizer (or a plain baseline), followed by per-operator WDS planning;
+2. **Compilation** — operators are tiled, mapped with HR-aware task mapping and
+   loaded onto the chip model; per-group HR drives IR-Booster's safe levels;
+3. **Runtime** — the cycle-level simulation runs under the chosen controller
+   (DVFS baseline, safe-level-only IR-Booster, or full IR-Booster), producing
+   IR-drop, power and throughput numbers.
+
+The pipeline also exposes a ``compare_against_baseline`` helper that runs the
+un-optimized configuration (baseline quantization, sequential mapping, DVFS) on
+the same workload, which is what every headline number in the paper is measured
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..models.registry import ModelSpec, get_model_spec
+from ..pim.config import ChipConfig, default_chip_config
+from ..power.vf_table import VFTable
+from ..quant.qat import QATConfig, QATResult, run_qat
+from ..sim.compiler import CompiledWorkload, CompilerConfig, compile_workload
+from ..sim.results import SimulationResult
+from ..sim.runtime import RuntimeConfig, simulate
+from ..workloads.profiles import WorkloadProfile, build_workload_profile
+from .ir_booster import BoosterMode
+
+__all__ = ["AIMConfig", "AIMOutcome", "AIMPipeline"]
+
+
+@dataclass
+class AIMConfig:
+    """Top-level configuration of an end-to-end AIM run."""
+
+    bits: int = 8
+    use_lhr: bool = True
+    lhr_lambda: float = 2.0
+    qat_epochs: int = 3
+    wds_delta: Optional[int] = 16        #: None disables WDS; -1 = auto per operator
+    mapping_strategy: str = "hr_aware"
+    controller: str = "booster"
+    mode: str = BoosterMode.LOW_POWER
+    beta: int = 50
+    cycles: int = 1500
+    max_tasks_per_operator: Optional[int] = 2
+    attention_seq_len: int = 16
+    seed: int = 0
+
+
+@dataclass
+class AIMOutcome:
+    """Everything produced by one end-to-end run."""
+
+    workload: str
+    config: AIMConfig
+    qat_result: QATResult
+    profile: WorkloadProfile
+    compiled: CompiledWorkload
+    simulation: SimulationResult
+    baseline_simulation: Optional[SimulationResult] = None
+
+    # -- headline numbers -------------------------------------------------- #
+    @property
+    def hr_average(self) -> float:
+        return self.qat_result.hr_average
+
+    @property
+    def ir_drop_mitigation(self) -> float:
+        """Mitigation relative to the signoff worst case (the paper's headline metric).
+
+        Sec. 6.6 reports "140 mV -> 58.1~43.2 mV", i.e. mitigation is measured
+        against the signoff worst-case drop, not against the baseline workload's
+        own drop (which is already below signoff, Fig. 3).
+        """
+        signoff = self.compiled.chip_config.signoff_ir_drop
+        if signoff <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.simulation.worst_ir_drop / signoff)
+
+    @property
+    def ir_drop_mitigation_vs_baseline(self) -> float:
+        """Mitigation relative to the DVFS baseline run of the same workload."""
+        if self.baseline_simulation is None:
+            return 0.0
+        return self.simulation.mitigation_vs(self.baseline_simulation)
+
+    @property
+    def energy_efficiency_gain(self) -> float:
+        if self.baseline_simulation is None:
+            return 1.0
+        return self.simulation.efficiency_gain_vs(self.baseline_simulation)
+
+    @property
+    def speedup(self) -> float:
+        if self.baseline_simulation is None:
+            return 1.0
+        return self.simulation.speedup_vs(self.baseline_simulation)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "hr_average": self.hr_average,
+            "hr_max": self.qat_result.hr_max,
+            "task_metric": self.qat_result.metric,
+            "worst_ir_drop_mv": self.simulation.worst_ir_drop * 1e3,
+            "macro_power_mw": self.simulation.average_macro_power_mw,
+            "effective_tops": self.simulation.effective_tops,
+            "ir_drop_mitigation": self.ir_drop_mitigation,
+            "energy_efficiency_gain": self.energy_efficiency_gain,
+            "speedup": self.speedup,
+        }
+
+
+class AIMPipeline:
+    """Orchestrates offline optimization, compilation and runtime simulation."""
+
+    def __init__(self, workload: str, chip_config: Optional[ChipConfig] = None,
+                 config: Optional[AIMConfig] = None) -> None:
+        self.spec: ModelSpec = get_model_spec(workload)
+        self.chip_config = chip_config or default_chip_config()
+        self.config = config or AIMConfig()
+        self.table = VFTable(
+            nominal_voltage=self.chip_config.nominal_voltage,
+            nominal_frequency=self.chip_config.nominal_frequency,
+            signoff_ir_drop=self.chip_config.signoff_ir_drop)
+
+    # ------------------------------------------------------------------ #
+    # pipeline stages
+    # ------------------------------------------------------------------ #
+    def optimize_software(self) -> QATResult:
+        """Stage 1: quantization (baseline or +LHR) of the workload's network."""
+        cfg = self.config
+        qat_config = QATConfig(bits=cfg.bits, epochs=cfg.qat_epochs,
+                               lhr_lambda=cfg.lhr_lambda if cfg.use_lhr else 0.0,
+                               seed=cfg.seed)
+        return run_qat(self.spec, qat_config)
+
+    def build_profile(self, qat_result: QATResult) -> WorkloadProfile:
+        """Stage 1b: turn the quantized network into a PIM operator list."""
+        return build_workload_profile(
+            qat_result.model, name=self.spec.name, family=self.spec.family,
+            codes_by_layer=qat_result.weight_codes(), bits=self.config.bits,
+            attention_seq_len=self.config.attention_seq_len, seed=self.config.seed)
+
+    def compile(self, profile: WorkloadProfile,
+                mapping_strategy: Optional[str] = None,
+                wds_delta: Optional[int] = "unset") -> CompiledWorkload:
+        """Stage 2: WDS + tiling + task mapping + chip load."""
+        cfg = self.config
+        compiler_config = CompilerConfig(
+            bits=cfg.bits,
+            wds_delta=cfg.wds_delta if wds_delta == "unset" else wds_delta,
+            mapping_strategy=mapping_strategy or cfg.mapping_strategy,
+            mode=cfg.mode,
+            max_tasks_per_operator=cfg.max_tasks_per_operator,
+            seed=cfg.seed)
+        return compile_workload(profile, self.chip_config, self.table, compiler_config)
+
+    def run(self, compiled: CompiledWorkload, controller: Optional[str] = None,
+            beta: Optional[int] = None, cycles: Optional[int] = None,
+            seed_offset: int = 0) -> SimulationResult:
+        """Stage 3: cycle-level simulation under the chosen controller."""
+        cfg = self.config
+        runtime_config = RuntimeConfig(
+            cycles=cycles or cfg.cycles,
+            controller=controller or cfg.controller,
+            mode=cfg.mode,
+            beta=beta or cfg.beta,
+            seed=cfg.seed + seed_offset)
+        return simulate(compiled, runtime_config, table=self.table)
+
+    # ------------------------------------------------------------------ #
+    # end-to-end
+    # ------------------------------------------------------------------ #
+    def execute(self, compare_against_baseline: bool = True) -> AIMOutcome:
+        """Run the full AIM flow; optionally also the un-optimized baseline."""
+        qat_result = self.optimize_software()
+        profile = self.build_profile(qat_result)
+        compiled = self.compile(profile)
+        simulation = self.run(compiled)
+
+        baseline_simulation = None
+        if compare_against_baseline:
+            baseline_qat = run_qat(self.spec, QATConfig(
+                bits=self.config.bits, epochs=self.config.qat_epochs,
+                lhr_lambda=0.0, seed=self.config.seed))
+            baseline_profile = build_workload_profile(
+                baseline_qat.model, name=f"{self.spec.name}-baseline",
+                family=self.spec.family, codes_by_layer=baseline_qat.weight_codes(),
+                bits=self.config.bits, attention_seq_len=self.config.attention_seq_len,
+                seed=self.config.seed)
+            baseline_compiled = self.compile(baseline_profile,
+                                             mapping_strategy="sequential",
+                                             wds_delta=None)
+            baseline_simulation = self.run(baseline_compiled, controller="dvfs",
+                                           seed_offset=1)
+
+        return AIMOutcome(workload=self.spec.name, config=self.config,
+                          qat_result=qat_result, profile=profile, compiled=compiled,
+                          simulation=simulation,
+                          baseline_simulation=baseline_simulation)

@@ -1,0 +1,185 @@
+"""IR-Booster: software-guided dynamic V-f level selection (paper Sec. 5.5).
+
+IR-Booster extends DVFS with the architecture-level IR-drop margin exposed by
+Rtog/HR.  Its three decisions are reproduced here:
+
+* **safe level** — from the group's worst weight HR (HRG), rounded up to the
+  nearest 5 % table level; groups above 60 % or holding input-determined
+  operators fall back to the 100 % DVFS level (Sec. 5.5.1);
+* **initial aggressive level (a-level0)** — the profiling-derived Table 1
+  mapping from safe level to the first aggressive level to try;
+* **runtime level adjustment** — Algorithm 2: IRFailures bounce the group back
+  to its safe level (and lower the a-level when failures come too quickly),
+  while long failure-free stretches first restore and then raise the a-level.
+
+The controller is deliberately a pure state machine: the runtime tells it, per
+cycle, whether an IRFailure occurred and whether a frequency synchronization
+with another macro of the same logical Set forced a level change; the
+controller answers with the level to use next cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..power.vf_table import VFPair, VFTable
+
+__all__ = [
+    "A_LEVEL_INIT",
+    "safe_level_from_hr",
+    "initial_aggressive_level",
+    "BoosterMode",
+    "GroupBoosterState",
+    "IRBoosterController",
+]
+
+#: Paper Table 1: initial aggressive level (percent) for each safe level (percent).
+A_LEVEL_INIT: Dict[int, int] = {
+    100: 60,
+    60: 40,
+    55: 35,
+    50: 35,
+    45: 35,
+    40: 30,
+    35: 30,
+    30: 25,
+    25: 20,
+    20: 20,
+}
+
+#: Operating modes (Sec. 5.5.1): throughput-first or energy-first pair choice.
+class BoosterMode:
+    SPRINT = "sprint"
+    LOW_POWER = "low_power"
+
+
+def safe_level_from_hr(hr: float, table: VFTable,
+                       input_determined: bool = False) -> int:
+    """Safe Rtog level for a macro group given its worst weight HR.
+
+    Input-determined operators (QK^T / SV) and HR above the 60 % table ceiling
+    revert to the 100 % DVFS level, exactly as described in Sec. 5.5.1.
+    """
+    if input_determined:
+        return 100
+    if hr <= 0.0:
+        return min(table.booster_levels())
+    level = table.nearest_level_at_or_above(hr)
+    if level == 100 or hr * 100.0 > max(table.booster_levels()):
+        return 100
+    return level
+
+
+def initial_aggressive_level(safe_level: int, table: VFTable) -> int:
+    """Table-1 lookup of the a-level0 for a safe level (clamped into the table)."""
+    if safe_level in A_LEVEL_INIT:
+        candidate = A_LEVEL_INIT[safe_level]
+    else:
+        # Unlisted safe levels (possible with custom tables): keep ~70 % of it.
+        candidate = int(round(safe_level * 0.7 / 5.0) * 5)
+    booster_levels = table.booster_levels()
+    candidate = max(min(candidate, max(booster_levels)), min(booster_levels))
+    # Snap onto an existing level.
+    return min(booster_levels, key=lambda lvl: abs(lvl - candidate))
+
+
+@dataclass
+class GroupBoosterState:
+    """Algorithm-2 state for one macro group."""
+
+    safe_level: int
+    a_level: int
+    level: int
+    safe_counter: int = 0
+    failures: int = 0
+    level_ups: int = 0
+    level_downs: int = 0
+
+
+class IRBoosterController:
+    """Per-group implementation of Algorithm 2 plus V-f pair selection."""
+
+    def __init__(self, table: VFTable, beta: int = 50,
+                 mode: str = BoosterMode.SPRINT) -> None:
+        if beta <= 0:
+            raise ValueError("beta must be a positive cycle count")
+        self.table = table
+        self.beta = beta
+        self.mode = mode
+        self._groups: Dict[int, GroupBoosterState] = {}
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+    def configure_group(self, group_id: int, group_hr: float,
+                        input_determined: bool = False) -> GroupBoosterState:
+        """Initialize a group's state from its worst HR (lines 1-2 of Alg. 2)."""
+        safe = safe_level_from_hr(group_hr, self.table, input_determined)
+        a_level = initial_aggressive_level(safe, self.table)
+        state = GroupBoosterState(safe_level=safe, a_level=a_level, level=a_level)
+        self._groups[group_id] = state
+        return state
+
+    def state(self, group_id: int) -> GroupBoosterState:
+        return self._groups[group_id]
+
+    def group_ids(self) -> List[int]:
+        return sorted(self._groups)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 2
+    # ------------------------------------------------------------------ #
+    def step(self, group_id: int, ir_failure: bool,
+             frequency_sync_level: Optional[int] = None) -> int:
+        """Advance one cycle of Algorithm 2 for one group; returns the new level.
+
+        ``frequency_sync_level`` models lines 11-13: when another macro of the
+        same logical Set forces a frequency change, the group adopts that level
+        and resets its safe counter.
+        """
+        state = self._groups[group_id]
+        if ir_failure:
+            state.failures += 1
+            state.level = state.safe_level                      # line 5
+            if state.safe_counter < 0.2 * self.beta:            # lines 6-9
+                state.a_level = self._level_down(state.a_level)
+                state.level_downs += 1
+            state.safe_counter = 0                              # line 10
+        elif frequency_sync_level is not None:
+            state.level = frequency_sync_level                  # lines 11-13
+            state.safe_counter = 0
+        else:
+            state.safe_counter += 1                             # line 15
+            if state.safe_counter == self.beta:                 # lines 16-18
+                state.level = state.a_level
+            if state.safe_counter > 2 * self.beta:              # lines 19-23
+                state.a_level = self._level_up(state.a_level, state.safe_level)
+                state.level = state.a_level
+                state.level_ups += 1
+                state.safe_counter = self.beta
+        return state.level
+
+    def _level_down(self, level: int) -> int:
+        """More conservative for the *a-level*: in the paper's convention a
+        "level down" after rapid failures means a less aggressive (higher Rtog)
+        level, i.e. one step toward the safe level."""
+        return self.table.level_above(level)
+
+    def _level_up(self, level: int, safe_level: int) -> int:
+        """More aggressive: one step toward lower Rtog levels (lower V / higher f)."""
+        return self.table.level_below(level)
+
+    # ------------------------------------------------------------------ #
+    # V-f pair selection
+    # ------------------------------------------------------------------ #
+    def vf_pair(self, group_id: int) -> VFPair:
+        """The V-f pair for the group's current level under the active mode."""
+        state = self._groups[group_id]
+        level = state.level if state.level in self.table.levels else 100
+        return self.table.select_pair(level, self.mode)
+
+    def safe_vf_pair(self, group_id: int) -> VFPair:
+        state = self._groups[group_id]
+        level = state.safe_level if state.safe_level in self.table.levels else 100
+        return self.table.select_pair(level, self.mode)

@@ -1,0 +1,166 @@
+"""LHR: the differentiable lower-hamming-rate regularizer (paper Sec. 5.3).
+
+HR of an integer code is a step function of the underlying floating-point
+weight, so it cannot be back-propagated directly.  The paper's trick (Eq. 5) is
+to interpolate between the hamming rates of the two nearest integer codes:
+
+    low  = floor(w / s),   high = ceil(w / s),   p = w/s - low
+    HR(w) = (1 - p) * HR[low] + p * HR[high]
+
+which is piecewise-linear in ``w`` and therefore has a well-defined gradient
+``(HR[high] - HR[low]) / s`` almost everywhere.  The per-network loss (Eq. 6)
+is the sum over layers of the squared layer-average HR,
+
+    L_HR = sum_i HR_mean(layer_i)^2 ,
+
+which penalizes the layers with the *highest* HR hardest — exactly the
+paper's stated goal of reducing HRmax, not only HRaverage.
+
+Two interfaces are provided:
+
+* pure-numpy helpers (:func:`interpolated_hamming_rate`,
+  :func:`interpolated_hamming_rate_grad`) used by tests and by the PTQ methods;
+* an autograd bridge (:func:`lhr_loss`, :class:`LHRRegularizer`) that plugs
+  into the training loop of :mod:`repro.nn.training` as the ``regularizer``
+  argument, mirroring the paper's one-line PyTorch integration
+  ``loss += lambda * lhr_norm(model.parameters())``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Linear, Module
+from ..nn.tensor import Tensor
+from .metrics import to_twos_complement_bits
+
+__all__ = [
+    "integer_hamming_table",
+    "interpolated_hamming_rate",
+    "interpolated_hamming_rate_grad",
+    "layer_hamming_loss",
+    "lhr_loss",
+    "LHRRegularizer",
+]
+
+
+def integer_hamming_table(bits: int) -> np.ndarray:
+    """HR of every representable ``bits``-bit two's-complement integer.
+
+    Index ``i`` of the returned array corresponds to the integer
+    ``i + qmin`` where ``qmin = -2**(bits-1)``; values are popcount / bits.
+    """
+    qmin = -(1 << (bits - 1))
+    qmax = (1 << (bits - 1)) - 1
+    codes = np.arange(qmin, qmax + 1)
+    planes = to_twos_complement_bits(codes, bits)
+    return planes.sum(axis=1) / bits
+
+
+def _lookup(table: np.ndarray, codes: np.ndarray, bits: int) -> np.ndarray:
+    qmin = -(1 << (bits - 1))
+    return table[codes - qmin]
+
+
+def interpolated_hamming_rate(weights: np.ndarray, scale: float, bits: int) -> np.ndarray:
+    """Differentiable surrogate HR of floating-point ``weights`` (Eq. 5).
+
+    Values whose quantized code would fall outside the representable range are
+    clamped to the range edge (matching the quantizer's clipping behaviour).
+    """
+    table = integer_hamming_table(bits)
+    qmin = -(1 << (bits - 1))
+    qmax = (1 << (bits - 1)) - 1
+    ratio = np.asarray(weights, dtype=np.float64) / scale
+    ratio = np.clip(ratio, qmin, qmax)
+    low = np.floor(ratio).astype(np.int64)
+    high = np.ceil(ratio).astype(np.int64)
+    p = ratio - low
+    hr_low = _lookup(table, low, bits)
+    hr_high = _lookup(table, high, bits)
+    return (1.0 - p) * hr_low + p * hr_high
+
+
+def interpolated_hamming_rate_grad(weights: np.ndarray, scale: float, bits: int) -> np.ndarray:
+    """d(interpolated HR)/d(weight): the slope of the active interpolation segment."""
+    table = integer_hamming_table(bits)
+    qmin = -(1 << (bits - 1))
+    qmax = (1 << (bits - 1)) - 1
+    ratio = np.asarray(weights, dtype=np.float64) / scale
+    inside = (ratio > qmin) & (ratio < qmax)
+    ratio = np.clip(ratio, qmin, qmax)
+    low = np.floor(ratio).astype(np.int64)
+    high = np.ceil(ratio).astype(np.int64)
+    hr_low = _lookup(table, low, bits)
+    hr_high = _lookup(table, high, bits)
+    grad = (hr_high - hr_low) / scale
+    # Exactly-integer ratios sit at a kink; use the forward-difference slope so
+    # the gradient still points toward a lower-HR neighbour, matching Fig. 7-(b).
+    exact = (low == high) & inside
+    if np.any(exact):
+        next_code = np.clip(low + 1, qmin, qmax)
+        grad = np.where(exact, (_lookup(table, next_code, bits) - hr_low) / scale, grad)
+    return np.where(inside, grad, 0.0)
+
+
+# --------------------------------------------------------------------------- #
+# autograd bridge
+# --------------------------------------------------------------------------- #
+def layer_hamming_loss(weight: Tensor, scale: float, bits: int) -> Tensor:
+    """Mean interpolated HR of one layer as an autograd scalar."""
+    hr = interpolated_hamming_rate(weight.data, scale, bits)
+    grad_table = interpolated_hamming_rate_grad(weight.data, scale, bits)
+    value = float(hr.mean())
+    denominator = max(1, weight.size)
+
+    def backward(grad: np.ndarray) -> None:
+        weight._accumulate(np.asarray(grad) * grad_table / denominator)
+
+    return Tensor._make(np.asarray(value), (weight,), backward)
+
+
+def lhr_loss(model: Module, scales: Dict[str, float], bits: int,
+             lam: float = 1.0) -> Tensor:
+    """``lambda * sum_i HR_mean(layer_i)^2`` over the model's weight layers (Eq. 6).
+
+    ``scales`` maps layer names (as produced by ``Module.weight_layers``) to
+    their quantization scales; layers missing from the map are skipped, which
+    lets callers exclude e.g. the final classifier.
+    """
+    total: Optional[Tensor] = None
+    for name, layer in model.weight_layers():
+        if name not in scales:
+            continue
+        layer_hr = layer_hamming_loss(layer.weight, scales[name], bits)
+        term = layer_hr * layer_hr
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total * lam
+
+
+@dataclass
+class LHRRegularizer:
+    """Callable regularizer bundling scales/bits/lambda, for the training loops.
+
+    Example
+    -------
+    >>> reg = LHRRegularizer(scales=scales, bits=8, lam=0.05)
+    >>> train_classifier(model, dataset, optimizer, regularizer=reg)
+    """
+
+    scales: Dict[str, float]
+    bits: int = 8
+    lam: float = 0.05
+
+    def __call__(self, model: Module) -> Tensor:
+        return lhr_loss(model, self.scales, self.bits, self.lam)
+
+    def refresh_scales(self, model: Module, quantile: float = 1.0) -> None:
+        """Recompute per-layer scales from the current weights (symmetric max-abs)."""
+        from ..quant.quantizer import symmetric_scale
+        for name, layer in model.weight_layers():
+            self.scales[name] = symmetric_scale(layer.weight.data, self.bits, quantile)

@@ -1,0 +1,141 @@
+"""Architecture-level IR-drop metrics: hamming value (HM), hamming rate (HR) and
+the instantaneous toggle rate (Rtog).
+
+These implement Equations 1, 3 and 4 of the paper.
+
+*In-memory data* ``W`` are the quantized weights stored in the SRAM cells of a
+PIM bank; each of the ``n`` cells holds a ``q``-bit two's-complement value.
+*Input data* ``I`` are the activation bits streamed bit-serially on the word
+lines, one bit per cell per cycle.
+
+* ``HM({W_n})``  — total number of 1-bits across all weight codes (Eq. 3).
+* ``HR({W_n})``  — ``HM / (n*q)``, the average hamming rate; depends only on
+  the in-memory data, so it can be computed offline (Eq. 3).
+* ``Rtog``        — per-cycle toggle rate: the fraction of (cell, bit-plane)
+  positions whose weight bit is 1 *and* whose input bit toggled between cycle
+  ``t`` and ``t+1`` (Eq. 1).  Equation 4 shows ``sup(Rtog) = HR``, which is the
+  property IR-Booster exploits to choose safe V-f levels offline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "to_twos_complement_bits",
+    "hamming_value",
+    "hamming_rate",
+    "rtog",
+    "rtog_trace",
+    "rtog_upper_bound",
+    "weighted_hamming_rate",
+]
+
+
+def to_twos_complement_bits(values: np.ndarray, bits: int) -> np.ndarray:
+    """Expand integer ``values`` into their ``bits``-bit two's-complement planes.
+
+    Returns an array of shape ``values.shape + (bits,)`` with the least
+    significant bit at index 0.  Values outside the representable range raise
+    ``ValueError`` — silently wrapping would corrupt HR statistics.
+    """
+    values = np.asarray(values)
+    if not np.issubdtype(values.dtype, np.integer):
+        if not np.allclose(values, np.round(values)):
+            raise ValueError("weight codes must be integers before bit expansion")
+        values = np.round(values).astype(np.int64)
+    low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if values.size and (values.min() < low or values.max() > high):
+        raise ValueError(
+            f"values outside the {bits}-bit two's complement range [{low}, {high}]")
+    unsigned = np.where(values < 0, values + (1 << bits), values).astype(np.uint64)
+    planes = ((unsigned[..., None] >> np.arange(bits, dtype=np.uint64)) & 1).astype(np.uint8)
+    return planes
+
+
+def hamming_value(values: np.ndarray, bits: int) -> int:
+    """``HM({W_n})``: the total count of 1-bits across all weight codes (Eq. 3)."""
+    return int(to_twos_complement_bits(values, bits).sum())
+
+
+def hamming_rate(values: np.ndarray, bits: int) -> float:
+    """``HR({W_n}) = HM / (n*q)``: average fraction of 1-bits per weight bit (Eq. 3)."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return 0.0
+    return hamming_value(values, bits) / (values.size * bits)
+
+
+def weighted_hamming_rate(groups: Sequence[np.ndarray], bits: int,
+                          weights: Optional[Sequence[float]] = None) -> float:
+    """HR of several weight groups combined, optionally weighted (e.g. by MACs).
+
+    The paper's "weighted HR of the network" (Sec. 5.4) weights each layer by its
+    contribution to the total computation; with ``weights=None`` the groups are
+    weighted by their element counts (equivalent to concatenating them).
+    """
+    if not groups:
+        return 0.0
+    if weights is None:
+        weights = [float(np.asarray(g).size) for g in groups]
+    weights = np.asarray(list(weights), dtype=np.float64)
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    if total == 0:
+        return 0.0
+    rates = np.array([hamming_rate(np.asarray(g), bits) for g in groups])
+    return float((rates * weights).sum() / total)
+
+
+def rtog(weight_codes: np.ndarray, input_bits_t: np.ndarray,
+         input_bits_next: np.ndarray, bits: int) -> float:
+    """Instantaneous toggle rate of a PIM bank at one cycle boundary (Eq. 1).
+
+    Parameters
+    ----------
+    weight_codes:
+        Integer weight codes of the ``n`` cells in the bank (any shape, flattened).
+    input_bits_t, input_bits_next:
+        Binary input bit per cell at cycle ``t`` and ``t+1`` (same shape as
+        ``weight_codes`` after flattening).
+    bits:
+        Weight bit-width ``q``.
+    """
+    codes = np.asarray(weight_codes).reshape(-1)
+    it = np.asarray(input_bits_t).reshape(-1).astype(np.uint8)
+    itn = np.asarray(input_bits_next).reshape(-1).astype(np.uint8)
+    if it.shape != codes.shape or itn.shape != codes.shape:
+        raise ValueError("input bit vectors must match the number of weight cells")
+    if codes.size == 0:
+        return 0.0
+    planes = to_twos_complement_bits(codes, bits)  # (n, q)
+    toggles = (it ^ itn).astype(np.uint8)  # (n,)
+    active = planes * toggles[:, None]
+    return float(active.sum()) / (codes.size * bits)
+
+
+def rtog_trace(weight_codes: np.ndarray, input_bit_stream: np.ndarray, bits: int) -> np.ndarray:
+    """Per-cycle Rtog for a whole bit-serial input stream.
+
+    ``input_bit_stream`` has shape (cycles, n): the bit presented to each of the
+    ``n`` cells at every cycle.  Returns an array of length ``cycles - 1`` with
+    the toggle rate at each cycle boundary.
+    """
+    codes = np.asarray(weight_codes).reshape(-1)
+    stream = np.asarray(input_bit_stream).astype(np.uint8)
+    if stream.ndim != 2 or stream.shape[1] != codes.size:
+        raise ValueError("input_bit_stream must have shape (cycles, n_cells)")
+    if stream.shape[0] < 2:
+        return np.zeros(0)
+    planes = to_twos_complement_bits(codes, bits)  # (n, q)
+    weight_bit_count = planes.sum(axis=1).astype(np.float64)  # ones per cell
+    toggles = (stream[1:] ^ stream[:-1]).astype(np.float64)  # (cycles-1, n)
+    return toggles @ weight_bit_count / (codes.size * bits)
+
+
+def rtog_upper_bound(weight_codes: np.ndarray, bits: int) -> float:
+    """``sup(Rtog)`` over all possible input streams, which equals HR (Eq. 4)."""
+    return hamming_rate(weight_codes, bits)

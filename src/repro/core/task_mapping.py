@@ -1,0 +1,317 @@
+"""Task-to-macro mapping strategies, including the HR-aware simulated annealer.
+
+Once an operator has been split into macro-sized tiles (tasks), the compiler
+must choose which physical macro runs each tile.  Because all macros of a group
+share one supply and one clock, and all tiles of one operator (a logical
+MacroSet) must run at the same frequency, the mapping determines:
+
+* each group's worst HR (HRG) and therefore its safe V-f level,
+* how much a failure in one tile stalls tiles of other operators, and
+* consequently the chip's power and effective throughput.
+
+Four strategies are provided, matching Fig. 21:
+
+* **sequential** — tiles fill macros in task order (the traditional approach);
+* **zigzag**     — tiles fill macros alternating direction per group (TANGRAM-style);
+* **random**     — a seeded random permutation;
+* **hr_aware**   — Algorithm 3: simulated annealing over pairwise swaps (with an
+  "empty macro" option) scored by a lightweight power/latency evaluator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..pim.config import ChipConfig
+from ..pim.dataflow import Task
+from ..power.energy import EnergyModel
+from ..power.vf_table import VFTable
+from .ir_booster import BoosterMode, safe_level_from_hr
+
+__all__ = [
+    "TaskMapping",
+    "MappingEvaluation",
+    "MappingEvaluator",
+    "sequential_mapping",
+    "zigzag_mapping",
+    "random_mapping",
+    "hr_aware_mapping",
+    "AnnealingConfig",
+    "MAPPING_STRATEGIES",
+    "build_mapping",
+]
+
+
+@dataclass
+class TaskMapping:
+    """Assignment of task index -> macro index (None = task unassigned)."""
+
+    chip: ChipConfig
+    assignment: Dict[int, int] = field(default_factory=dict)
+    strategy: str = "sequential"
+
+    def macro_of(self, task_index: int) -> Optional[int]:
+        return self.assignment.get(task_index)
+
+    def tasks_on_macro(self, macro_index: int) -> List[int]:
+        return [t for t, m in self.assignment.items() if m == macro_index]
+
+    def used_macros(self) -> List[int]:
+        return sorted(set(self.assignment.values()))
+
+    def group_tasks(self, tasks: Sequence[Task]) -> Dict[int, List[Task]]:
+        """Tasks per group id."""
+        groups: Dict[int, List[Task]] = {}
+        for task_index, macro_index in self.assignment.items():
+            group_id, _ = self.chip.macro_location(macro_index)
+            groups.setdefault(group_id, []).append(tasks[task_index])
+        return groups
+
+    def validate(self, tasks: Sequence[Task]) -> None:
+        macros_seen = set()
+        for task_index, macro_index in self.assignment.items():
+            if not 0 <= task_index < len(tasks):
+                raise ValueError(f"task index {task_index} out of range")
+            if not 0 <= macro_index < self.chip.total_macros:
+                raise ValueError(f"macro index {macro_index} out of range")
+            if macro_index in macros_seen:
+                raise ValueError(f"macro {macro_index} assigned more than one task")
+            macros_seen.add(macro_index)
+
+
+@dataclass
+class MappingEvaluation:
+    """Score breakdown produced by the lightweight mapping evaluator."""
+
+    power_mw: float
+    latency_cycles: float
+    effective_tops: float
+    group_levels: Dict[int, int]
+    score: float
+
+
+class MappingEvaluator:
+    """The paper's lightweight mapping simulator (Sec. 5.6).
+
+    For a candidate mapping it derives each group's safe level from the worst
+    task HR in the group, picks the mode's V-f pair, estimates per-macro power
+    from the task activity, and estimates end-to-end latency from the slowest
+    group each operator (Set) touches plus an interference penalty when tasks
+    from different operators with very different HR share a group.
+    A 100-step input flip profile sampled from a normal distribution modulates
+    the activity, as described in the paper.
+    """
+
+    def __init__(self, chip: ChipConfig, table: VFTable,
+                 energy_model: Optional[EnergyModel] = None,
+                 mode: str = BoosterMode.LOW_POWER,
+                 flip_profile_steps: int = 100, seed: int = 0) -> None:
+        self.chip = chip
+        self.table = table
+        self.energy_model = energy_model or EnergyModel(
+            nominal_voltage=chip.nominal_voltage,
+            nominal_frequency=chip.nominal_frequency)
+        self.mode = mode
+        rng = np.random.default_rng(seed)
+        # Mean input flip factor (fraction of HR realized as Rtog), clipped to [0.2, 1].
+        profile = np.clip(rng.normal(0.6, 0.15, size=flip_profile_steps), 0.2, 1.0)
+        self.flip_factor = float(profile.mean())
+
+    def evaluate(self, mapping: TaskMapping, tasks: Sequence[Task]) -> MappingEvaluation:
+        group_tasks = mapping.group_tasks(tasks)
+        if not group_tasks:
+            return MappingEvaluation(power_mw=0.0, latency_cycles=0.0, effective_tops=0.0,
+                                     group_levels={}, score=0.0)
+        group_levels: Dict[int, int] = {}
+        group_pairs = {}
+        total_power = 0.0
+        for group_id, assigned in group_tasks.items():
+            worst_hr = max(task.hamming_rate for task in assigned)
+            input_determined = any(task.input_determined for task in assigned)
+            level = safe_level_from_hr(worst_hr, self.table, input_determined)
+            pair = self.table.select_pair(level, self.mode)
+            group_levels[group_id] = level
+            group_pairs[group_id] = pair
+            for task in assigned:
+                activity = task.hamming_rate * self.flip_factor
+                total_power += self.energy_model.macro_power_mw(
+                    pair.voltage, pair.frequency, activity)
+
+        # Latency: every operator (Set) runs at the slowest frequency among the
+        # groups hosting its tiles; sets sharing a group interfere, so a group
+        # hosting k different sets stretches each by the HR spread it causes.
+        set_latency: Dict[int, float] = {}
+        group_sets: Dict[int, set] = {}
+        for group_id, assigned in group_tasks.items():
+            group_sets[group_id] = {task.set_id for task in assigned}
+        for group_id, assigned in group_tasks.items():
+            pair = group_pairs[group_id]
+            hr_values = [task.hamming_rate for task in assigned]
+            spread_penalty = 1.0 + (max(hr_values) - min(hr_values))
+            sharing_penalty = 1.0 + 0.15 * (len(group_sets[group_id]) - 1)
+            for task in assigned:
+                waves = max(1, task.codes.shape[0])
+                cycles = waves * task.bits * spread_penalty * sharing_penalty
+                time = cycles / pair.frequency
+                set_latency[task.set_id] = max(set_latency.get(task.set_id, 0.0), time)
+        latency_seconds = sum(set_latency.values())
+        latency_cycles = latency_seconds * self.chip.nominal_frequency
+
+        total_macs = sum(task.macs_per_wave * max(1, task.codes.shape[0])
+                         for task in tasks if mapping.macro_of(task.task_id) is not None)
+        effective_tops = 2.0 * total_macs / max(latency_seconds, 1e-18) / 1e12
+
+        if self.mode == BoosterMode.LOW_POWER:
+            score = total_power
+        else:
+            score = -effective_tops
+        return MappingEvaluation(power_mw=total_power, latency_cycles=latency_cycles,
+                                 effective_tops=effective_tops,
+                                 group_levels=group_levels, score=score)
+
+
+# --------------------------------------------------------------------------- #
+# baseline strategies
+# --------------------------------------------------------------------------- #
+def _check_capacity(tasks: Sequence[Task], chip: ChipConfig) -> None:
+    if len(tasks) > chip.total_macros:
+        raise ValueError(
+            f"{len(tasks)} tasks exceed the chip's {chip.total_macros} macros; "
+            "split the workload across invocations")
+
+
+def sequential_mapping(tasks: Sequence[Task], chip: ChipConfig) -> TaskMapping:
+    """Fill macros 0, 1, 2, ... in task order."""
+    _check_capacity(tasks, chip)
+    assignment = {i: i for i in range(len(tasks))}
+    return TaskMapping(chip=chip, assignment=assignment, strategy="sequential")
+
+
+def zigzag_mapping(tasks: Sequence[Task], chip: ChipConfig) -> TaskMapping:
+    """Fill groups alternately forward/backward (TANGRAM-style zigzag order)."""
+    _check_capacity(tasks, chip)
+    order: List[int] = []
+    per_group = chip.group.macros
+    for group in range(chip.groups):
+        macros = [chip.macro_index(group, m) for m in range(per_group)]
+        if group % 2:
+            macros = macros[::-1]
+        order.extend(macros)
+    assignment = {i: order[i] for i in range(len(tasks))}
+    return TaskMapping(chip=chip, assignment=assignment, strategy="zigzag")
+
+
+def random_mapping(tasks: Sequence[Task], chip: ChipConfig, seed: int = 0) -> TaskMapping:
+    """Seeded random permutation of macros."""
+    _check_capacity(tasks, chip)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(chip.total_macros)
+    assignment = {i: int(order[i]) for i in range(len(tasks))}
+    return TaskMapping(chip=chip, assignment=assignment, strategy="random")
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm 3: HR-aware simulated annealing
+# --------------------------------------------------------------------------- #
+@dataclass
+class AnnealingConfig:
+    """Simulated-annealing parameters (paper Sec. 5.6)."""
+
+    steps: int = 500
+    initial_temperature: float = 1.0
+    cooling: float = 0.95
+    early_stop_rejections: int = 10
+    seed: int = 0
+
+
+def hr_aware_mapping(tasks: Sequence[Task], chip: ChipConfig,
+                     evaluator: MappingEvaluator,
+                     config: Optional[AnnealingConfig] = None,
+                     initial: Optional[TaskMapping] = None) -> TaskMapping:
+    """Algorithm 3: anneal pairwise swaps (including swaps with empty macros)."""
+    _check_capacity(tasks, chip)
+    config = config or AnnealingConfig()
+    rng = np.random.default_rng(config.seed)
+
+    current = initial or sequential_mapping(tasks, chip)
+    current = TaskMapping(chip=chip, assignment=dict(current.assignment), strategy="hr_aware")
+    best = TaskMapping(chip=chip, assignment=dict(current.assignment), strategy="hr_aware")
+    score_initial = evaluator.evaluate(current, tasks).score
+    score_current = score_initial
+    score_best = score_initial
+    normalizer = abs(score_initial) if abs(score_initial) > 1e-12 else 1.0
+
+    temperature = config.initial_temperature
+    consecutive_rejections = 0
+
+    for _ in range(config.steps):
+        temperature *= config.cooling
+        candidate = _switch(current, tasks, chip, rng)
+        score_new = evaluator.evaluate(candidate, tasks).score
+        delta = score_new - score_current
+        accept = delta < 0 or rng.random() < math.exp(
+            -delta / max(0.5 * normalizer * temperature, 1e-12))
+        if accept:
+            consecutive_rejections = 0
+            current = candidate
+            score_current = score_new
+            if score_new < score_best:
+                best = TaskMapping(chip=chip, assignment=dict(candidate.assignment),
+                                   strategy="hr_aware")
+                score_best = score_new
+        else:
+            consecutive_rejections += 1
+            if consecutive_rejections >= config.early_stop_rejections:
+                break
+    return best
+
+
+def _switch(mapping: TaskMapping, tasks: Sequence[Task], chip: ChipConfig,
+            rng: np.random.Generator) -> TaskMapping:
+    """The Algorithm-3 transition: swap the macros of two tasks from different
+    groups, or move a task onto an empty macro ("empty macro" option)."""
+    assignment = dict(mapping.assignment)
+    task_indices = list(assignment.keys())
+    if not task_indices:
+        return TaskMapping(chip=chip, assignment=assignment, strategy=mapping.strategy)
+    used = set(assignment.values())
+    empty_macros = [m for m in range(chip.total_macros) if m not in used]
+
+    first = int(rng.choice(task_indices))
+    use_empty = empty_macros and rng.random() < 0.3
+    if use_empty:
+        assignment[first] = int(rng.choice(empty_macros))
+    else:
+        # Prefer a partner mapped to a different group.
+        first_group, _ = chip.macro_location(assignment[first])
+        partners = [t for t in task_indices
+                    if chip.macro_location(assignment[t])[0] != first_group]
+        second = int(rng.choice(partners)) if partners else int(rng.choice(task_indices))
+        assignment[first], assignment[second] = assignment[second], assignment[first]
+    return TaskMapping(chip=chip, assignment=assignment, strategy=mapping.strategy)
+
+
+#: Name -> strategy callable registry used by the compiler and benchmarks.
+MAPPING_STRATEGIES = ("sequential", "zigzag", "random", "hr_aware")
+
+
+def build_mapping(strategy: str, tasks: Sequence[Task], chip: ChipConfig,
+                  evaluator: Optional[MappingEvaluator] = None,
+                  annealing: Optional[AnnealingConfig] = None,
+                  seed: int = 0) -> TaskMapping:
+    """Dispatch helper used by the compiler."""
+    if strategy == "sequential":
+        return sequential_mapping(tasks, chip)
+    if strategy == "zigzag":
+        return zigzag_mapping(tasks, chip)
+    if strategy == "random":
+        return random_mapping(tasks, chip, seed=seed)
+    if strategy == "hr_aware":
+        if evaluator is None:
+            raise ValueError("hr_aware mapping requires a MappingEvaluator")
+        return hr_aware_mapping(tasks, chip, evaluator, annealing)
+    raise ValueError(f"unknown mapping strategy {strategy!r}; known: {MAPPING_STRATEGIES}")

@@ -1,0 +1,180 @@
+"""WDS: weight distribution shift (paper Sec. 5.4, Algorithm 1).
+
+Two's-complement encoding makes small *negative* integers expensive in hamming
+terms (e.g. -1 = 0b11111111 has HR 1.0 for INT8) while small positive integers
+are cheap.  Since trained weights are roughly zero-centred, adding a small
+positive constant ``delta`` to every weight moves the mass of the distribution
+into the cheap positive codes and lowers HR.  The numerical error is exact and
+linear — ``(W + delta) @ x = W @ x + delta * sum(x)`` — so it is corrected after
+the matmul by subtracting ``delta * sum(input)`` (the shift-compensator
+hardware of Sec. 5.4.2).
+
+Key behaviours reproduced here:
+
+* weights that would overflow INT_MAX after the shift are clamped (Alg. 1
+  line 4), introducing a small, measurable numerical error (<1 % of weights in
+  the paper's profiling);
+* ``delta`` must be a power of two so the compensator can use a bit-shift
+  multiplier; only deltas aligned with the quantization grid's low-HR points
+  (8/16 for INT8, 2/4 for INT4) actually reduce HR (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .metrics import hamming_rate
+
+__all__ = [
+    "int_range",
+    "shift_weights",
+    "shifted_hamming_rate",
+    "overflow_fraction",
+    "shift_compensation",
+    "matmul_with_wds",
+    "recommended_deltas",
+    "choose_delta",
+    "WDSPlan",
+    "plan_wds",
+]
+
+
+def int_range(bits: int) -> Tuple[int, int]:
+    """Representable two's-complement range [qmin, qmax] for ``bits`` bits."""
+    return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+
+
+def shift_weights(codes: np.ndarray, delta: int, bits: int) -> np.ndarray:
+    """Apply the offline preprocessing step of Algorithm 1 (lines 3-5).
+
+    Adds ``delta`` to every integer weight code and clamps at INT_MAX so the
+    shift can never overflow into the (high-HR, wrong-valued) negative codes.
+    """
+    if delta < 0:
+        raise ValueError("WDS shifts the distribution toward positive values; delta >= 0")
+    codes = np.asarray(codes)
+    _, qmax = int_range(bits)
+    return np.minimum(codes.astype(np.int64) + delta, qmax)
+
+
+def shifted_hamming_rate(codes: np.ndarray, delta: int, bits: int) -> float:
+    """HR of the weights after applying WDS with the given ``delta``."""
+    return hamming_rate(shift_weights(codes, delta, bits), bits)
+
+
+def overflow_fraction(codes: np.ndarray, delta: int, bits: int) -> float:
+    """Fraction of weights clamped by the shift (the paper reports < 1 %)."""
+    codes = np.asarray(codes)
+    if codes.size == 0:
+        return 0.0
+    _, qmax = int_range(bits)
+    return float(np.count_nonzero(codes.astype(np.int64) + delta > qmax)) / codes.size
+
+
+def shift_compensation(output: np.ndarray, input_values: np.ndarray, delta: int) -> np.ndarray:
+    """Apply the correction of Algorithm 1 line 9: ``output - delta * sum(input)``.
+
+    ``input_values`` may be a vector (one input column) or a matrix whose rows
+    are summed per output column; the correction broadcasts across the output's
+    leading (output-channel) dimension because every weight row received the
+    same ``delta``.
+    """
+    output = np.asarray(output, dtype=np.float64)
+    input_values = np.asarray(input_values, dtype=np.float64)
+    if input_values.ndim == 1:
+        correction = delta * input_values.sum()
+    else:
+        correction = delta * input_values.sum(axis=0)
+    return output - correction
+
+
+def matmul_with_wds(weight_codes: np.ndarray, input_values: np.ndarray,
+                    delta: int, bits: int) -> np.ndarray:
+    """Full Algorithm-1 pipeline: shift, matmul with shifted weights, compensate.
+
+    ``weight_codes``: (out_features, in_features) integer codes;
+    ``input_values``: (in_features,) or (in_features, batch).
+    When no weight is clamped the result is bit-exact with the unshifted matmul.
+    """
+    shifted = shift_weights(weight_codes, delta, bits).astype(np.float64)
+    raw = shifted @ np.asarray(input_values, dtype=np.float64)
+    return shift_compensation(raw, input_values, delta)
+
+
+def recommended_deltas(bits: int) -> List[int]:
+    """Power-of-two deltas that align with the low-HR integer codes (Sec. 5.4.1)."""
+    if bits >= 8:
+        return [bits, 2 * bits]          # 8 and 16 for INT8
+    return [max(1, bits // 2), bits]      # 2 and 4 for INT4
+
+
+def choose_delta(codes: np.ndarray, bits: int,
+                 candidates: Optional[Sequence[int]] = None,
+                 max_overflow: float = 0.05) -> int:
+    """Pick the candidate ``delta`` with the lowest post-shift HR.
+
+    Candidates default to the recommended power-of-two values plus zero (no
+    shift).  A candidate whose overflow fraction exceeds ``max_overflow`` is
+    rejected, protecting accuracy on layers with wide weight distributions.
+    """
+    codes = np.asarray(codes)
+    if candidates is None:
+        candidates = [0] + recommended_deltas(bits)
+    best_delta, best_hr = 0, hamming_rate(codes, bits)
+    for delta in candidates:
+        if delta == 0:
+            continue
+        if overflow_fraction(codes, delta, bits) > max_overflow:
+            continue
+        hr = shifted_hamming_rate(codes, delta, bits)
+        if hr < best_hr:
+            best_delta, best_hr = delta, hr
+    return best_delta
+
+
+@dataclass
+class WDSPlan:
+    """Per-layer WDS decisions produced by the compiler (Sec. 5.2.1 item 2)."""
+
+    bits: int
+    deltas: Dict[str, int] = field(default_factory=dict)
+    hr_before: Dict[str, float] = field(default_factory=dict)
+    hr_after: Dict[str, float] = field(default_factory=dict)
+    overflow: Dict[str, float] = field(default_factory=dict)
+
+    def delta_for(self, layer_name: str) -> int:
+        return self.deltas.get(layer_name, 0)
+
+    @property
+    def mean_hr_before(self) -> float:
+        return float(np.mean(list(self.hr_before.values()))) if self.hr_before else 0.0
+
+    @property
+    def mean_hr_after(self) -> float:
+        return float(np.mean(list(self.hr_after.values()))) if self.hr_after else 0.0
+
+    @property
+    def max_hr_after(self) -> float:
+        return float(np.max(list(self.hr_after.values()))) if self.hr_after else 0.0
+
+
+def plan_wds(layer_codes: Dict[str, np.ndarray], bits: int,
+             delta: Optional[int] = None, max_overflow: float = 0.05) -> WDSPlan:
+    """Build a :class:`WDSPlan` for a whole network.
+
+    ``delta=None`` selects the best recommended delta per layer (the compiler's
+    default behaviour); an explicit ``delta`` applies the same user-specified
+    value everywhere, as allowed by the paper's interface description.
+    """
+    plan = WDSPlan(bits=bits)
+    for name, codes in layer_codes.items():
+        plan.hr_before[name] = hamming_rate(codes, bits)
+        chosen = choose_delta(codes, bits, max_overflow=max_overflow) if delta is None \
+            else delta
+        plan.deltas[name] = chosen
+        plan.hr_after[name] = shifted_hamming_rate(codes, chosen, bits)
+        plan.overflow[name] = overflow_fraction(codes, chosen, bits)
+    return plan

@@ -1,0 +1,29 @@
+"""Scaled-down model zoo matching the six workloads in the AIM evaluation."""
+
+from .gpt2 import GPT2Tiny, gpt2
+from .llama import LlamaTiny, RMSNorm, llama
+from .mobilenet import InvertedResidual, MobileNetV2, mobilenet_v2
+from .registry import (
+    TASK_CLASSIFICATION,
+    TASK_DETECTION,
+    TASK_LANGUAGE_MODELING,
+    ModelSpec,
+    build_dataset,
+    build_model,
+    get_model_spec,
+    list_models,
+)
+from .resnet import BasicBlock, ResNet, resnet18
+from .vit import PatchEmbedding, VisionTransformer, vit
+from .yolo import YOLOv5Tiny, yolov5
+
+__all__ = [
+    "ResNet", "BasicBlock", "resnet18",
+    "MobileNetV2", "InvertedResidual", "mobilenet_v2",
+    "YOLOv5Tiny", "yolov5",
+    "VisionTransformer", "PatchEmbedding", "vit",
+    "GPT2Tiny", "gpt2",
+    "LlamaTiny", "RMSNorm", "llama",
+    "ModelSpec", "get_model_spec", "list_models", "build_model", "build_dataset",
+    "TASK_CLASSIFICATION", "TASK_DETECTION", "TASK_LANGUAGE_MODELING",
+]

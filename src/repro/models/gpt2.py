@@ -1,0 +1,65 @@
+"""Scaled-down GPT-2 style decoder-only language model.
+
+Learned positional embeddings, post-embedding dropout, causal pre-norm
+transformer blocks, and a tied-free linear LM head.  The model trains on the
+Markov-chain Wikitext stand-in; perplexity relative to its own float baseline
+is the quantity Table 3 / Fig. 13 track.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    Sequential,
+    TransformerBlock,
+)
+from ..nn.tensor import Tensor
+
+
+class GPT2Tiny(Module):
+    """Decoder-only transformer with learned positional embeddings."""
+
+    def __init__(self, vocab_size: int = 64, max_seq_len: int = 64, dim: int = 32,
+                 depth: int = 3, num_heads: int = 4, dropout: float = 0.0,
+                 seed: int = 14) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.vocab_size = vocab_size
+        self.max_seq_len = max_seq_len
+        self.token_embed = Embedding(vocab_size, dim, rng=rng)
+        self.pos_embed = Embedding(max_seq_len, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.blocks = Sequential(*[
+            TransformerBlock(dim, num_heads, mlp_ratio=2.0, causal=True,
+                             dropout=dropout, rng=rng)
+            for _ in range(depth)
+        ])
+        self.norm = LayerNorm(dim)
+        self.lm_head = Linear(dim, vocab_size, bias=False, rng=rng)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        seq_len = tokens.shape[1]
+        if seq_len > self.max_seq_len:
+            raise ValueError(f"sequence length {seq_len} exceeds max {self.max_seq_len}")
+        positions = np.arange(seq_len)
+        x = self.token_embed(tokens) + self.pos_embed(positions)
+        x = self.dropout(x)
+        x = self.blocks(x)
+        x = self.norm(x)
+        return self.lm_head(x)
+
+
+def gpt2(vocab_size: int = 64, dim: int = 32, depth: int = 3, seed: int = 14) -> GPT2Tiny:
+    """Build the scaled-down GPT-2 used throughout the reproduction."""
+    return GPT2Tiny(vocab_size=vocab_size, dim=dim, depth=depth, seed=seed)

@@ -1,0 +1,140 @@
+"""Scaled-down Llama-3-style decoder-only language model.
+
+Keeps the architectural markers that distinguish Llama from GPT-2 in the
+paper's workload mix: RMSNorm instead of LayerNorm, rotary position embeddings
+(RoPE) instead of learned positions, and SwiGLU gated MLPs.  Like the GPT-2
+stand-in it trains on the synthetic Wikitext dataset and is evaluated by
+perplexity relative to its own float baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Embedding, Linear, Module, Parameter, Sequential
+from ..nn.attention import GatedFeedForward
+from ..nn.tensor import Tensor
+
+
+class RMSNorm(Module):
+    """Root-mean-square layer normalization (no mean subtraction, no bias)."""
+
+    def __init__(self, dim: int, eps: float = 1e-6) -> None:
+        super().__init__()
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        ms = (x * x).mean(axis=-1, keepdims=True)
+        return x * ((ms + self.eps) ** -0.5) * self.weight
+
+
+def rotary_embedding(seq_len: int, head_dim: int, base: float = 10000.0) -> tuple:
+    """Precompute cos/sin tables for rotary position embeddings."""
+    half = head_dim // 2
+    freqs = 1.0 / (base ** (np.arange(half) / half))
+    angles = np.outer(np.arange(seq_len), freqs)  # (T, half)
+    return np.cos(angles), np.sin(angles)
+
+
+def apply_rope(x: Tensor, cos: np.ndarray, sin: np.ndarray) -> Tensor:
+    """Apply rotary embedding to ``x`` of shape (B, H, T, Dh)."""
+    head_dim = x.shape[-1]
+    half = head_dim // 2
+    x1 = x[..., :half]
+    x2 = x[..., half:]
+    cos_t = Tensor(cos[None, None, :, :])
+    sin_t = Tensor(sin[None, None, :, :])
+    rotated_first = x1 * cos_t - x2 * sin_t
+    rotated_second = x1 * sin_t + x2 * cos_t
+    from ..nn.tensor import concatenate
+    return concatenate([rotated_first, rotated_second], axis=-1)
+
+
+class LlamaAttention(Module):
+    """Causal self-attention with rotary embeddings (no bias terms)."""
+
+    def __init__(self, dim: int, num_heads: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError("dim must be divisible by num_heads")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.k_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.v_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.o_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.operator_kinds = {
+            "q_proj": "qkv", "k_proj": "qkv", "v_proj": "qkv",
+            "qk_t": "qk_t", "sv": "sv", "o_proj": "proj",
+        }
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        cos, sin = rotary_embedding(seq, self.head_dim)
+
+        def split(t: Tensor) -> Tensor:
+            return t.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+        q = apply_rope(split(self.q_proj(x)), cos, sin)
+        k = apply_rope(split(self.k_proj(x)), cos, sin)
+        v = split(self.v_proj(x))
+
+        scores = q.matmul(k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
+        causal_mask = np.triu(np.full((seq, seq), -1e9), k=1)
+        scores = scores + Tensor(causal_mask)
+        attn = scores.softmax(axis=-1)
+        context = attn.matmul(v).transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.o_proj(context)
+
+
+class LlamaBlock(Module):
+    """Pre-RMSNorm decoder block with SwiGLU MLP."""
+
+    def __init__(self, dim: int, num_heads: int, mlp_ratio: float = 2.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.attn_norm = RMSNorm(dim)
+        self.attn = LlamaAttention(dim, num_heads, rng=rng)
+        self.mlp_norm = RMSNorm(dim)
+        self.mlp = GatedFeedForward(dim, int(dim * mlp_ratio), rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.attn_norm(x))
+        x = x + self.mlp(self.mlp_norm(x))
+        return x
+
+
+class LlamaTiny(Module):
+    """Decoder-only Llama-style language model."""
+
+    def __init__(self, vocab_size: int = 64, dim: int = 32, depth: int = 3,
+                 num_heads: int = 4, seed: int = 15) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.vocab_size = vocab_size
+        self.token_embed = Embedding(vocab_size, dim, rng=rng)
+        self.blocks = Sequential(*[
+            LlamaBlock(dim, num_heads, rng=rng) for _ in range(depth)
+        ])
+        self.norm = RMSNorm(dim)
+        self.lm_head = Linear(dim, vocab_size, bias=False, rng=rng)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        x = self.token_embed(tokens)
+        x = self.blocks(x)
+        x = self.norm(x)
+        return self.lm_head(x)
+
+
+def llama(vocab_size: int = 64, dim: int = 32, depth: int = 3, seed: int = 15) -> LlamaTiny:
+    """Build the scaled-down Llama-3.2 stand-in used throughout the reproduction."""
+    return LlamaTiny(vocab_size=vocab_size, dim=dim, depth=depth, seed=seed)

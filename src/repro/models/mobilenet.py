@@ -1,0 +1,109 @@
+"""Scaled-down MobileNetV2 (Sandler et al.) for the AIM HR experiments.
+
+Keeps the inverted-residual structure (pointwise expansion → depthwise 3x3 →
+pointwise projection with a residual when shapes match), which is what gives
+MobileNet its characteristic per-layer HR profile: many small pointwise layers
+whose weights dominate the in-memory data of the PIM macros.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from ..nn.tensor import Tensor
+
+
+class InvertedResidual(Module):
+    """MobileNetV2 inverted residual block."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int,
+                 expand_ratio: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        hidden = in_channels * expand_ratio
+        self.use_residual = stride == 1 and in_channels == out_channels
+
+        layers: List[Module] = []
+        if expand_ratio != 1:
+            layers += [
+                Conv2d(in_channels, hidden, 1, bias=False, rng=rng),
+                BatchNorm2d(hidden),
+                ReLU(),
+            ]
+        layers += [
+            Conv2d(hidden, hidden, 3, stride=stride, padding=1, groups=hidden,
+                   bias=False, rng=rng),
+            BatchNorm2d(hidden),
+            ReLU(),
+            Conv2d(hidden, out_channels, 1, bias=False, rng=rng),
+            BatchNorm2d(out_channels),
+        ]
+        self.block = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.block(x)
+        if self.use_residual:
+            return out + x
+        return out
+
+
+class MobileNetV2(Module):
+    """MobileNetV2 with a reduced stage configuration."""
+
+    # (expand_ratio, out_channels_multiplier, num_blocks, stride)
+    DEFAULT_CONFIG: List[Tuple[int, int, int, int]] = [
+        (1, 1, 1, 1),
+        (4, 2, 2, 2),
+        (4, 4, 2, 2),
+        (4, 8, 2, 2),
+    ]
+
+    def __init__(self, num_classes: int = 10, base_width: int = 8,
+                 in_channels: int = 3, seed: int = 11) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.stem = Sequential(
+            Conv2d(in_channels, base_width, 3, stride=1, padding=1, bias=False, rng=rng),
+            BatchNorm2d(base_width),
+            ReLU(),
+        )
+        blocks: List[Module] = []
+        channels = base_width
+        for expand, mult, count, stride in self.DEFAULT_CONFIG:
+            out_channels = base_width * mult
+            for block_index in range(count):
+                blocks.append(InvertedResidual(
+                    channels, out_channels,
+                    stride=stride if block_index == 0 else 1,
+                    expand_ratio=expand, rng=rng))
+                channels = out_channels
+        self.features = Sequential(*blocks)
+        self.head_conv = Sequential(
+            Conv2d(channels, channels * 2, 1, bias=False, rng=rng),
+            BatchNorm2d(channels * 2),
+            ReLU(),
+        )
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(channels * 2, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem(x)
+        x = self.features(x)
+        x = self.head_conv(x)
+        x = self.pool(x)
+        return self.classifier(x)
+
+
+def mobilenet_v2(num_classes: int = 10, base_width: int = 8, seed: int = 11) -> MobileNetV2:
+    """Build the scaled-down MobileNetV2 used throughout the reproduction."""
+    return MobileNetV2(num_classes=num_classes, base_width=base_width, seed=seed)

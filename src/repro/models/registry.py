@@ -1,0 +1,119 @@
+"""Model registry keyed by the workload names the paper evaluates.
+
+The registry ties together three things per workload:
+
+* a factory for the (scaled-down) network,
+* the synthetic dataset family it trains on,
+* the task type, which selects the training loop, the accuracy metric and the
+  AIM operator classification (conv-based vs. transformer-based).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..nn import (
+    Dataset,
+    Module,
+    classification_dataset,
+    detection_dataset,
+    language_dataset,
+)
+from .gpt2 import gpt2
+from .llama import llama
+from .mobilenet import mobilenet_v2
+from .resnet import resnet18
+from .vit import vit
+from .yolo import yolov5
+
+#: Task types used by the training/eval helpers and the workload profiles.
+TASK_CLASSIFICATION = "classification"
+TASK_DETECTION = "detection"
+TASK_LANGUAGE_MODELING = "language_modeling"
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A single entry in the model zoo."""
+
+    name: str
+    family: str            # "conv" or "transformer"
+    task: str               # one of the TASK_* constants
+    build: Callable[[], Module]
+    dataset: Callable[[], Dataset]
+    metric_name: str        # "accuracy" (higher better) or "perplexity"/"mse" (lower better)
+    higher_is_better: bool
+
+
+_REGISTRY: Dict[str, ModelSpec] = {}
+
+
+def register(spec: ModelSpec) -> None:
+    if spec.name in _REGISTRY:
+        raise ValueError(f"model {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+
+
+def get_model_spec(name: str) -> ModelSpec:
+    """Look up a workload by its paper name (case-insensitive)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[key]
+
+
+def list_models() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def build_model(name: str) -> Module:
+    return get_model_spec(name).build()
+
+
+def build_dataset(name: str) -> Dataset:
+    return get_model_spec(name).dataset()
+
+
+# --------------------------------------------------------------------------- #
+# The six workloads from the paper's evaluation (Table 2 / Fig. 13).
+# --------------------------------------------------------------------------- #
+register(ModelSpec(
+    name="resnet18", family="conv", task=TASK_CLASSIFICATION,
+    build=lambda: resnet18(),
+    dataset=lambda: classification_dataset(num_samples=192, num_classes=10,
+                                           image_size=16, channels=3, seed=100),
+    metric_name="accuracy", higher_is_better=True))
+
+register(ModelSpec(
+    name="mobilenetv2", family="conv", task=TASK_CLASSIFICATION,
+    build=lambda: mobilenet_v2(),
+    dataset=lambda: classification_dataset(num_samples=192, num_classes=10,
+                                           image_size=16, channels=3, seed=101),
+    metric_name="accuracy", higher_is_better=True))
+
+register(ModelSpec(
+    name="yolov5", family="conv", task=TASK_DETECTION,
+    build=lambda: yolov5(),
+    dataset=lambda: detection_dataset(num_samples=160, num_classes=4,
+                                      image_size=16, channels=3, seed=102),
+    metric_name="mse", higher_is_better=False))
+
+register(ModelSpec(
+    name="vit", family="transformer", task=TASK_CLASSIFICATION,
+    build=lambda: vit(image_size=16, patch_size=4, dim=32, depth=3),
+    dataset=lambda: classification_dataset(num_samples=192, num_classes=10,
+                                           image_size=16, channels=3, seed=103),
+    metric_name="accuracy", higher_is_better=True))
+
+register(ModelSpec(
+    name="gpt2", family="transformer", task=TASK_LANGUAGE_MODELING,
+    build=lambda: gpt2(vocab_size=48, dim=32, depth=2),
+    dataset=lambda: language_dataset(num_samples=96, seq_len=24, vocab_size=48, seed=104),
+    metric_name="perplexity", higher_is_better=False))
+
+register(ModelSpec(
+    name="llama3", family="transformer", task=TASK_LANGUAGE_MODELING,
+    build=lambda: llama(vocab_size=48, dim=32, depth=2),
+    dataset=lambda: language_dataset(num_samples=96, seq_len=24, vocab_size=48, seed=105),
+    metric_name="perplexity", higher_is_better=False))

@@ -1,0 +1,103 @@
+"""Scaled-down ResNet18 (He et al., CVPR'16) for the AIM HR experiments.
+
+The architecture keeps the structural properties the paper relies on — a small
+stem conv followed by four stages of residual basic blocks with doubling channel
+counts, then global average pooling and a linear classifier — but with reduced
+width so quantization-aware training finishes quickly on the synthetic
+ImageNet stand-in.  Layer naming mirrors torchvision's ResNet (``layer3.0.conv1``
+etc.) because the paper's Fig. 5 refers to those names.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from ..nn.tensor import Tensor
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with a residual connection (ResNet basic block)."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1,
+                            bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1,
+                            bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = self.downsample(x)
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return self.relu(out + identity)
+
+
+class ResNet(Module):
+    """ResNet with configurable stage widths and block counts."""
+
+    def __init__(self, num_classes: int = 10, base_width: int = 8,
+                 blocks_per_stage: Optional[List[int]] = None,
+                 in_channels: int = 3, seed: int = 10) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        blocks_per_stage = blocks_per_stage or [2, 2, 2, 2]
+        widths = [base_width, base_width * 2, base_width * 4, base_width * 8]
+
+        self.conv1 = Conv2d(in_channels, base_width, 3, stride=1, padding=1,
+                            bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(base_width)
+        self.relu = ReLU()
+
+        stages: List[Module] = []
+        channels = base_width
+        for stage_index, (width, blocks) in enumerate(zip(widths, blocks_per_stage)):
+            stride = 1 if stage_index == 0 else 2
+            stage_blocks: List[Module] = []
+            for block_index in range(blocks):
+                stage_blocks.append(BasicBlock(
+                    channels, width, stride=stride if block_index == 0 else 1, rng=rng))
+                channels = width
+            stages.append(Sequential(*stage_blocks))
+        self.layer1, self.layer2, self.layer3, self.layer4 = stages
+
+        self.avgpool = GlobalAvgPool2d()
+        self.fc = Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.relu(self.bn1(self.conv1(x)))
+        x = self.layer1(x)
+        x = self.layer2(x)
+        x = self.layer3(x)
+        x = self.layer4(x)
+        x = self.avgpool(x)
+        return self.fc(x)
+
+
+def resnet18(num_classes: int = 10, base_width: int = 8, seed: int = 10) -> ResNet:
+    """Build the scaled-down ResNet18 used throughout the reproduction."""
+    return ResNet(num_classes=num_classes, base_width=base_width,
+                  blocks_per_stage=[2, 2, 2, 2], seed=seed)

@@ -1,0 +1,77 @@
+"""Scaled-down Vision Transformer (Dosovitskiy et al.) for the AIM experiments.
+
+Structure: convolutional patch embedding, learned position embeddings, a stack
+of pre-norm transformer encoder blocks, and a classification head on the mean
+token.  Attention blocks carry the AIM operator-kind tags (``qkv``/``qk_t``/
+``sv``/``proj``) that drive IR-Booster's safe-level decisions: QK^T and SV are
+input-determined and default to the 100 % level, while Q/K/V generation and the
+MLP/projection layers are weight-stationary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import (
+    Conv2d,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    Sequential,
+    TransformerBlock,
+)
+from ..nn.tensor import Tensor
+
+
+class PatchEmbedding(Module):
+    """Non-overlapping convolutional patchifier: (N, C, H, W) → (N, T, D)."""
+
+    def __init__(self, image_size: int, patch_size: int, in_channels: int, dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if image_size % patch_size:
+            raise ValueError("image_size must be divisible by patch_size")
+        self.num_patches = (image_size // patch_size) ** 2
+        self.dim = dim
+        self.proj = Conv2d(in_channels, dim, patch_size, stride=patch_size, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        patches = self.proj(x)  # (N, D, H', W')
+        n, d = patches.shape[0], patches.shape[1]
+        return patches.reshape(n, d, -1).transpose(0, 2, 1)  # (N, T, D)
+
+
+class VisionTransformer(Module):
+    """ViT-style classifier with mean-token pooling."""
+
+    def __init__(self, num_classes: int = 10, image_size: int = 32, patch_size: int = 8,
+                 in_channels: int = 3, dim: int = 32, depth: int = 4, num_heads: int = 4,
+                 mlp_ratio: float = 2.0, seed: int = 13) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.patch_embed = PatchEmbedding(image_size, patch_size, in_channels, dim, rng=rng)
+        self.pos_embed = Parameter(
+            rng.normal(0.0, 0.02, size=(1, self.patch_embed.num_patches, dim)))
+        self.blocks = Sequential(*[
+            TransformerBlock(dim, num_heads, mlp_ratio=mlp_ratio, causal=False, rng=rng)
+            for _ in range(depth)
+        ])
+        self.norm = LayerNorm(dim)
+        self.head = Linear(dim, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        tokens = self.patch_embed(x) + self.pos_embed
+        tokens = self.blocks(tokens)
+        tokens = self.norm(tokens)
+        pooled = tokens.mean(axis=1)
+        return self.head(pooled)
+
+
+def vit(num_classes: int = 10, image_size: int = 32, patch_size: int = 8, dim: int = 32,
+        depth: int = 4, seed: int = 13) -> VisionTransformer:
+    """Build the scaled-down ViT used throughout the reproduction."""
+    return VisionTransformer(num_classes=num_classes, image_size=image_size,
+                             patch_size=patch_size, dim=dim, depth=depth, seed=seed)

@@ -1,0 +1,105 @@
+"""Scaled-down YOLOv5-style detector for the AIM HR experiments.
+
+The model keeps the elements that matter to the reproduction: a convolutional
+backbone with CSP-style bottleneck blocks and SiLU activations, a neck that
+fuses two scales, and a dense detection head that regresses
+``[cx, cy, w, h, class scores]`` per image.  The synthetic COCO stand-in
+(:class:`repro.nn.data.SyntheticDetection`) provides matching targets so the
+detector can be trained with a simple MSE objective; the paper only needs the
+*weights* of the trained network (for HR statistics), not detection mAP.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    Sequential,
+    SiLU,
+)
+from ..nn.tensor import Tensor
+
+
+class ConvBnAct(Module):
+    """Conv + BatchNorm + SiLU, the basic YOLO building block."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int = 3,
+                 stride: int = 1, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.conv = Conv2d(in_channels, out_channels, kernel, stride=stride,
+                           padding=kernel // 2, bias=False, rng=rng)
+        self.bn = BatchNorm2d(out_channels)
+        self.act = SiLU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.act(self.bn(self.conv(x)))
+
+
+class Bottleneck(Module):
+    """CSP bottleneck: 1x1 reduce → 3x3 conv with a residual connection."""
+
+    def __init__(self, channels: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        hidden = max(2, channels // 2)
+        self.cv1 = ConvBnAct(channels, hidden, kernel=1, rng=rng)
+        self.cv2 = ConvBnAct(hidden, channels, kernel=3, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x + self.cv2(self.cv1(x))
+
+
+class CSPStage(Module):
+    """A downsampling conv followed by ``n`` bottlenecks."""
+
+    def __init__(self, in_channels: int, out_channels: int, n: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.down = ConvBnAct(in_channels, out_channels, kernel=3, stride=2, rng=rng)
+        self.blocks = Sequential(*[Bottleneck(out_channels, rng=rng) for _ in range(n)])
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.blocks(self.down(x))
+
+
+class YOLOv5Tiny(Module):
+    """Backbone + neck + dense detection head producing (N, 4 + num_classes)."""
+
+    def __init__(self, num_classes: int = 4, base_width: int = 8,
+                 in_channels: int = 3, seed: int = 12) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.num_classes = num_classes
+        w = base_width
+        self.stem = ConvBnAct(in_channels, w, kernel=3, stride=1, rng=rng)
+        self.stage1 = CSPStage(w, w * 2, n=1, rng=rng)
+        self.stage2 = CSPStage(w * 2, w * 4, n=2, rng=rng)
+        self.stage3 = CSPStage(w * 4, w * 8, n=1, rng=rng)
+        self.neck = ConvBnAct(w * 8, w * 8, kernel=1, rng=rng)
+        self.pool = GlobalAvgPool2d()
+        self.head = Sequential(
+            Linear(w * 8, w * 8, rng=rng),
+            SiLU(),
+            Linear(w * 8, 4 + num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem(x)
+        x = self.stage1(x)
+        x = self.stage2(x)
+        x = self.stage3(x)
+        x = self.neck(x)
+        x = self.pool(x)
+        return self.head(x)
+
+
+def yolov5(num_classes: int = 4, base_width: int = 8, seed: int = 12) -> YOLOv5Tiny:
+    """Build the scaled-down YOLOv5-style detector used throughout the reproduction."""
+    return YOLOv5Tiny(num_classes=num_classes, base_width=base_width, seed=seed)

@@ -1,0 +1,72 @@
+"""Minimal numpy-based neural-network framework used as the AIM training substrate.
+
+Public surface:
+
+* :mod:`repro.nn.tensor` — autograd :class:`Tensor` and constructors
+* :mod:`repro.nn.layers` — :class:`Module`, :class:`Linear`, :class:`Conv2d`, ...
+* :mod:`repro.nn.attention` — transformer blocks with AIM operator-kind tags
+* :mod:`repro.nn.functional` — conv/pool/softmax/cross-entropy functional ops
+* :mod:`repro.nn.optim` — SGD / Adam / AdamW
+* :mod:`repro.nn.data` — synthetic classification / detection / LM datasets
+* :mod:`repro.nn.training` — train/evaluate loops with optional LHR regularizer
+"""
+
+from . import functional
+from .attention import FeedForward, GatedFeedForward, MultiHeadAttention, TransformerBlock
+from .data import (
+    Batch,
+    Dataset,
+    SyntheticDetection,
+    SyntheticImageClassification,
+    SyntheticLanguageModeling,
+    classification_dataset,
+    detection_dataset,
+    language_dataset,
+)
+from .layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    Identity,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    SiLU,
+)
+from .optim import Adam, AdamW, Optimizer, SGD
+from .tensor import Tensor, concatenate, ones, randn, stack, tensor, where, zeros
+from .training import (
+    TrainingReport,
+    evaluate_accuracy,
+    evaluate_perplexity,
+    evaluate_regression_error,
+    recalibrate_batchnorm,
+    train_classifier,
+    train_language_model,
+    train_regressor,
+)
+
+__all__ = [
+    "Tensor", "tensor", "zeros", "ones", "randn", "concatenate", "stack", "where",
+    "Module", "Parameter", "Linear", "Conv2d", "BatchNorm2d", "LayerNorm", "Embedding",
+    "ReLU", "GELU", "SiLU", "Identity", "Flatten", "MaxPool2d", "AvgPool2d",
+    "GlobalAvgPool2d", "Dropout", "Sequential",
+    "MultiHeadAttention", "FeedForward", "GatedFeedForward", "TransformerBlock",
+    "Optimizer", "SGD", "Adam", "AdamW",
+    "Dataset", "Batch", "SyntheticImageClassification", "SyntheticDetection",
+    "SyntheticLanguageModeling", "classification_dataset", "detection_dataset",
+    "language_dataset",
+    "TrainingReport", "train_classifier", "train_regressor", "train_language_model",
+    "evaluate_accuracy", "evaluate_regression_error", "evaluate_perplexity",
+    "recalibrate_batchnorm",
+    "functional",
+]

@@ -1,0 +1,123 @@
+"""Transformer attention blocks for the model zoo.
+
+AIM distinguishes two classes of PIM operators (paper Sec. 5.5.1):
+
+* **weight-stationary** operators — conv, linear, and Q/K/V generation — whose
+  in-memory data are trained weights, so HR can be pre-computed offline and
+  optimized with LHR/WDS;
+* **input-determined** operators — the QK^T and SV matmuls inside attention —
+  whose in-memory data are produced at runtime, so IR-Booster must fall back to
+  the 100 % safe level and rely on hardware monitoring.
+
+The attention module therefore tags each internal matmul with an operator kind
+(`"qkv"`, `"qk_t"`, `"sv"`, `"proj"`) that the compiler later reads when it
+builds the task graph.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .layers import Dropout, GELU, LayerNorm, Linear, Module, Sequential
+from .tensor import Tensor
+
+
+class MultiHeadAttention(Module):
+    """Standard multi-head self-attention with explicit QK^T and SV stages."""
+
+    def __init__(self, dim: int, num_heads: int, causal: bool = False,
+                 dropout: float = 0.0, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError("dim must be divisible by num_heads")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.causal = causal
+        rng = rng or np.random.default_rng(0)
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+        # Operator kinds seen by the AIM compiler.
+        self.operator_kinds = {
+            "q_proj": "qkv", "k_proj": "qkv", "v_proj": "qkv",
+            "qk_t": "qk_t", "sv": "sv", "out_proj": "proj",
+        }
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.q_proj(x), batch, seq)
+        k = self._split_heads(self.k_proj(x), batch, seq)
+        v = self._split_heads(self.v_proj(x), batch, seq)
+
+        scores = q.matmul(k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
+        if self.causal:
+            causal_mask = np.triu(np.full((seq, seq), -1e9), k=1)
+            scores = scores + Tensor(causal_mask)
+        if mask is not None:
+            scores = scores + Tensor(mask)
+        attn = scores.softmax(axis=-1)
+        attn = self.dropout(attn)
+        context = attn.matmul(v)  # (B, H, T, Dh)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.out_proj(context)
+
+
+class FeedForward(Module):
+    """Transformer MLP block (two linear layers with GELU)."""
+
+    def __init__(self, dim: int, hidden_dim: int, dropout: float = 0.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.fc1 = Linear(dim, hidden_dim, rng=rng)
+        self.act = GELU()
+        self.fc2 = Linear(hidden_dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.dropout(self.fc2(self.act(self.fc1(x))))
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block: LN → MHA → residual, LN → MLP → residual."""
+
+    def __init__(self, dim: int, num_heads: int, mlp_ratio: float = 4.0,
+                 causal: bool = False, dropout: float = 0.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, num_heads, causal=causal, dropout=dropout, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.mlp = FeedForward(dim, int(dim * mlp_ratio), dropout=dropout, rng=rng)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        x = x + self.attn(self.norm1(x), mask=mask)
+        x = x + self.mlp(self.norm2(x))
+        return x
+
+
+class GatedFeedForward(Module):
+    """SwiGLU-style gated MLP used by Llama-family decoder blocks."""
+
+    def __init__(self, dim: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.gate_proj = Linear(dim, hidden_dim, bias=False, rng=rng)
+        self.up_proj = Linear(dim, hidden_dim, bias=False, rng=rng)
+        self.down_proj = Linear(hidden_dim, dim, bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        gate = self.gate_proj(x)
+        gated = gate * gate.sigmoid()  # SiLU
+        return self.down_proj(gated * self.up_proj(x))

@@ -1,0 +1,251 @@
+"""Functional building blocks for the numpy NN substrate.
+
+This module holds the operations that are easier to express directly on numpy
+arrays with handwritten backward passes than through the autograd primitives in
+:mod:`repro.nn.tensor` — most importantly 2-D convolution via im2col, pooling,
+and the embedding lookup used by the language models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, _as_array
+
+
+# ---------------------------------------------------------------------- #
+# im2col utilities
+# ---------------------------------------------------------------------- #
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Unfold ``x`` of shape (N, C, H, W) into (N, out_h*out_w, C*kernel*kernel)."""
+    n, c, h, w = x.shape
+    out_h = _conv_output_size(h, kernel, stride, padding)
+    out_w = _conv_output_size(w, kernel, stride, padding)
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    cols = np.empty((n, c, kernel, kernel, out_h, out_w), dtype=x.dtype)
+    for ki in range(kernel):
+        i_end = ki + stride * out_h
+        for kj in range(kernel):
+            j_end = kj + stride * out_w
+            cols[:, :, ki, kj, :, :] = x[:, :, ki:i_end:stride, kj:j_end:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n, out_h * out_w, c * kernel * kernel)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col` (scatter-add), used for the conv backward pass."""
+    n, c, h, w = x_shape
+    out_h = _conv_output_size(h, kernel, stride, padding)
+    out_w = _conv_output_size(w, kernel, stride, padding)
+    cols = cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for ki in range(kernel):
+        i_end = ki + stride * out_h
+        for kj in range(kernel):
+            j_end = kj + stride * out_w
+            padded[:, :, ki:i_end:stride, kj:j_end:stride] += cols[:, :, ki, kj, :, :]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+# ---------------------------------------------------------------------- #
+# convolution
+# ---------------------------------------------------------------------- #
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> Tensor:
+    """2-D convolution.
+
+    ``x``: (N, C_in, H, W); ``weight``: (C_out, C_in/groups, K, K).
+    ``groups == C_in`` gives depthwise convolution (used by MobileNet blocks).
+    """
+    n, c_in, h, w = x.shape
+    c_out, c_group, kernel, _ = weight.shape
+    if c_in % groups or c_out % groups:
+        raise ValueError("channel counts must be divisible by groups")
+    out_h = _conv_output_size(h, kernel, stride, padding)
+    out_w = _conv_output_size(w, kernel, stride, padding)
+
+    if groups == 1:
+        cols = im2col(x.data, kernel, stride, padding)  # (N, P, C*K*K)
+        w_mat = weight.data.reshape(c_out, -1)  # (C_out, C*K*K)
+        out = cols @ w_mat.T  # (N, P, C_out)
+        out_data = out.transpose(0, 2, 1).reshape(n, c_out, out_h, out_w)
+
+        def backward(grad: np.ndarray) -> None:
+            grad = _as_array(grad)
+            grad_mat = grad.reshape(n, c_out, -1).transpose(0, 2, 1)  # (N, P, C_out)
+            if weight.requires_grad:
+                gw = np.einsum("npo,npk->ok", grad_mat, cols)
+                weight._accumulate(gw.reshape(weight.shape))
+            if x.requires_grad:
+                gcols = grad_mat @ w_mat  # (N, P, C*K*K)
+                x._accumulate(col2im(gcols, x.shape, kernel, stride, padding))
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(0, 2, 3)))
+
+        parents = (x, weight) if bias is None else (x, weight, bias)
+        result = Tensor._make(out_data, parents, backward)
+    else:
+        # Grouped convolution expressed as independent per-group convolutions on
+        # numpy views, with a combined backward pass.
+        cg_in = c_in // groups
+        cg_out = c_out // groups
+        cols_list = []
+        outs = np.empty((n, c_out, out_h, out_w), dtype=x.data.dtype)
+        for g in range(groups):
+            xg = x.data[:, g * cg_in:(g + 1) * cg_in]
+            cols = im2col(xg, kernel, stride, padding)
+            cols_list.append(cols)
+            w_mat = weight.data[g * cg_out:(g + 1) * cg_out].reshape(cg_out, -1)
+            og = (cols @ w_mat.T).transpose(0, 2, 1).reshape(n, cg_out, out_h, out_w)
+            outs[:, g * cg_out:(g + 1) * cg_out] = og
+
+        def backward(grad: np.ndarray) -> None:
+            grad = _as_array(grad)
+            gx_full = np.zeros_like(x.data) if x.requires_grad else None
+            gw_full = np.zeros_like(weight.data) if weight.requires_grad else None
+            for g in range(groups):
+                gg = grad[:, g * cg_out:(g + 1) * cg_out]
+                grad_mat = gg.reshape(n, cg_out, -1).transpose(0, 2, 1)
+                cols = cols_list[g]
+                w_mat = weight.data[g * cg_out:(g + 1) * cg_out].reshape(cg_out, -1)
+                if gw_full is not None:
+                    gw = np.einsum("npo,npk->ok", grad_mat, cols)
+                    gw_full[g * cg_out:(g + 1) * cg_out] = gw.reshape(cg_out, cg_in, kernel, kernel)
+                if gx_full is not None:
+                    gcols = grad_mat @ w_mat
+                    xg_shape = (n, cg_in, h, w)
+                    gx_full[:, g * cg_in:(g + 1) * cg_in] = col2im(
+                        gcols, xg_shape, kernel, stride, padding)
+            if gx_full is not None:
+                x._accumulate(gx_full)
+            if gw_full is not None:
+                weight._accumulate(gw_full)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(0, 2, 3)))
+
+        parents = (x, weight) if bias is None else (x, weight, bias)
+        result = Tensor._make(outs, parents, backward)
+
+    if bias is not None and groups == 1:
+        # bias gradient already handled in backward; add the forward contribution
+        result.data = result.data + bias.data.reshape(1, c_out, 1, 1)
+    elif bias is not None:
+        result.data = result.data + bias.data.reshape(1, c_out, 1, 1)
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# pooling
+# ---------------------------------------------------------------------- #
+def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) square windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = _conv_output_size(h, kernel, stride, 0)
+    out_w = _conv_output_size(w, kernel, stride, 0)
+    cols = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride, 0)  # (N*C, P, K*K)
+    argmax = cols.argmax(axis=2)
+    out = cols.max(axis=2).reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = _as_array(grad).reshape(n * c, -1)
+        gcols = np.zeros_like(cols)
+        rows = np.arange(cols.shape[0])[:, None]
+        pos = np.arange(cols.shape[1])[None, :]
+        gcols[rows, pos, argmax] = grad
+        gx = col2im(gcols, (n * c, 1, h, w), kernel, stride, 0)
+        x._accumulate(gx.reshape(n, c, h, w))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = _conv_output_size(h, kernel, stride, 0)
+    out_w = _conv_output_size(w, kernel, stride, 0)
+    cols = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride, 0)
+    out = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = _as_array(grad).reshape(n * c, -1, 1)
+        gcols = np.broadcast_to(grad / (kernel * kernel), cols.shape).copy()
+        gx = col2im(gcols, (n * c, 1, h, w), kernel, stride, 0)
+        x._accumulate(gx.reshape(n, c, h, w))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Global average pooling: (N, C, H, W) -> (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+# ---------------------------------------------------------------------- #
+# embedding lookup
+# ---------------------------------------------------------------------- #
+def embedding(indices: np.ndarray, table: Tensor) -> Tensor:
+    """Lookup rows of ``table`` (V, D) for integer ``indices`` of any shape."""
+    idx = np.asarray(indices, dtype=np.int64)
+    data = table.data[idx]
+
+    def backward(grad: np.ndarray) -> None:
+        if not table.requires_grad:
+            return
+        full = np.zeros_like(table.data)
+        np.add.at(full, idx.reshape(-1), _as_array(grad).reshape(-1, table.shape[1]))
+        table._accumulate(full)
+
+    return Tensor._make(data, (table,), backward)
+
+
+# ---------------------------------------------------------------------- #
+# losses expressed functionally
+# ---------------------------------------------------------------------- #
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    data = shifted - logsumexp
+    softmax = np.exp(data)
+
+    def backward(grad: np.ndarray) -> None:
+        g = _as_array(grad)
+        x._accumulate(g - softmax * g.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) or (N, T, C) and integer targets."""
+    targets = np.asarray(targets, dtype=np.int64)
+    logp = log_softmax(logits, axis=-1)
+    flat = logp.reshape(-1, logits.shape[-1])
+    n = flat.shape[0]
+    picked = flat[np.arange(n), targets.reshape(-1)]
+    return -picked.mean()
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
+    target = _as_array(target)
+    diff = prediction - Tensor(target)
+    return (diff * diff).mean()

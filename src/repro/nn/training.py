@@ -1,0 +1,195 @@
+"""Training and evaluation loops shared by the QAT/PTQ experiments.
+
+These helpers provide the "task loss" half of the paper's Eq. 6
+(``L_all = L_task + lambda * L_HR``): the caller can pass an extra
+``regularizer`` callable (the LHR term) that receives the model and returns a
+scalar :class:`~repro.nn.tensor.Tensor` added to the task loss before
+backpropagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from . import functional as F
+from .data import Dataset
+from .layers import Module
+from .optim import Optimizer
+from .tensor import Tensor
+
+
+def recalibrate_batchnorm(model: Module, dataset: Dataset, batch_size: int = 64,
+                          max_batches: int = 8) -> None:
+    """Refresh BatchNorm running statistics with the current (frozen) weights.
+
+    Deploying quantized weights — or simply finishing a short training run —
+    leaves the running statistics slightly stale relative to the activations the
+    frozen network actually produces.  A quick forward-only pass in training
+    mode (gradients are never used) re-estimates them, which is the standard
+    batch-norm re-calibration trick and is applied before every evaluation in
+    this reproduction.
+    """
+    from .layers import BatchNorm2d
+
+    bn_layers = [m for m in model.modules() if isinstance(m, BatchNorm2d)]
+    if not bn_layers:
+        return
+    for bn in bn_layers:
+        bn.num_batches_tracked = 0
+    was_training = model.training
+    model.train()
+    for i, batch in enumerate(dataset.batches(batch_size, shuffle=False)):
+        if i >= max_batches:
+            break
+        inputs = batch.inputs
+        model(inputs if inputs.dtype.kind in "iu" else Tensor(inputs))
+    model.train(was_training)
+
+
+@dataclass
+class TrainingReport:
+    """Per-epoch loss/metric history produced by the training helpers."""
+
+    losses: List[float] = field(default_factory=list)
+    metrics: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    @property
+    def final_metric(self) -> float:
+        return self.metrics[-1] if self.metrics else float("nan")
+
+
+def train_classifier(
+    model: Module,
+    dataset: Dataset,
+    optimizer: Optimizer,
+    epochs: int = 3,
+    batch_size: int = 32,
+    regularizer: Optional[Callable[[Module], Tensor]] = None,
+    seed: int = 0,
+) -> TrainingReport:
+    """Train a classification model with cross-entropy (+ optional LHR loss)."""
+    report = TrainingReport()
+    rng = np.random.default_rng(seed)
+    for _ in range(epochs):
+        model.train()
+        epoch_losses = []
+        for batch in dataset.batches(batch_size, shuffle=True, rng=rng):
+            logits = model(Tensor(batch.inputs))
+            loss = F.cross_entropy(logits, batch.targets)
+            if regularizer is not None:
+                loss = loss + regularizer(model)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        report.losses.append(float(np.mean(epoch_losses)))
+        report.metrics.append(evaluate_accuracy(model, dataset, batch_size))
+    return report
+
+
+def train_regressor(
+    model: Module,
+    dataset: Dataset,
+    optimizer: Optimizer,
+    epochs: int = 3,
+    batch_size: int = 32,
+    regularizer: Optional[Callable[[Module], Tensor]] = None,
+    seed: int = 0,
+) -> TrainingReport:
+    """Train a regression model (detection head) with MSE (+ optional LHR loss)."""
+    report = TrainingReport()
+    rng = np.random.default_rng(seed)
+    for _ in range(epochs):
+        model.train()
+        epoch_losses = []
+        for batch in dataset.batches(batch_size, shuffle=True, rng=rng):
+            prediction = model(Tensor(batch.inputs))
+            loss = F.mse_loss(prediction, batch.targets)
+            if regularizer is not None:
+                loss = loss + regularizer(model)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        report.losses.append(float(np.mean(epoch_losses)))
+        report.metrics.append(evaluate_regression_error(model, dataset, batch_size))
+    return report
+
+
+def train_language_model(
+    model: Module,
+    dataset: Dataset,
+    optimizer: Optimizer,
+    epochs: int = 3,
+    batch_size: int = 16,
+    regularizer: Optional[Callable[[Module], Tensor]] = None,
+    seed: int = 0,
+) -> TrainingReport:
+    """Train a decoder-only language model with next-token cross-entropy."""
+    report = TrainingReport()
+    rng = np.random.default_rng(seed)
+    for _ in range(epochs):
+        model.train()
+        epoch_losses = []
+        for batch in dataset.batches(batch_size, shuffle=True, rng=rng):
+            logits = model(batch.inputs)
+            loss = F.cross_entropy(logits, batch.targets)
+            if regularizer is not None:
+                loss = loss + regularizer(model)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        report.losses.append(float(np.mean(epoch_losses)))
+        report.metrics.append(evaluate_perplexity(model, dataset, batch_size))
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# evaluation
+# ---------------------------------------------------------------------- #
+def evaluate_accuracy(model: Module, dataset: Dataset, batch_size: int = 64) -> float:
+    """Top-1 accuracy (%) for classification models."""
+    recalibrate_batchnorm(model, dataset, batch_size)
+    model.eval()
+    correct = 0
+    total = 0
+    for batch in dataset.batches(batch_size, shuffle=False):
+        logits = model(Tensor(batch.inputs))
+        predictions = logits.data.argmax(axis=-1)
+        correct += int((predictions == batch.targets).sum())
+        total += len(batch)
+    return 100.0 * correct / max(1, total)
+
+
+def evaluate_regression_error(model: Module, dataset: Dataset, batch_size: int = 64) -> float:
+    """Mean squared error for detection/regression models (lower is better)."""
+    recalibrate_batchnorm(model, dataset, batch_size)
+    model.eval()
+    errors = []
+    for batch in dataset.batches(batch_size, shuffle=False):
+        prediction = model(Tensor(batch.inputs))
+        errors.append(float(np.mean((prediction.data - batch.targets) ** 2)))
+    return float(np.mean(errors))
+
+
+def evaluate_perplexity(model: Module, dataset: Dataset, batch_size: int = 32) -> float:
+    """Perplexity of a decoder-only language model on next-token prediction."""
+    model.eval()
+    total_nll = 0.0
+    total_tokens = 0
+    for batch in dataset.batches(batch_size, shuffle=False):
+        logits = model(batch.inputs)
+        logp = F.log_softmax(logits, axis=-1).data
+        flat = logp.reshape(-1, logp.shape[-1])
+        targets = batch.targets.reshape(-1)
+        total_nll -= float(flat[np.arange(flat.shape[0]), targets].sum())
+        total_tokens += targets.shape[0]
+    return float(np.exp(total_nll / max(1, total_tokens)))

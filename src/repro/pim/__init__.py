@@ -1,0 +1,44 @@
+"""Behavioural SRAM-PIM hardware substrate: banks, macros, groups, chip, dataflow."""
+
+from .adder_tree import AdderTree, AdderTreeActivity
+from .bank import BankExecution, PIMBank
+from .bitserial import (
+    bit_serial_matmul,
+    bit_serial_stream,
+    from_bit_planes,
+    stream_toggle_counts,
+    to_bit_planes,
+)
+from .chip import PIMChip
+from .config import (
+    BankConfig,
+    ChipConfig,
+    GroupConfig,
+    MacroConfig,
+    default_chip_config,
+    small_chip_config,
+)
+from .dataflow import (
+    INPUT_DETERMINED_KINDS,
+    WEIGHT_STATIONARY_KINDS,
+    Operator,
+    Task,
+    build_tasks,
+    layer_weight_matrix,
+    tile_matrix,
+)
+from .group import MacroGroup
+from .macro import MacroExecution, PIMMacro
+from .shift_compensator import ShiftCompensator, ShiftCompensatorOverhead
+
+__all__ = [
+    "BankConfig", "MacroConfig", "GroupConfig", "ChipConfig",
+    "default_chip_config", "small_chip_config",
+    "PIMBank", "BankExecution", "PIMMacro", "MacroExecution", "MacroGroup", "PIMChip",
+    "AdderTree", "AdderTreeActivity",
+    "ShiftCompensator", "ShiftCompensatorOverhead",
+    "to_bit_planes", "from_bit_planes", "bit_serial_stream", "bit_serial_matmul",
+    "stream_toggle_counts",
+    "Operator", "Task", "layer_weight_matrix", "tile_matrix", "build_tasks",
+    "WEIGHT_STATIONARY_KINDS", "INPUT_DETERMINED_KINDS",
+]

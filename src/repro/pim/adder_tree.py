@@ -1,0 +1,94 @@
+"""Adder-tree model used by DPIM macros (and stand-alone in Fig. 22-(b)).
+
+Digital PIM accumulates the bit-wise products through a binary adder tree.  The
+tree's switching activity scales with the number of active (1-valued) product
+bits, which is why Rtog — defined on the bitstream *entering* the adder — is a
+good proxy for the tree's dynamic current.  This model provides:
+
+* the functional reduction (sum of the per-cell products),
+* a per-level activity estimate used by the energy model, and
+* an equivalent-capacitance figure so the pure-adder-tree experiment of
+  Fig. 22-(b) can be run without the SRAM array around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import List
+
+import numpy as np
+
+__all__ = ["AdderTreeActivity", "AdderTree"]
+
+
+@dataclass
+class AdderTreeActivity:
+    """Per-level switching activity of one reduction through the tree."""
+
+    level_activity: List[float]
+    total_activity: float
+
+    @property
+    def depth(self) -> int:
+        return len(self.level_activity)
+
+
+class AdderTree:
+    """Binary reduction tree over ``leaves`` inputs of ``operand_bits`` bits."""
+
+    def __init__(self, leaves: int, operand_bits: int = 8) -> None:
+        if leaves <= 0:
+            raise ValueError("adder tree needs at least one leaf")
+        self.leaves = leaves
+        self.operand_bits = operand_bits
+        self.depth = max(1, ceil(log2(leaves))) if leaves > 1 else 1
+
+    @property
+    def adder_count(self) -> int:
+        """Total number of two-input adders in the tree."""
+        return max(0, self.leaves - 1)
+
+    def reduce(self, products: np.ndarray) -> int:
+        """Functional sum of the leaf products."""
+        products = np.asarray(products, dtype=np.int64).reshape(-1)
+        if products.size > self.leaves:
+            raise ValueError("more products than tree leaves")
+        return int(products.sum())
+
+    def activity(self, products: np.ndarray) -> AdderTreeActivity:
+        """Estimate per-level switching activity for one reduction.
+
+        The activity of a level is modelled as the fraction of non-zero operands
+        entering it, scaled by the operand width growth (one extra carry bit per
+        level) — a standard architectural power proxy for reduction trees.
+        """
+        values = np.zeros(self.leaves, dtype=np.int64)
+        products = np.asarray(products, dtype=np.int64).reshape(-1)
+        values[:products.size] = products
+        level_activity: List[float] = []
+        current = values
+        width = self.operand_bits
+        while current.size > 1:
+            nonzero_fraction = float(np.count_nonzero(current)) / current.size
+            level_activity.append(nonzero_fraction * width)
+            if current.size % 2:
+                current = np.concatenate([current, np.zeros(1, dtype=np.int64)])
+            current = current[0::2] + current[1::2]
+            width += 1
+        if not level_activity:
+            level_activity = [float(np.count_nonzero(current)) * width]
+        return AdderTreeActivity(level_activity=level_activity,
+                                 total_activity=float(np.sum(level_activity)))
+
+    def equivalent_capacitance(self, unit_adder_capacitance: float = 1.0) -> float:
+        """Relative switched capacitance of the whole tree (per full reduction)."""
+        capacitance = 0.0
+        size = self.leaves
+        width = self.operand_bits
+        while size > 1:
+            adders = size // 2
+            capacitance += adders * width * unit_adder_capacitance
+            size = ceil(size / 2)
+            width += 1
+        return capacitance

@@ -1,0 +1,96 @@
+"""Behavioural model of a single PIM bank.
+
+A bank stores one column of in-memory weights (``rows`` cells of
+``weight_bits`` two's-complement bits) and multiplies them bit-serially against
+the shared input word lines, accumulating through its adder tree into a partial
+sum (pSUM).  The bank is the granularity at which the paper defines Rtog
+(Eq. 1), so this class exposes both the functional result of a matmul wave and
+the per-cycle toggle activity that drives the IR-drop model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.metrics import hamming_rate, rtog_trace
+from .bitserial import bit_serial_matmul, bit_serial_stream
+from .config import BankConfig
+
+__all__ = ["BankExecution", "PIMBank"]
+
+
+@dataclass
+class BankExecution:
+    """Result of streaming a batch of input waves through one bank."""
+
+    partial_sums: np.ndarray    #: (waves,) integer partial sums
+    rtog: np.ndarray            #: per-cycle toggle rate, length waves*input_bits - 1
+    cycles: int
+
+    @property
+    def peak_rtog(self) -> float:
+        return float(self.rtog.max()) if self.rtog.size else 0.0
+
+    @property
+    def mean_rtog(self) -> float:
+        return float(self.rtog.mean()) if self.rtog.size else 0.0
+
+
+class PIMBank:
+    """One bank: weight storage + bit-serial MAC + toggle accounting."""
+
+    def __init__(self, config: Optional[BankConfig] = None) -> None:
+        self.config = config or BankConfig()
+        self.config.validate()
+        self._weights = np.zeros(self.config.rows, dtype=np.int64)
+        self._loaded_rows = 0
+
+    # -- weight management -------------------------------------------------- #
+    @property
+    def weights(self) -> np.ndarray:
+        return self._weights.copy()
+
+    @property
+    def loaded_rows(self) -> int:
+        return self._loaded_rows
+
+    def load_weights(self, codes: np.ndarray) -> None:
+        """Load integer weight codes into the bank (zero-padded to ``rows``)."""
+        codes = np.asarray(codes, dtype=np.int64).reshape(-1)
+        if codes.size > self.config.rows:
+            raise ValueError(
+                f"{codes.size} weights exceed bank capacity of {self.config.rows} rows")
+        qmin = -(1 << (self.config.weight_bits - 1))
+        qmax = (1 << (self.config.weight_bits - 1)) - 1
+        if codes.size and (codes.min() < qmin or codes.max() > qmax):
+            raise ValueError("weight codes outside the bank's bit-width range")
+        self._weights = np.zeros(self.config.rows, dtype=np.int64)
+        self._weights[:codes.size] = codes
+        self._loaded_rows = codes.size
+
+    def clear(self) -> None:
+        self._weights = np.zeros(self.config.rows, dtype=np.int64)
+        self._loaded_rows = 0
+
+    # -- metrics -------------------------------------------------------------- #
+    @property
+    def hamming_rate(self) -> float:
+        """HR of the stored in-memory data (Eq. 3), the upper bound of Rtog."""
+        return hamming_rate(self._weights, self.config.weight_bits)
+
+    # -- execution ------------------------------------------------------------ #
+    def execute(self, activations: np.ndarray) -> BankExecution:
+        """Stream ``activations`` (waves, rows) through the bank bit-serially."""
+        activations = np.asarray(activations, dtype=np.int64)
+        if activations.ndim == 1:
+            activations = activations[None, :]
+        if activations.shape[1] != self.config.rows:
+            raise ValueError(
+                f"activation width {activations.shape[1]} != bank rows {self.config.rows}")
+        partial_sums = bit_serial_matmul(self._weights, activations, self.config.input_bits)
+        stream = bit_serial_stream(activations, self.config.input_bits)
+        trace = rtog_trace(self._weights, stream, self.config.weight_bits)
+        return BankExecution(partial_sums=partial_sums, rtog=trace, cycles=stream.shape[0])

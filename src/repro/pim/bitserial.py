@@ -1,0 +1,97 @@
+"""Bit-serial encoding of activation streams.
+
+SRAM PIM loads input activations bit-serially: a ``q_in``-bit activation is
+presented to the word lines over ``q_in`` consecutive cycles, LSB first, while
+the in-memory weights stay put (in-situ processing).  The toggling of these
+input bit planes against the stored weight bits is exactly what Rtog measures,
+so this module is the bridge between integer activation tensors and the
+cycle-level toggle traces consumed by the IR-drop model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "to_bit_planes",
+    "from_bit_planes",
+    "bit_serial_stream",
+    "bit_serial_matmul",
+    "stream_toggle_counts",
+]
+
+
+def to_bit_planes(values: np.ndarray, bits: int) -> np.ndarray:
+    """Unsigned/two's-complement bit planes of integer ``values``, LSB first.
+
+    Returns shape ``(bits,) + values.shape`` with entries in {0, 1}.
+    """
+    values = np.asarray(values)
+    if not np.issubdtype(values.dtype, np.integer):
+        values = np.round(values).astype(np.int64)
+    low, high = -(1 << (bits - 1)), (1 << bits) - 1
+    if values.size and (values.min() < low or values.max() > high):
+        raise ValueError(f"values outside representable range for {bits} bits")
+    unsigned = np.where(values < 0, values + (1 << bits), values).astype(np.uint64)
+    planes = ((unsigned[None, ...] >> np.arange(bits, dtype=np.uint64).reshape(
+        (bits,) + (1,) * values.ndim)) & 1)
+    return planes.astype(np.uint8)
+
+
+def from_bit_planes(planes: np.ndarray, signed: bool = True) -> np.ndarray:
+    """Reassemble integers from LSB-first bit planes (inverse of :func:`to_bit_planes`)."""
+    planes = np.asarray(planes, dtype=np.int64)
+    bits = planes.shape[0]
+    weights = (1 << np.arange(bits)).reshape((bits,) + (1,) * (planes.ndim - 1))
+    values = (planes * weights).sum(axis=0)
+    if signed:
+        sign_bit = 1 << (bits - 1)
+        values = np.where(values >= sign_bit, values - (1 << bits), values)
+    return values
+
+
+def bit_serial_stream(activations: np.ndarray, bits: int) -> np.ndarray:
+    """Cycle-major bit stream for a sequence of activation vectors.
+
+    ``activations`` has shape (waves, cells): each wave is one activation vector
+    presented to the bank's cells.  The result has shape
+    ``(waves * bits, cells)``: wave ``w`` occupies cycles ``[w*bits, (w+1)*bits)``
+    with its LSB first — exactly the order the word lines see.
+    """
+    activations = np.asarray(activations)
+    if activations.ndim != 2:
+        raise ValueError("activations must have shape (waves, cells)")
+    waves, cells = activations.shape
+    planes = to_bit_planes(activations, bits)          # (bits, waves, cells)
+    stream = planes.transpose(1, 0, 2).reshape(waves * bits, cells)
+    return stream.astype(np.uint8)
+
+
+def bit_serial_matmul(weight_codes: np.ndarray, activations: np.ndarray,
+                      input_bits: int) -> np.ndarray:
+    """Reference bit-serial MAC: equivalent to ``activations @ weights`` per wave.
+
+    ``weight_codes``: (cells,) signed integer weights of one bank column;
+    ``activations``: (waves, cells) signed integer activations.
+    Returns the per-wave dot products, computed by shift-adding the bit-plane
+    partial sums the way the macro hardware does — used to cross-check the
+    functional model against plain integer matmul.
+    """
+    weight_codes = np.asarray(weight_codes, dtype=np.int64)
+    activations = np.asarray(activations, dtype=np.int64)
+    planes = to_bit_planes(activations, input_bits)    # (bits, waves, cells)
+    partial = planes.astype(np.int64) @ weight_codes   # (bits, waves)
+    shifts = 1 << np.arange(input_bits, dtype=np.int64)
+    # Two's-complement input: the MSB plane carries a negative place value.
+    shifts[-1] = -shifts[-1]
+    return (partial * shifts[:, None]).sum(axis=0)
+
+
+def stream_toggle_counts(stream: np.ndarray) -> np.ndarray:
+    """Number of input bit toggles per cycle boundary (summed over cells)."""
+    stream = np.asarray(stream, dtype=np.uint8)
+    if stream.shape[0] < 2:
+        return np.zeros(0, dtype=np.int64)
+    return (stream[1:] ^ stream[:-1]).sum(axis=1).astype(np.int64)

@@ -1,0 +1,92 @@
+"""Whole-chip model: groups of macros plus geometry/layout helpers.
+
+The chip owns the macro-group hierarchy and the (row, column) floorplan
+positions used by the power-delivery-network model to place per-macro current
+sources.  It intentionally does not run workloads itself — the cycle-level
+execution lives in :mod:`repro.sim.runtime`, which drives the chip through the
+compiler's task assignments.
+"""
+
+from __future__ import annotations
+
+from math import ceil, sqrt
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .config import ChipConfig, default_chip_config
+from .group import MacroGroup
+from .macro import PIMMacro
+
+__all__ = ["PIMChip"]
+
+
+class PIMChip:
+    """The full PIM accelerator: ``groups`` macro groups in a 2-D floorplan."""
+
+    def __init__(self, config: Optional[ChipConfig] = None) -> None:
+        self.config = config or default_chip_config()
+        self.config.validate()
+        self.groups: List[MacroGroup] = [
+            MacroGroup(self.config.group, group_id=g) for g in range(self.config.groups)
+        ]
+        # Square-ish floorplan of macros used by the PDN mesh.
+        self._grid_side = int(ceil(sqrt(self.config.total_macros)))
+
+    # ------------------------------------------------------------------ #
+    # navigation
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[MacroGroup]:
+        return iter(self.groups)
+
+    def macro(self, index: int) -> PIMMacro:
+        group, position = self.config.macro_location(index)
+        return self.groups[group][position]
+
+    def macros(self) -> List[PIMMacro]:
+        return [self.macro(i) for i in range(self.config.total_macros)]
+
+    def group_of(self, macro_index: int) -> MacroGroup:
+        group, _ = self.config.macro_location(macro_index)
+        return self.groups[group]
+
+    # ------------------------------------------------------------------ #
+    # floorplan
+    # ------------------------------------------------------------------ #
+    @property
+    def grid_shape(self) -> Tuple[int, int]:
+        """(rows, cols) of the macro floorplan grid."""
+        rows = int(ceil(self.config.total_macros / self._grid_side))
+        return rows, self._grid_side
+
+    def macro_position(self, macro_index: int) -> Tuple[int, int]:
+        """Floorplan (row, col) of a macro; groups occupy contiguous positions."""
+        if not 0 <= macro_index < self.config.total_macros:
+            raise IndexError(f"macro index {macro_index} out of range")
+        return divmod(macro_index, self._grid_side)
+
+    # ------------------------------------------------------------------ #
+    # aggregate metrics
+    # ------------------------------------------------------------------ #
+    def macro_hamming_rates(self) -> np.ndarray:
+        """HR per macro (0 for macros with no weights loaded)."""
+        return np.array([
+            m.hamming_rate if m.is_loaded else 0.0 for m in self.macros()
+        ])
+
+    def group_hamming_rates(self) -> np.ndarray:
+        """HRG (worst HR) per group — the input to IR-Booster's safe level."""
+        return np.array([group.group_hamming_rate for group in self.groups])
+
+    def loaded_macro_indices(self) -> List[int]:
+        return [i for i, m in enumerate(self.macros()) if m.is_loaded]
+
+    def clear(self) -> None:
+        for group in self.groups:
+            group.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        cfg = self.config
+        return (f"PIMChip(groups={cfg.groups}, macros/group={cfg.group.macros}, "
+                f"banks/macro={cfg.macro.banks}, rows/bank={cfg.macro.rows}, "
+                f"peak={cfg.peak_tops:.1f} TOPS)")

@@ -1,0 +1,157 @@
+"""Operator-to-macro dataflow: reshaping and tiling weights into macro tiles.
+
+The compiler splits each operator's in-memory data (its weight matrix, or the
+runtime-produced matrix for QK^T / SV) into tiles that fit a macro's
+``rows x banks`` geometry.  All tiles of one operator form a logical *MacroSet*
+(paper Fig. 11-(b)): they must run at the same frequency, and an IRFailure in
+one stalls the others.
+
+Conventions:
+
+* a weight matrix is laid out as ``(reduction_dim, output_dim)`` — reduction
+  rows map onto bank rows (shared word lines), output columns map onto banks;
+* conv weights ``(C_out, C_in, K, K)`` become ``(C_in*K*K, C_out)``;
+* linear weights ``(out, in)`` become ``(in, out)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.metrics import hamming_rate
+from .config import MacroConfig
+
+__all__ = [
+    "WEIGHT_STATIONARY_KINDS",
+    "INPUT_DETERMINED_KINDS",
+    "Operator",
+    "Task",
+    "layer_weight_matrix",
+    "tile_matrix",
+    "build_tasks",
+]
+
+#: Operator kinds whose in-memory data are trained weights (HR known offline).
+WEIGHT_STATIONARY_KINDS = ("conv", "linear", "qkv", "proj")
+#: Operator kinds whose in-memory data are produced at runtime (attention matmuls).
+INPUT_DETERMINED_KINDS = ("qk_t", "sv")
+
+
+@dataclass
+class Operator:
+    """One network operator to be mapped onto the PIM chip."""
+
+    name: str
+    kind: str                       #: "conv", "linear", "qkv", "proj", "qk_t" or "sv"
+    codes: np.ndarray               #: (reduction, output) integer in-memory data
+    bits: int = 8
+    wds_delta: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in WEIGHT_STATIONARY_KINDS + INPUT_DETERMINED_KINDS:
+            raise ValueError(f"unknown operator kind {self.kind!r}")
+        self.codes = np.asarray(self.codes, dtype=np.int64)
+        if self.codes.ndim != 2:
+            raise ValueError("operator codes must be a 2-D (reduction, output) matrix")
+
+    @property
+    def input_determined(self) -> bool:
+        """True when HR cannot be pre-computed offline (QK^T / SV)."""
+        return self.kind in INPUT_DETERMINED_KINDS
+
+    @property
+    def hamming_rate(self) -> float:
+        return hamming_rate(self.codes, self.bits)
+
+    @property
+    def macs(self) -> int:
+        """Reduction-length * output-width: MACs per input vector."""
+        return int(self.codes.shape[0] * self.codes.shape[1])
+
+
+@dataclass
+class Task:
+    """One macro-sized tile of an operator, the unit of task mapping."""
+
+    task_id: int
+    operator_name: str
+    kind: str
+    set_id: int                      #: logical MacroSet (one per operator)
+    codes: np.ndarray                #: (rows<=macro rows, cols<=macro banks)
+    bits: int
+    wds_delta: int = 0
+    input_determined: bool = False
+
+    @property
+    def hamming_rate(self) -> float:
+        """HR of the tile *after* the WDS shift it will be loaded with."""
+        if self.wds_delta:
+            from ..core.wds import shift_weights
+            shifted = shift_weights(self.codes, self.wds_delta, self.bits)
+            return hamming_rate(shifted, self.bits)
+        return hamming_rate(self.codes, self.bits)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.codes.shape
+
+    @property
+    def macs_per_wave(self) -> int:
+        return int(self.codes.shape[0] * self.codes.shape[1])
+
+
+def layer_weight_matrix(weight: np.ndarray) -> np.ndarray:
+    """Reshape a layer weight array into the (reduction, output) PIM layout."""
+    weight = np.asarray(weight)
+    if weight.ndim == 2:            # Linear: (out, in) -> (in, out)
+        return weight.T
+    if weight.ndim == 4:            # Conv: (C_out, C_in, K, K) -> (C_in*K*K, C_out)
+        c_out = weight.shape[0]
+        return weight.reshape(c_out, -1).T
+    raise ValueError(f"unsupported weight rank {weight.ndim}")
+
+
+def tile_matrix(matrix: np.ndarray, rows: int, cols: int) -> List[np.ndarray]:
+    """Split a (R, C) matrix into row-major tiles of at most (rows, cols)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    tiles: List[np.ndarray] = []
+    for r0 in range(0, matrix.shape[0], rows):
+        for c0 in range(0, matrix.shape[1], cols):
+            tiles.append(matrix[r0:r0 + rows, c0:c0 + cols])
+    return tiles
+
+
+def build_tasks(operators: Sequence[Operator], macro_config: MacroConfig,
+                max_tasks_per_operator: Optional[int] = None) -> List[Task]:
+    """Tile every operator into macro-sized tasks.
+
+    ``max_tasks_per_operator`` caps the tile count per operator (keeping the
+    mapping search tractable in tests); when capped, the retained tiles are the
+    first ones in row-major order, which preserves per-operator HR statistics
+    because HR is approximately uniform within a layer (paper Fig. 12).
+    """
+    tasks: List[Task] = []
+    task_id = 0
+    for set_id, op in enumerate(operators):
+        tiles = tile_matrix(op.codes, macro_config.rows, macro_config.banks)
+        if max_tasks_per_operator is not None:
+            tiles = tiles[:max_tasks_per_operator]
+        for tile in tiles:
+            tasks.append(Task(
+                task_id=task_id,
+                operator_name=op.name,
+                kind=op.kind,
+                set_id=set_id,
+                codes=tile,
+                bits=op.bits,
+                wds_delta=op.wds_delta,
+                input_determined=op.input_determined,
+            ))
+            task_id += 1
+    return tasks

@@ -1,0 +1,62 @@
+"""Macro group model: macros sharing one power supply and one clock.
+
+The paper's chip groups four macros behind one LDO and one clock domain
+(Fig. 10-(a)).  This shared supply is what makes task mapping matter: the whole
+group must run at the V-f level dictated by its most demanding (highest-HR)
+macro, so mixing tasks with very different HR in one group wastes the available
+IR-drop margin (Sec. 5.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .config import GroupConfig
+from .macro import PIMMacro
+
+__all__ = ["MacroGroup"]
+
+
+class MacroGroup:
+    """A group of macros with a shared supply voltage and clock frequency."""
+
+    def __init__(self, config: Optional[GroupConfig] = None, group_id: int = 0) -> None:
+        self.config = config or GroupConfig()
+        self.config.validate()
+        self.group_id = group_id
+        self.macros: List[PIMMacro] = [
+            PIMMacro(self.config.macro, macro_id=self.group_id * self.config.macros + i)
+            for i in range(self.config.macros)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.macros)
+
+    def __getitem__(self, index: int) -> PIMMacro:
+        return self.macros[index]
+
+    @property
+    def loaded_macros(self) -> List[PIMMacro]:
+        return [m for m in self.macros if m.is_loaded]
+
+    @property
+    def hamming_rates(self) -> np.ndarray:
+        """HR of every loaded macro in the group (0 for empty macros)."""
+        return np.array([m.hamming_rate if m.is_loaded else 0.0 for m in self.macros])
+
+    @property
+    def group_hamming_rate(self) -> float:
+        """HRG: the worst (largest) HR in the group, which bounds the safe level.
+
+        The paper's IR-Booster picks the group's safe level from the *worst* HR
+        among its macros (Sec. 5.5.1) because all macros share the supply.
+        """
+        loaded = [m.hamming_rate for m in self.macros if m.is_loaded]
+        return float(max(loaded)) if loaded else 0.0
+
+    def clear(self) -> None:
+        for macro in self.macros:
+            macro.clear()

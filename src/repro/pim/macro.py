@@ -1,0 +1,171 @@
+"""Behavioural model of a PIM macro (DPIM or APIM).
+
+A macro is a grid of banks that share the bit-serially streamed input word
+lines: every bank multiplies the same input vector against its own stored
+weight column and produces one partial sum per wave (Fig. 1 of the paper).
+The macro model provides:
+
+* functional matrix-vector products, with optional WDS shift + compensation,
+* per-bank and macro-average Rtog traces for the IR-drop model,
+* HR of the loaded in-memory data (the quantity IR-Booster's safe level uses),
+* an APIM mode that quantizes the analog bit-line accumulation through an ADC,
+  reproducing the precision/IR-drop sensitivity differences discussed in Sec. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.metrics import hamming_rate
+from .bank import BankExecution, PIMBank
+from .config import MacroConfig
+from .shift_compensator import ShiftCompensator
+
+__all__ = ["MacroExecution", "PIMMacro"]
+
+
+@dataclass
+class MacroExecution:
+    """Result of streaming input waves through a macro."""
+
+    outputs: np.ndarray            #: (waves, banks) partial sums after compensation
+    rtog_per_bank: np.ndarray      #: (banks, cycles-1) per-bank toggle rate
+    cycles: int
+
+    @property
+    def rtog_mean_trace(self) -> np.ndarray:
+        """Macro-average Rtog per cycle (the quantity correlated with IR-drop)."""
+        if self.rtog_per_bank.size == 0:
+            return np.zeros(0)
+        return self.rtog_per_bank.mean(axis=0)
+
+    @property
+    def peak_rtog(self) -> float:
+        trace = self.rtog_mean_trace
+        return float(trace.max()) if trace.size else 0.0
+
+    @property
+    def mean_rtog(self) -> float:
+        trace = self.rtog_mean_trace
+        return float(trace.mean()) if trace.size else 0.0
+
+
+class PIMMacro:
+    """A PIM macro: banks + (optional) shift compensator + ADC for APIM."""
+
+    def __init__(self, config: Optional[MacroConfig] = None,
+                 macro_id: int = 0) -> None:
+        self.config = config or MacroConfig()
+        self.config.validate()
+        self.macro_id = macro_id
+        self.banks: List[PIMBank] = [PIMBank(self.config.bank) for _ in range(self.config.banks)]
+        self.wds_delta = 0
+        self._compensator: Optional[ShiftCompensator] = None
+        self._loaded = False
+
+    # ------------------------------------------------------------------ #
+    # weight loading
+    # ------------------------------------------------------------------ #
+    def load_weight_matrix(self, codes: np.ndarray, wds_delta: int = 0) -> None:
+        """Load a (rows, banks) integer weight tile, optionally WDS-shifted.
+
+        ``codes`` narrower or shorter than the macro geometry are zero-padded;
+        larger tiles raise.  When ``wds_delta`` > 0 the stored codes are the
+        shifted ones (clamped at INT_MAX) and a shift compensator is armed so
+        :meth:`execute` returns numerically corrected outputs.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim == 1:
+            codes = codes[:, None]
+        rows, columns = codes.shape
+        if rows > self.config.rows or columns > self.config.banks:
+            raise ValueError(
+                f"tile {codes.shape} exceeds macro geometry "
+                f"({self.config.rows} rows x {self.config.banks} banks)")
+        self.wds_delta = int(wds_delta)
+        stored = codes
+        if self.wds_delta:
+            from ..core.wds import shift_weights
+            stored = shift_weights(codes, self.wds_delta, self.config.bank.weight_bits)
+            self._compensator = ShiftCompensator(self.wds_delta, self.config.banks)
+        else:
+            self._compensator = None
+        for bank_index, bank in enumerate(self.banks):
+            if bank_index < columns:
+                bank.load_weights(stored[:, bank_index])
+            else:
+                bank.clear()
+        self._loaded = True
+
+    def clear(self) -> None:
+        """Unload all weights and disarm WDS compensation."""
+        for bank in self.banks:
+            bank.clear()
+        self.wds_delta = 0
+        self._compensator = None
+        self._loaded = False
+
+    @property
+    def is_loaded(self) -> bool:
+        return self._loaded
+
+    @property
+    def weight_matrix(self) -> np.ndarray:
+        """Currently stored (rows, banks) codes (after any WDS shift)."""
+        return np.stack([bank.weights for bank in self.banks], axis=1)
+
+    # ------------------------------------------------------------------ #
+    # metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def hamming_rate(self) -> float:
+        """HR of all in-memory data currently stored in the macro."""
+        return hamming_rate(self.weight_matrix, self.config.bank.weight_bits)
+
+    @property
+    def bank_hamming_rates(self) -> np.ndarray:
+        return np.array([bank.hamming_rate for bank in self.banks])
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(self, activations: np.ndarray) -> MacroExecution:
+        """Stream (waves, rows) integer activations through every bank.
+
+        Returns compensated outputs plus the per-bank Rtog traces.  In APIM mode
+        the per-bank accumulation is passed through an ADC transfer function
+        before compensation, which adds deterministic quantization error.
+        """
+        if not self._loaded:
+            raise RuntimeError("macro has no weights loaded")
+        activations = np.asarray(activations, dtype=np.int64)
+        if activations.ndim == 1:
+            activations = activations[None, :]
+        if activations.shape[1] != self.config.rows:
+            raise ValueError(
+                f"activation width {activations.shape[1]} != macro rows {self.config.rows}")
+
+        executions: List[BankExecution] = [bank.execute(activations) for bank in self.banks]
+        outputs = np.stack([ex.partial_sums for ex in executions], axis=1).astype(np.float64)
+        if self.config.is_analog:
+            outputs = self._adc_quantize(outputs)
+        if self._compensator is not None:
+            corrected = np.empty_like(outputs)
+            for wave in range(outputs.shape[0]):
+                corrected[wave] = self._compensator.correct(
+                    outputs[wave], activations[wave])
+            outputs = corrected
+        rtog = np.stack([ex.rtog for ex in executions], axis=0)
+        return MacroExecution(outputs=outputs, rtog_per_bank=rtog,
+                              cycles=executions[0].cycles if executions else 0)
+
+    def _adc_quantize(self, outputs: np.ndarray) -> np.ndarray:
+        """APIM bit-line readout: clip and quantize the accumulation to ADC codes."""
+        full_scale = self.config.rows * (1 << (self.config.bank.weight_bits - 1))
+        levels = 1 << self.config.adc_bits
+        step = max(2.0 * full_scale / levels, 1e-12)
+        quantized = np.round(outputs / step) * step
+        return np.clip(quantized, -full_scale, full_scale)

@@ -1,0 +1,17 @@
+"""Power substrate: V-f tables, PDN solver, IR-drop model, monitors, DVFS, energy."""
+
+from .dvfs import DVFSGovernor
+from .energy import EnergyBreakdown, EnergyModel, OverheadReport
+from .ir_drop import IRDropModel, chip_ir_drop_map
+from .monitor import IRMonitor, IRMonitorReading
+from .pdn import PDNResult, PowerDeliveryNetwork
+from .vf_table import DEFAULT_LEVELS, VFPair, VFTable
+
+__all__ = [
+    "VFPair", "VFTable", "DEFAULT_LEVELS",
+    "PowerDeliveryNetwork", "PDNResult",
+    "IRDropModel", "chip_ir_drop_map",
+    "IRMonitor", "IRMonitorReading",
+    "DVFSGovernor",
+    "EnergyModel", "EnergyBreakdown", "OverheadReport",
+]

@@ -1,0 +1,51 @@
+"""Baseline DVFS governor.
+
+Classic DVFS signs off every V-f pair against the worst-case (Rtog = 100 %)
+IR-drop, so it can only trade voltage and frequency together along one curve
+(paper Fig. 9, Sec. 5.5.1).  The governor here provides that baseline: it picks
+an operating point from the 100 %-level row of the V-f table based on a simple
+utilization heuristic and never consults HR or the IR monitors.  The AIM
+benchmarks compare IR-Booster against this governor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .vf_table import VFPair, VFTable
+
+__all__ = ["DVFSGovernor"]
+
+
+@dataclass
+class DVFSGovernor:
+    """Worst-case-signed-off governor: always the 100 % level."""
+
+    table: VFTable
+    mode: str = "sprint"
+    utilization_low: float = 0.3
+    utilization_high: float = 0.7
+
+    def select(self, utilization: Optional[float] = None) -> VFPair:
+        """Pick a V-f pair from the DVFS (100 %) row.
+
+        With no utilization hint the governor returns the mode's preferred pair.
+        With a hint it steps down to the lowest-power pair under light load and
+        up to the fastest pair under heavy load — the standard race-to-idle
+        policy — but always inside the worst-case-signed-off row.
+        """
+        pairs = self.table.pairs_for_level(100)
+        if utilization is None:
+            return self.table.dvfs_pair(self.mode)
+        if utilization >= self.utilization_high:
+            return max(pairs, key=lambda p: p.frequency)
+        if utilization <= self.utilization_low:
+            return min(pairs, key=lambda p: p.dynamic_power_factor)
+        ordered = sorted(pairs, key=lambda p: p.frequency)
+        return ordered[len(ordered) // 2]
+
+    @property
+    def level(self) -> int:
+        """The only Rtog level DVFS ever uses."""
+        return 100

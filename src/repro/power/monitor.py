@@ -1,0 +1,85 @@
+"""IR monitor: the on-chip voltage sensor that raises IRFailure signals.
+
+The paper embeds simplified VCO-based voltage monitors between each macro group
+and its LDO (Sec. 5.5.2, Fig. 10-(b)).  The monitor compares the effective
+supply voltage of the group against the minimum voltage the currently selected
+V-f pair was signed off for; dropping below that threshold (plus a small sensor
+margin) raises ``IRFailure``, which the Booster Controller turns into a level
+change and a recompute.
+
+The behavioural model keeps the two properties that matter to Algorithm 2:
+
+* detection is *thresholded* — small excursions within the signed-off margin
+  never fire;
+* detection is *noisy* — a configurable Gaussian sensing error means operating
+  exactly at the margin produces stochastic failures, whose rate grows with the
+  overshoot.  This is what creates the beta trade-off of Fig. 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["IRMonitorReading", "IRMonitor"]
+
+
+@dataclass
+class IRMonitorReading:
+    """One sampling of a group's supply state."""
+
+    cycle: int
+    effective_voltage: float
+    threshold_voltage: float
+    failure: bool
+
+    @property
+    def margin(self) -> float:
+        """Positive margin means the group is operating safely."""
+        return self.effective_voltage - self.threshold_voltage
+
+
+class IRMonitor:
+    """Per-group threshold voltage monitor with sensing noise."""
+
+    def __init__(self, min_voltage_margin: float = 0.0, sensing_noise: float = 0.004,
+                 seed: int = 0) -> None:
+        self.min_voltage_margin = min_voltage_margin
+        self.sensing_noise = sensing_noise
+        self._rng = np.random.default_rng(seed)
+        self.readings: List[IRMonitorReading] = []
+
+    def reset(self) -> None:
+        self.readings.clear()
+
+    def sample(self, cycle: int, effective_voltage: float, threshold_voltage: float) -> bool:
+        """Return True when an IRFailure must be raised for this cycle."""
+        sensed = effective_voltage + self._rng.normal(0.0, self.sensing_noise) \
+            if self.sensing_noise > 0 else effective_voltage
+        failure = sensed < threshold_voltage + self.min_voltage_margin
+        self.readings.append(IRMonitorReading(
+            cycle=cycle, effective_voltage=effective_voltage,
+            threshold_voltage=threshold_voltage, failure=failure))
+        return failure
+
+    @property
+    def failure_count(self) -> int:
+        return sum(1 for r in self.readings if r.failure)
+
+    @property
+    def failure_rate(self) -> float:
+        if not self.readings:
+            return 0.0
+        return self.failure_count / len(self.readings)
+
+    @property
+    def overhead_area_fraction(self) -> float:
+        """Paper Sec. 6.10.2: the simplified monitor costs < 0.1 % chip area."""
+        return 0.001
+
+    @property
+    def overhead_power_fraction(self) -> float:
+        """Paper Sec. 6.10.2: the simplified monitor costs < 0.5 % chip power."""
+        return 0.005

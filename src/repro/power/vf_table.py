@@ -1,0 +1,160 @@
+"""Voltage-frequency pair tables for IR-Booster and the DVFS baseline.
+
+The paper's IR-Booster reserves, per macro group, a grid of V-f pairs indexed
+by *level* — the Rtog fraction the pair is signed off for (Sec. 5.5.1, Fig. 9).
+The level range is 20 %–60 % in 5 % steps plus the 100 % DVFS signoff level.
+
+The underlying electrical model used to generate the pairs:
+
+* the worst-case dynamic IR-drop at supply ``V`` and frequency ``f`` is
+  ``drop = signoff_drop * (V / V_nom) * (f / f_nom)`` (current scales with both);
+* a pair signed off at level ``L`` only has to tolerate ``L * drop``;
+* timing closure at frequency ``f`` requires the *effective* voltage
+  ``V - L*drop`` to satisfy the alpha-power delay model
+  ``f <= f_nom * ((V_eff - V_th) / (V_nom - V_th)) ** alpha``.
+
+Solving for the minimum safe ``V`` at each (level, f) yields the IR-Booster
+property shown in Fig. 9: at the same frequency a lower level allows a lower
+voltage, and at the same voltage a lower level allows a higher frequency —
+whereas classic DVFS (level = 100 %) can only move along its single V-f curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["VFPair", "VFTable", "DEFAULT_LEVELS", "build_default_vf_table"]
+
+#: IR-Booster levels (Rtog percentages) from the paper: 20..60 step 5, plus DVFS 100.
+DEFAULT_LEVELS: Tuple[int, ...] = (20, 25, 30, 35, 40, 45, 50, 55, 60, 100)
+
+
+@dataclass(frozen=True)
+class VFPair:
+    """One validated operating point of a macro group."""
+
+    level: int            #: signed-off Rtog level in percent
+    voltage: float        #: supply voltage in volts
+    frequency: float      #: clock frequency in hertz
+
+    @property
+    def dynamic_power_factor(self) -> float:
+        """Relative C*V^2*f factor (1.0 at the nominal point of the table)."""
+        return self.voltage ** 2 * self.frequency
+
+
+class VFTable:
+    """The per-group grid of V-f pairs indexed by level and frequency step."""
+
+    def __init__(self, nominal_voltage: float = 0.75, nominal_frequency: float = 1.0e9,
+                 signoff_ir_drop: float = 0.140, threshold_voltage: float = 0.30,
+                 alpha: float = 1.3, frequency_steps: int = 5,
+                 frequency_range: Tuple[float, float] = (0.7, 1.3),
+                 levels: Sequence[int] = DEFAULT_LEVELS) -> None:
+        if not 0 < threshold_voltage < nominal_voltage:
+            raise ValueError("threshold voltage must be below the nominal supply")
+        self.nominal_voltage = nominal_voltage
+        self.nominal_frequency = nominal_frequency
+        self.signoff_ir_drop = signoff_ir_drop
+        self.threshold_voltage = threshold_voltage
+        self.alpha = alpha
+        self.levels: Tuple[int, ...] = tuple(sorted(set(int(l) for l in levels)))
+        low, high = frequency_range
+        self.frequencies: np.ndarray = np.linspace(low, high, frequency_steps) * nominal_frequency
+        self._pairs: Dict[int, List[VFPair]] = {
+            level: [self._solve_pair(level, f) for f in self.frequencies]
+            for level in self.levels
+        }
+
+    # ------------------------------------------------------------------ #
+    # electrical model
+    # ------------------------------------------------------------------ #
+    def minimum_voltage(self, level: int, frequency: float) -> float:
+        """Smallest supply voltage that closes timing at ``frequency`` for ``level``.
+
+        The timing reference point is the nominal design: at ``f_nom`` the cells
+        were closed against an effective voltage of ``V_nom - signoff_drop``
+        (the supply minus the worst-case IR-drop margin), which is why the DVFS
+        row of the table reproduces the paper's 0.75 V nominal supply.
+        """
+        ratio = frequency / self.nominal_frequency
+        nominal_effective = self.nominal_voltage - self.signoff_ir_drop
+        v_eff_required = self.threshold_voltage + \
+            (nominal_effective - self.threshold_voltage) * ratio ** (1.0 / self.alpha)
+        # V - (level/100) * signoff_drop * (V/V_nom) * ratio >= v_eff_required
+        drop_coefficient = (level / 100.0) * self.signoff_ir_drop * ratio / self.nominal_voltage
+        if drop_coefficient >= 1.0:
+            raise ValueError("IR-drop model diverges; check signoff drop and frequency range")
+        return v_eff_required / (1.0 - drop_coefficient)
+
+    def worst_case_drop(self, level: int, voltage: float, frequency: float) -> float:
+        """Largest IR-drop (volts) the pair was signed off to tolerate."""
+        ratio = frequency / self.nominal_frequency
+        return (level / 100.0) * self.signoff_ir_drop * (voltage / self.nominal_voltage) * ratio
+
+    def _solve_pair(self, level: int, frequency: float) -> VFPair:
+        return VFPair(level=level, voltage=self.minimum_voltage(level, frequency),
+                      frequency=frequency)
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def pairs_for_level(self, level: int) -> List[VFPair]:
+        if level not in self._pairs:
+            raise KeyError(f"level {level} not in table; available: {self.levels}")
+        return list(self._pairs[level])
+
+    def nearest_level_at_or_above(self, rtog_fraction: float) -> int:
+        """Smallest table level that still covers ``rtog_fraction`` (HR-based safe level)."""
+        percent = rtog_fraction * 100.0
+        candidates = [lvl for lvl in self.levels if lvl >= percent - 1e-9]
+        if not candidates:
+            return max(self.levels)
+        return min(candidates)
+
+    def level_below(self, level: int) -> int:
+        """The next lower (safer-performance, more aggressive) level, clamped."""
+        lower = [lvl for lvl in self.levels if lvl < level and lvl != 100]
+        return max(lower) if lower else min(l for l in self.levels if l != 100)
+
+    def level_above(self, level: int) -> int:
+        """The next higher (more conservative) level, clamped below 100."""
+        upper = [lvl for lvl in self.levels if level < lvl < 100]
+        return min(upper) if upper else max(l for l in self.levels if l != 100)
+
+    def select_pair(self, level: int, mode: str = "sprint") -> VFPair:
+        """Pick the pair within a level's subset according to the operating mode.
+
+        ``sprint``      — highest frequency (throughput-first, Sec. 5.5.1);
+        ``low_power``   — lowest dynamic power factor (V^2 * f).
+        """
+        pairs = self.pairs_for_level(level)
+        if mode == "sprint":
+            return max(pairs, key=lambda p: p.frequency)
+        if mode == "low_power":
+            return min(pairs, key=lambda p: p.dynamic_power_factor)
+        raise ValueError(f"unknown mode {mode!r}; expected 'sprint' or 'low_power'")
+
+    def dvfs_pair(self, mode: str = "sprint") -> VFPair:
+        """The baseline DVFS operating point (always the 100 % signoff level)."""
+        return self.select_pair(100, mode)
+
+    def nominal_dvfs_pair(self) -> VFPair:
+        """The signoff operating point: the 100 %-level pair at the nominal frequency.
+
+        This is the paper's baseline (0.75 V / 1 GHz on the reference chip): the
+        point every AIM improvement is measured against.
+        """
+        pairs = self.pairs_for_level(100)
+        return min(pairs, key=lambda p: abs(p.frequency - self.nominal_frequency))
+
+    def booster_levels(self) -> List[int]:
+        """Levels available to IR-Booster (everything except the 100 % DVFS row)."""
+        return [lvl for lvl in self.levels if lvl != 100]
+
+    def as_grid(self) -> Dict[int, List[VFPair]]:
+        """Full level -> pairs mapping (copy), handy for reports and tests."""
+        return {level: list(pairs) for level, pairs in self._pairs.items()}

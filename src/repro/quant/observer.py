@@ -1,0 +1,84 @@
+"""Activation observers used to calibrate input quantization.
+
+The PIM macros receive activations as bit-serial integer streams, so the
+compiler needs a per-operator activation scale.  Observers accumulate
+statistics over calibration batches and emit a symmetric scale, either from the
+running max-abs (:class:`MinMaxObserver`) or from a percentile of the absolute
+values (:class:`PercentileObserver`), which is more robust to outliers in
+transformer activations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .quantizer import quantize
+
+__all__ = ["MinMaxObserver", "PercentileObserver", "quantize_activations"]
+
+
+class MinMaxObserver:
+    """Tracks the running maximum absolute activation value."""
+
+    def __init__(self, bits: int = 8) -> None:
+        self.bits = bits
+        self._max_abs = 0.0
+        self._observed = False
+
+    def observe(self, activations: np.ndarray) -> None:
+        activations = np.asarray(activations)
+        if activations.size == 0:
+            return
+        self._max_abs = max(self._max_abs, float(np.abs(activations).max()))
+        self._observed = True
+
+    @property
+    def scale(self) -> float:
+        if not self._observed:
+            raise RuntimeError("observer has not seen any activations")
+        qmax = (1 << (self.bits - 1)) - 1
+        return max(self._max_abs / qmax, 1e-12)
+
+
+class PercentileObserver:
+    """Tracks a percentile of absolute activations (clips extreme outliers)."""
+
+    def __init__(self, bits: int = 8, percentile: float = 99.5,
+                 reservoir_size: int = 16384, seed: int = 0) -> None:
+        if not 0 < percentile <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        self.bits = bits
+        self.percentile = percentile
+        self.reservoir_size = reservoir_size
+        self._samples: List[np.ndarray] = []
+        self._count = 0
+        self._rng = np.random.default_rng(seed)
+
+    def observe(self, activations: np.ndarray) -> None:
+        values = np.abs(np.asarray(activations, dtype=np.float64)).reshape(-1)
+        if values.size == 0:
+            return
+        if values.size > self.reservoir_size:
+            values = self._rng.choice(values, self.reservoir_size, replace=False)
+        self._samples.append(values)
+        self._count += values.size
+        # Keep the reservoir bounded.
+        total = sum(s.size for s in self._samples)
+        while total > 4 * self.reservoir_size and len(self._samples) > 1:
+            total -= self._samples.pop(0).size
+
+    @property
+    def scale(self) -> float:
+        if not self._samples:
+            raise RuntimeError("observer has not seen any activations")
+        values = np.concatenate(self._samples)
+        limit = float(np.percentile(values, self.percentile))
+        qmax = (1 << (self.bits - 1)) - 1
+        return max(limit / qmax, 1e-12)
+
+
+def quantize_activations(activations: np.ndarray, observer) -> np.ndarray:
+    """Quantize activations with a calibrated observer's scale."""
+    return quantize(activations, observer.scale, observer.bits)

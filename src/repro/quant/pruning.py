@@ -1,0 +1,136 @@
+"""Gradual magnitude pruning (GMP*-like) used in the Fig. 15 comparison.
+
+The paper compares LHR/WDS against — and combines them with — magnitude
+pruning at sparsity targets of 10–50 %.  Pruning reduces HR "for free" because
+pruned weights become the all-zero code, but it changes weight values far more
+aggressively than LHR and therefore costs more accuracy at high sparsity.
+
+The implementation follows the gradual-magnitude-pruning recipe: sparsity is
+increased over several steps following a cubic schedule, the smallest-magnitude
+weights are masked at each step, and the surviving weights are fine-tuned for a
+few mini-batches between steps with the mask re-applied after every optimizer
+update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.metrics import hamming_rate
+from ..models.registry import ModelSpec
+from ..nn.data import Dataset
+from ..nn.layers import Module
+from ..nn.optim import Adam
+from .qat import _batch_loss, evaluate_task_metric
+from .quantizer import QuantizedLayer, model_scales, quantize_model
+
+__all__ = ["PruningConfig", "PruningResult", "gradual_magnitude_prune", "model_sparsity"]
+
+
+@dataclass
+class PruningConfig:
+    """Hyper-parameters of a gradual-magnitude-pruning run."""
+
+    target_sparsity: float = 0.3
+    steps: int = 4
+    finetune_batches: int = 8
+    batch_size: int = 32
+    learning_rate: float = 5e-4
+    bits: int = 8                      #: bit-width used for the post-pruning HR snapshot
+    seed: int = 0
+
+    def sparsity_schedule(self) -> List[float]:
+        """Cubic ramp from 0 to ``target_sparsity`` (the GMP schedule)."""
+        fractions = 1.0 - (1.0 - np.arange(1, self.steps + 1) / self.steps) ** 3
+        return [float(self.target_sparsity * f) for f in fractions]
+
+
+@dataclass
+class PruningResult:
+    """Outcome of a pruning run: masks, sparsity, HR and task metric."""
+
+    model: Module
+    config: PruningConfig
+    masks: Dict[str, np.ndarray]
+    metric: float
+    metric_name: str
+    quantized: Dict[str, QuantizedLayer] = field(default_factory=dict)
+
+    @property
+    def sparsity(self) -> float:
+        total = sum(mask.size for mask in self.masks.values())
+        zeros = sum(int((~mask.astype(bool)).sum()) for mask in self.masks.values())
+        return zeros / max(1, total)
+
+    @property
+    def hr_average(self) -> float:
+        rates = [hamming_rate(q.codes, q.bits) for q in self.quantized.values()]
+        return float(np.mean(rates)) if rates else 0.0
+
+    def weight_codes(self) -> Dict[str, np.ndarray]:
+        return {name: q.codes for name, q in self.quantized.items()}
+
+
+def model_sparsity(model: Module) -> float:
+    """Fraction of exactly-zero weights across the model's weight layers."""
+    total = 0
+    zeros = 0
+    for _, layer in model.weight_layers():
+        total += layer.weight.size
+        zeros += int(np.count_nonzero(layer.weight.data == 0.0))
+    return zeros / max(1, total)
+
+
+def _apply_masks(model: Module, masks: Dict[str, np.ndarray]) -> None:
+    for name, layer in model.weight_layers():
+        if name in masks:
+            layer.weight.data = layer.weight.data * masks[name]
+
+
+def _compute_masks(model: Module, sparsity: float) -> Dict[str, np.ndarray]:
+    """Global magnitude threshold so that ``sparsity`` of all weights are zeroed."""
+    magnitudes = np.concatenate([
+        np.abs(layer.weight.data).reshape(-1) for _, layer in model.weight_layers()])
+    if magnitudes.size == 0 or sparsity <= 0:
+        return {name: np.ones_like(layer.weight.data) for name, layer in model.weight_layers()}
+    threshold = np.quantile(magnitudes, min(sparsity, 0.9999))
+    return {
+        name: (np.abs(layer.weight.data) > threshold).astype(np.float64)
+        for name, layer in model.weight_layers()
+    }
+
+
+def gradual_magnitude_prune(spec: ModelSpec, config: PruningConfig,
+                            model: Optional[Module] = None,
+                            dataset: Optional[Dataset] = None) -> PruningResult:
+    """Prune ``model`` to the target sparsity with interleaved fine-tuning."""
+    model = model if model is not None else spec.build()
+    dataset = dataset if dataset is not None else spec.dataset()
+    rng = np.random.default_rng(config.seed)
+    optimizer = Adam(model.parameters(), lr=config.learning_rate)
+
+    masks: Dict[str, np.ndarray] = {}
+    for step_sparsity in config.sparsity_schedule():
+        masks = _compute_masks(model, step_sparsity)
+        _apply_masks(model, masks)
+        # Short fine-tuning with the mask re-applied after each update.
+        batches_done = 0
+        model.train()
+        for batch in dataset.batches(config.batch_size, shuffle=True, rng=rng):
+            loss = _batch_loss(spec.task, model, batch.inputs, batch.targets)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            _apply_masks(model, masks)
+            batches_done += 1
+            if batches_done >= config.finetune_batches:
+                break
+
+    scales = model_scales(model, config.bits)
+    quantized = quantize_model(model, config.bits, scales=scales)
+    metric = evaluate_task_metric(spec.task, model, dataset, config.batch_size)
+    return PruningResult(model=model, config=config, masks=masks, metric=metric,
+                         metric_name=spec.metric_name, quantized=quantized)

@@ -1,0 +1,118 @@
+"""Uniform quantization primitives shared by the QAT and PTQ flows.
+
+The paper's baseline quantizer is the standard symmetric uniform scheme of the
+"white paper on neural network quantization" [64]: a per-tensor scale maps
+floating-point weights onto ``bits``-bit two's-complement integer codes which
+become the PIM in-memory data.  The helpers here convert in both directions,
+compute scales (max-abs or quantile clipped), and snapshot an entire model into
+the per-layer integer-code dictionaries consumed by the HR/WDS/compiler stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Linear, Module
+
+__all__ = [
+    "symmetric_scale",
+    "quantize",
+    "dequantize",
+    "fake_quantize",
+    "quantization_error",
+    "QuantizedLayer",
+    "quantize_model",
+    "model_weight_codes",
+    "model_scales",
+]
+
+
+def symmetric_scale(weights: np.ndarray, bits: int, quantile: float = 1.0) -> float:
+    """Per-tensor symmetric scale ``s = max|w| / (2^(b-1) - 1)``.
+
+    ``quantile < 1`` clips outliers (used by the OmniQuant-like PTQ search);
+    the scale is floored at a tiny epsilon so all-zero layers stay finite.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.size == 0:
+        return 1.0
+    magnitude = np.abs(weights)
+    limit = float(np.quantile(magnitude, quantile)) if quantile < 1.0 else float(magnitude.max())
+    qmax = (1 << (bits - 1)) - 1
+    return max(limit / qmax, 1e-12)
+
+
+def quantize(weights: np.ndarray, scale: float, bits: int) -> np.ndarray:
+    """Round-to-nearest integer codes clipped to the two's-complement range."""
+    qmin = -(1 << (bits - 1))
+    qmax = (1 << (bits - 1)) - 1
+    codes = np.round(np.asarray(weights, dtype=np.float64) / scale)
+    return np.clip(codes, qmin, qmax).astype(np.int64)
+
+
+def dequantize(codes: np.ndarray, scale: float) -> np.ndarray:
+    """Map integer codes back to floating point: ``w_hat = codes * scale``."""
+    return np.asarray(codes, dtype=np.float64) * scale
+
+
+def fake_quantize(weights: np.ndarray, scale: float, bits: int) -> np.ndarray:
+    """Quantize-then-dequantize, the forward path of QAT fake quantization."""
+    return dequantize(quantize(weights, scale, bits), scale)
+
+
+def quantization_error(weights: np.ndarray, scale: float, bits: int) -> float:
+    """Mean squared error introduced by quantizing ``weights`` at ``scale``."""
+    return float(np.mean((np.asarray(weights) - fake_quantize(weights, scale, bits)) ** 2))
+
+
+@dataclass
+class QuantizedLayer:
+    """Integer snapshot of one weight layer: codes, scale, bit-width."""
+
+    name: str
+    codes: np.ndarray
+    scale: float
+    bits: int
+
+    @property
+    def dequantized(self) -> np.ndarray:
+        return dequantize(self.codes, self.scale)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.codes.shape
+
+
+def quantize_model(model: Module, bits: int = 8,
+                   quantile: float = 1.0,
+                   scales: Optional[Dict[str, float]] = None) -> Dict[str, QuantizedLayer]:
+    """Quantize every Linear/Conv2d weight of ``model`` to integer codes.
+
+    ``scales`` overrides the computed per-layer scales (used when a PTQ method
+    has already calibrated clipping values).
+    """
+    quantized: Dict[str, QuantizedLayer] = {}
+    for name, layer in model.weight_layers():
+        weight = layer.weight.data
+        scale = scales[name] if scales and name in scales else \
+            symmetric_scale(weight, bits, quantile)
+        quantized[name] = QuantizedLayer(
+            name=name, codes=quantize(weight, scale, bits), scale=scale, bits=bits)
+    return quantized
+
+
+def model_weight_codes(model: Module, bits: int = 8,
+                       scales: Optional[Dict[str, float]] = None) -> Dict[str, np.ndarray]:
+    """Convenience wrapper returning only the per-layer integer codes."""
+    return {name: q.codes for name, q in quantize_model(model, bits, scales=scales).items()}
+
+
+def model_scales(model: Module, bits: int = 8, quantile: float = 1.0) -> Dict[str, float]:
+    """Per-layer symmetric scales for the model's weight layers."""
+    return {
+        name: symmetric_scale(layer.weight.data, bits, quantile)
+        for name, layer in model.weight_layers()
+    }

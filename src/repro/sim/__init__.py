@@ -1,0 +1,20 @@
+"""Compilation and cycle-level simulation of workloads on the PIM chip."""
+
+from .compiler import CompiledWorkload, CompilerConfig, compile_workload
+from .results import GroupResult, MacroResult, SimulationResult
+from .runtime import CONTROLLERS, PIMRuntime, RuntimeConfig, simulate
+from .scheduler import OperatorSchedule, SchedulePhase, schedule_operators
+from .trace import (
+    OperatorRtogProfile,
+    profile_operator_rtog,
+    profile_task_rtog,
+    rtog_histogram,
+)
+
+__all__ = [
+    "CompilerConfig", "CompiledWorkload", "compile_workload",
+    "RuntimeConfig", "PIMRuntime", "simulate", "CONTROLLERS",
+    "SimulationResult", "MacroResult", "GroupResult",
+    "OperatorSchedule", "SchedulePhase", "schedule_operators",
+    "OperatorRtogProfile", "profile_operator_rtog", "profile_task_rtog", "rtog_histogram",
+]

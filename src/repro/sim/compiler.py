@@ -1,0 +1,177 @@
+"""The AIM compiler: quantized model → WDS → tiles → task mapping → chip image.
+
+This reproduces the compilation phase of the end-to-end flow in Sec. 5.2.2:
+
+1. read the per-operator WDS ``delta`` configuration (or choose it per layer),
+2. split every operator into macro-sized tasks,
+3. map tasks onto macros with the selected strategy (HR-aware by default),
+4. load the (optionally WDS-shifted) weights into the chip model, and
+5. hand the per-group HR information to IR-Booster.
+
+The output, :class:`CompiledWorkload`, is everything the runtime needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.ir_booster import safe_level_from_hr
+from ..core.task_mapping import (
+    AnnealingConfig,
+    MappingEvaluator,
+    TaskMapping,
+    build_mapping,
+)
+from ..core.wds import choose_delta, recommended_deltas
+from ..pim.chip import PIMChip
+from ..pim.config import ChipConfig, default_chip_config
+from ..pim.dataflow import Operator, Task, build_tasks
+from ..power.vf_table import VFTable
+from ..workloads.profiles import WorkloadProfile
+
+__all__ = ["CompilerConfig", "CompiledWorkload", "compile_workload"]
+
+
+@dataclass
+class CompilerConfig:
+    """Knobs of the compilation flow."""
+
+    bits: int = 8
+    wds_delta: Optional[int] = None          #: None = no WDS; -1 = auto per operator
+    mapping_strategy: str = "hr_aware"
+    mode: str = "low_power"                  #: objective used by the mapping evaluator
+    max_tasks_per_operator: Optional[int] = None
+    annealing: AnnealingConfig = field(default_factory=AnnealingConfig)
+    seed: int = 0
+
+    def resolve_delta(self, operator: Operator) -> int:
+        """WDS delta for one operator (input-determined operators never get WDS)."""
+        if operator.input_determined or self.wds_delta is None:
+            return 0
+        if self.wds_delta == -1:
+            return choose_delta(operator.codes, self.bits)
+        if self.wds_delta not in (0, *recommended_deltas(self.bits)):
+            # Explicit but non-recommended deltas are allowed (Fig. 14 sweeps them).
+            return self.wds_delta
+        return self.wds_delta
+
+
+@dataclass
+class CompiledWorkload:
+    """A workload ready to run: tasks, mapping, and the loaded chip."""
+
+    profile_name: str
+    chip_config: ChipConfig
+    chip: PIMChip
+    tasks: List[Task]
+    mapping: TaskMapping
+    config: CompilerConfig
+    group_hr: Dict[int, float] = field(default_factory=dict)
+    group_input_determined: Dict[int, bool] = field(default_factory=dict)
+    group_safe_levels: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def used_groups(self) -> List[int]:
+        return sorted(self.group_hr)
+
+    def task_on_macro(self, macro_index: int) -> Optional[Task]:
+        task_ids = self.mapping.tasks_on_macro(macro_index)
+        if not task_ids:
+            return None
+        return self.tasks[task_ids[0]]
+
+    @property
+    def macro_hr(self) -> Dict[int, float]:
+        """HR of each loaded macro (post-WDS), keyed by macro index."""
+        result: Dict[int, float] = {}
+        for task_id, macro_index in self.mapping.assignment.items():
+            result[macro_index] = self.tasks[task_id].hamming_rate
+        return result
+
+
+def compile_workload(profile: WorkloadProfile, chip_config: Optional[ChipConfig] = None,
+                     table: Optional[VFTable] = None,
+                     config: Optional[CompilerConfig] = None) -> CompiledWorkload:
+    """Run the full compilation flow for one workload profile."""
+    chip_config = chip_config or default_chip_config()
+    config = config or CompilerConfig()
+    table = table or VFTable(
+        nominal_voltage=chip_config.nominal_voltage,
+        nominal_frequency=chip_config.nominal_frequency,
+        signoff_ir_drop=chip_config.signoff_ir_drop)
+
+    # 1. Attach WDS deltas to the operators.
+    operators: List[Operator] = []
+    for op in profile.operators:
+        delta = config.resolve_delta(op)
+        operators.append(Operator(name=op.name, kind=op.kind, codes=op.codes,
+                                  bits=config.bits, wds_delta=delta))
+
+    # 2. Tile into macro-sized tasks.
+    tasks = build_tasks(operators, chip_config.macro,
+                        max_tasks_per_operator=config.max_tasks_per_operator)
+    if len(tasks) > chip_config.total_macros:
+        # Keep the workload within one chip image: retain a proportional sample
+        # of every operator's tiles (HR is uniform within a layer, Fig. 12).
+        tasks = _downsample_tasks(tasks, chip_config.total_macros)
+
+    # 3. Map tasks to macros.
+    evaluator = MappingEvaluator(chip_config, table, mode=config.mode, seed=config.seed)
+    mapping = build_mapping(config.mapping_strategy, tasks, chip_config,
+                            evaluator=evaluator, annealing=config.annealing,
+                            seed=config.seed)
+    mapping.validate(tasks)
+
+    # 4. Load the chip model.
+    chip = PIMChip(chip_config)
+    for task in tasks:
+        macro_index = mapping.macro_of(task.task_id)
+        if macro_index is None:
+            continue
+        chip.macro(macro_index).load_weight_matrix(task.codes, wds_delta=task.wds_delta)
+
+    # 5. Per-group HR summary for IR-Booster.
+    group_hr: Dict[int, float] = {}
+    group_input_determined: Dict[int, bool] = {}
+    for task in tasks:
+        macro_index = mapping.macro_of(task.task_id)
+        if macro_index is None:
+            continue
+        group_id, _ = chip_config.macro_location(macro_index)
+        group_hr[group_id] = max(group_hr.get(group_id, 0.0), task.hamming_rate)
+        group_input_determined[group_id] = (
+            group_input_determined.get(group_id, False) or task.input_determined)
+    group_safe_levels = {
+        gid: safe_level_from_hr(hr, table, group_input_determined[gid])
+        for gid, hr in group_hr.items()
+    }
+
+    return CompiledWorkload(
+        profile_name=profile.name, chip_config=chip_config, chip=chip, tasks=tasks,
+        mapping=mapping, config=config, group_hr=group_hr,
+        group_input_determined=group_input_determined,
+        group_safe_levels=group_safe_levels)
+
+
+def _downsample_tasks(tasks: Sequence[Task], capacity: int) -> List[Task]:
+    """Keep at most ``capacity`` tasks while preserving every operator's share."""
+    by_set: Dict[int, List[Task]] = {}
+    for task in tasks:
+        by_set.setdefault(task.set_id, []).append(task)
+    sets = sorted(by_set)
+    budget_per_set = max(1, capacity // len(sets))
+    kept: List[Task] = []
+    for set_id in sets:
+        kept.extend(by_set[set_id][:budget_per_set])
+    kept = kept[:capacity]
+    # Re-number task ids so they are contiguous for the mapping structures.
+    renumbered: List[Task] = []
+    for new_id, task in enumerate(kept):
+        renumbered.append(Task(
+            task_id=new_id, operator_name=task.operator_name, kind=task.kind,
+            set_id=task.set_id, codes=task.codes, bits=task.bits,
+            wds_delta=task.wds_delta, input_determined=task.input_determined))
+    return renumbered

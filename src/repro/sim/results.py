@@ -1,0 +1,140 @@
+"""Result containers produced by the cycle-level simulation.
+
+These are plain dataclasses so that benchmarks, tests and EXPERIMENTS.md can
+consume them without knowing anything about the runtime internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..power.energy import EnergyBreakdown
+
+__all__ = ["MacroResult", "GroupResult", "SimulationResult"]
+
+
+@dataclass
+class MacroResult:
+    """Per-macro statistics for one simulation run."""
+
+    macro_index: int
+    group_id: int
+    task_id: Optional[int]
+    hamming_rate: float
+    rtog_trace: np.ndarray             #: per-cycle realized Rtog
+    drop_trace: np.ndarray             #: per-cycle IR-drop in volts
+    energy: EnergyBreakdown
+    failures: int = 0
+    stall_cycles: int = 0
+
+    @property
+    def peak_rtog(self) -> float:
+        return float(self.rtog_trace.max()) if self.rtog_trace.size else 0.0
+
+    @property
+    def mean_rtog(self) -> float:
+        return float(self.rtog_trace.mean()) if self.rtog_trace.size else 0.0
+
+    @property
+    def worst_drop(self) -> float:
+        return float(self.drop_trace.max()) if self.drop_trace.size else 0.0
+
+    @property
+    def mean_drop(self) -> float:
+        return float(self.drop_trace.mean()) if self.drop_trace.size else 0.0
+
+    @property
+    def average_power_mw(self) -> float:
+        return self.energy.average_power_mw
+
+
+@dataclass
+class GroupResult:
+    """Per-group statistics: levels visited, failures, final state."""
+
+    group_id: int
+    safe_level: int
+    final_level: int
+    level_trace: np.ndarray
+    failures: int
+
+    @property
+    def mean_level(self) -> float:
+        return float(self.level_trace.mean()) if self.level_trace.size else float(self.final_level)
+
+
+@dataclass
+class SimulationResult:
+    """Everything a benchmark needs from one simulation run."""
+
+    controller: str                     #: "dvfs", "booster" or "booster_safe"
+    mode: str                           #: "sprint" or "low_power"
+    cycles: int
+    macro_results: List[MacroResult] = field(default_factory=list)
+    group_results: List[GroupResult] = field(default_factory=list)
+    chip_drop_trace: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    # ------------------------------------------------------------------ #
+    # chip-level aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def worst_ir_drop(self) -> float:
+        """Worst macro IR-drop seen anywhere during the run (volts)."""
+        drops = [m.worst_drop for m in self.macro_results if m.drop_trace.size]
+        return float(max(drops)) if drops else 0.0
+
+    @property
+    def mean_ir_drop(self) -> float:
+        drops = [m.mean_drop for m in self.macro_results if m.drop_trace.size]
+        return float(np.mean(drops)) if drops else 0.0
+
+    @property
+    def average_macro_power_mw(self) -> float:
+        """Mean per-macro power in mW over macros that carried work."""
+        powers = [m.average_power_mw for m in self.macro_results if m.task_id is not None]
+        return float(np.mean(powers)) if powers else 0.0
+
+    @property
+    def effective_tops(self) -> float:
+        """Chip throughput after stalls/recomputes (sum of macro throughputs)."""
+        return float(sum(m.energy.effective_tops for m in self.macro_results))
+
+    @property
+    def total_failures(self) -> int:
+        return int(sum(m.failures for m in self.macro_results))
+
+    @property
+    def total_stall_cycles(self) -> int:
+        return int(sum(m.stall_cycles for m in self.macro_results))
+
+    @property
+    def total_energy(self) -> float:
+        return float(sum(m.energy.total_energy for m in self.macro_results))
+
+    @property
+    def energy_efficiency_tops_per_watt(self) -> float:
+        total_power = sum(m.energy.average_power for m in self.macro_results
+                          if m.task_id is not None)
+        if total_power <= 0:
+            return 0.0
+        return self.effective_tops / total_power
+
+    def mitigation_vs(self, baseline: "SimulationResult") -> float:
+        """Fractional IR-drop mitigation relative to a baseline run."""
+        if baseline.worst_ir_drop <= 0:
+            return 0.0
+        return (baseline.worst_ir_drop - self.worst_ir_drop) / baseline.worst_ir_drop
+
+    def speedup_vs(self, baseline: "SimulationResult") -> float:
+        if baseline.effective_tops <= 0:
+            return 0.0
+        return self.effective_tops / baseline.effective_tops
+
+    def efficiency_gain_vs(self, baseline: "SimulationResult") -> float:
+        """Energy-efficiency improvement factor (per-macro mW, lower is better)."""
+        if self.average_macro_power_mw <= 0:
+            return 0.0
+        return baseline.average_macro_power_mw / self.average_macro_power_mw

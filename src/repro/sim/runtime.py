@@ -1,0 +1,279 @@
+"""Cycle-level runtime: executes a compiled workload under a power controller.
+
+This is the reproduction of the paper's inference phase (Sec. 5.2.2, 5.5.2):
+
+* every loaded macro produces a per-cycle realized Rtog — its (post-WDS) weight
+  HR modulated by a temporally correlated input flip factor (input-determined
+  operators use an unknown-in-advance ~50 % HR);
+* each macro group runs at the V-f pair chosen by the active controller:
+  the DVFS baseline (always the 100 % signoff level), IR-Booster restricted to
+  its software safe level, or the full IR-Booster with Algorithm-2 aggressive
+  adjustment driven by the IR monitors;
+* a macro whose IR-drop exceeds the drop its current level was signed off for
+  raises IRFailure: the Booster Controller drops the group back to its safe
+  level and the macro — plus every other macro of the same logical Set — stalls
+  for a recompute window (Fig. 11);
+* per-cycle energy, useful MACs and IR-drop are accumulated into
+  :class:`~repro.sim.results.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.ir_booster import BoosterMode, IRBoosterController
+from ..power.dvfs import DVFSGovernor
+from ..power.energy import EnergyBreakdown, EnergyModel
+from ..power.ir_drop import IRDropModel
+from ..power.monitor import IRMonitor
+from ..power.vf_table import VFPair, VFTable
+from ..workloads.generator import flip_factor_sequence
+from .compiler import CompiledWorkload
+from .results import GroupResult, MacroResult, SimulationResult
+
+__all__ = ["RuntimeConfig", "PIMRuntime", "simulate", "CONTROLLERS"]
+
+#: Available power-control strategies.
+CONTROLLERS = ("dvfs", "booster_safe", "booster")
+
+
+@dataclass
+class RuntimeConfig:
+    """Parameters of one simulation run."""
+
+    cycles: int = 2000
+    controller: str = "booster"        #: one of :data:`CONTROLLERS`
+    mode: str = BoosterMode.LOW_POWER  #: "sprint" or "low_power"
+    beta: int = 50                     #: Algorithm-2 safe-window length
+    recompute_cycles: int = 12         #: stall per IRFailure (V-f switch + redo wave)
+    flip_mean: float = 0.6
+    flip_std: float = 0.15
+    flip_correlation: float = 0.7
+    monitor_noise: float = 0.003
+    input_determined_hr: float = 0.5   #: HR assumed for runtime-generated in-memory data
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.controller not in CONTROLLERS:
+            raise ValueError(f"unknown controller {self.controller!r}; known: {CONTROLLERS}")
+        if self.mode not in (BoosterMode.SPRINT, BoosterMode.LOW_POWER):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.cycles <= 0 or self.beta <= 0 or self.recompute_cycles < 0:
+            raise ValueError("cycles and beta must be positive; recompute_cycles >= 0")
+
+
+class PIMRuntime:
+    """Drives a :class:`CompiledWorkload` cycle by cycle under a controller."""
+
+    def __init__(self, compiled: CompiledWorkload, config: Optional[RuntimeConfig] = None,
+                 table: Optional[VFTable] = None,
+                 ir_model: Optional[IRDropModel] = None,
+                 energy_model: Optional[EnergyModel] = None) -> None:
+        config = config or RuntimeConfig()
+        config.validate()
+        self.compiled = compiled
+        self.config = config
+        chip_cfg = compiled.chip_config
+        self.table = table or VFTable(
+            nominal_voltage=chip_cfg.nominal_voltage,
+            nominal_frequency=chip_cfg.nominal_frequency,
+            signoff_ir_drop=chip_cfg.signoff_ir_drop)
+        self.ir_model = ir_model or IRDropModel(
+            supply_voltage=chip_cfg.nominal_voltage,
+            signoff_drop=chip_cfg.signoff_ir_drop,
+            nominal_frequency=chip_cfg.nominal_frequency)
+        self.energy_model = energy_model or EnergyModel(
+            nominal_voltage=chip_cfg.nominal_voltage,
+            nominal_frequency=chip_cfg.nominal_frequency)
+
+    # ------------------------------------------------------------------ #
+    # setup helpers
+    # ------------------------------------------------------------------ #
+    def _macro_activity_traces(self) -> Dict[int, np.ndarray]:
+        """Per-macro realized Rtog trace over the simulation horizon."""
+        traces: Dict[int, np.ndarray] = {}
+        rng_base = self.config.seed
+        for task_id, macro_index in self.compiled.mapping.assignment.items():
+            task = self.compiled.tasks[task_id]
+            hr = self.config.input_determined_hr if task.input_determined \
+                else task.hamming_rate
+            flips = flip_factor_sequence(
+                self.config.cycles, mean=self.config.flip_mean, std=self.config.flip_std,
+                correlation=self.config.flip_correlation,
+                seed=rng_base + 17 * (macro_index + 1))
+            traces[macro_index] = np.clip(hr * flips, 0.0, 1.0)
+        return traces
+
+    def _controller(self) -> Optional[IRBoosterController]:
+        if self.config.controller == "dvfs":
+            return None
+        controller = IRBoosterController(self.table, beta=self.config.beta,
+                                         mode=self.config.mode)
+        for group_id in self.compiled.used_groups:
+            controller.configure_group(
+                group_id, self.compiled.group_hr[group_id],
+                self.compiled.group_input_determined.get(group_id, False))
+            if self.config.controller == "booster_safe":
+                # Safe-only operation: pin the level to the safe level (used by
+                # the ablation to isolate the software methods from Alg. 2).
+                state = controller.state(group_id)
+                state.a_level = state.safe_level
+                state.level = state.safe_level
+        return controller
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        cfg = self.config
+        chip_cfg = self.compiled.chip_config
+        activity = self._macro_activity_traces()
+        controller = self._controller()
+        dvfs = DVFSGovernor(self.table, mode=cfg.mode)
+        monitors = {gid: IRMonitor(sensing_noise=cfg.monitor_noise, seed=cfg.seed + gid)
+                    for gid in self.compiled.used_groups}
+
+        # Per-macro bookkeeping.
+        macro_indices = sorted(activity)
+        energy: Dict[int, EnergyBreakdown] = {m: EnergyBreakdown() for m in macro_indices}
+        drop_traces: Dict[int, List[float]] = {m: [] for m in macro_indices}
+        failures: Dict[int, int] = {m: 0 for m in macro_indices}
+        stall_remaining: Dict[int, int] = {m: 0 for m in macro_indices}
+        stall_total: Dict[int, int] = {m: 0 for m in macro_indices}
+        level_traces: Dict[int, List[int]] = {gid: [] for gid in self.compiled.used_groups}
+        chip_drop_trace: List[float] = []
+
+        # Logical sets: macros computing tiles of the same operator.
+        macro_set: Dict[int, int] = {}
+        set_members: Dict[int, List[int]] = {}
+        for task_id, macro_index in self.compiled.mapping.assignment.items():
+            set_id = self.compiled.tasks[task_id].set_id
+            macro_set[macro_index] = set_id
+            set_members.setdefault(set_id, []).append(macro_index)
+
+        macs_per_cycle: Dict[int, float] = {}
+        for task_id, macro_index in self.compiled.mapping.assignment.items():
+            task = self.compiled.tasks[task_id]
+            macs_per_cycle[macro_index] = task.macs_per_wave / max(1, task.bits)
+
+        group_members: Dict[int, List[int]] = {}
+        for macro_index in macro_indices:
+            gid, _ = chip_cfg.macro_location(macro_index)
+            group_members.setdefault(gid, []).append(macro_index)
+
+        for cycle in range(cfg.cycles):
+            cycle_failures: Dict[int, bool] = {gid: False for gid in group_members}
+            worst_drop_this_cycle = 0.0
+
+            # Resolve each group's operating point for this cycle.
+            group_pairs: Dict[int, VFPair] = {}
+            for gid in group_members:
+                if controller is None:
+                    # The DVFS baseline is the signoff operating point: the
+                    # 100 %-level pair at the nominal frequency (0.75 V / 1 GHz
+                    # on the paper's reference chip).
+                    pair = self.table.nominal_dvfs_pair()
+                    level_traces[gid].append(100)
+                else:
+                    state = controller.state(gid)
+                    level_traces[gid].append(state.level)
+                    pair = controller.vf_pair(gid)
+                group_pairs[gid] = pair
+
+            # Evaluate every loaded macro.
+            for gid, members in group_members.items():
+                pair = group_pairs[gid]
+                # A pair signed off for level L tolerates the drop that an
+                # activity of L percent produces at its V/f — evaluated with the
+                # same Eq.-2 model the macros see, so "rtog <= level" can never
+                # raise a spurious IRFailure.
+                allowed_drop = self.ir_model.drop(
+                    min(pair.level, 100) / 100.0, pair.voltage, pair.frequency)
+                for macro_index in members:
+                    rtog_now = float(activity[macro_index][cycle])
+                    drop = self.ir_model.drop(rtog_now, pair.voltage, pair.frequency)
+                    drop_traces[macro_index].append(drop)
+                    worst_drop_this_cycle = max(worst_drop_this_cycle, drop)
+
+                    stalled = stall_remaining[macro_index] > 0
+                    if stalled:
+                        stall_remaining[macro_index] -= 1
+                        stall_total[macro_index] += 1
+                    else:
+                        # IRFailure detection through the group's monitor.
+                        effective_v = pair.voltage - drop
+                        threshold_v = pair.voltage - allowed_drop
+                        failed = monitors[gid].sample(cycle, effective_v, threshold_v)
+                        if failed:
+                            failures[macro_index] += 1
+                            cycle_failures[gid] = True
+                            # The whole logical Set stalls while this macro recomputes.
+                            for member in set_members.get(macro_set[macro_index], []):
+                                stall_remaining[member] = max(
+                                    stall_remaining[member], cfg.recompute_cycles)
+                            stalled = True
+
+                    self.energy_model.accumulate_cycle(
+                        energy[macro_index], pair.voltage, pair.frequency,
+                        activity=rtog_now, macs_completed=macs_per_cycle[macro_index],
+                        stalled=stalled)
+
+            chip_drop_trace.append(worst_drop_this_cycle)
+
+            # Advance Algorithm 2 once per group per cycle.
+            if controller is not None and cfg.controller == "booster":
+                for gid in group_members:
+                    controller.step(gid, ir_failure=cycle_failures[gid])
+
+        return self._collect(energy, drop_traces, activity, failures, stall_total,
+                             level_traces, chip_drop_trace, controller)
+
+    # ------------------------------------------------------------------ #
+    # result assembly
+    # ------------------------------------------------------------------ #
+    def _collect(self, energy, drop_traces, activity, failures, stall_total,
+                 level_traces, chip_drop_trace, controller) -> SimulationResult:
+        chip_cfg = self.compiled.chip_config
+        macro_results: List[MacroResult] = []
+        macro_task = {m: t for t, m in self.compiled.mapping.assignment.items()}
+        for macro_index in sorted(energy):
+            gid, _ = chip_cfg.macro_location(macro_index)
+            task_id = macro_task.get(macro_index)
+            hr = self.compiled.tasks[task_id].hamming_rate if task_id is not None else 0.0
+            macro_results.append(MacroResult(
+                macro_index=macro_index, group_id=gid, task_id=task_id, hamming_rate=hr,
+                rtog_trace=np.asarray(activity[macro_index]),
+                drop_trace=np.asarray(drop_traces[macro_index]),
+                energy=energy[macro_index], failures=failures[macro_index],
+                stall_cycles=stall_total[macro_index]))
+
+        group_results: List[GroupResult] = []
+        for gid, levels in level_traces.items():
+            if controller is not None:
+                state = controller.state(gid)
+                safe = state.safe_level
+                final = state.level
+                group_fail = state.failures
+            else:
+                safe = 100
+                final = 100
+                group_fail = sum(failures[m] for m in range(chip_cfg.total_macros)
+                                 if m in failures and chip_cfg.macro_location(m)[0] == gid)
+            group_results.append(GroupResult(
+                group_id=gid, safe_level=safe, final_level=final,
+                level_trace=np.asarray(levels), failures=group_fail))
+
+        return SimulationResult(
+            controller=self.config.controller, mode=self.config.mode,
+            cycles=self.config.cycles, macro_results=macro_results,
+            group_results=group_results,
+            chip_drop_trace=np.asarray(chip_drop_trace))
+
+
+def simulate(compiled: CompiledWorkload, config: Optional[RuntimeConfig] = None,
+             **kwargs) -> SimulationResult:
+    """Convenience wrapper: build a :class:`PIMRuntime` and run it."""
+    return PIMRuntime(compiled, config, **kwargs).run()

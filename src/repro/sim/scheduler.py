@@ -1,0 +1,83 @@
+"""Operator scheduling: ordering and phasing of a workload's operators.
+
+The paper's compiler performs operator scheduling and segmentation *before*
+HR-aware task mapping (Sec. 5.6).  For the feed-forward networks in the model
+zoo the dependency structure is a chain, so scheduling reduces to (a) keeping
+the definition order, and (b) splitting the chain into *phases* whose tiles fit
+on the chip simultaneously — each phase becomes one chip image that the task
+mapper then places.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Dict, List, Optional, Sequence
+
+from ..pim.config import ChipConfig, MacroConfig
+from ..pim.dataflow import Operator
+from ..workloads.profiles import WorkloadProfile
+
+__all__ = ["SchedulePhase", "OperatorSchedule", "schedule_operators"]
+
+
+@dataclass
+class SchedulePhase:
+    """One chip-resident phase: operators whose tiles fit on the chip together."""
+
+    index: int
+    operators: List[Operator] = field(default_factory=list)
+    estimated_tiles: int = 0
+
+    @property
+    def operator_names(self) -> List[str]:
+        return [op.name for op in self.operators]
+
+
+@dataclass
+class OperatorSchedule:
+    """The ordered phases of one workload."""
+
+    workload: str
+    phases: List[SchedulePhase] = field(default_factory=list)
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def all_operators(self) -> List[Operator]:
+        return [op for phase in self.phases for op in phase.operators]
+
+
+def _tiles_needed(operator: Operator, macro: MacroConfig) -> int:
+    rows = ceil(operator.codes.shape[0] / macro.rows)
+    cols = ceil(operator.codes.shape[1] / macro.banks)
+    return rows * cols
+
+
+def schedule_operators(profile: WorkloadProfile, chip_config: ChipConfig,
+                       max_tiles_per_operator: Optional[int] = None) -> OperatorSchedule:
+    """Greedy phase packing in definition order.
+
+    Operators are appended to the current phase until the next one would exceed
+    the chip's macro count; then a new phase starts.  An operator that alone
+    needs more tiles than the chip has macros still gets its own phase (the
+    compiler later downsamples its tiles), mirroring how large layers are
+    processed in several passes on the real chip.
+    """
+    schedule = OperatorSchedule(workload=profile.name)
+    current = SchedulePhase(index=0)
+    capacity = chip_config.total_macros
+    for operator in profile.operators:
+        tiles = _tiles_needed(operator, chip_config.macro)
+        if max_tiles_per_operator is not None:
+            tiles = min(tiles, max_tiles_per_operator)
+        if current.operators and current.estimated_tiles + tiles > capacity:
+            schedule.phases.append(current)
+            current = SchedulePhase(index=len(schedule.phases))
+        current.operators.append(operator)
+        current.estimated_tiles += tiles
+    if current.operators:
+        schedule.phases.append(current)
+    return schedule

@@ -1,0 +1,83 @@
+"""Cycle-accurate Rtog trace collection from the behavioural macro model.
+
+The runtime uses a fast statistical activity model, but the Fig. 4 / Fig. 5
+experiments need the *exact* bit-serial toggle traces of macros executing real
+integer streams.  The helpers here push activation waves generated from dataset
+statistics through :class:`~repro.pim.macro.PIMMacro` instances and collect the
+per-cycle Rtog, peak Rtog and the Rtog histogram used in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..pim.config import MacroConfig
+from ..pim.dataflow import Operator, Task
+from ..pim.macro import PIMMacro
+from ..workloads.generator import ActivationStreamGenerator
+
+__all__ = ["OperatorRtogProfile", "profile_operator_rtog", "profile_task_rtog",
+           "rtog_histogram"]
+
+
+@dataclass
+class OperatorRtogProfile:
+    """Exact Rtog statistics of one operator tile streamed through a macro."""
+
+    operator_name: str
+    hamming_rate: float
+    rtog_trace: np.ndarray
+    cycles: int
+
+    @property
+    def peak_rtog(self) -> float:
+        return float(self.rtog_trace.max()) if self.rtog_trace.size else 0.0
+
+    @property
+    def mean_rtog(self) -> float:
+        return float(self.rtog_trace.mean()) if self.rtog_trace.size else 0.0
+
+    @property
+    def peak_below_hr(self) -> bool:
+        """Equation 4's guarantee: the observed peak never exceeds HR."""
+        return self.peak_rtog <= self.hamming_rate + 1e-9
+
+
+def profile_task_rtog(task: Task, macro_config: MacroConfig, waves: int = 64,
+                      activation_std: float = 1.0, correlation: float = 0.5,
+                      seed: int = 0) -> OperatorRtogProfile:
+    """Stream synthetic activations through one task tile and record exact Rtog."""
+    macro = PIMMacro(macro_config)
+    macro.load_weight_matrix(task.codes, wds_delta=task.wds_delta)
+    generator = ActivationStreamGenerator(
+        rows=macro_config.rows, input_bits=macro_config.bank.input_bits,
+        std=activation_std, correlation=correlation, seed=seed)
+    activations = generator.generate(waves)
+    execution = macro.execute(activations)
+    return OperatorRtogProfile(
+        operator_name=task.operator_name, hamming_rate=macro.hamming_rate,
+        rtog_trace=execution.rtog_mean_trace, cycles=execution.cycles)
+
+
+def profile_operator_rtog(operator: Operator, macro_config: MacroConfig, waves: int = 64,
+                          activation_std: float = 1.0, correlation: float = 0.5,
+                          seed: int = 0) -> OperatorRtogProfile:
+    """Profile the first macro-sized tile of an operator (HR is layer-uniform)."""
+    rows = min(operator.codes.shape[0], macro_config.rows)
+    cols = min(operator.codes.shape[1], macro_config.banks)
+    tile = Task(task_id=0, operator_name=operator.name, kind=operator.kind, set_id=0,
+                codes=operator.codes[:rows, :cols], bits=operator.bits,
+                wds_delta=operator.wds_delta,
+                input_determined=operator.input_determined)
+    return profile_task_rtog(tile, macro_config, waves=waves,
+                             activation_std=activation_std, correlation=correlation,
+                             seed=seed)
+
+
+def rtog_histogram(trace: np.ndarray, bins: int = 20,
+                   value_range: Tuple[float, float] = (0.0, 0.6)) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram of an Rtog trace (counts, bin edges) — the Fig. 5 view."""
+    return np.histogram(np.asarray(trace), bins=bins, range=value_range)

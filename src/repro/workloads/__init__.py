@@ -1,0 +1,16 @@
+"""Workload profiles and synthetic input-stream generators."""
+
+from .generator import ActivationStreamGenerator, dataset_activation_stats, flip_factor_sequence
+from .profiles import (
+    MIXED_OPERATOR_COMBOS,
+    WorkloadProfile,
+    build_workload_profile,
+    classify_layer_kind,
+    mixed_operator_workload,
+)
+
+__all__ = [
+    "flip_factor_sequence", "ActivationStreamGenerator", "dataset_activation_stats",
+    "WorkloadProfile", "build_workload_profile", "classify_layer_kind",
+    "mixed_operator_workload", "MIXED_OPERATOR_COMBOS",
+]

@@ -1,0 +1,90 @@
+"""Synthetic input-stream generation for the cycle-level PIM simulation.
+
+The runtime needs, per macro, a per-cycle activity factor: the fraction of the
+stored weight bits whose input word line actually toggles (this is what turns
+HR — the upper bound — into the realized Rtog).  Profiling in the paper shows
+this *flip factor* fluctuates around 0.5–0.7 with occasional bursts (Fig. 5),
+and the HR-aware mapping evaluator samples a 100-step flip sequence from a
+normal distribution (Sec. 5.6).
+
+Two generators are provided:
+
+* :func:`flip_factor_sequence` — a temporally correlated, clipped Gaussian
+  sequence of flip factors (the runtime's fast path);
+* :class:`ActivationStreamGenerator` — full integer activation waves matching a
+  dataset's statistics, used when the exact bit-serial Rtog trace of a macro is
+  wanted (Fig. 4/5 experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["flip_factor_sequence", "ActivationStreamGenerator", "dataset_activation_stats"]
+
+
+def flip_factor_sequence(cycles: int, mean: float = 0.6, std: float = 0.15,
+                         correlation: float = 0.7, seed: int = 0,
+                         low: float = 0.05, high: float = 1.0) -> np.ndarray:
+    """AR(1)-correlated clipped Gaussian flip factors, one per cycle.
+
+    ``correlation`` controls how slowly activity changes cycle to cycle; the
+    stationary distribution keeps the requested mean/std.
+    """
+    if cycles <= 0:
+        return np.zeros(0)
+    if not 0.0 <= correlation < 1.0:
+        raise ValueError("correlation must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    innovations = rng.normal(0.0, std * np.sqrt(1 - correlation ** 2), size=cycles)
+    values = np.empty(cycles)
+    state = rng.normal(0.0, std)
+    for t in range(cycles):
+        state = correlation * state + innovations[t]
+        values[t] = mean + state
+    return np.clip(values, low, high)
+
+
+def dataset_activation_stats(inputs: np.ndarray) -> Tuple[float, float]:
+    """(mean, std) of a dataset's input values, used to shape activation streams."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    return float(inputs.mean()), float(max(inputs.std(), 1e-6))
+
+
+@dataclass
+class ActivationStreamGenerator:
+    """Generates integer activation waves for a macro's word lines.
+
+    Activations are drawn from a Gaussian matched to the dataset statistics and
+    quantized symmetrically to ``input_bits``; temporal correlation between
+    consecutive waves lowers the realized toggle rate the same way real feature
+    maps do (neighbouring pixels/tokens are similar).
+    """
+
+    rows: int
+    input_bits: int = 8
+    mean: float = 0.0
+    std: float = 1.0
+    correlation: float = 0.5
+    seed: int = 0
+
+    def generate(self, waves: int) -> np.ndarray:
+        """Return (waves, rows) signed integer activations."""
+        if waves <= 0:
+            return np.zeros((0, self.rows), dtype=np.int64)
+        rng = np.random.default_rng(self.seed)
+        qmax = (1 << (self.input_bits - 1)) - 1
+        scale = max(3.0 * self.std, 1e-9) / qmax
+        values = np.empty((waves, self.rows))
+        current = rng.normal(self.mean, self.std, size=self.rows)
+        values[0] = current
+        for wave in range(1, waves):
+            noise = rng.normal(0.0, self.std * np.sqrt(1 - self.correlation ** 2),
+                               size=self.rows)
+            current = self.mean + self.correlation * (current - self.mean) + noise
+            values[wave] = current
+        codes = np.clip(np.round(values / scale), -qmax - 1, qmax)
+        return codes.astype(np.int64)

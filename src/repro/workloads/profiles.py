@@ -1,0 +1,185 @@
+"""Workload profiles: turning trained/quantized models into PIM operator lists.
+
+A *workload profile* is the bridge between the software world (a model plus its
+per-layer integer weight codes) and the hardware world (a list of
+:class:`~repro.pim.dataflow.Operator` objects the compiler can tile and map).
+
+The classification of layers follows the paper's operator taxonomy
+(Sec. 5.5.1):
+
+* convolution and stand-alone linear layers → weight-stationary (``conv`` /
+  ``linear``): HR known offline, LHR/WDS applicable;
+* attention input projections → ``qkv`` (weight-stationary);
+* attention output projections → ``proj`` (weight-stationary);
+* the QK^T and SV matmuls → ``qk_t`` / ``sv``: *input-determined*; their
+  in-memory data are activations produced at runtime, so the profile
+  synthesizes representative integer matrices from activation statistics and
+  IR-Booster treats them at the 100 % safe level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..models.llama import LlamaAttention
+from ..models.registry import ModelSpec, get_model_spec
+from ..nn.attention import MultiHeadAttention
+from ..nn.layers import Conv2d, Linear, Module
+from ..pim.dataflow import Operator, layer_weight_matrix
+from ..quant.quantizer import quantize, symmetric_scale
+
+__all__ = ["WorkloadProfile", "classify_layer_kind", "build_workload_profile",
+           "mixed_operator_workload", "MIXED_OPERATOR_COMBOS"]
+
+
+#: The mixed-operator combinations evaluated in Fig. 21.
+MIXED_OPERATOR_COMBOS: Dict[str, Sequence[str]] = {
+    "conv+qkt": ("conv", "qk_t"),
+    "conv+sv": ("conv", "sv"),
+    "qkv+qkt": ("qkv", "qk_t"),
+    "sv+linear": ("sv", "linear"),
+}
+
+
+@dataclass
+class WorkloadProfile:
+    """A named list of operators ready to be compiled onto the PIM chip."""
+
+    name: str
+    family: str                       #: "conv", "transformer" or "mixed"
+    operators: List[Operator] = field(default_factory=list)
+
+    @property
+    def weight_stationary_operators(self) -> List[Operator]:
+        return [op for op in self.operators if not op.input_determined]
+
+    @property
+    def input_determined_operators(self) -> List[Operator]:
+        return [op for op in self.operators if op.input_determined]
+
+    @property
+    def mean_hamming_rate(self) -> float:
+        rates = [op.hamming_rate for op in self.weight_stationary_operators]
+        return float(np.mean(rates)) if rates else 0.0
+
+    @property
+    def max_hamming_rate(self) -> float:
+        rates = [op.hamming_rate for op in self.weight_stationary_operators]
+        return float(np.max(rates)) if rates else 0.0
+
+
+def classify_layer_kind(layer_name: str, layer: Module) -> str:
+    """Map a layer's name/type onto the AIM operator taxonomy."""
+    lowered = layer_name.lower()
+    if isinstance(layer, Conv2d):
+        return "conv"
+    if isinstance(layer, Linear):
+        if lowered.endswith(("q_proj", "k_proj", "v_proj")):
+            return "qkv"
+        if lowered.endswith(("out_proj", "o_proj")):
+            return "proj"
+        return "linear"
+    raise ValueError(f"layer {layer_name!r} of type {type(layer).__name__} is not a PIM operator")
+
+
+def build_workload_profile(
+    model: Module,
+    name: str,
+    family: str,
+    codes_by_layer: Optional[Dict[str, np.ndarray]] = None,
+    bits: int = 8,
+    wds_deltas: Optional[Dict[str, int]] = None,
+    include_attention_matmuls: bool = True,
+    attention_seq_len: int = 16,
+    max_operators: Optional[int] = None,
+    seed: int = 0,
+) -> WorkloadProfile:
+    """Build the operator list for a model.
+
+    ``codes_by_layer`` supplies already-quantized integer codes (e.g. from a QAT
+    or PTQ result); missing layers are quantized on the fly from the model's
+    current float weights.  ``wds_deltas`` attaches the compiler's WDS choices.
+    """
+    rng = np.random.default_rng(seed)
+    codes_by_layer = codes_by_layer or {}
+    wds_deltas = wds_deltas or {}
+    operators: List[Operator] = []
+
+    for layer_name, layer in model.weight_layers():
+        kind = classify_layer_kind(layer_name, layer)
+        if layer_name in codes_by_layer:
+            codes = np.asarray(codes_by_layer[layer_name], dtype=np.int64)
+            if codes.shape != layer.weight.shape:
+                raise ValueError(
+                    f"codes for {layer_name!r} have shape {codes.shape}, "
+                    f"expected {layer.weight.shape}")
+        else:
+            scale = symmetric_scale(layer.weight.data, bits)
+            codes = quantize(layer.weight.data, scale, bits)
+        matrix = layer_weight_matrix(codes)
+        operators.append(Operator(
+            name=layer_name, kind=kind, codes=matrix, bits=bits,
+            wds_delta=wds_deltas.get(layer_name, 0)))
+
+    if include_attention_matmuls:
+        operators.extend(_attention_runtime_operators(
+            model, bits=bits, seq_len=attention_seq_len, rng=rng))
+
+    if max_operators is not None:
+        operators = operators[:max_operators]
+    return WorkloadProfile(name=name, family=family, operators=operators)
+
+
+def _attention_runtime_operators(model: Module, bits: int, seq_len: int,
+                                 rng: np.random.Generator) -> List[Operator]:
+    """Synthesize QK^T / SV in-memory data for every attention block.
+
+    At runtime the in-memory data of QK^T is the K matrix and of SV the V (or
+    attention-probability) matrix — both activations.  Representative integer
+    matrices are drawn from a zero-mean Gaussian quantized to ``bits``, giving
+    the ~50 % HR the paper observes for input-determined operators.
+    """
+    operators: List[Operator] = []
+    qmax = (1 << (bits - 1)) - 1
+    for module_name, module in model.named_modules():
+        if not isinstance(module, (MultiHeadAttention, LlamaAttention)):
+            continue
+        head_dim = module.head_dim
+        k_matrix = np.clip(np.round(rng.normal(0.0, qmax / 4.0, size=(head_dim, seq_len))),
+                           -qmax - 1, qmax).astype(np.int64)
+        v_matrix = np.clip(np.round(rng.normal(0.0, qmax / 4.0, size=(seq_len, head_dim))),
+                           -qmax - 1, qmax).astype(np.int64)
+        prefix = module_name or "attn"
+        operators.append(Operator(name=f"{prefix}.qk_t", kind="qk_t",
+                                  codes=k_matrix, bits=bits))
+        operators.append(Operator(name=f"{prefix}.sv", kind="sv",
+                                  codes=v_matrix, bits=bits))
+    return operators
+
+
+def mixed_operator_workload(combo: str, conv_profile: WorkloadProfile,
+                            transformer_profile: WorkloadProfile,
+                            operators_per_kind: int = 2) -> WorkloadProfile:
+    """Build one of the Fig. 21 mixed workloads from two existing profiles.
+
+    ``combo`` is a key of :data:`MIXED_OPERATOR_COMBOS`; the result interleaves
+    ``operators_per_kind`` operators of each requested kind, drawing conv/linear
+    operators from ``conv_profile`` and attention operators from
+    ``transformer_profile``.
+    """
+    if combo not in MIXED_OPERATOR_COMBOS:
+        raise KeyError(f"unknown combo {combo!r}; known: {sorted(MIXED_OPERATOR_COMBOS)}")
+    kinds = MIXED_OPERATOR_COMBOS[combo]
+    pool = {op.kind: [] for op in conv_profile.operators + transformer_profile.operators}
+    for op in conv_profile.operators + transformer_profile.operators:
+        pool.setdefault(op.kind, []).append(op)
+    selected: List[Operator] = []
+    for kind in kinds:
+        candidates = pool.get(kind, [])
+        if not candidates:
+            raise ValueError(f"no operators of kind {kind!r} available for combo {combo!r}")
+        selected.extend(candidates[:operators_per_kind])
+    return WorkloadProfile(name=combo, family="mixed", operators=selected)

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite.
+
+Everything here is deliberately small (tiny chip geometries, handfuls of
+operators, single training epochs) so the full suite runs in a few minutes
+while still exercising every code path of the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pim.config import BankConfig, ChipConfig, GroupConfig, MacroConfig, small_chip_config
+from repro.pim.dataflow import Operator, build_tasks
+from repro.power.vf_table import VFTable
+from repro.sim.compiler import CompilerConfig, compile_workload
+from repro.workloads.profiles import WorkloadProfile
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_macro_config() -> MacroConfig:
+    return MacroConfig(banks=4, bank=BankConfig(rows=8, weight_bits=8, input_bits=4))
+
+
+@pytest.fixture
+def tiny_chip_config() -> ChipConfig:
+    return small_chip_config(groups=4, macros_per_group=2, banks=4, rows=8)
+
+
+@pytest.fixture
+def vf_table(tiny_chip_config) -> VFTable:
+    return VFTable(nominal_voltage=tiny_chip_config.nominal_voltage,
+                   nominal_frequency=tiny_chip_config.nominal_frequency,
+                   signoff_ir_drop=tiny_chip_config.signoff_ir_drop)
+
+
+from tests.helpers import make_operator
+
+
+@pytest.fixture
+def synthetic_profile(tiny_chip_config) -> WorkloadProfile:
+    """A mixed synthetic workload: a few conv operators plus attention matmuls."""
+    rows = tiny_chip_config.macro.rows
+    cols = tiny_chip_config.macro.banks
+    operators = [
+        make_operator("conv1", rows, cols, kind="conv", seed=1),
+        make_operator("conv2", rows, cols, kind="conv", seed=2),
+        make_operator("fc", rows, cols, kind="linear", seed=3),
+        make_operator("attn.qk_t", rows, cols, kind="qk_t", seed=4, spread=40.0),
+    ]
+    return WorkloadProfile(name="synthetic", family="mixed", operators=operators)
+
+
+@pytest.fixture
+def compiled_synthetic(synthetic_profile, tiny_chip_config, vf_table):
+    config = CompilerConfig(bits=8, wds_delta=None, mapping_strategy="sequential",
+                            max_tasks_per_operator=1)
+    return compile_workload(synthetic_profile, tiny_chip_config, vf_table, config)

@@ -1,0 +1,30 @@
+"""Shared test helpers (imported as ``tests.helpers``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pim.dataflow import Operator
+
+
+def make_operator(name: str, rows: int, cols: int, kind: str = "conv", bits: int = 8,
+                  seed: int = 0, spread: float = 20.0, wds_delta: int = 0) -> Operator:
+    """Random integer operator with a zero-centred, bell-shaped code distribution.
+
+    ``spread`` is the Laplace scale of the codes: small spreads give low-HR
+    operators, large spreads give high-HR operators, which lets tests construct
+    workloads with controlled HR contrast.
+    """
+    generator = np.random.default_rng(seed)
+    qmax = (1 << (bits - 1)) - 1
+    codes = np.clip(np.round(generator.laplace(0.0, spread, size=(rows, cols))),
+                    -qmax - 1, qmax).astype(np.int64)
+    return Operator(name=name, kind=kind, codes=codes, bits=bits, wds_delta=wds_delta)
+
+
+def bell_shaped_codes(size, spread: float = 15.0, seed: int = 0, bits: int = 8) -> np.ndarray:
+    """Laplace-distributed integer codes clipped to the two's-complement range."""
+    generator = np.random.default_rng(seed)
+    qmax = (1 << (bits - 1)) - 1
+    return np.clip(np.round(generator.laplace(0.0, spread, size=size)),
+                   -qmax - 1, qmax).astype(np.int64)

@@ -1,0 +1,94 @@
+"""Tests for the analysis helpers plus the end-to-end AIM pipeline integration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    format_percent,
+    format_ratio,
+    format_series,
+    format_table,
+    linear_fit,
+    pearson_correlation,
+    rank_correlation,
+)
+from repro.core import AIMConfig, AIMPipeline
+from repro.core.ir_booster import BoosterMode
+from repro.pim.config import small_chip_config
+
+
+class TestAnalysis:
+    def test_pearson_perfect_and_degenerate(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+        assert pearson_correlation(np.ones(5), np.arange(5)) == 0.0
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_rank_correlation_monotone(self):
+        x = np.arange(20.0)
+        assert rank_correlation(x, x ** 3) == pytest.approx(1.0)
+
+    def test_linear_fit_recovers_slope(self):
+        x = np.linspace(0, 1, 50)
+        y = 3.0 * x + 0.5
+        fit = linear_fit(x, y)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(0.5)
+        assert np.allclose(fit.predict(x), y)
+        with pytest.raises(ValueError):
+            linear_fit([1.0], [2.0])
+
+    def test_formatters(self):
+        assert format_percent(0.283) == "28.3%"
+        assert format_ratio(2.294) == "2.29x"
+        table = format_table(["model", "hr"], [["resnet18", 0.41], ["vit", 0.39]],
+                             title="Table 2")
+        assert "Table 2" in table and "resnet18" in table
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+        series = format_series("fig14", {8: 0.88, 16: 0.78})
+        assert "8=0.880" in series
+
+
+class TestEndToEndPipeline:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        config = AIMConfig(qat_epochs=1, cycles=300, lhr_lambda=2.0, wds_delta=16,
+                           max_tasks_per_operator=1, mode=BoosterMode.LOW_POWER, seed=0)
+        pipeline = AIMPipeline("vit", chip_config=small_chip_config(
+            groups=4, macros_per_group=2, banks=4, rows=16), config=config)
+        return pipeline.execute(compare_against_baseline=True)
+
+    def test_summary_contains_all_headline_metrics(self, outcome):
+        summary = outcome.summary()
+        expected_keys = {"hr_average", "hr_max", "task_metric", "worst_ir_drop_mv",
+                         "macro_power_mw", "effective_tops", "ir_drop_mitigation",
+                         "energy_efficiency_gain", "speedup"}
+        assert expected_keys == set(summary)
+        assert all(np.isfinite(v) for v in summary.values())
+
+    def test_low_power_mode_improves_energy_efficiency(self, outcome):
+        """The paper's headline direction: AIM cuts per-macro power vs. the baseline."""
+        assert outcome.energy_efficiency_gain > 1.2
+        assert outcome.simulation.average_macro_power_mw < \
+            outcome.baseline_simulation.average_macro_power_mw
+
+    def test_ir_drop_mitigated_relative_to_signoff(self, outcome):
+        assert 0.0 < outcome.ir_drop_mitigation < 1.0
+        assert outcome.simulation.worst_ir_drop < \
+            outcome.compiled.chip_config.signoff_ir_drop
+
+    def test_workload_drop_stays_below_signoff_even_for_baseline(self, outcome):
+        """Fig. 3: real workloads never reach the signoff worst case."""
+        assert outcome.baseline_simulation.worst_ir_drop < \
+            outcome.compiled.chip_config.signoff_ir_drop
+
+    def test_lhr_reduced_hr_below_half(self, outcome):
+        assert outcome.hr_average < 0.5
+
+    def test_compiled_chip_matches_mapping(self, outcome):
+        compiled = outcome.compiled
+        assert set(compiled.chip.loaded_macro_indices()) == \
+            set(compiled.mapping.assignment.values())

@@ -1,0 +1,147 @@
+"""Tests for IR-Booster: safe levels, Table 1 a-levels, and Algorithm 2."""
+
+import pytest
+
+from repro.core.ir_booster import (
+    A_LEVEL_INIT,
+    BoosterMode,
+    IRBoosterController,
+    initial_aggressive_level,
+    safe_level_from_hr,
+)
+from repro.power.vf_table import VFTable
+
+
+@pytest.fixture
+def table() -> VFTable:
+    return VFTable()
+
+
+class TestSafeLevel:
+    def test_rounds_up_to_next_5_percent(self, table):
+        """Paper example: HRG = 47.5 % -> safe level 50 %."""
+        assert safe_level_from_hr(0.475, table) == 50
+
+    def test_exact_level_kept(self, table):
+        assert safe_level_from_hr(0.40, table) == 40
+
+    def test_above_60_reverts_to_dvfs(self, table):
+        assert safe_level_from_hr(0.65, table) == 100
+        assert safe_level_from_hr(0.99, table) == 100
+
+    def test_input_determined_always_dvfs(self, table):
+        assert safe_level_from_hr(0.2, table, input_determined=True) == 100
+
+    def test_very_low_hr_clamps_to_lowest_level(self, table):
+        assert safe_level_from_hr(0.01, table) == 20
+        assert safe_level_from_hr(0.0, table) == 20
+
+
+class TestInitialALevel:
+    def test_table1_values(self, table):
+        for safe, expected in A_LEVEL_INIT.items():
+            assert initial_aggressive_level(safe, table) == expected
+
+    def test_a_level_never_exceeds_safe_level(self, table):
+        for safe, a_level in A_LEVEL_INIT.items():
+            if safe != 100:
+                assert a_level <= safe
+
+
+class TestAlgorithm2:
+    def make_controller(self, table, beta=10):
+        controller = IRBoosterController(table, beta=beta, mode=BoosterMode.SPRINT)
+        controller.configure_group(0, group_hr=0.47)   # safe 50, a-level0 35
+        return controller
+
+    def test_initialization(self, table):
+        controller = self.make_controller(table)
+        state = controller.state(0)
+        assert state.safe_level == 50
+        assert state.a_level == 35
+        assert state.level == 35
+
+    def test_failure_returns_to_safe_level(self, table):
+        controller = self.make_controller(table)
+        level = controller.step(0, ir_failure=True)
+        assert level == 50
+        assert controller.state(0).safe_counter == 0
+
+    def test_rapid_failures_back_off_a_level(self, table):
+        controller = self.make_controller(table, beta=10)
+        # Algorithm 2 initializes SafeCounter to 0, so a failure right after
+        # start counts as "too soon" and immediately backs the a-level off.
+        controller.step(0, ir_failure=True)
+        assert controller.state(0).a_level == 40      # one step toward safe
+        # A second rapid failure backs it off again.
+        controller.step(0, ir_failure=True)
+        assert controller.state(0).a_level == 45
+        assert controller.state(0).level_downs == 2
+
+    def test_returns_to_a_level_after_beta_safe_cycles(self, table):
+        controller = self.make_controller(table, beta=5)
+        controller.step(0, ir_failure=True)            # at safe level 50; a-level backs to 40
+        for _ in range(4):
+            controller.step(0, ir_failure=False)
+        assert controller.state(0).level == 50          # not yet back
+        controller.step(0, ir_failure=False)             # safe_counter hits beta
+        assert controller.state(0).level == controller.state(0).a_level == 40
+
+    def test_level_up_after_two_beta_safe_cycles(self, table):
+        controller = self.make_controller(table, beta=5)
+        for _ in range(11):                              # > 2 * beta safe cycles
+            controller.step(0, ir_failure=False)
+        state = controller.state(0)
+        assert state.a_level == 30                       # one step more aggressive
+        assert state.level == 30
+        assert state.level_ups == 1
+        assert state.safe_counter == 5                   # reset to beta
+
+    def test_frequency_sync_overrides_level(self, table):
+        controller = self.make_controller(table)
+        level = controller.step(0, ir_failure=False, frequency_sync_level=45)
+        assert level == 45
+        assert controller.state(0).safe_counter == 0
+
+    def test_a_level_stays_within_table(self, table):
+        controller = self.make_controller(table, beta=2)
+        for _ in range(200):                             # push aggression to the floor
+            controller.step(0, ir_failure=False)
+        assert controller.state(0).a_level == min(table.booster_levels())
+
+    def test_failure_counters(self, table):
+        controller = self.make_controller(table)
+        controller.step(0, ir_failure=True)
+        controller.step(0, ir_failure=True)
+        assert controller.state(0).failures == 2
+
+    def test_invalid_beta(self, table):
+        with pytest.raises(ValueError):
+            IRBoosterController(table, beta=0)
+
+
+class TestVFPairSelection:
+    def test_sprint_pairs_prefer_frequency(self, table):
+        controller = IRBoosterController(table, beta=10, mode=BoosterMode.SPRINT)
+        controller.configure_group(0, group_hr=0.35)
+        pair = controller.vf_pair(0)
+        assert pair.frequency == max(p.frequency for p in table.pairs_for_level(pair.level))
+
+    def test_low_power_pairs_prefer_low_energy(self, table):
+        controller = IRBoosterController(table, beta=10, mode=BoosterMode.LOW_POWER)
+        controller.configure_group(0, group_hr=0.35)
+        pair = controller.vf_pair(0)
+        level_pairs = table.pairs_for_level(pair.level)
+        assert pair.dynamic_power_factor == min(p.dynamic_power_factor for p in level_pairs)
+
+    def test_safe_pair_uses_safe_level(self, table):
+        controller = IRBoosterController(table, beta=10)
+        controller.configure_group(0, group_hr=0.47)
+        assert controller.safe_vf_pair(0).level == 50
+
+    def test_input_determined_group_uses_dvfs_pair(self, table):
+        controller = IRBoosterController(table, beta=10)
+        controller.configure_group(1, group_hr=0.3, input_determined=True)
+        assert controller.state(1).safe_level == 100
+        # Its initial aggressive level is still a booster level (Table 1: 100 -> 60).
+        assert controller.state(1).a_level == 60

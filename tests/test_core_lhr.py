@@ -1,0 +1,142 @@
+"""Tests for the LHR regularizer (paper Eq. 5, 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lhr import (
+    LHRRegularizer,
+    integer_hamming_table,
+    interpolated_hamming_rate,
+    interpolated_hamming_rate_grad,
+    layer_hamming_loss,
+    lhr_loss,
+)
+from repro.nn.layers import Linear, Module, Sequential
+from repro.nn.tensor import Tensor
+from repro.quant.quantizer import model_scales
+
+
+class TestIntegerHammingTable:
+    def test_length_and_range(self):
+        table = integer_hamming_table(8)
+        assert table.shape == (256,)
+        assert table.min() == 0.0 and table.max() == 1.0
+
+    def test_known_values(self):
+        table = integer_hamming_table(8)
+        qmin = -128
+        assert table[0 - qmin] == 0.0                 # 0 -> no ones
+        assert table[-1 - qmin] == 1.0                # -1 -> all ones
+        assert table[-128 - qmin] == pytest.approx(1 / 8)
+        assert table[8 - qmin] == pytest.approx(1 / 8)
+
+    def test_int4_table(self):
+        table = integer_hamming_table(4)
+        assert table.shape == (16,)
+        assert table[-1 + 8] == 1.0
+
+
+class TestInterpolatedHR:
+    def test_exact_integers_match_table(self):
+        table = integer_hamming_table(8)
+        weights = np.array([0.0, 8.0, -8.0, 127.0])
+        hr = interpolated_hamming_rate(weights, scale=1.0, bits=8)
+        expected = [table[0 + 128], table[8 + 128], table[-8 + 128], table[127 + 128]]
+        assert np.allclose(hr, expected)
+
+    def test_paper_example_minus_0p62(self):
+        """Fig. 7-(b): interpolated HR of -0.62 (scale 1) is 0.62."""
+        hr = interpolated_hamming_rate(np.array([-0.62]), scale=1.0, bits=8)
+        assert hr[0] == pytest.approx(0.62, abs=1e-9)
+
+    def test_paper_example_6p4(self):
+        """Fig. 7-(b): HR(6.4) = 0.3 (between 6=2 ones and 7=3 ones: 0.25+0.4*0.125)."""
+        hr = interpolated_hamming_rate(np.array([6.4]), scale=1.0, bits=8)
+        assert hr[0] == pytest.approx(0.3, abs=1e-9)
+
+    def test_clamps_out_of_range(self):
+        hr = interpolated_hamming_rate(np.array([1000.0]), scale=1.0, bits=8)
+        table = integer_hamming_table(8)
+        assert hr[0] == pytest.approx(table[127 + 128])
+
+    def test_respects_scale(self):
+        # weight 1.24 at scale 2 is ratio 0.62: same as the -0.62 case mirrored.
+        hr = interpolated_hamming_rate(np.array([12.8]), scale=2.0, bits=8)
+        expected = interpolated_hamming_rate(np.array([6.4]), scale=1.0, bits=8)
+        assert hr[0] == pytest.approx(expected[0])
+
+    @given(st.floats(min_value=-120.0, max_value=120.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_gradient_matches_finite_difference(self, weight):
+        # Stay away from the kinks where the derivative is not defined.
+        if abs(weight - round(weight)) < 1e-3:
+            weight += 0.01
+        eps = 1e-5
+        grad = interpolated_hamming_rate_grad(np.array([weight]), scale=1.0, bits=8)[0]
+        hi = interpolated_hamming_rate(np.array([weight + eps]), 1.0, 8)[0]
+        lo = interpolated_hamming_rate(np.array([weight - eps]), 1.0, 8)[0]
+        assert grad == pytest.approx((hi - lo) / (2 * eps), abs=1e-5)
+
+    def test_gradient_zero_outside_range(self):
+        grad = interpolated_hamming_rate_grad(np.array([1000.0, -1000.0]), 1.0, 8)
+        assert np.all(grad == 0.0)
+
+    def test_gradient_paper_example(self):
+        """Fig. 7-(b) slopes (as d(HR)/dw): -1 at -0.62 and +0.125 at 6.4.
+
+        The paper quotes the magnitudes with the opposite sign convention (the
+        descent direction); the interpolation segments are the same.
+        """
+        grads = interpolated_hamming_rate_grad(np.array([-0.62, 6.4]), 1.0, 8)
+        assert grads[0] == pytest.approx(-1.0)   # HR falls from 1.0 at -1 to 0.0 at 0
+        assert grads[1] == pytest.approx(0.125)  # HR rises from 0.25 at 6 to 0.375 at 7
+
+
+class TestLHRLoss:
+    def _model(self):
+        rng = np.random.default_rng(0)
+        return Sequential(Linear(8, 8, rng=rng), Linear(8, 4, rng=rng))
+
+    def test_layer_hamming_loss_backward_moves_toward_lower_hr(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(16, 16, rng=rng)
+        scale = 0.01
+        loss = layer_hamming_loss(layer.weight, scale, bits=8)
+        loss.backward()
+        assert layer.weight.grad is not None
+        # A gradient-descent step must not increase the surrogate HR.
+        before = interpolated_hamming_rate(layer.weight.data, scale, 8).mean()
+        stepped = layer.weight.data - 2e-4 * layer.weight.grad
+        after = interpolated_hamming_rate(stepped, scale, 8).mean()
+        assert after <= before + 1e-9
+
+    def test_lhr_loss_sums_squared_layer_hr(self):
+        model = self._model()
+        scales = model_scales(model, bits=8)
+        loss = lhr_loss(model, scales, bits=8, lam=1.0)
+        manual = 0.0
+        for name, layer in model.weight_layers():
+            hr = interpolated_hamming_rate(layer.weight.data, scales[name], 8).mean()
+            manual += hr ** 2
+        assert loss.item() == pytest.approx(manual)
+
+    def test_lhr_loss_scales_with_lambda(self):
+        model = self._model()
+        scales = model_scales(model, bits=8)
+        l1 = lhr_loss(model, scales, 8, lam=1.0).item()
+        l2 = lhr_loss(model, scales, 8, lam=2.5).item()
+        assert l2 == pytest.approx(2.5 * l1)
+
+    def test_lhr_loss_skips_layers_without_scale(self):
+        model = self._model()
+        assert lhr_loss(model, {}, 8, lam=1.0).item() == 0.0
+
+    def test_regularizer_callable_and_refresh(self):
+        model = self._model()
+        reg = LHRRegularizer(scales=model_scales(model, 8), bits=8, lam=0.5)
+        value = reg(model)
+        assert value.item() > 0.0
+        reg.refresh_scales(model)
+        assert set(reg.scales) == {name for name, _ in model.weight_layers()}

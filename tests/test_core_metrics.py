@@ -1,0 +1,133 @@
+"""Tests for the Rtog / HM / HR metrics (paper Eq. 1, 3, 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    hamming_rate,
+    hamming_value,
+    rtog,
+    rtog_trace,
+    rtog_upper_bound,
+    to_twos_complement_bits,
+    weighted_hamming_rate,
+)
+
+
+class TestTwosComplementBits:
+    def test_positive_value(self):
+        planes = to_twos_complement_bits(np.array([5]), bits=8)
+        assert planes.shape == (1, 8)
+        assert list(planes[0]) == [1, 0, 1, 0, 0, 0, 0, 0]
+
+    def test_negative_one_is_all_ones(self):
+        planes = to_twos_complement_bits(np.array([-1]), bits=8)
+        assert planes.sum() == 8
+
+    def test_negative_value(self):
+        # -128 = 0b10000000
+        planes = to_twos_complement_bits(np.array([-128]), bits=8)
+        assert planes.sum() == 1
+        assert planes[0, 7] == 1
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            to_twos_complement_bits(np.array([128]), bits=8)
+        with pytest.raises(ValueError):
+            to_twos_complement_bits(np.array([-129]), bits=8)
+
+    def test_non_integer_raises(self):
+        with pytest.raises(ValueError):
+            to_twos_complement_bits(np.array([1.5]), bits=8)
+
+    def test_shape_preserved(self):
+        values = np.arange(-8, 8).reshape(4, 4)
+        assert to_twos_complement_bits(values, 8).shape == (4, 4, 8)
+
+
+class TestHammingMetrics:
+    def test_hamming_value_known(self):
+        # 3 = 0b11 (2 ones), 4 = 0b100 (1 one), -1 = eight ones
+        assert hamming_value(np.array([3, 4, -1]), bits=8) == 2 + 1 + 8
+
+    def test_hamming_rate_bounds(self):
+        assert hamming_rate(np.zeros(10, dtype=int), 8) == 0.0
+        assert hamming_rate(np.full(10, -1, dtype=int), 8) == 1.0
+
+    def test_hamming_rate_empty(self):
+        assert hamming_rate(np.array([], dtype=int), 8) == 0.0
+
+    def test_weighted_hamming_rate_defaults_to_size_weighting(self):
+        a = np.zeros(10, dtype=int)          # HR 0
+        b = np.full(30, -1, dtype=int)       # HR 1
+        combined = weighted_hamming_rate([a, b], bits=8)
+        assert combined == pytest.approx(0.75)
+
+    def test_weighted_hamming_rate_explicit_weights(self):
+        a = np.zeros(4, dtype=int)
+        b = np.full(4, -1, dtype=int)
+        assert weighted_hamming_rate([a, b], 8, weights=[3, 1]) == pytest.approx(0.25)
+
+    def test_weighted_hamming_rate_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            weighted_hamming_rate([np.zeros(2, dtype=int)], 8, weights=[-1.0])
+
+    @given(st.lists(st.integers(min_value=-128, max_value=127), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_hamming_rate_matches_popcount(self, values):
+        codes = np.array(values)
+        expected = sum(bin(v & 0xFF).count("1") for v in values) / (len(values) * 8)
+        assert hamming_rate(codes, 8) == pytest.approx(expected)
+
+
+class TestRtog:
+    def test_no_toggle_means_zero(self):
+        codes = np.array([-1, -1, -1, -1])
+        bits_t = np.array([1, 0, 1, 0])
+        assert rtog(codes, bits_t, bits_t, bits=8) == 0.0
+
+    def test_all_toggle_equals_hr(self):
+        codes = np.array([7, -3, 100, 0])
+        ones = np.ones(4, dtype=int)
+        zeros = np.zeros(4, dtype=int)
+        assert rtog(codes, zeros, ones, bits=8) == pytest.approx(hamming_rate(codes, 8))
+
+    def test_zero_weights_give_zero_rtog(self):
+        codes = np.zeros(4, dtype=int)
+        assert rtog(codes, np.zeros(4), np.ones(4), bits=8) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rtog(np.zeros(4, dtype=int), np.zeros(3), np.zeros(4), bits=8)
+
+    def test_trace_length(self):
+        codes = np.array([1, 2, 3])
+        stream = np.array([[0, 1, 0], [1, 1, 0], [1, 0, 1], [0, 0, 1]])
+        trace = rtog_trace(codes, stream, bits=8)
+        assert trace.shape == (3,)
+
+    def test_trace_matches_pairwise_rtog(self):
+        generator = np.random.default_rng(0)
+        codes = generator.integers(-128, 128, size=16)
+        stream = generator.integers(0, 2, size=(10, 16))
+        trace = rtog_trace(codes, stream, bits=8)
+        for t in range(9):
+            assert trace[t] == pytest.approx(rtog(codes, stream[t], stream[t + 1], bits=8))
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=2, max_value=12),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_rtog_never_exceeds_hr(self, cells, cycles, seed):
+        """Equation 4: sup(Rtog) == HR, so every observed Rtog must be <= HR."""
+        generator = np.random.default_rng(seed)
+        codes = generator.integers(-128, 128, size=cells)
+        stream = generator.integers(0, 2, size=(cycles, cells))
+        trace = rtog_trace(codes, stream, bits=8)
+        bound = rtog_upper_bound(codes, bits=8)
+        assert np.all(trace <= bound + 1e-12)
+
+    def test_upper_bound_equals_hr(self):
+        codes = np.array([1, -5, 17, 99])
+        assert rtog_upper_bound(codes, 8) == hamming_rate(codes, 8)

@@ -1,0 +1,146 @@
+"""Tests for the task-mapping strategies and the HR-aware annealer (Alg. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.task_mapping import (
+    MAPPING_STRATEGIES,
+    AnnealingConfig,
+    MappingEvaluator,
+    TaskMapping,
+    build_mapping,
+    hr_aware_mapping,
+    random_mapping,
+    sequential_mapping,
+    zigzag_mapping,
+)
+from repro.pim.config import small_chip_config
+from repro.pim.dataflow import Task
+from repro.power.vf_table import VFTable
+
+from tests.helpers import make_operator
+
+
+def make_tasks(hr_spreads, chip_config, bits=8):
+    """One task per entry; ``hr_spreads`` controls each task's HR via code spread."""
+    tasks = []
+    for i, spread in enumerate(hr_spreads):
+        op = make_operator(f"op{i}", chip_config.macro.rows, chip_config.macro.banks,
+                           seed=i, spread=spread)
+        tasks.append(Task(task_id=i, operator_name=op.name, kind="conv", set_id=i,
+                          codes=op.codes, bits=bits))
+    return tasks
+
+
+@pytest.fixture
+def chip_config():
+    return small_chip_config(groups=4, macros_per_group=2, banks=4, rows=8)
+
+
+@pytest.fixture
+def evaluator(chip_config):
+    table = VFTable(nominal_voltage=chip_config.nominal_voltage,
+                    nominal_frequency=chip_config.nominal_frequency,
+                    signoff_ir_drop=chip_config.signoff_ir_drop)
+    return MappingEvaluator(chip_config, table, mode="low_power", seed=0)
+
+
+class TestBaselineStrategies:
+    def test_sequential_fills_in_order(self, chip_config):
+        tasks = make_tasks([10, 20, 30], chip_config)
+        mapping = sequential_mapping(tasks, chip_config)
+        assert mapping.assignment == {0: 0, 1: 1, 2: 2}
+        mapping.validate(tasks)
+
+    def test_zigzag_reverses_odd_groups(self, chip_config):
+        tasks = make_tasks([10] * 4, chip_config)
+        mapping = zigzag_mapping(tasks, chip_config)
+        # Groups of 2 macros: group 0 forward (0, 1), group 1 reversed (3, 2).
+        assert [mapping.macro_of(i) for i in range(4)] == [0, 1, 3, 2]
+
+    def test_random_is_seeded_and_valid(self, chip_config):
+        tasks = make_tasks([10] * 5, chip_config)
+        a = random_mapping(tasks, chip_config, seed=7)
+        b = random_mapping(tasks, chip_config, seed=7)
+        assert a.assignment == b.assignment
+        a.validate(tasks)
+
+    def test_capacity_check(self, chip_config):
+        tasks = make_tasks([10] * (chip_config.total_macros + 1), chip_config)
+        with pytest.raises(ValueError):
+            sequential_mapping(tasks, chip_config)
+
+    def test_validate_rejects_double_assignment(self, chip_config):
+        tasks = make_tasks([10, 10], chip_config)
+        mapping = TaskMapping(chip=chip_config, assignment={0: 0, 1: 0})
+        with pytest.raises(ValueError):
+            mapping.validate(tasks)
+
+    def test_build_mapping_dispatch(self, chip_config, evaluator):
+        tasks = make_tasks([10, 30], chip_config)
+        for strategy in MAPPING_STRATEGIES:
+            mapping = build_mapping(strategy, tasks, chip_config, evaluator=evaluator,
+                                    annealing=AnnealingConfig(steps=20))
+            mapping.validate(tasks)
+            assert mapping.strategy == strategy
+
+    def test_build_mapping_unknown_strategy(self, chip_config):
+        with pytest.raises(ValueError):
+            build_mapping("best-effort", [], chip_config)
+
+    def test_hr_aware_requires_evaluator(self, chip_config):
+        tasks = make_tasks([10], chip_config)
+        with pytest.raises(ValueError):
+            build_mapping("hr_aware", tasks, chip_config)
+
+
+class TestEvaluator:
+    def test_grouping_by_macro_location(self, chip_config, evaluator):
+        tasks = make_tasks([10, 50], chip_config)
+        mapping = sequential_mapping(tasks, chip_config)   # both tasks share group 0
+        evaluation = evaluator.evaluate(mapping, tasks)
+        assert set(evaluation.group_levels) == {0}
+        assert evaluation.power_mw > 0
+        assert evaluation.effective_tops > 0
+
+    def test_separating_high_and_low_hr_reduces_power(self, chip_config, evaluator):
+        """Placing a high-HR and a low-HR task in the same group forces the group
+        to the high level; separating them must not cost more power."""
+        tasks = make_tasks([4, 60], chip_config)           # very low vs very high HR
+        together = TaskMapping(chip=chip_config, assignment={0: 0, 1: 1})
+        separated = TaskMapping(chip=chip_config, assignment={0: 0, 1: 2})
+        power_together = evaluator.evaluate(together, tasks).power_mw
+        power_separated = evaluator.evaluate(separated, tasks).power_mw
+        assert power_separated <= power_together + 1e-9
+
+    def test_empty_mapping(self, chip_config, evaluator):
+        evaluation = evaluator.evaluate(TaskMapping(chip=chip_config), [])
+        assert evaluation.power_mw == 0.0
+        assert evaluation.score == 0.0
+
+
+class TestHRAwareMapping:
+    def test_anneal_not_worse_than_sequential(self, chip_config, evaluator):
+        # Mix of very different HR values: the annealer should find a grouping at
+        # least as good as naive sequential filling.
+        tasks = make_tasks([4, 60, 5, 55, 6, 50], chip_config)
+        sequential = sequential_mapping(tasks, chip_config)
+        annealed = hr_aware_mapping(tasks, chip_config, evaluator,
+                                    AnnealingConfig(steps=150, seed=3))
+        annealed.validate(tasks)
+        seq_score = evaluator.evaluate(sequential, tasks).score
+        ann_score = evaluator.evaluate(annealed, tasks).score
+        assert ann_score <= seq_score + 1e-9
+
+    def test_anneal_is_deterministic_for_a_seed(self, chip_config, evaluator):
+        tasks = make_tasks([4, 60, 5, 55], chip_config)
+        a = hr_aware_mapping(tasks, chip_config, evaluator, AnnealingConfig(steps=60, seed=5))
+        b = hr_aware_mapping(tasks, chip_config, evaluator, AnnealingConfig(steps=60, seed=5))
+        assert a.assignment == b.assignment
+
+    def test_group_tasks_helper(self, chip_config):
+        tasks = make_tasks([10, 20, 30], chip_config)
+        mapping = sequential_mapping(tasks, chip_config)
+        groups = mapping.group_tasks(tasks)
+        assert sorted(groups) == [0, 1]
+        assert len(groups[0]) == 2 and len(groups[1]) == 1

@@ -1,0 +1,145 @@
+"""Tests for WDS: weight distribution shift and shift compensation (Alg. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import hamming_rate
+from repro.core.wds import (
+    WDSPlan,
+    choose_delta,
+    int_range,
+    matmul_with_wds,
+    overflow_fraction,
+    plan_wds,
+    recommended_deltas,
+    shift_compensation,
+    shift_weights,
+    shifted_hamming_rate,
+)
+
+
+def bell_shaped_codes(size: int, spread: float = 15.0, seed: int = 0) -> np.ndarray:
+    generator = np.random.default_rng(seed)
+    return np.clip(np.round(generator.laplace(0.0, spread, size=size)), -128, 127).astype(np.int64)
+
+
+class TestShiftWeights:
+    def test_simple_shift(self):
+        assert list(shift_weights(np.array([-3, 0, 5]), 8, 8)) == [5, 8, 13]
+
+    def test_clamps_at_int_max(self):
+        shifted = shift_weights(np.array([125, 127]), 8, 8)
+        assert list(shifted) == [127, 127]
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            shift_weights(np.array([0]), -4, 8)
+
+    def test_int_range(self):
+        assert int_range(8) == (-128, 127)
+        assert int_range(4) == (-8, 7)
+
+    def test_overflow_fraction(self):
+        codes = np.array([0, 100, 125, 127])
+        assert overflow_fraction(codes, 8, 8) == pytest.approx(0.5)
+        assert overflow_fraction(codes, 0, 8) == 0.0
+
+
+class TestShiftCompensation:
+    def test_vector_input(self):
+        output = np.array([10.0, 20.0])
+        inputs = np.array([1.0, 2.0, 3.0])
+        corrected = shift_compensation(output, inputs, delta=4)
+        assert np.allclose(corrected, output - 4 * 6.0)
+
+    def test_matrix_input_per_column(self):
+        inputs = np.array([[1.0, 2.0], [3.0, 4.0]])   # columns sum to 4 and 6
+        output = np.zeros((3, 2))
+        corrected = shift_compensation(output, inputs, delta=2)
+        assert np.allclose(corrected, [[-8, -12]] * 3)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1),
+           st.sampled_from([2, 4, 8, 16]))
+    @settings(max_examples=40, deadline=None)
+    def test_matmul_with_wds_exact_when_no_clamp(self, seed, delta):
+        """Algorithm 1 is numerically exact as long as no weight clamps."""
+        generator = np.random.default_rng(seed)
+        weights = generator.integers(-100, 100 - delta, size=(6, 5))
+        inputs = generator.integers(-7, 8, size=5)
+        result = matmul_with_wds(weights, inputs, delta=delta, bits=8)
+        assert np.allclose(result, weights @ inputs)
+
+    def test_matmul_with_wds_batch(self):
+        generator = np.random.default_rng(3)
+        weights = generator.integers(-50, 50, size=(4, 6))
+        inputs = generator.integers(-3, 4, size=(6, 5))
+        result = matmul_with_wds(weights, inputs, delta=8, bits=8)
+        assert np.allclose(result, weights @ inputs)
+
+    def test_clamping_introduces_bounded_error(self):
+        weights = np.array([[126, 0]])
+        inputs = np.array([2, 3])
+        exact = weights @ inputs
+        approx = matmul_with_wds(weights, inputs, delta=8, bits=8)
+        # 126+8 clamps to 127, losing 7 counts on a single weight * input 2.
+        assert abs(float(approx[0] - exact[0])) == 7 * 2
+
+
+class TestDeltaSelection:
+    def test_recommended_deltas_int8_and_int4(self):
+        assert recommended_deltas(8) == [8, 16]
+        assert recommended_deltas(4) == [2, 4]
+
+    def test_shift_reduces_hr_for_bell_shaped_weights(self):
+        """The core WDS claim: +8/+16 lowers HR of zero-centred weight codes."""
+        codes = bell_shaped_codes(4096)
+        base = hamming_rate(codes, 8)
+        assert shifted_hamming_rate(codes, 8, 8) < base
+        assert shifted_hamming_rate(codes, 16, 8) < base
+
+    def test_misaligned_delta_increases_hr_on_lhr_clustered_weights(self):
+        """Fig. 14: after LHR clusters weights at low-HR codes (0, +-8, +-16, ...),
+        a delta that is not aligned with that grid increases HR while an aligned
+        one decreases it."""
+        raw = bell_shaped_codes(4096)
+        clustered = np.clip(8 * np.round(raw / 8.0), -128, 127).astype(np.int64)
+        base = hamming_rate(clustered, 8)
+        assert shifted_hamming_rate(clustered, 3, 8) > base
+        assert shifted_hamming_rate(clustered, 8, 8) < base
+
+    def test_choose_delta_prefers_recommended(self):
+        codes = bell_shaped_codes(4096)
+        assert choose_delta(codes, 8) in (8, 16)
+
+    def test_choose_delta_rejects_overflowing_candidates(self):
+        codes = np.full(100, 120, dtype=np.int64)
+        assert choose_delta(codes, 8, max_overflow=0.01) == 0
+
+    def test_choose_delta_zero_for_already_optimal(self):
+        codes = np.zeros(64, dtype=np.int64)
+        assert choose_delta(codes, 8) == 0
+
+
+class TestWDSPlan:
+    def test_plan_records_before_after(self):
+        layers = {"a": bell_shaped_codes(512, seed=1), "b": bell_shaped_codes(512, seed=2)}
+        plan = plan_wds(layers, bits=8, delta=8)
+        assert set(plan.deltas) == {"a", "b"}
+        assert plan.mean_hr_after < plan.mean_hr_before
+        assert all(v == 8 for v in plan.deltas.values())
+        assert plan.delta_for("a") == 8
+        assert plan.delta_for("missing") == 0
+
+    def test_auto_plan_never_increases_hr(self):
+        layers = {f"l{i}": bell_shaped_codes(256, seed=i) for i in range(4)}
+        plan = plan_wds(layers, bits=8, delta=None)
+        for name in layers:
+            assert plan.hr_after[name] <= plan.hr_before[name] + 1e-12
+
+    def test_empty_plan(self):
+        plan = plan_wds({}, bits=8)
+        assert plan.mean_hr_before == 0.0
+        assert plan.mean_hr_after == 0.0
+        assert plan.max_hr_after == 0.0

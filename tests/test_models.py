@@ -1,0 +1,132 @@
+"""Tests for the model zoo and its registry."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    LlamaTiny,
+    RMSNorm,
+    build_dataset,
+    build_model,
+    get_model_spec,
+    gpt2,
+    list_models,
+    llama,
+    mobilenet_v2,
+    resnet18,
+    vit,
+    yolov5,
+)
+from repro.models.llama import apply_rope, rotary_embedding
+from repro.nn import Conv2d, Linear
+from repro.nn.tensor import Tensor
+
+PAPER_WORKLOADS = {"resnet18", "mobilenetv2", "yolov5", "vit", "gpt2", "llama3"}
+
+
+class TestRegistry:
+    def test_all_paper_workloads_registered(self):
+        assert PAPER_WORKLOADS.issubset(set(list_models()))
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_model_spec("ResNet18").name == "resnet18"
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            get_model_spec("alexnet")
+
+    def test_families_and_tasks(self):
+        assert get_model_spec("resnet18").family == "conv"
+        assert get_model_spec("vit").family == "transformer"
+        assert get_model_spec("yolov5").task == "detection"
+        assert get_model_spec("llama3").task == "language_modeling"
+
+    @pytest.mark.parametrize("name", sorted(PAPER_WORKLOADS))
+    def test_build_and_forward(self, name):
+        spec = get_model_spec(name)
+        model = build_model(name)
+        dataset = build_dataset(name)
+        sample = dataset.inputs[:2]
+        output = model(sample) if spec.task == "language_modeling" else model(Tensor(sample))
+        assert output.shape[0] == 2
+        assert np.all(np.isfinite(output.data))
+
+    @pytest.mark.parametrize("name", sorted(PAPER_WORKLOADS))
+    def test_every_model_has_pim_weight_layers(self, name):
+        model = build_model(name)
+        layers = model.weight_layers()
+        assert len(layers) >= 3
+        assert all(isinstance(layer, (Linear, Conv2d)) for _, layer in layers)
+
+
+class TestConvModels:
+    def test_resnet_output_shape_and_depth(self):
+        model = resnet18(num_classes=7, base_width=4)
+        out = model(Tensor(np.zeros((2, 3, 16, 16))))
+        assert out.shape == (2, 7)
+        conv_layers = [n for n, l in model.weight_layers() if isinstance(l, Conv2d)]
+        assert len(conv_layers) >= 17         # 8 blocks x 2 convs + stem + downsamples
+
+    def test_resnet_layer_names_match_torchvision_convention(self):
+        model = resnet18()
+        names = [name for name, _ in model.weight_layers()]
+        assert any(name.startswith("layer3.") and name.endswith("conv1") for name in names)
+
+    def test_mobilenet_uses_depthwise_convs(self):
+        model = mobilenet_v2(base_width=4)
+        depthwise = [l for _, l in model.weight_layers()
+                     if isinstance(l, Conv2d) and l.groups == l.in_channels and l.groups > 1]
+        assert len(depthwise) >= 4
+        assert model(Tensor(np.zeros((1, 3, 16, 16)))).shape == (1, 10)
+
+    def test_yolo_head_outputs_box_plus_classes(self):
+        model = yolov5(num_classes=5, base_width=4)
+        out = model(Tensor(np.zeros((3, 3, 16, 16))))
+        assert out.shape == (3, 4 + 5)
+
+
+class TestTransformerModels:
+    def test_vit_patch_count(self):
+        model = vit(image_size=16, patch_size=4, dim=16, depth=1)
+        assert model.patch_embed.num_patches == 16
+        assert model(Tensor(np.zeros((2, 3, 16, 16)))).shape == (2, 10)
+
+    def test_vit_rejects_bad_patch_size(self):
+        with pytest.raises(ValueError):
+            vit(image_size=10, patch_size=3)
+
+    def test_gpt2_sequence_length_guard(self):
+        model = gpt2(vocab_size=16, dim=16, depth=1)
+        with pytest.raises(ValueError):
+            model(np.zeros((1, model.max_seq_len + 1), dtype=np.int64))
+
+    def test_gpt2_handles_1d_input(self):
+        model = gpt2(vocab_size=16, dim=16, depth=1)
+        out = model(np.arange(8))
+        assert out.shape == (1, 8, 16)
+
+    def test_llama_forward_and_rmsnorm(self):
+        model = llama(vocab_size=16, dim=16, depth=1)
+        out = model(np.zeros((2, 6), dtype=np.int64))
+        assert out.shape == (2, 6, 16)
+        norm = RMSNorm(8)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 8)))
+        normalized = norm(x)
+        rms = np.sqrt((normalized.data ** 2).mean(axis=-1))
+        assert np.allclose(rms, 1.0, atol=1e-3)
+
+    def test_rope_preserves_norm(self):
+        cos, sin = rotary_embedding(seq_len=5, head_dim=8)
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 2, 5, 8)))
+        rotated = apply_rope(x, cos, sin)
+        assert np.allclose(np.linalg.norm(rotated.data, axis=-1),
+                           np.linalg.norm(x.data, axis=-1), atol=1e-9)
+
+    def test_llama_causality(self):
+        model = llama(vocab_size=16, dim=16, depth=1)
+        tokens = np.arange(8, dtype=np.int64)[None, :] % 16
+        base = model(tokens).data.copy()
+        perturbed = tokens.copy()
+        perturbed[0, -1] = (perturbed[0, -1] + 1) % 16
+        out = model(perturbed).data
+        assert np.allclose(out[0, :-1], base[0, :-1], atol=1e-9)

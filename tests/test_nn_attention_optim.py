@@ -1,0 +1,128 @@
+"""Tests for attention blocks and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, AdamW, SGD, Linear, Module, Parameter
+from repro.nn.attention import (
+    FeedForward,
+    GatedFeedForward,
+    MultiHeadAttention,
+    TransformerBlock,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestAttention:
+    def test_output_shape(self):
+        attn = MultiHeadAttention(dim=16, num_heads=4, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 5, 16)))
+        assert attn(x).shape == (2, 5, 16)
+
+    def test_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(dim=10, num_heads=3)
+
+    def test_causal_mask_blocks_future_tokens(self):
+        """Changing a future token must not affect earlier outputs under causality."""
+        rng = np.random.default_rng(2)
+        attn = MultiHeadAttention(dim=8, num_heads=2, causal=True, rng=rng)
+        x = rng.normal(size=(1, 6, 8))
+        base = attn(Tensor(x)).data.copy()
+        perturbed = x.copy()
+        perturbed[0, 5] += 10.0
+        out = attn(Tensor(perturbed)).data
+        assert np.allclose(out[0, :5], base[0, :5], atol=1e-9)
+        assert not np.allclose(out[0, 5], base[0, 5])
+
+    def test_non_causal_attends_everywhere(self):
+        rng = np.random.default_rng(3)
+        attn = MultiHeadAttention(dim=8, num_heads=2, causal=False, rng=rng)
+        x = rng.normal(size=(1, 4, 8))
+        base = attn(Tensor(x)).data.copy()
+        perturbed = x.copy()
+        perturbed[0, 3] += 5.0
+        out = attn(Tensor(perturbed)).data
+        assert not np.allclose(out[0, 0], base[0, 0])
+
+    def test_operator_kind_tags_present(self):
+        attn = MultiHeadAttention(dim=8, num_heads=2)
+        assert attn.operator_kinds["qk_t"] == "qk_t"
+        assert attn.operator_kinds["q_proj"] == "qkv"
+
+    def test_transformer_block_gradients(self):
+        block = TransformerBlock(dim=16, num_heads=4, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 4, 16)), requires_grad=True)
+        (block(x) ** 2).mean().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in block.parameters())
+
+    def test_feedforward_shapes(self):
+        ff = FeedForward(8, 32)
+        gff = GatedFeedForward(8, 32)
+        x = Tensor(np.zeros((2, 3, 8)))
+        assert ff(x).shape == (2, 3, 8)
+        assert gff(x).shape == (2, 3, 8)
+
+
+class QuadraticProblem(Module):
+    """f(w) = ||w - target||^2, minimized at w = target."""
+
+    def __init__(self, target):
+        super().__init__()
+        self.w = Parameter(np.zeros_like(target))
+        self.target = target
+
+    def loss(self):
+        diff = self.w - Tensor(self.target)
+        return (diff * diff).sum()
+
+
+class TestOptimizers:
+    target = np.array([1.0, -2.0, 3.0])
+
+    def _train(self, optimizer_cls, steps=200, **kwargs):
+        problem = QuadraticProblem(self.target)
+        optimizer = optimizer_cls(problem.parameters(), **kwargs)
+        for _ in range(steps):
+            loss = problem.loss()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        return problem
+
+    def test_sgd_converges(self):
+        problem = self._train(SGD, lr=0.05)
+        assert np.allclose(problem.w.data, self.target, atol=1e-2)
+
+    def test_sgd_momentum_converges(self):
+        problem = self._train(SGD, lr=0.02, momentum=0.9)
+        assert np.allclose(problem.w.data, self.target, atol=1e-2)
+
+    def test_adam_converges(self):
+        problem = self._train(Adam, lr=0.1)
+        assert np.allclose(problem.w.data, self.target, atol=1e-2)
+
+    def test_adamw_decay_shrinks_weights(self):
+        no_decay = self._train(AdamW, steps=50, lr=0.05, weight_decay=0.0)
+        with_decay = self._train(AdamW, steps=50, lr=0.05, weight_decay=0.2)
+        assert np.abs(with_decay.w.data).sum() < np.abs(no_decay.w.data).sum() + 1e-9
+
+    def test_weight_decay_sgd(self):
+        problem = QuadraticProblem(np.zeros(3))
+        problem.w.data = np.ones(3)
+        optimizer = SGD(problem.parameters(), lr=0.0, weight_decay=1.0)
+        loss = problem.loss()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        assert np.allclose(problem.w.data, 1.0)   # lr 0 -> no change even with decay
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_step_skips_parameters_without_grad(self):
+        layer = Linear(2, 2)
+        optimizer = Adam(layer.parameters(), lr=0.1)
+        optimizer.step()     # no gradients anywhere; must not raise

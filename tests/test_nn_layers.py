@@ -1,0 +1,166 @@
+"""Tests for Module mechanics and the concrete layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GELU,
+    Identity,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    SiLU,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestModuleMechanics:
+    def test_parameter_registration_and_names(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(4, 3, rng=rng), ReLU(), Linear(3, 2, rng=rng))
+        names = [name for name, _ in model.named_parameters()]
+        assert "layer0.weight" in names and "layer2.bias" in names
+        assert len(list(model.parameters())) == 4
+
+    def test_weight_layers_lists_linear_and_conv(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Conv2d(1, 2, 3, rng=rng), ReLU(), Linear(8, 4, rng=rng))
+        kinds = [type(layer).__name__ for _, layer in model.weight_layers()]
+        assert kinds == ["Conv2d", "Linear"]
+
+    def test_state_dict_roundtrip(self):
+        rng = np.random.default_rng(0)
+        a = Sequential(Linear(4, 4, rng=rng))
+        b = Sequential(Linear(4, 4, rng=np.random.default_rng(99)))
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a[0].weight.data, b[0].weight.data)
+
+    def test_state_dict_rejects_unknown_or_mismatched(self):
+        model = Sequential(Linear(4, 4))
+        with pytest.raises(KeyError):
+            model.load_state_dict({"nope": np.zeros((4, 4))})
+        with pytest.raises(ValueError):
+            model.load_state_dict({"layer0.weight": np.zeros((2, 2))})
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), Sequential(Dropout(0.5)))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        layer = Linear(3, 3)
+        (layer(Tensor(np.ones((2, 3)))) ** 2).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestLinearAndConv:
+    def test_linear_forward_matches_matmul(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(5, 3, rng=rng)
+        x = rng.normal(size=(4, 5))
+        out = layer(Tensor(x))
+        assert np.allclose(out.data, x @ layer.weight.data.T + layer.bias.data)
+
+    def test_linear_without_bias(self):
+        layer = Linear(5, 3, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_conv_output_shape(self):
+        layer = Conv2d(3, 8, 3, stride=2, padding=1)
+        out = layer(Tensor(np.zeros((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_laplace_init_is_zero_centred_and_heavy_tailed(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(256, 256, rng=rng)
+        w = layer.weight.data
+        assert abs(w.mean()) < 0.01
+        # Laplace kurtosis (~3 excess) distinguishes it from uniform (-1.2).
+        centred = w - w.mean()
+        kurtosis = (centred ** 4).mean() / (centred ** 2).mean() ** 2 - 3
+        assert kurtosis > 1.0
+
+
+class TestNormalization:
+    def test_batchnorm_normalizes_in_training(self):
+        bn = BatchNorm2d(3)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 2.0, size=(8, 3, 4, 4)))
+        out = bn(x)
+        assert abs(out.data.mean()) < 1e-6
+        assert out.data.std() == pytest.approx(1.0, abs=0.05)
+
+    def test_batchnorm_running_stats_track_batches(self):
+        bn = BatchNorm2d(2)
+        x = np.random.default_rng(0).normal(5.0, 1.0, size=(16, 2, 4, 4))
+        for _ in range(5):
+            bn(Tensor(x))
+        assert np.allclose(bn.running_mean, 5.0, atol=0.2)
+        bn.eval()
+        out = bn(Tensor(x))
+        assert abs(out.data.mean()) < 0.2
+
+    def test_batchnorm_gradients_flow(self):
+        bn = BatchNorm2d(2)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 2, 3, 3)), requires_grad=True)
+        (bn(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert bn.weight.grad is not None
+
+    def test_layernorm_normalizes_last_dim(self):
+        ln = LayerNorm(16)
+        x = Tensor(np.random.default_rng(0).normal(2.0, 3.0, size=(4, 8, 16)))
+        out = ln(x)
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+
+class TestOtherLayers:
+    def test_embedding_shape(self):
+        emb = Embedding(10, 4)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_dropout_eval_is_identity(self):
+        drop = Dropout(0.9)
+        drop.eval()
+        x = Tensor(np.ones((4, 4)))
+        assert np.allclose(drop(x).data, 1.0)
+
+    def test_dropout_train_scales_survivors(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        out = drop(Tensor(np.ones((100, 100))))
+        values = np.unique(np.round(out.data, 6))
+        assert set(values).issubset({0.0, 2.0})
+
+    def test_activations_and_flatten(self):
+        x = Tensor(np.array([[-1.0, 2.0]]))
+        assert np.allclose(ReLU()(x).data, [[0.0, 2.0]])
+        assert np.allclose(Identity()(x).data, x.data)
+        assert SiLU()(x).data[0, 1] == pytest.approx(2.0 / (1 + np.exp(-2.0)) * 1, rel=1e-6)
+        assert GELU()(x).data[0, 0] < 0.0
+        assert Flatten()(Tensor(np.zeros((2, 3, 4)))).shape == (2, 12)
+
+    def test_maxpool_module(self):
+        pool = MaxPool2d(2)
+        out = pool(Tensor(np.arange(16.0).reshape(1, 1, 4, 4)))
+        assert out.shape == (1, 1, 2, 2)
+
+    def test_sequential_indexing(self):
+        seq = Sequential(ReLU(), GELU(), SiLU())
+        assert len(seq) == 3
+        assert isinstance(seq[1], GELU)
+        assert [type(m).__name__ for m in seq] == ["ReLU", "GELU", "SiLU"]

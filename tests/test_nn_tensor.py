@@ -1,0 +1,208 @@
+"""Tests for the autograd tensor engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor, concatenate, ones, randn, stack, tensor, where, zeros
+
+
+def numeric_gradient(fn, x, eps=1e-6):
+    """Central-difference gradient of a scalar function of a numpy array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        hi = fn(x)
+        flat[i] = original - eps
+        lo = fn(x)
+        flat[i] = original
+        grad_flat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+class TestBasics:
+    def test_constructors(self):
+        assert zeros((2, 3)).shape == (2, 3)
+        assert ones((4,)).data.sum() == 4
+        assert tensor([1.0, 2.0]).size == 2
+        assert randn((3, 3), np.random.default_rng(0)).shape == (3, 3)
+
+    def test_detach_and_item(self):
+        t = tensor([[3.5]], requires_grad=True)
+        assert t.item() == 3.5
+        assert not t.detach().requires_grad
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            tensor([1.0]).backward()
+
+
+class TestArithmeticGradients:
+    def test_add_mul_chain(self):
+        a = tensor([1.0, 2.0, 3.0], requires_grad=True)
+        b = tensor([4.0, 5.0, 6.0], requires_grad=True)
+        loss = ((a * b + a) * 2.0).sum()
+        loss.backward()
+        assert np.allclose(a.grad, 2.0 * (np.array([4, 5, 6]) + 1))
+        assert np.allclose(b.grad, 2.0 * np.array([1, 2, 3]))
+
+    def test_broadcast_add_reduces_grad(self):
+        a = tensor(np.ones((4, 3)), requires_grad=True)
+        b = tensor(np.ones(3), requires_grad=True)
+        (a + b).sum().backward()
+        assert b.grad.shape == (3,)
+        assert np.allclose(b.grad, 4.0)
+
+    def test_div_pow_neg(self):
+        a = tensor([2.0, 4.0], requires_grad=True)
+        loss = ((1.0 / a) + (-a) ** 2).sum()
+        loss.backward()
+        expected = -1.0 / np.array([2.0, 4.0]) ** 2 + 2 * np.array([2.0, 4.0])
+        assert np.allclose(a.grad, expected)
+
+    def test_matmul_2d(self):
+        rng = np.random.default_rng(0)
+        a_val = rng.normal(size=(3, 4))
+        b_val = rng.normal(size=(4, 2))
+        a = Tensor(a_val, requires_grad=True)
+        b = Tensor(b_val, requires_grad=True)
+        (a @ b).sum().backward()
+        assert np.allclose(a.grad, np.ones((3, 2)) @ b_val.T)
+        assert np.allclose(b.grad, a_val.T @ np.ones((3, 2)))
+
+    def test_matmul_batched(self):
+        rng = np.random.default_rng(1)
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 4, 5)), requires_grad=True)
+        out = a.matmul(b)
+        assert out.shape == (2, 3, 5)
+        (out * out).sum().backward()
+        assert a.grad.shape == (2, 3, 4) and b.grad.shape == (2, 4, 5)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_elementwise_ops_match_numeric_gradient(self, seed):
+        rng = np.random.default_rng(seed)
+        x_val = rng.uniform(0.2, 2.0, size=(3, 3))
+
+        def loss_fn(arr):
+            t = Tensor(arr)
+            return float((t.exp() + t.log() + t.tanh() + t.sigmoid()).sum().data)
+
+        x = Tensor(x_val.copy(), requires_grad=True)
+        (x.exp() + x.log() + x.tanh() + x.sigmoid()).sum().backward()
+        numeric = numeric_gradient(loss_fn, x_val.copy())
+        assert np.allclose(x.grad, numeric, atol=1e-4)
+
+
+class TestShapingOps:
+    def test_reshape_transpose_roundtrip(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        y = x.reshape(4, 3).transpose()
+        (y * y).sum().backward()
+        assert x.grad.shape == (3, 4)
+        assert np.allclose(x.grad, 2 * x.data)
+
+    def test_getitem_gradient(self):
+        x = Tensor(np.arange(10.0), requires_grad=True)
+        x[2:5].sum().backward()
+        expected = np.zeros(10)
+        expected[2:5] = 1
+        assert np.allclose(x.grad, expected)
+
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        x.sum(axis=(1, 2)).sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_mean_gradient(self):
+        x = Tensor(np.ones((4, 5)), requires_grad=True)
+        x.mean().backward()
+        assert np.allclose(x.grad, 1.0 / 20)
+
+    def test_concatenate_and_stack(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(2 * np.ones((2, 2)), requires_grad=True)
+        cat = concatenate([a, b], axis=0)
+        assert cat.shape == (4, 2)
+        stk = stack([a, b], axis=0)
+        assert stk.shape == (2, 2, 2)
+        (cat.sum() + stk.sum()).backward()
+        assert np.allclose(a.grad, 2.0)
+        assert np.allclose(b.grad, 2.0)
+
+    def test_where_gradient_routing(self):
+        cond = np.array([True, False, True])
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        where(cond, a, b).sum().backward()
+        assert np.allclose(a.grad, [1, 0, 1])
+        assert np.allclose(b.grad, [0, 1, 0])
+
+
+class TestNonlinearities:
+    def test_relu_masks_gradient(self):
+        x = Tensor(np.array([-1.0, 2.0, -3.0, 4.0]), requires_grad=True)
+        x.relu().sum().backward()
+        assert np.allclose(x.grad, [0, 1, 0, 1])
+
+    def test_clip_gradient(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(x.grad, [0, 1, 0])
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 7)), requires_grad=True)
+        s = x.softmax(axis=-1)
+        assert np.allclose(s.data.sum(axis=-1), 1.0)
+        # Gradient of the sum of a softmax is ~0 (it is constant at 1 per row).
+        s.sum().backward()
+        assert np.allclose(x.grad, 0.0, atol=1e-9)
+
+    def test_gelu_matches_numeric(self):
+        x_val = np.linspace(-2, 2, 9)
+        x = Tensor(x_val.copy(), requires_grad=True)
+        x.gelu().sum().backward()
+        numeric = numeric_gradient(lambda arr: float(Tensor(arr).gelu().sum().data),
+                                   x_val.copy())
+        assert np.allclose(x.grad, numeric, atol=1e-5)
+
+    def test_round_ste_passes_gradient(self):
+        x = Tensor(np.array([0.4, 1.6]), requires_grad=True)
+        y = x.round_ste()
+        assert np.allclose(y.data, [0.0, 2.0])
+        y.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_abs_gradient(self):
+        x = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        x.abs().sum().backward()
+        assert np.allclose(x.grad, [-1.0, 1.0])
+
+
+class TestGraphBehaviour:
+    def test_gradient_accumulates_over_reuse(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x * 2.0 + x * 3.0
+        y.backward()
+        assert np.allclose(x.grad, 5.0)
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 3.0
+        b = x * 4.0
+        (a * b).backward()
+        # d/dx (12 x^2) = 24 x = 48
+        assert np.allclose(x.grad, 48.0)
+
+    def test_deep_chain_does_not_recurse(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(500):
+            y = y * 1.001
+        y.backward()
+        assert x.grad is not None

@@ -1,0 +1,287 @@
+"""Tests for the PIM hardware substrate: bit-serial, banks, macros, chip, dataflow."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.wds import shift_weights
+from repro.pim import (
+    AdderTree,
+    BankConfig,
+    ChipConfig,
+    GroupConfig,
+    MacroConfig,
+    Operator,
+    PIMBank,
+    PIMChip,
+    PIMMacro,
+    ShiftCompensator,
+    Task,
+    bit_serial_matmul,
+    bit_serial_stream,
+    build_tasks,
+    default_chip_config,
+    from_bit_planes,
+    layer_weight_matrix,
+    small_chip_config,
+    stream_toggle_counts,
+    tile_matrix,
+    to_bit_planes,
+)
+
+
+class TestBitSerial:
+    @given(st.lists(st.integers(min_value=-128, max_value=127), min_size=1, max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_bit_plane_roundtrip(self, values):
+        codes = np.array(values)
+        planes = to_bit_planes(codes, 8)
+        assert np.array_equal(from_bit_planes(planes, signed=True), codes)
+
+    def test_bit_serial_stream_layout(self):
+        acts = np.array([[1, 2], [3, 0]])
+        stream = bit_serial_stream(acts, bits=4)
+        assert stream.shape == (8, 2)
+        # First wave, LSB first: 1 -> [1,0,0,0] down the cycles of column 0.
+        assert list(stream[:4, 0]) == [1, 0, 0, 0]
+        assert list(stream[:4, 1]) == [0, 1, 0, 0]
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_bit_serial_matmul_matches_integer_matmul(self, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(-128, 128, size=10)
+        acts = rng.integers(-8, 8, size=(5, 10))
+        assert np.array_equal(bit_serial_matmul(weights, acts, input_bits=4), acts @ weights)
+
+    def test_toggle_counts(self):
+        stream = np.array([[0, 0], [1, 0], [1, 1]], dtype=np.uint8)
+        assert list(stream_toggle_counts(stream)) == [1, 1]
+
+    def test_out_of_range_activation_rejected(self):
+        with pytest.raises(ValueError):
+            bit_serial_stream(np.array([[300]]), bits=8)
+
+
+class TestBankAndMacro:
+    def make_macro(self):
+        return PIMMacro(MacroConfig(banks=3, bank=BankConfig(rows=6, weight_bits=8,
+                                                             input_bits=4)))
+
+    def test_bank_load_and_capacity(self):
+        bank = PIMBank(BankConfig(rows=4))
+        bank.load_weights(np.array([1, -2, 3]))
+        assert bank.loaded_rows == 3
+        with pytest.raises(ValueError):
+            bank.load_weights(np.arange(5))
+        with pytest.raises(ValueError):
+            bank.load_weights(np.array([999]))
+
+    def test_bank_execute_matches_matmul_and_bounds_rtog(self):
+        rng = np.random.default_rng(0)
+        bank = PIMBank(BankConfig(rows=8, input_bits=4))
+        weights = rng.integers(-100, 100, size=8)
+        bank.load_weights(weights)
+        acts = rng.integers(-7, 8, size=(6, 8))
+        execution = bank.execute(acts)
+        assert np.array_equal(execution.partial_sums, acts @ weights)
+        assert execution.peak_rtog <= bank.hamming_rate + 1e-12
+        assert execution.cycles == 6 * 4
+
+    def test_macro_functional_and_hr(self):
+        rng = np.random.default_rng(1)
+        macro = self.make_macro()
+        tile = rng.integers(-100, 100, size=(6, 3))
+        macro.load_weight_matrix(tile)
+        acts = rng.integers(-7, 8, size=(4, 6))
+        execution = macro.execute(acts)
+        assert np.allclose(execution.outputs, acts @ tile)
+        assert execution.peak_rtog <= macro.hamming_rate + 1e-12
+        assert macro.bank_hamming_rates.shape == (3,)
+
+    def test_macro_wds_compensation_is_exact_without_clamp(self):
+        rng = np.random.default_rng(2)
+        macro = self.make_macro()
+        tile = rng.integers(-100, 100, size=(6, 3))
+        macro.load_weight_matrix(tile, wds_delta=16)
+        acts = rng.integers(-7, 8, size=(5, 6))
+        execution = macro.execute(acts)
+        assert np.allclose(execution.outputs, acts @ tile)
+        # The stored codes really are the shifted ones.
+        assert np.array_equal(macro.weight_matrix[:6, :], shift_weights(tile, 16, 8))
+
+    def test_macro_wds_lowers_hr_for_bell_shaped_weights(self):
+        rng = np.random.default_rng(3)
+        tile = np.clip(np.round(rng.laplace(0, 15, size=(6, 3))), -128, 127).astype(int)
+        plain = self.make_macro()
+        plain.load_weight_matrix(tile)
+        shifted = self.make_macro()
+        shifted.load_weight_matrix(tile, wds_delta=8)
+        assert shifted.hamming_rate < plain.hamming_rate
+
+    def test_macro_rejects_oversized_tile_and_unloaded_execute(self):
+        macro = self.make_macro()
+        with pytest.raises(ValueError):
+            macro.load_weight_matrix(np.zeros((10, 2), dtype=int))
+        with pytest.raises(RuntimeError):
+            macro.execute(np.zeros((1, 6), dtype=int))
+
+    def test_apim_mode_quantizes_outputs(self):
+        config = MacroConfig(banks=2, bank=BankConfig(rows=6, input_bits=4),
+                             is_analog=True, adc_bits=4)
+        rng = np.random.default_rng(4)
+        macro = PIMMacro(config)
+        tile = rng.integers(-100, 100, size=(6, 2))
+        macro.load_weight_matrix(tile)
+        acts = rng.integers(-7, 8, size=(3, 6))
+        execution = macro.execute(acts)
+        exact = acts @ tile
+        # ADC quantization introduces bounded error but keeps the trend.
+        assert not np.allclose(execution.outputs, exact)
+        full_scale = 6 * 128
+        step = 2 * full_scale / (1 << 4)
+        in_range = np.abs(exact) <= full_scale
+        assert np.all(np.abs(execution.outputs - exact)[in_range] <= step)
+        # Accumulations beyond the ADC full scale saturate at the rails.
+        assert np.all(np.abs(execution.outputs[~in_range]) == full_scale)
+
+    def test_macro_clear(self):
+        macro = self.make_macro()
+        macro.load_weight_matrix(np.ones((6, 3), dtype=int), wds_delta=8)
+        macro.clear()
+        assert not macro.is_loaded
+        assert macro.hamming_rate == 0.0
+
+
+class TestAdderTreeAndCompensator:
+    def test_adder_tree_reduce_and_activity(self):
+        tree = AdderTree(leaves=8, operand_bits=4)
+        products = np.array([1, 0, 2, 0, 3, 0, 4, 0])
+        assert tree.reduce(products) == 10
+        activity = tree.activity(products)
+        assert activity.depth == 3
+        assert activity.total_activity > 0
+        assert tree.adder_count == 7
+        assert tree.equivalent_capacitance() > 0
+
+    def test_adder_tree_validation(self):
+        with pytest.raises(ValueError):
+            AdderTree(leaves=0)
+        with pytest.raises(ValueError):
+            AdderTree(leaves=4).reduce(np.arange(5))
+
+    def test_shift_compensator_correction(self):
+        sc = ShiftCompensator(delta=8, banks=4)
+        sums = np.array([100.0, 200.0, 300.0, 400.0])
+        inputs = np.array([1, 2, 3])
+        corrected = sc.correct(sums, inputs)
+        assert np.allclose(corrected, sums - 8 * 6)
+        assert sc.shift_amount == 3
+        assert sc.pipeline_latency_cycles == 1
+
+    def test_shift_compensator_zero_delta_is_identity(self):
+        sc = ShiftCompensator(delta=0, banks=4)
+        sums = np.array([1.0, 2.0])
+        assert np.allclose(sc.correct(sums, np.array([5, 5])), sums)
+
+    def test_shift_compensator_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            ShiftCompensator(delta=6, banks=4)
+
+    def test_overhead_within_paper_bounds(self):
+        sc = ShiftCompensator(delta=8, banks=4)
+        assert sc.overhead.area_fraction < 0.002
+        assert sc.overhead.power_fraction < 0.01
+
+
+class TestChipAndConfig:
+    def test_default_config_matches_paper_hierarchy(self):
+        config = default_chip_config()
+        assert config.groups == 16 and config.group.macros == 4
+        assert config.total_macros == 64
+        assert config.nominal_voltage == pytest.approx(0.75)
+        assert config.signoff_ir_drop == pytest.approx(0.140)
+        config.validate()
+
+    def test_macro_index_location_roundtrip(self):
+        config = small_chip_config(groups=3, macros_per_group=4)
+        for index in range(config.total_macros):
+            group, pos = config.macro_location(index)
+            assert config.macro_index(group, pos) == index
+        with pytest.raises(IndexError):
+            config.macro_location(config.total_macros)
+        with pytest.raises(IndexError):
+            config.macro_index(99, 0)
+
+    def test_config_validation_errors(self):
+        with pytest.raises(ValueError):
+            ChipConfig(groups=0).validate()
+        with pytest.raises(ValueError):
+            ChipConfig(signoff_ir_drop=1.0).validate()
+        with pytest.raises(ValueError):
+            BankConfig(rows=0).validate()
+
+    def test_chip_navigation_and_hr(self):
+        chip = PIMChip(small_chip_config(groups=2, macros_per_group=2, banks=2, rows=4))
+        chip.macro(3).load_weight_matrix(np.full((4, 2), -1, dtype=int))
+        assert chip.loaded_macro_indices() == [3]
+        assert chip.macro_hamming_rates()[3] == pytest.approx(1.0)
+        assert chip.group_hamming_rates()[1] == pytest.approx(1.0)
+        assert chip.group_of(3).group_id == 1
+        rows, cols = chip.grid_shape
+        assert rows * cols >= chip.config.total_macros
+        chip.clear()
+        assert chip.loaded_macro_indices() == []
+
+    def test_peak_tops_positive(self):
+        assert default_chip_config().peak_tops > 50.0
+
+
+class TestDataflow:
+    def test_layer_weight_matrix_shapes(self):
+        linear = np.zeros((10, 6))
+        conv = np.zeros((8, 3, 3, 3))
+        assert layer_weight_matrix(linear).shape == (6, 10)
+        assert layer_weight_matrix(conv).shape == (27, 8)
+        with pytest.raises(ValueError):
+            layer_weight_matrix(np.zeros((2, 2, 2)))
+
+    def test_tile_matrix_covers_everything(self):
+        matrix = np.arange(7 * 5).reshape(7, 5)
+        tiles = tile_matrix(matrix, rows=3, cols=2)
+        assert sum(t.size for t in tiles) == matrix.size
+        assert tiles[0].shape == (3, 2)
+        assert tiles[-1].shape == (1, 1)
+
+    def test_build_tasks_assigns_sets_and_ids(self):
+        macro = MacroConfig(banks=2, bank=BankConfig(rows=4))
+        ops = [
+            Operator(name="a", kind="conv", codes=np.zeros((8, 4), dtype=int)),
+            Operator(name="b", kind="qk_t", codes=np.zeros((4, 2), dtype=int)),
+        ]
+        tasks = build_tasks(ops, macro)
+        assert len(tasks) == 4 + 1
+        assert {t.set_id for t in tasks} == {0, 1}
+        assert [t.task_id for t in tasks] == list(range(5))
+        assert tasks[-1].input_determined
+
+    def test_build_tasks_respects_cap(self):
+        macro = MacroConfig(banks=2, bank=BankConfig(rows=4))
+        op = Operator(name="big", kind="linear", codes=np.zeros((16, 8), dtype=int))
+        tasks = build_tasks([op], macro, max_tasks_per_operator=3)
+        assert len(tasks) == 3
+
+    def test_operator_validation(self):
+        with pytest.raises(ValueError):
+            Operator(name="bad", kind="pooling", codes=np.zeros((2, 2), dtype=int))
+        with pytest.raises(ValueError):
+            Operator(name="bad", kind="conv", codes=np.zeros(4, dtype=int))
+
+    def test_task_hr_accounts_for_wds(self):
+        rng = np.random.default_rng(0)
+        codes = np.clip(np.round(rng.laplace(0, 15, size=(8, 4))), -128, 127).astype(int)
+        plain = Task(task_id=0, operator_name="op", kind="conv", set_id=0, codes=codes, bits=8)
+        shifted = Task(task_id=1, operator_name="op", kind="conv", set_id=0, codes=codes,
+                       bits=8, wds_delta=8)
+        assert shifted.hamming_rate < plain.hamming_rate

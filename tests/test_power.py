@@ -1,0 +1,207 @@
+"""Tests for the power substrate: V-f tables, PDN, IR-drop, monitors, DVFS, energy."""
+
+import numpy as np
+import pytest
+
+from repro.power import (
+    DVFSGovernor,
+    EnergyBreakdown,
+    EnergyModel,
+    IRDropModel,
+    IRMonitor,
+    OverheadReport,
+    PowerDeliveryNetwork,
+    VFTable,
+    chip_ir_drop_map,
+)
+
+
+@pytest.fixture
+def table():
+    return VFTable()
+
+
+class TestVFTable:
+    def test_levels_contain_paper_range(self, table):
+        assert set(range(20, 61, 5)).issubset(set(table.levels))
+        assert 100 in table.levels
+        assert table.booster_levels() == list(range(20, 61, 5))
+
+    def test_nominal_dvfs_pair_matches_paper_operating_point(self, table):
+        pair = table.nominal_dvfs_pair()
+        assert pair.voltage == pytest.approx(0.75, abs=0.01)
+        assert pair.frequency == pytest.approx(1.0e9)
+
+    def test_lower_level_needs_lower_voltage_at_same_frequency(self, table):
+        """The IR-Booster degree of freedom in Fig. 9."""
+        f = table.nominal_frequency
+        v_by_level = [table.minimum_voltage(level, f) for level in table.booster_levels()]
+        assert all(a <= b + 1e-12 for a, b in zip(v_by_level, v_by_level[1:]))
+        assert table.minimum_voltage(100, f) > table.minimum_voltage(40, f)
+
+    def test_higher_frequency_needs_higher_voltage(self, table):
+        assert table.minimum_voltage(40, 1.2e9) > table.minimum_voltage(40, 0.8e9)
+
+    def test_nearest_level_rounds_up(self, table):
+        assert table.nearest_level_at_or_above(0.475) == 50
+        assert table.nearest_level_at_or_above(0.40) == 40
+        assert table.nearest_level_at_or_above(0.62) == 100
+
+    def test_level_navigation_clamps(self, table):
+        assert table.level_below(20) == 20
+        assert table.level_above(60) == 60
+        assert table.level_below(40) == 35
+        assert table.level_above(40) == 45
+
+    def test_mode_selection(self, table):
+        sprint = table.select_pair(40, "sprint")
+        low_power = table.select_pair(40, "low_power")
+        assert sprint.frequency >= low_power.frequency
+        assert low_power.dynamic_power_factor <= sprint.dynamic_power_factor
+        with pytest.raises(ValueError):
+            table.select_pair(40, "turbo")
+        with pytest.raises(KeyError):
+            table.pairs_for_level(33)
+
+    def test_grid_has_all_levels(self, table):
+        grid = table.as_grid()
+        assert set(grid) == set(table.levels)
+        assert all(len(pairs) == len(table.frequencies) for pairs in grid.values())
+
+
+class TestPDN:
+    def test_no_current_no_drop(self):
+        pdn = PowerDeliveryNetwork(6, 6, supply_voltage=0.75)
+        result = pdn.solve(np.zeros((6, 6)))
+        assert np.allclose(result.ir_drop, 0.0, atol=1e-9)
+
+    def test_drop_grows_with_current_and_centre_is_worst(self):
+        pdn = PowerDeliveryNetwork(7, 7)
+        centre = np.zeros((7, 7))
+        centre[3, 3] = 0.1
+        light = pdn.solve(centre)
+        heavy = pdn.solve(centre * 3)
+        assert heavy.worst_drop > light.worst_drop
+        assert light.ir_drop[3, 3] == pytest.approx(light.worst_drop)
+        assert light.ir_drop[0, 0] < light.ir_drop[3, 3]
+
+    def test_bump_current_balances_demand(self):
+        pdn = PowerDeliveryNetwork(5, 5)
+        demand = np.full((5, 5), 0.01)
+        result = pdn.solve(demand)
+        assert result.bump_current.sum() == pytest.approx(demand.sum(), rel=1e-6)
+
+    def test_macro_placement_and_validation(self):
+        pdn = PowerDeliveryNetwork(4, 4)
+        result = pdn.solve_for_macros([0.05, 0.05], [(1, 1), (2, 2)])
+        assert result.total_current == pytest.approx(0.1)
+        with pytest.raises(IndexError):
+            pdn.solve_for_macros([0.1], [(9, 9)])
+        with pytest.raises(ValueError):
+            pdn.solve(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            pdn.solve(-np.ones((4, 4)))
+
+
+class TestIRDropModel:
+    def test_signoff_calibration(self):
+        model = IRDropModel()
+        assert model.drop(1.0) == pytest.approx(0.140)
+        assert model.drop(0.0) == pytest.approx(model.static_drop)
+
+    def test_monotone_in_rtog_voltage_frequency(self):
+        model = IRDropModel()
+        assert model.drop(0.6) > model.drop(0.3)
+        assert model.drop(0.5, voltage=0.65) < model.drop(0.5, voltage=0.75)
+        assert model.drop(0.5, frequency=0.7e9) < model.drop(0.5, frequency=1.0e9)
+
+    def test_drop_array_matches_scalar(self):
+        model = IRDropModel()
+        rtogs = np.array([0.1, 0.5, 0.9])
+        assert np.allclose(model.drop_array(rtogs), [model.drop(r) for r in rtogs])
+
+    def test_invalid_inputs(self):
+        model = IRDropModel()
+        with pytest.raises(ValueError):
+            model.drop(1.5)
+        with pytest.raises(ValueError):
+            IRDropModel(static_fraction=1.5)
+        with pytest.raises(ValueError):
+            IRDropModel(signoff_drop=0.9, supply_voltage=0.75)
+
+    def test_mitigation_and_effective_voltage(self):
+        model = IRDropModel()
+        assert model.effective_voltage(0.5) == pytest.approx(0.75 - model.drop(0.5))
+        assert model.mitigation(0.9, 0.3) > 0.0
+
+    def test_chip_map_places_hotspots_at_active_macros(self):
+        model = IRDropModel()
+        pdn = PowerDeliveryNetwork(6, 6)
+        rtog = [0.9, 0.1]
+        positions = [(2, 2), (4, 4)]
+        result = chip_ir_drop_map(model, pdn, rtog, positions)
+        assert result.ir_drop[2, 2] > result.ir_drop[4, 4]
+
+
+class TestMonitorDVFSEnergy:
+    def test_monitor_thresholding(self):
+        monitor = IRMonitor(sensing_noise=0.0)
+        assert not monitor.sample(0, effective_voltage=0.70, threshold_voltage=0.65)
+        assert monitor.sample(1, effective_voltage=0.60, threshold_voltage=0.65)
+        assert monitor.failure_count == 1
+        assert monitor.failure_rate == pytest.approx(0.5)
+        assert monitor.readings[1].margin < 0
+        monitor.reset()
+        assert monitor.failure_count == 0
+
+    def test_monitor_noise_creates_marginal_failures(self):
+        monitor = IRMonitor(sensing_noise=0.01, seed=0)
+        failures = sum(monitor.sample(i, 0.651, 0.65) for i in range(500))
+        assert 0 < failures < 500
+
+    def test_monitor_overheads_within_paper_bounds(self):
+        monitor = IRMonitor()
+        assert monitor.overhead_area_fraction <= 0.001
+        assert monitor.overhead_power_fraction <= 0.005
+
+    def test_dvfs_governor_only_uses_signoff_level(self, table):
+        governor = DVFSGovernor(table, mode="sprint")
+        assert governor.level == 100
+        assert governor.select().level == 100
+        assert governor.select(utilization=0.9).frequency >= governor.select(utilization=0.1).frequency
+
+    def test_energy_model_calibration(self):
+        model = EnergyModel()
+        nominal = model.macro_power_mw(0.75, 1.0e9, activity=1.0)
+        assert nominal == pytest.approx(4.2978, rel=1e-3)
+        assert model.macro_power(0.65, 1.0e9, 0.5) < model.macro_power(0.75, 1.0e9, 0.5)
+        assert model.macro_power(0.75, 1.0e9, 0.2) < model.macro_power(0.75, 1.0e9, 0.8)
+        with pytest.raises(ValueError):
+            model.dynamic_power(0.75, 1e9, -0.1)
+
+    def test_energy_accumulation_and_breakdown(self):
+        model = EnergyModel()
+        breakdown = EnergyBreakdown()
+        for _ in range(100):
+            model.accumulate_cycle(breakdown, 0.75, 1.0e9, activity=0.5,
+                                   macs_completed=64)
+        assert breakdown.completed_macs == 6400
+        assert breakdown.elapsed_time == pytest.approx(100e-9)
+        assert breakdown.average_power_mw > 0
+        assert breakdown.effective_tops > 0
+        stalled = EnergyBreakdown()
+        model.accumulate_cycle(stalled, 0.75, 1.0e9, 0.5, 64, stalled=True)
+        assert stalled.completed_macs == 0
+        assert stalled.dynamic_energy < breakdown.dynamic_energy / 100
+
+    def test_breakdown_merge_and_overhead_report(self):
+        a = EnergyBreakdown(dynamic_energy=1.0, static_energy=0.5, elapsed_time=1.0,
+                            completed_macs=10)
+        b = EnergyBreakdown(dynamic_energy=2.0, static_energy=0.5, elapsed_time=2.0,
+                            completed_macs=20)
+        merged = a.merge(b)
+        assert merged.total_energy == pytest.approx(4.0)
+        assert merged.elapsed_time == 2.0
+        report = OverheadReport()
+        assert report.total_area_fraction < 0.005
+        assert report.total_power_fraction < 0.02

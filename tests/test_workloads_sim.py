@@ -1,0 +1,258 @@
+"""Tests for workload profiles, the compiler, the runtime, and tracing."""
+
+import numpy as np
+import pytest
+
+from repro.core.ir_booster import BoosterMode
+from repro.models import gpt2, resnet18, vit
+from repro.pim.config import small_chip_config
+from repro.power.vf_table import VFTable
+from repro.sim import (
+    CompilerConfig,
+    RuntimeConfig,
+    compile_workload,
+    profile_operator_rtog,
+    profile_task_rtog,
+    rtog_histogram,
+    schedule_operators,
+    simulate,
+)
+from repro.workloads import (
+    ActivationStreamGenerator,
+    MIXED_OPERATOR_COMBOS,
+    WorkloadProfile,
+    build_workload_profile,
+    classify_layer_kind,
+    dataset_activation_stats,
+    flip_factor_sequence,
+    mixed_operator_workload,
+)
+
+from tests.helpers import make_operator
+
+
+class TestGenerators:
+    def test_flip_sequence_statistics(self):
+        seq = flip_factor_sequence(5000, mean=0.6, std=0.15, correlation=0.7, seed=0)
+        assert seq.shape == (5000,)
+        assert 0.5 < seq.mean() < 0.7
+        assert np.all((seq >= 0.05) & (seq <= 1.0))
+
+    def test_flip_sequence_correlation(self):
+        correlated = flip_factor_sequence(2000, correlation=0.9, seed=1)
+        independent = flip_factor_sequence(2000, correlation=0.0, seed=1)
+        def lag1(x):
+            return np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert lag1(correlated) > lag1(independent)
+
+    def test_flip_sequence_validation(self):
+        with pytest.raises(ValueError):
+            flip_factor_sequence(10, correlation=1.5)
+        assert flip_factor_sequence(0).size == 0
+
+    def test_activation_generator_range_and_determinism(self):
+        gen = ActivationStreamGenerator(rows=16, input_bits=4, std=1.0, seed=3)
+        a = gen.generate(10)
+        b = ActivationStreamGenerator(rows=16, input_bits=4, std=1.0, seed=3).generate(10)
+        assert a.shape == (10, 16)
+        assert np.array_equal(a, b)
+        assert a.max() <= 7 and a.min() >= -8
+
+    def test_dataset_activation_stats(self):
+        mean, std = dataset_activation_stats(np.array([1.0, 3.0]))
+        assert mean == 2.0 and std > 0
+
+
+class TestProfiles:
+    def test_classify_layer_kinds(self):
+        model = vit(image_size=16, patch_size=4, dim=16, depth=1)
+        kinds = {classify_layer_kind(name, layer) for name, layer in model.weight_layers()}
+        assert {"conv", "qkv", "proj", "linear"}.issubset(kinds)
+
+    def test_build_profile_includes_attention_matmuls(self):
+        model = vit(image_size=16, patch_size=4, dim=16, depth=2)
+        profile = build_workload_profile(model, "vit", "transformer")
+        kinds = {op.kind for op in profile.operators}
+        assert "qk_t" in kinds and "sv" in kinds
+        assert len(profile.input_determined_operators) == 4      # 2 blocks x (qk_t, sv)
+        assert 0.0 < profile.mean_hamming_rate < 1.0
+        assert profile.max_hamming_rate >= profile.mean_hamming_rate
+
+    def test_build_profile_conv_model_has_no_attention_ops(self):
+        model = resnet18(base_width=4)
+        profile = build_workload_profile(model, "resnet18", "conv")
+        assert profile.input_determined_operators == []
+
+    def test_build_profile_uses_supplied_codes(self):
+        model = gpt2(vocab_size=16, dim=16, depth=1)
+        name, layer = model.weight_layers()[0]
+        codes = {name: np.zeros(layer.weight.shape, dtype=np.int64)}
+        profile = build_workload_profile(model, "gpt2", "transformer", codes_by_layer=codes,
+                                         include_attention_matmuls=False)
+        first = next(op for op in profile.operators if op.name == name)
+        assert first.hamming_rate == 0.0
+
+    def test_build_profile_rejects_wrong_code_shape(self):
+        model = gpt2(vocab_size=16, dim=16, depth=1)
+        name, _ = model.weight_layers()[0]
+        with pytest.raises(ValueError):
+            build_workload_profile(model, "gpt2", "transformer",
+                                   codes_by_layer={name: np.zeros((2, 2), dtype=np.int64)})
+
+    def test_mixed_operator_workloads(self):
+        conv_profile = WorkloadProfile(name="conv", family="conv", operators=[
+            make_operator("c0", 8, 4, kind="conv", seed=0),
+            make_operator("c1", 8, 4, kind="conv", seed=1),
+            make_operator("l0", 8, 4, kind="linear", seed=2),
+        ])
+        transformer_profile = WorkloadProfile(name="tr", family="transformer", operators=[
+            make_operator("qkv0", 8, 4, kind="qkv", seed=3),
+            make_operator("qkt0", 8, 4, kind="qk_t", seed=4),
+            make_operator("sv0", 8, 4, kind="sv", seed=5),
+        ])
+        for combo in MIXED_OPERATOR_COMBOS:
+            mixed = mixed_operator_workload(combo, conv_profile, transformer_profile,
+                                            operators_per_kind=1)
+            assert mixed.family == "mixed"
+            assert len(mixed.operators) == 2
+        with pytest.raises(KeyError):
+            mixed_operator_workload("conv+pool", conv_profile, transformer_profile)
+
+
+class TestCompiler:
+    def test_compile_loads_chip_and_computes_group_hr(self, synthetic_profile,
+                                                      tiny_chip_config, vf_table):
+        compiled = compile_workload(synthetic_profile, tiny_chip_config, vf_table,
+                                    CompilerConfig(mapping_strategy="sequential",
+                                                   max_tasks_per_operator=1))
+        assert len(compiled.tasks) == 4
+        assert compiled.mapping.strategy == "sequential"
+        loaded = compiled.chip.loaded_macro_indices()
+        assert len(loaded) == 4
+        assert set(compiled.group_hr) == {0, 1}
+        # The qk_t operator marks its group as input-determined -> safe level 100.
+        qkt_task = next(t for t in compiled.tasks if t.kind == "qk_t")
+        gid, _ = tiny_chip_config.macro_location(compiled.mapping.macro_of(qkt_task.task_id))
+        assert compiled.group_input_determined[gid]
+        assert compiled.group_safe_levels[gid] == 100
+
+    def test_compile_applies_wds(self, synthetic_profile, tiny_chip_config, vf_table):
+        plain = compile_workload(synthetic_profile, tiny_chip_config, vf_table,
+                                 CompilerConfig(wds_delta=None, max_tasks_per_operator=1,
+                                                mapping_strategy="sequential"))
+        shifted = compile_workload(synthetic_profile, tiny_chip_config, vf_table,
+                                   CompilerConfig(wds_delta=8, max_tasks_per_operator=1,
+                                                  mapping_strategy="sequential"))
+        conv_plain = [t for t in plain.tasks if t.kind == "conv"]
+        conv_shifted = [t for t in shifted.tasks if t.kind == "conv"]
+        assert all(t.wds_delta == 0 for t in conv_plain)
+        assert all(t.wds_delta == 8 for t in conv_shifted)
+        # Input-determined operators never get WDS.
+        assert all(t.wds_delta == 0 for t in shifted.tasks if t.input_determined)
+        assert np.mean([t.hamming_rate for t in conv_shifted]) < \
+            np.mean([t.hamming_rate for t in conv_plain])
+
+    def test_compile_downsamples_oversized_workloads(self, tiny_chip_config, vf_table):
+        operators = [make_operator(f"op{i}", 32, 16, seed=i) for i in range(6)]
+        profile = WorkloadProfile(name="big", family="conv", operators=operators)
+        compiled = compile_workload(profile, tiny_chip_config, vf_table,
+                                    CompilerConfig(mapping_strategy="sequential"))
+        assert len(compiled.tasks) <= tiny_chip_config.total_macros
+        assert len({t.set_id for t in compiled.tasks}) >= 2
+        compiled.mapping.validate(compiled.tasks)
+
+    def test_scheduler_phases_fit_chip(self, tiny_chip_config):
+        operators = [make_operator(f"op{i}", 32, 16, seed=i) for i in range(5)]
+        profile = WorkloadProfile(name="big", family="conv", operators=operators)
+        schedule = schedule_operators(profile, tiny_chip_config)
+        assert schedule.num_phases >= 1
+        assert len(schedule.all_operators) == 5
+        for phase in schedule.phases[:-1]:
+            assert phase.estimated_tiles <= tiny_chip_config.total_macros * 2
+
+
+class TestRuntime:
+    def test_dvfs_vs_booster_low_power(self, compiled_synthetic):
+        baseline = simulate(compiled_synthetic,
+                            RuntimeConfig(cycles=300, controller="dvfs",
+                                          mode=BoosterMode.LOW_POWER, seed=0))
+        boosted = simulate(compiled_synthetic,
+                           RuntimeConfig(cycles=300, controller="booster",
+                                         mode=BoosterMode.LOW_POWER, seed=0))
+        # IR-Booster lowers the supply for low-HR groups: less power and less drop.
+        assert boosted.average_macro_power_mw < baseline.average_macro_power_mw
+        assert boosted.worst_ir_drop < baseline.worst_ir_drop
+        assert boosted.efficiency_gain_vs(baseline) > 1.0
+        assert baseline.total_failures == 0      # DVFS at the signoff level never fails
+
+    def test_booster_sprint_improves_throughput(self, compiled_synthetic):
+        baseline = simulate(compiled_synthetic,
+                            RuntimeConfig(cycles=300, controller="dvfs",
+                                          mode=BoosterMode.SPRINT, seed=0))
+        boosted = simulate(compiled_synthetic,
+                           RuntimeConfig(cycles=300, controller="booster",
+                                         mode=BoosterMode.SPRINT, seed=0))
+        assert boosted.speedup_vs(baseline) > 1.0
+
+    def test_safe_only_controller_never_fails(self, compiled_synthetic):
+        result = simulate(compiled_synthetic,
+                          RuntimeConfig(cycles=300, controller="booster_safe",
+                                        monitor_noise=0.0, seed=1))
+        assert result.total_failures == 0
+        assert all(g.final_level == g.safe_level for g in result.group_results)
+
+    def test_result_structures(self, compiled_synthetic):
+        result = simulate(compiled_synthetic, RuntimeConfig(cycles=120, seed=2))
+        assert result.cycles == 120
+        assert result.chip_drop_trace.shape == (120,)
+        assert len(result.macro_results) == len(compiled_synthetic.mapping.assignment)
+        for macro in result.macro_results:
+            assert macro.rtog_trace.shape == (120,)
+            assert macro.drop_trace.shape == (120,)
+            assert 0.0 <= macro.mean_rtog <= 1.0
+            assert macro.energy.total_energy > 0
+        assert result.effective_tops > 0
+        assert result.energy_efficiency_tops_per_watt > 0
+
+    def test_smaller_beta_gives_more_failures(self, compiled_synthetic):
+        aggressive = simulate(compiled_synthetic,
+                              RuntimeConfig(cycles=400, controller="booster", beta=10,
+                                            seed=3))
+        conservative = simulate(compiled_synthetic,
+                                RuntimeConfig(cycles=400, controller="booster", beta=100,
+                                              seed=3))
+        assert aggressive.total_failures >= conservative.total_failures
+
+    def test_runtime_config_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(controller="turbo").validate()
+        with pytest.raises(ValueError):
+            RuntimeConfig(mode="eco").validate()
+        with pytest.raises(ValueError):
+            RuntimeConfig(cycles=0).validate()
+
+
+class TestTraceProfiling:
+    def test_profile_operator_rtog_respects_hr_bound(self, tiny_macro_config):
+        operator = make_operator("conv", 8, 4, seed=0)
+        profile = profile_operator_rtog(operator, tiny_macro_config, waves=16)
+        assert profile.peak_below_hr
+        assert profile.cycles == 16 * tiny_macro_config.bank.input_bits
+        assert 0.0 < profile.mean_rtog <= profile.peak_rtog
+
+    def test_wds_task_profile_has_lower_hr(self, tiny_macro_config):
+        operator = make_operator("conv", 8, 4, seed=1)
+        from repro.pim.dataflow import Task
+        plain = Task(task_id=0, operator_name="c", kind="conv", set_id=0,
+                     codes=operator.codes, bits=8)
+        shifted = Task(task_id=1, operator_name="c", kind="conv", set_id=0,
+                       codes=operator.codes, bits=8, wds_delta=8)
+        p_plain = profile_task_rtog(plain, tiny_macro_config, waves=12)
+        p_shifted = profile_task_rtog(shifted, tiny_macro_config, waves=12)
+        assert p_shifted.hamming_rate < p_plain.hamming_rate
+
+    def test_rtog_histogram(self):
+        counts, edges = rtog_histogram(np.array([0.1, 0.2, 0.2, 0.5]), bins=10,
+                                       value_range=(0, 1))
+        assert counts.sum() == 4
+        assert edges.shape == (11,)

@@ -1,0 +1,144 @@
+"""Runtime-engine performance: vectorized vs. reference simulation speed.
+
+This harness starts the repo's performance trajectory for the cycle-level
+runtime.  It times both engines on
+
+* the ``bench_sec66_headline`` configuration — the exact simulate() calls the
+  Sec. 6.6 headline makes (DVFS baseline + full-AIM booster, low-power and
+  sprint, both HW workloads) at the benchmark's 600-cycle horizon;
+* a long 5000-cycle horizon (the reference loop's cost grows linearly, the
+  vectorized engine's event cost stays sparse);
+* the paper-scale 64-macro reference chip, which only became benchable with
+  the vectorized engine.
+
+Results (cycles/second per engine, speedups, and the equivalence of the
+aggregate failure counts) are written to ``BENCH_runtime.json`` at the repo
+root so future PRs can track the trajectory.
+"""
+
+import json
+import os
+import time
+
+from repro.analysis import format_ratio, format_table
+from repro.core.ir_booster import BoosterMode
+
+from common import (
+    HW_WORKLOADS,
+    REFERENCE_CHIP,
+    REFERENCE_TABLE,
+    SIM_CYCLES,
+    compiled_workload,
+    reference_chip_workload,
+    run_sim,
+)
+
+RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "BENCH_runtime.json")
+
+#: (label, controller, lhr, wds, mapping) — the headline's four simulate()
+#: calls per model (baseline = DVFS on the unoptimized compile, AIM = booster
+#: on the full-AIM compile), for both modes.
+HEADLINE_RUNS = [
+    ("baseline", "dvfs", False, None, "sequential"),
+    ("aim", "booster", True, 16, "hr_aware"),
+]
+
+
+def _time_portfolio(engine: str, cycles: int, repeats: int = 3):
+    """Best-of-N wall time + aggregate outcome checksum for one engine."""
+    best = float("inf")
+    checksum = None
+    for _ in range(repeats):
+        total = 0.0
+        failures = 0
+        stalls = 0
+        macro_cycles = 0
+        for model in HW_WORKLOADS:
+            for _, controller, lhr, wds, mapping in HEADLINE_RUNS:
+                for mode in (BoosterMode.LOW_POWER, BoosterMode.SPRINT):
+                    compiled = compiled_workload(model, lhr=lhr, wds_delta=wds,
+                                                 mapping=mapping, mode=mode)
+                    start = time.perf_counter()
+                    result = run_sim(compiled, controller=controller, mode=mode,
+                                     cycles=cycles, engine=engine)
+                    total += time.perf_counter() - start
+                    failures += result.total_failures
+                    stalls += result.total_stall_cycles
+                    macro_cycles += cycles * len(result.macro_results)
+        best = min(best, total)
+        checksum = (failures, stalls)
+    return best, checksum, macro_cycles
+
+
+def test_runtime_engine_speedup(benchmark):
+    def run():
+        report = {"sim_cycles": SIM_CYCLES, "horizons": {}}
+        for cycles in (SIM_CYCLES, 5000):
+            ref_time, ref_checksum, macro_cycles = _time_portfolio("reference", cycles)
+            vec_time, vec_checksum, _ = _time_portfolio("vectorized", cycles)
+            assert ref_checksum == vec_checksum, \
+                "engines disagree on failures/stalls"
+            report["horizons"][str(cycles)] = {
+                "reference_seconds": ref_time,
+                "vectorized_seconds": vec_time,
+                "speedup": ref_time / vec_time,
+                "reference_macro_cycles_per_sec": macro_cycles / ref_time,
+                "vectorized_macro_cycles_per_sec": macro_cycles / vec_time,
+                "failures": ref_checksum[0],
+                "stall_cycles": ref_checksum[1],
+            }
+
+        # Paper-scale 64-macro chip, vectorized engine only for the trajectory
+        # (plus one reference timing so the speedup there is on record too).
+        compiled = reference_chip_workload("resnet18")
+        start = time.perf_counter()
+        result = run_sim(compiled, controller="booster", mode=BoosterMode.LOW_POWER,
+                         cycles=SIM_CYCLES, engine="vectorized",
+                         table=REFERENCE_TABLE)
+        vec_time = time.perf_counter() - start
+        start = time.perf_counter()
+        ref_result = run_sim(compiled, controller="booster",
+                             mode=BoosterMode.LOW_POWER, cycles=SIM_CYCLES,
+                             engine="reference", table=REFERENCE_TABLE)
+        ref_time = time.perf_counter() - start
+        assert ref_result.total_failures == result.total_failures
+        report["reference_chip"] = {
+            "total_macros": REFERENCE_CHIP.total_macros,
+            "loaded_macros": len(result.macro_results),
+            "vectorized_seconds": vec_time,
+            "reference_seconds": ref_time,
+            "speedup": ref_time / vec_time,
+            "macro_cycles_per_sec": SIM_CYCLES * len(result.macro_results) / vec_time,
+        }
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    with open(RESULT_PATH, "w") as handle:
+        json.dump(report, handle, indent=2)
+
+    headline = report["horizons"][str(SIM_CYCLES)]
+    long_run = report["horizons"]["5000"]
+    print()
+    print(format_table(
+        ["configuration", "ref s", "vec s", "speedup", "vec macro-cyc/s"],
+        [[f"headline @{SIM_CYCLES}", f"{headline['reference_seconds']:.3f}",
+          f"{headline['vectorized_seconds']:.3f}",
+          format_ratio(headline["speedup"]),
+          f"{headline['vectorized_macro_cycles_per_sec']:.2e}"],
+         ["portfolio @5000", f"{long_run['reference_seconds']:.3f}",
+          f"{long_run['vectorized_seconds']:.3f}",
+          format_ratio(long_run["speedup"]),
+          f"{long_run['vectorized_macro_cycles_per_sec']:.2e}"],
+         [f"64-macro chip @{SIM_CYCLES}",
+          f"{report['reference_chip']['reference_seconds']:.3f}",
+          f"{report['reference_chip']['vectorized_seconds']:.3f}",
+          format_ratio(report["reference_chip"]["speedup"]),
+          f"{report['reference_chip']['macro_cycles_per_sec']:.2e}"]],
+        title="Runtime engine performance (BENCH_runtime.json)"))
+
+    # The tentpole acceptance bar: >= 20x on the Sec. 6.6 headline settings.
+    assert headline["speedup"] >= 20.0, headline
+    assert long_run["speedup"] >= 20.0, long_run
+    assert report["reference_chip"]["speedup"] >= 10.0

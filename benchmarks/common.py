@@ -36,6 +36,14 @@ BENCH_TABLE = VFTable(nominal_voltage=BENCH_CHIP.nominal_voltage,
                       nominal_frequency=BENCH_CHIP.nominal_frequency,
                       signoff_ir_drop=BENCH_CHIP.signoff_ir_drop)
 
+#: The paper's 64-macro reference geometry (16 groups x 4 macros), benchable
+#: with the vectorized engine (see bench_runtime_perf).
+REFERENCE_CHIP: ChipConfig = small_chip_config(groups=16, macros_per_group=4,
+                                               banks=4, rows=32)
+REFERENCE_TABLE = VFTable(nominal_voltage=REFERENCE_CHIP.nominal_voltage,
+                          nominal_frequency=REFERENCE_CHIP.nominal_frequency,
+                          signoff_ir_drop=REFERENCE_CHIP.signoff_ir_drop)
+
 QAT_EPOCHS = 2
 SIM_CYCLES = 600
 
@@ -70,12 +78,30 @@ def compiled_workload(model: str, lhr: bool, wds_delta: Optional[int],
     return compile_workload(profile, BENCH_CHIP, BENCH_TABLE, config)
 
 
+@lru_cache(maxsize=None)
+def reference_chip_workload(model: str, lhr: bool = True,
+                            wds_delta: Optional[int] = 16,
+                            mapping: str = "hr_aware",
+                            mode: str = BoosterMode.LOW_POWER) -> CompiledWorkload:
+    """Cached compilation onto the paper-scale 64-macro reference chip.
+
+    Operators are tiled without a per-operator cap so the workload fills the
+    chip (the compiler downsamples to the 64-macro capacity).
+    """
+    profile = workload_profile(model, lhr)
+    config = CompilerConfig(bits=8, wds_delta=wds_delta, mapping_strategy=mapping,
+                            mode=mode, max_tasks_per_operator=None, seed=0)
+    return compile_workload(profile, REFERENCE_CHIP, REFERENCE_TABLE, config)
+
+
 def run_sim(compiled: CompiledWorkload, controller: str, mode: str,
-            beta: int = 50, cycles: int = SIM_CYCLES, seed: int = 0) -> SimulationResult:
+            beta: int = 50, cycles: int = SIM_CYCLES, seed: int = 0,
+            engine: str = "vectorized",
+            table: Optional[VFTable] = None) -> SimulationResult:
     """One runtime simulation with the benchmark defaults."""
     config = RuntimeConfig(cycles=cycles, controller=controller, mode=mode, beta=beta,
-                           seed=seed)
-    return simulate(compiled, config, table=BENCH_TABLE)
+                           seed=seed, engine=engine)
+    return simulate(compiled, config, table=table or BENCH_TABLE)
 
 
 def baseline_simulation(model: str, mode: str = BoosterMode.LOW_POWER,

@@ -160,6 +160,54 @@ class IRBoosterController:
                 state.safe_counter = self.beta
         return state.level
 
+    # ------------------------------------------------------------------ #
+    # failure-free fast-forward (used by the vectorized simulation engine)
+    # ------------------------------------------------------------------ #
+    def _transition_gap(self, counter: int) -> int:
+        """Failure-free steps from ``counter`` to the next level assignment."""
+        if counter < self.beta:
+            return self.beta - counter
+        return 2 * self.beta + 1 - counter
+
+    def cycles_to_next_transition(self, group_id: int) -> int:
+        """Failure-free steps until Algorithm 2 next assigns ``state.level``.
+
+        With no IRFailures the only cycles at which :meth:`step` touches the
+        group's level are ``safe_counter == beta`` (restore the a-level, lines
+        16-18) and ``safe_counter > 2 * beta`` (raise the a-level, lines
+        19-23), so the gap to the next one is closed-form.
+        """
+        return self._transition_gap(self._groups[group_id].safe_counter)
+
+    def advance_nofail(self, group_id: int, steps: int) -> List[Tuple[int, int]]:
+        """Advance ``steps`` failure-free cycles of Algorithm 2 in O(steps/beta).
+
+        Equivalent to calling ``step(group_id, ir_failure=False)`` ``steps``
+        times, but jumping from level transition to level transition instead of
+        iterating cycles.  Returns the transitions as ``(step_offset, level)``
+        pairs (1-based: offset ``k`` means the level applies after the ``k``-th
+        step).
+        """
+        state = self._groups[group_id]
+        transitions: List[Tuple[int, int]] = []
+        done = 0
+        while True:
+            counter = state.safe_counter
+            gap = self._transition_gap(counter)
+            if done + gap > steps:
+                break
+            done += gap
+            if counter < self.beta:                     # lines 16-18
+                state.level = state.a_level
+            else:                                       # lines 19-23
+                state.a_level = self._level_up(state.a_level, state.safe_level)
+                state.level = state.a_level
+                state.level_ups += 1
+            state.safe_counter = self.beta
+            transitions.append((done, state.level))
+        state.safe_counter += steps - done
+        return transitions
+
     def _level_down(self, level: int) -> int:
         """More conservative for the *a-level*: in the paper's convention a
         "level down" after rapid failures means a less aggressive (higher Rtog)

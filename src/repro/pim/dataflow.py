@@ -85,15 +85,24 @@ class Task:
     bits: int
     wds_delta: int = 0
     input_determined: bool = False
+    _hamming_rate: Optional[float] = field(default=None, init=False, repr=False,
+                                           compare=False)
 
     @property
     def hamming_rate(self) -> float:
-        """HR of the tile *after* the WDS shift it will be loaded with."""
-        if self.wds_delta:
-            from ..core.wds import shift_weights
-            shifted = shift_weights(self.codes, self.wds_delta, self.bits)
-            return hamming_rate(shifted, self.bits)
-        return hamming_rate(self.codes, self.bits)
+        """HR of the tile *after* the WDS shift it will be loaded with.
+
+        Cached on first access — tiles are immutable once built, and the
+        simulation setup reads this once per macro per run.
+        """
+        if self._hamming_rate is None:
+            if self.wds_delta:
+                from ..core.wds import shift_weights
+                shifted = shift_weights(self.codes, self.wds_delta, self.bits)
+                self._hamming_rate = hamming_rate(shifted, self.bits)
+            else:
+                self._hamming_rate = hamming_rate(self.codes, self.bits)
+        return self._hamming_rate
 
     @property
     def shape(self) -> Tuple[int, int]:

@@ -1,7 +1,8 @@
 """Compilation and cycle-level simulation of workloads on the PIM chip."""
 
 from .compiler import CompiledWorkload, CompilerConfig, compile_workload
-from .results import GroupResult, MacroResult, SimulationResult
+from .engine import ENGINES, run_vectorized
+from .results import GroupResult, MacroResult, SimulationResult, assemble_result
 from .runtime import CONTROLLERS, PIMRuntime, RuntimeConfig, simulate
 from .scheduler import OperatorSchedule, SchedulePhase, schedule_operators
 from .trace import (
@@ -13,8 +14,9 @@ from .trace import (
 
 __all__ = [
     "CompilerConfig", "CompiledWorkload", "compile_workload",
-    "RuntimeConfig", "PIMRuntime", "simulate", "CONTROLLERS",
-    "SimulationResult", "MacroResult", "GroupResult",
+    "RuntimeConfig", "PIMRuntime", "simulate", "CONTROLLERS", "ENGINES",
+    "run_vectorized",
+    "SimulationResult", "MacroResult", "GroupResult", "assemble_result",
     "OperatorSchedule", "SchedulePhase", "schedule_operators",
     "OperatorRtogProfile", "profile_operator_rtog", "profile_task_rtog", "rtog_histogram",
 ]

@@ -1,0 +1,387 @@
+"""Vectorized segment-based simulation engine for the cycle-level runtime.
+
+The reference engine in :mod:`repro.sim.runtime` walks ``for cycle -> for group
+-> for macro`` in pure Python: every cycle re-evaluates scalar Eq.-2 drops,
+monitor comparisons and per-macro energy.  This module replaces that with an
+*event-driven* formulation built on one observation: a group's V-f level only
+changes at controller events — an IRFailure, or an Algorithm-2 beta-window
+boundary.  Between two events every quantity of the simulation is a closed-form
+array expression over the precomputed ``(n_macros, cycles)`` activity matrix:
+
+* the per-macro IR-drop is ``static + dynamic * rtog * scale(V, f)`` — one
+  ``drop_array`` call per (group, level) pair, cached and reused;
+* the monitor decision is a thresholded comparison against the group's
+  cycle-indexed noise stream (see :class:`~repro.power.monitor.IRMonitor`), so
+  *candidate failure cycles* per (group, level) are precomputable with one
+  vectorized compare + ``nonzero``;
+* energy reduces to dot products of activity against per-cycle ``V^2`` and
+  ``1/f`` vectors (:meth:`~repro.power.energy.EnergyModel.accumulate_trace`).
+
+The engine therefore simulates from event to event: it keeps, per group, the
+next scheduled Algorithm-2 transition and the next candidate IRFailure, jumps
+straight to the earliest one, and replays only that single cycle with the exact
+scalar ordering of the reference loop (failures propagate recompute stalls to
+the failing macro's logical Set *within* the cycle, which suppresses later
+samples).  Controllers without feedback (``dvfs``, ``booster_safe``) have no
+scheduled transitions at all, so a failure-free run is a single fully
+vectorized pass.  Traces, stall masks and energy are materialized once at the
+end into preallocated arrays.
+
+Bit-for-bit equivalence with the reference engine (same seed, same failures,
+same stalls, same level traces; energy equal up to floating-point summation
+order) is enforced by ``tests/test_sim_engine.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+import numpy as np
+
+from ..power.energy import EnergyBreakdown
+from ..power.monitor import IRMonitor
+from ..power.vf_table import VFPair
+from .results import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .runtime import PIMRuntime
+
+__all__ = ["ENGINES", "run_vectorized"]
+
+#: Available simulation engines (``RuntimeConfig.engine``).
+ENGINES = ("vectorized", "reference")
+
+
+@dataclass
+class _LevelCache:
+    """Precomputed per-(group, level) arrays over the full horizon."""
+
+    pair: VFPair
+    drop_rows: np.ndarray          #: (members, cycles) Eq.-2 drop at this pair
+    fail_cycles: List[np.ndarray]  #: per member, sorted candidate cycle indices
+
+
+class _VectorizedEngine:
+    """One simulation run, event-driven.  Built fresh per :meth:`run` call."""
+
+    def __init__(self, runtime: "PIMRuntime") -> None:
+        self.runtime = runtime
+        self.cfg = runtime.config
+        self.compiled = runtime.compiled
+        self.table = runtime.table
+        self.ir_model = runtime.ir_model
+        self.energy_model = runtime.energy_model
+        self.n = self.cfg.cycles
+
+    # ------------------------------------------------------------------ #
+    # setup
+    # ------------------------------------------------------------------ #
+    def _setup(self) -> None:
+        runtime, cfg = self.runtime, self.cfg
+        activity = runtime._macro_activity_traces()
+        self.activity = activity
+        self.controller = runtime._controller()
+
+        # Group membership in the reference engine's processing order: groups
+        # in first-encounter order over sorted macro indices, members sorted.
+        self.macro_indices = sorted(activity)
+        self.group_members = runtime._group_members(self.macro_indices)
+        self.groups: List[int] = list(self.group_members)
+
+        # Row layout: the activity matrix keeps macros in processing order, so
+        # a row index doubles as the reference loop's within-cycle visit order
+        # and each group's members occupy one contiguous row range.
+        proc_order: List[int] = [m for gid in self.groups
+                                 for m in self.group_members[gid]]
+        self.proc_order = proc_order
+        self.row_of = {m: r for r, m in enumerate(proc_order)}
+        self.n_rows = len(proc_order)
+        self.A = np.vstack([activity[m] for m in proc_order]) if proc_order \
+            else np.zeros((0, self.n))
+        self.group_rows: Dict[int, Tuple[int, int]] = {}
+        start = 0
+        for gid in self.groups:
+            count = len(self.group_members[gid])
+            self.group_rows[gid] = (start, start + count)
+            start += count
+        self.group_of_row: List[int] = [0] * self.n_rows
+        for gid, (lo, hi) in self.group_rows.items():
+            for row in range(lo, hi):
+                self.group_of_row[row] = gid
+
+        # Logical sets (recompute stalls propagate set-wide), as row indices.
+        macro_set, set_members = runtime._logical_sets()
+        self.set_of_row = [macro_set[m] for m in proc_order]
+        self.set_rows = {sid: sorted(self.row_of[m] for m in members)
+                         for sid, members in set_members.items()}
+
+        macs = runtime._macs_per_cycle()
+        self.macs_per_cycle = np.array([macs[m] for m in proc_order]) \
+            if proc_order else np.zeros(0)
+
+        # Cycle-indexed monitor noise, one stream per group (same construction
+        # as the reference engine's monitors).
+        self.noise: Dict[int, np.ndarray] = {}
+        for gid in self.groups:
+            monitor = IRMonitor(sensing_noise=cfg.monitor_noise, seed=cfg.seed + gid,
+                                record_readings=False)
+            self.noise[gid] = monitor.noise_for_cycles(self.n)
+        self.min_voltage_margin = 0.0
+
+        # Controller-facing state.
+        self.level: Dict[int, int] = {}
+        for gid in self.groups:
+            if self.controller is None:
+                self.level[gid] = 100
+            else:
+                self.level[gid] = self.controller.state(gid).level
+        self.level_breaks: Dict[int, List[Tuple[int, int]]] = {
+            gid: [(0, self.level[gid])] for gid in self.groups}
+
+        self._caches: Dict[Tuple[int, int], _LevelCache] = {}
+
+        # Event bookkeeping.
+        inf = self.n
+        self.stepping = self.cfg.controller == "booster"
+        self.synced = {gid: 0 for gid in self.groups}
+        self.scan_from = {gid: 0 for gid in self.groups}
+        self.next_sched = {
+            gid: (self.controller.cycles_to_next_transition(gid)
+                  if self.stepping else inf)
+            for gid in self.groups}
+        self.stall_end = [0] * self.n_rows
+        self.stall_mask = np.zeros((self.n_rows, self.n), dtype=bool)
+        self.fail_counts = [0] * self.n_rows
+        self.fail_points: List[Tuple[int, int]] = []
+        #: the active level's cache per group (refreshed on level changes)
+        self.cur_cache = {gid: self._cache(gid, self.level[gid])
+                          for gid in self.groups}
+        self.next_fail = {gid: self._query_next_fail(gid) for gid in self.groups}
+
+    # ------------------------------------------------------------------ #
+    # per-(group, level) caches
+    # ------------------------------------------------------------------ #
+    def _pair_for(self, gid: int, level: int) -> VFPair:
+        if self.controller is None:
+            return self.table.nominal_dvfs_pair()
+        lookup = level if level in self.table.levels else 100
+        return self.table.select_pair(lookup, self.cfg.mode)
+
+    def _cache(self, gid: int, level: int) -> _LevelCache:
+        key = (gid, level)
+        cached = self._caches.get(key)
+        if cached is not None:
+            return cached
+        pair = self._pair_for(gid, level)
+        allowed_drop = self.ir_model.drop(
+            min(pair.level, 100) / 100.0, pair.voltage, pair.frequency)
+        lo, hi = self.group_rows[gid]
+        drop_rows = self.ir_model.drop_array(self.A[lo:hi], pair.voltage,
+                                             pair.frequency)
+        # Exactly the reference comparison: (V - drop) + noise < (V - allowed) + margin.
+        threshold = (pair.voltage - allowed_drop) + self.min_voltage_margin
+        fail_rows = (pair.voltage - drop_rows) + self.noise[gid] < threshold
+        fail_cycles = [np.nonzero(fail_rows[i])[0] for i in range(hi - lo)]
+        cached = _LevelCache(pair=pair, drop_rows=drop_rows,
+                             fail_cycles=fail_cycles)
+        self._caches[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # event queries
+    # ------------------------------------------------------------------ #
+    def _query_next_fail(self, gid: int) -> int:
+        """First cycle >= scan_from with a non-stalled candidate failure.
+
+        Valid until the group's level actually changes (the caller recomputes
+        then) — scheduled Algorithm-2 transitions that keep the level are
+        no-ops for failure candidates.
+        """
+        lo, _ = self.group_rows[gid]
+        base = self.scan_from[gid]
+        best = self.n
+        for local, cycles in enumerate(self.cur_cache[gid].fail_cycles):
+            first = max(base, self.stall_end[lo + local])
+            if first >= best:
+                continue
+            j = cycles.searchsorted(first)
+            if j < cycles.size and cycles[j] < best:
+                best = int(cycles[j])
+        return best
+
+    # ------------------------------------------------------------------ #
+    # event processing
+    # ------------------------------------------------------------------ #
+    def _apply_scheduled(self, gid: int, cycle: int) -> None:
+        """Algorithm-2 transition whose new level first applies at ``cycle``."""
+        self.controller.advance_nofail(gid, cycle - self.synced[gid])
+        self.synced[gid] = cycle
+        self.next_sched[gid] = cycle + self.controller.cycles_to_next_transition(gid)
+        new_level = self.controller.state(gid).level
+        if new_level != self.level[gid]:
+            # Candidate failures depend on the level; rescan from this cycle.
+            self.level[gid] = new_level
+            self.cur_cache[gid] = self._cache(gid, new_level)
+            self.level_breaks[gid].append((cycle, new_level))
+            self.scan_from[gid] = cycle
+            self.next_fail[gid] = self._query_next_fail(gid)
+
+    def _process_failure_cycle(self, cycle: int, fail_gids: List[int]) -> None:
+        """Replay one cycle with the reference loop's exact visit order."""
+        recompute = self.cfg.recompute_cycles
+        stall_end, stall_mask = self.stall_end, self.stall_mask
+        group_of_row, n = self.group_of_row, self.n
+        failed_groups: List[int] = []
+        affected: set = set()
+        for gid in fail_gids:
+            fail_cycles = self.cur_cache[gid].fail_cycles
+            lo, _ = self.group_rows[gid]
+            group_failed = False
+            for local, cycles in enumerate(fail_cycles):
+                row = lo + local
+                if stall_end[row] > cycle:
+                    continue               # stalled (possibly just this cycle)
+                j = cycles.searchsorted(cycle)
+                if j >= cycles.size or cycles[j] != cycle:
+                    continue               # no candidate failure this cycle
+                # IRFailure: the whole logical Set stalls for the recompute
+                # window.  Members the reference loop already visited this
+                # cycle (row <= failing row) begin stalling next cycle; later
+                # members stall immediately, which suppresses their sample.
+                group_failed = True
+                self.fail_counts[row] += 1
+                self.fail_points.append((row, cycle))
+                for member_row in self.set_rows[self.set_of_row[row]]:
+                    start = cycle + 1 if member_row <= row else cycle
+                    end = start + recompute
+                    if end > start:
+                        stall_mask[member_row, start:min(end, n)] = True
+                        if end > stall_end[member_row]:
+                            stall_end[member_row] = end
+                    affected.add(group_of_row[member_row])
+            if group_failed:
+                failed_groups.append(gid)
+            self.scan_from[gid] = cycle + 1
+            affected.add(gid)
+
+        if self.stepping:
+            for gid in failed_groups:
+                # Advance the lazily-tracked Algorithm-2 state to this cycle,
+                # then apply the failure branch (the reference engine's
+                # ``controller.step(gid, ir_failure=True)``).
+                self.controller.advance_nofail(gid, cycle - self.synced[gid])
+                self.controller.step(gid, ir_failure=True)
+                self.synced[gid] = cycle + 1
+                new_level = self.controller.state(gid).level
+                if new_level != self.level[gid]:
+                    self.level[gid] = new_level
+                    self.cur_cache[gid] = self._cache(gid, new_level)
+                    self.level_breaks[gid].append((cycle + 1, new_level))
+                self.next_sched[gid] = \
+                    cycle + 1 + self.controller.cycles_to_next_transition(gid)
+        for gid in affected:
+            self.next_fail[gid] = self._query_next_fail(gid)
+
+    def _run_events(self) -> None:
+        n = self.n
+        next_sched, next_fail = self.next_sched, self.next_fail
+        while True:
+            next_cycle = n
+            for gid in self.groups:
+                sched, fail = next_sched[gid], next_fail[gid]
+                if sched < next_cycle:
+                    next_cycle = sched
+                if fail < next_cycle:
+                    next_cycle = fail
+            if next_cycle >= n:
+                break
+            for gid in self.groups:
+                if next_sched[gid] == next_cycle:
+                    self._apply_scheduled(gid, next_cycle)
+            fail_gids = [gid for gid in self.groups if next_fail[gid] == next_cycle]
+            if fail_gids:
+                self._process_failure_cycle(next_cycle, fail_gids)
+        if self.stepping:
+            # Flush the remaining failure-free steps so final controller state
+            # (final level, counters) matches the reference engine.
+            for gid in self.groups:
+                self.controller.advance_nofail(gid, n - self.synced[gid])
+                self.synced[gid] = n
+
+    # ------------------------------------------------------------------ #
+    # materialization
+    # ------------------------------------------------------------------ #
+    def _segments(self, gid: int) -> List[Tuple[int, int, int]]:
+        """Level breakpoints -> (start, end, level) spans covering the horizon."""
+        breaks = self.level_breaks[gid]
+        spans = []
+        for i, (start, level) in enumerate(breaks):
+            end = breaks[i + 1][0] if i + 1 < len(breaks) else self.n
+            if end > start:
+                spans.append((start, end, level))
+        return spans
+
+    def _materialize(self) -> SimulationResult:
+        n, n_rows = self.n, self.n_rows
+        drops = np.zeros((n_rows, n))
+        chip_drop = np.zeros(n)
+        # Operating points are shared within a group: one V / one f vector per
+        # group instead of (n_rows, cycles) matrices.
+        group_voltage: Dict[int, np.ndarray] = {}
+        group_frequency: Dict[int, np.ndarray] = {}
+        level_traces: Dict[int, np.ndarray] = {}
+        for gid in self.groups:
+            lo, hi = self.group_rows[gid]
+            spans = self._segments(gid)
+            voltage = np.empty(n)
+            frequency = np.empty(n)
+            for start, end, level in spans:
+                cache = self._cache(gid, level)
+                drops[lo:hi, start:end] = cache.drop_rows[:, start:end]
+                voltage[start:end] = cache.pair.voltage
+                frequency[start:end] = cache.pair.frequency
+            group_voltage[gid] = voltage
+            group_frequency[gid] = frequency
+            level_traces[gid] = np.repeat(
+                np.array([level for _, _, level in spans], dtype=np.int64),
+                np.array([end - start for start, end, _ in spans], dtype=np.int64)) \
+                if spans else np.zeros(0, dtype=np.int64)
+        if n_rows:
+            chip_drop = drops.max(axis=0)
+
+        energy_stalled = self.stall_mask.copy()
+        for row, cycle in self.fail_points:
+            energy_stalled[row, cycle] = True
+        stall_sums = self.stall_mask.sum(axis=1) if n_rows else np.zeros(0)
+
+        energy: Dict[int, EnergyBreakdown] = {}
+        drop_traces: Dict[int, np.ndarray] = {}
+        failures: Dict[int, int] = {}
+        stall_total: Dict[int, int] = {}
+        for row, macro_index in enumerate(self.proc_order):
+            gid = self.group_of_row[row]
+            breakdown = EnergyBreakdown()
+            self.energy_model.accumulate_trace(
+                breakdown, group_voltage[gid], group_frequency[gid], self.A[row],
+                self.macs_per_cycle[row], stalled=energy_stalled[row])
+            energy[macro_index] = breakdown
+            drop_traces[macro_index] = drops[row]
+            failures[macro_index] = self.fail_counts[row]
+            stall_total[macro_index] = int(stall_sums[row])
+
+        return self.runtime._collect(
+            energy, drop_traces, self.activity, failures, stall_total,
+            level_traces, chip_drop, self.controller,
+            group_members=self.group_members)
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        self._setup()
+        self._run_events()
+        return self._materialize()
+
+
+def run_vectorized(runtime: "PIMRuntime") -> SimulationResult:
+    """Run ``runtime`` on the vectorized segment-based engine."""
+    return _VectorizedEngine(runtime).run()

@@ -13,7 +13,7 @@ import numpy as np
 
 from ..power.energy import EnergyBreakdown
 
-__all__ = ["MacroResult", "GroupResult", "SimulationResult"]
+__all__ = ["MacroResult", "GroupResult", "SimulationResult", "assemble_result"]
 
 
 @dataclass
@@ -138,3 +138,61 @@ class SimulationResult:
         if self.average_macro_power_mw <= 0:
             return 0.0
         return baseline.average_macro_power_mw / self.average_macro_power_mw
+
+
+def assemble_result(compiled, config, energy: Dict[int, EnergyBreakdown],
+                    drop_traces: Dict[int, np.ndarray],
+                    activity: Dict[int, np.ndarray],
+                    failures: Dict[int, int], stall_total: Dict[int, int],
+                    level_traces: Dict[int, np.ndarray],
+                    chip_drop_trace: np.ndarray, controller,
+                    group_members: Optional[Dict[int, List[int]]] = None
+                    ) -> "SimulationResult":
+    """Build a :class:`SimulationResult` from per-macro/per-group accumulators.
+
+    Shared by both simulation engines; accepts plain lists or preallocated
+    arrays for the traces (``np.asarray`` makes array inputs zero-copy).
+    ``group_members`` maps group id to its loaded macro indices and is used to
+    tally per-group failures for the DVFS baseline without scanning the whole
+    chip; when omitted it is reconstructed from the loaded macros.
+    """
+    chip_cfg = compiled.chip_config
+    macro_results: List[MacroResult] = []
+    macro_task = {m: t for t, m in compiled.mapping.assignment.items()}
+    for macro_index in sorted(energy):
+        gid, _ = chip_cfg.macro_location(macro_index)
+        task_id = macro_task.get(macro_index)
+        hr = compiled.tasks[task_id].hamming_rate if task_id is not None else 0.0
+        macro_results.append(MacroResult(
+            macro_index=macro_index, group_id=gid, task_id=task_id, hamming_rate=hr,
+            rtog_trace=np.asarray(activity[macro_index]),
+            drop_trace=np.asarray(drop_traces[macro_index]),
+            energy=energy[macro_index], failures=failures[macro_index],
+            stall_cycles=stall_total[macro_index]))
+
+    if group_members is None:
+        group_members = {}
+        for macro_index in sorted(energy):
+            gid, _ = chip_cfg.macro_location(macro_index)
+            group_members.setdefault(gid, []).append(macro_index)
+
+    group_results: List[GroupResult] = []
+    for gid, levels in level_traces.items():
+        if controller is not None:
+            state = controller.state(gid)
+            safe = state.safe_level
+            final = state.level
+            group_fail = state.failures
+        else:
+            safe = 100
+            final = 100
+            group_fail = sum(failures[m] for m in group_members.get(gid, ()))
+        group_results.append(GroupResult(
+            group_id=gid, safe_level=safe, final_level=final,
+            level_trace=np.asarray(levels), failures=group_fail))
+
+    return SimulationResult(
+        controller=config.controller, mode=config.mode,
+        cycles=config.cycles, macro_results=macro_results,
+        group_results=group_results,
+        chip_drop_trace=np.asarray(chip_drop_trace))

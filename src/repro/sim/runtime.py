@@ -25,16 +25,16 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.ir_booster import BoosterMode, IRBoosterController
-from ..power.dvfs import DVFSGovernor
 from ..power.energy import EnergyBreakdown, EnergyModel
 from ..power.ir_drop import IRDropModel
 from ..power.monitor import IRMonitor
 from ..power.vf_table import VFPair, VFTable
-from ..workloads.generator import flip_factor_sequence
+from ..workloads.generator import flip_factor_matrix
 from .compiler import CompiledWorkload
-from .results import GroupResult, MacroResult, SimulationResult
+from .engine import ENGINES, run_vectorized
+from .results import SimulationResult, assemble_result
 
-__all__ = ["RuntimeConfig", "PIMRuntime", "simulate", "CONTROLLERS"]
+__all__ = ["RuntimeConfig", "PIMRuntime", "simulate", "CONTROLLERS", "ENGINES"]
 
 #: Available power-control strategies.
 CONTROLLERS = ("dvfs", "booster_safe", "booster")
@@ -55,6 +55,7 @@ class RuntimeConfig:
     monitor_noise: float = 0.003
     input_determined_hr: float = 0.5   #: HR assumed for runtime-generated in-memory data
     seed: int = 0
+    engine: str = "vectorized"         #: one of :data:`~repro.sim.engine.ENGINES`
 
     def validate(self) -> None:
         if self.controller not in CONTROLLERS:
@@ -63,6 +64,8 @@ class RuntimeConfig:
             raise ValueError(f"unknown mode {self.mode!r}")
         if self.cycles <= 0 or self.beta <= 0 or self.recompute_cycles < 0:
             raise ValueError("cycles and beta must be positive; recompute_cycles >= 0")
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; known: {ENGINES}")
 
 
 class PIMRuntime:
@@ -93,19 +96,52 @@ class PIMRuntime:
     # setup helpers
     # ------------------------------------------------------------------ #
     def _macro_activity_traces(self) -> Dict[int, np.ndarray]:
-        """Per-macro realized Rtog trace over the simulation horizon."""
-        traces: Dict[int, np.ndarray] = {}
+        """Per-macro realized Rtog trace over the simulation horizon.
+
+        All macros' AR(1) flip sequences are generated in one batched
+        :func:`flip_factor_matrix` call (row ``i`` still consumes the same
+        per-macro seeded stream as an individual ``flip_factor_sequence``).
+        """
         rng_base = self.config.seed
-        for task_id, macro_index in self.compiled.mapping.assignment.items():
+        assignments = list(self.compiled.mapping.assignment.items())
+        seeds = [rng_base + 17 * (macro_index + 1) for _, macro_index in assignments]
+        flips = flip_factor_matrix(
+            seeds, self.config.cycles, mean=self.config.flip_mean,
+            std=self.config.flip_std, correlation=self.config.flip_correlation)
+        traces: Dict[int, np.ndarray] = {}
+        for i, (task_id, macro_index) in enumerate(assignments):
             task = self.compiled.tasks[task_id]
             hr = self.config.input_determined_hr if task.input_determined \
                 else task.hamming_rate
-            flips = flip_factor_sequence(
-                self.config.cycles, mean=self.config.flip_mean, std=self.config.flip_std,
-                correlation=self.config.flip_correlation,
-                seed=rng_base + 17 * (macro_index + 1))
-            traces[macro_index] = np.clip(hr * flips, 0.0, 1.0)
+            traces[macro_index] = np.clip(hr * flips[i], 0.0, 1.0)
         return traces
+
+    def _group_members(self, macro_indices: List[int]) -> Dict[int, List[int]]:
+        """Group id -> loaded macro indices, in first-encounter order."""
+        chip_cfg = self.compiled.chip_config
+        members: Dict[int, List[int]] = {}
+        for macro_index in macro_indices:
+            gid, _ = chip_cfg.macro_location(macro_index)
+            members.setdefault(gid, []).append(macro_index)
+        return members
+
+    def _logical_sets(self) -> tuple:
+        """(macro -> set id, set id -> member macros): the recompute domains."""
+        macro_set: Dict[int, int] = {}
+        set_members: Dict[int, List[int]] = {}
+        for task_id, macro_index in self.compiled.mapping.assignment.items():
+            set_id = self.compiled.tasks[task_id].set_id
+            macro_set[macro_index] = set_id
+            set_members.setdefault(set_id, []).append(macro_index)
+        return macro_set, set_members
+
+    def _macs_per_cycle(self) -> Dict[int, float]:
+        """Useful MACs a macro completes per unstalled cycle (bit-serial)."""
+        macs: Dict[int, float] = {}
+        for task_id, macro_index in self.compiled.mapping.assignment.items():
+            task = self.compiled.tasks[task_id]
+            macs[macro_index] = task.macs_per_wave / max(1, task.bits)
+        return macs
 
     def _controller(self) -> Optional[IRBoosterController]:
         if self.config.controller == "dvfs":
@@ -128,12 +164,25 @@ class PIMRuntime:
     # main loop
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationResult:
+        """Execute the configured engine.
+
+        ``engine="vectorized"`` (default) runs the event-driven array engine of
+        :mod:`repro.sim.engine`; ``engine="reference"`` runs the original
+        cycle-by-cycle Python loop, kept as the behavioural oracle the
+        vectorized engine is tested against.
+        """
+        if self.config.engine == "vectorized":
+            return run_vectorized(self)
+        return self._run_reference()
+
+    def _run_reference(self) -> SimulationResult:
         cfg = self.config
-        chip_cfg = self.compiled.chip_config
         activity = self._macro_activity_traces()
         controller = self._controller()
-        dvfs = DVFSGovernor(self.table, mode=cfg.mode)
-        monitors = {gid: IRMonitor(sensing_noise=cfg.monitor_noise, seed=cfg.seed + gid)
+        # Monitors are internal to the run: per-sample reading capture stays
+        # off so long horizons don't accumulate unreachable Python objects.
+        monitors = {gid: IRMonitor(sensing_noise=cfg.monitor_noise, seed=cfg.seed + gid,
+                                   record_readings=False)
                     for gid in self.compiled.used_groups}
 
         # Per-macro bookkeeping.
@@ -147,22 +196,9 @@ class PIMRuntime:
         chip_drop_trace: List[float] = []
 
         # Logical sets: macros computing tiles of the same operator.
-        macro_set: Dict[int, int] = {}
-        set_members: Dict[int, List[int]] = {}
-        for task_id, macro_index in self.compiled.mapping.assignment.items():
-            set_id = self.compiled.tasks[task_id].set_id
-            macro_set[macro_index] = set_id
-            set_members.setdefault(set_id, []).append(macro_index)
-
-        macs_per_cycle: Dict[int, float] = {}
-        for task_id, macro_index in self.compiled.mapping.assignment.items():
-            task = self.compiled.tasks[task_id]
-            macs_per_cycle[macro_index] = task.macs_per_wave / max(1, task.bits)
-
-        group_members: Dict[int, List[int]] = {}
-        for macro_index in macro_indices:
-            gid, _ = chip_cfg.macro_location(macro_index)
-            group_members.setdefault(gid, []).append(macro_index)
+        macro_set, set_members = self._logical_sets()
+        macs_per_cycle = self._macs_per_cycle()
+        group_members = self._group_members(macro_indices)
 
         for cycle in range(cfg.cycles):
             cycle_failures: Dict[int, bool] = {gid: False for gid in group_members}
@@ -229,48 +265,21 @@ class PIMRuntime:
                     controller.step(gid, ir_failure=cycle_failures[gid])
 
         return self._collect(energy, drop_traces, activity, failures, stall_total,
-                             level_traces, chip_drop_trace, controller)
+                             level_traces, chip_drop_trace, controller,
+                             group_members=group_members)
 
     # ------------------------------------------------------------------ #
     # result assembly
     # ------------------------------------------------------------------ #
     def _collect(self, energy, drop_traces, activity, failures, stall_total,
-                 level_traces, chip_drop_trace, controller) -> SimulationResult:
-        chip_cfg = self.compiled.chip_config
-        macro_results: List[MacroResult] = []
-        macro_task = {m: t for t, m in self.compiled.mapping.assignment.items()}
-        for macro_index in sorted(energy):
-            gid, _ = chip_cfg.macro_location(macro_index)
-            task_id = macro_task.get(macro_index)
-            hr = self.compiled.tasks[task_id].hamming_rate if task_id is not None else 0.0
-            macro_results.append(MacroResult(
-                macro_index=macro_index, group_id=gid, task_id=task_id, hamming_rate=hr,
-                rtog_trace=np.asarray(activity[macro_index]),
-                drop_trace=np.asarray(drop_traces[macro_index]),
-                energy=energy[macro_index], failures=failures[macro_index],
-                stall_cycles=stall_total[macro_index]))
-
-        group_results: List[GroupResult] = []
-        for gid, levels in level_traces.items():
-            if controller is not None:
-                state = controller.state(gid)
-                safe = state.safe_level
-                final = state.level
-                group_fail = state.failures
-            else:
-                safe = 100
-                final = 100
-                group_fail = sum(failures[m] for m in range(chip_cfg.total_macros)
-                                 if m in failures and chip_cfg.macro_location(m)[0] == gid)
-            group_results.append(GroupResult(
-                group_id=gid, safe_level=safe, final_level=final,
-                level_trace=np.asarray(levels), failures=group_fail))
-
-        return SimulationResult(
-            controller=self.config.controller, mode=self.config.mode,
-            cycles=self.config.cycles, macro_results=macro_results,
-            group_results=group_results,
-            chip_drop_trace=np.asarray(chip_drop_trace))
+                 level_traces, chip_drop_trace, controller,
+                 group_members=None) -> SimulationResult:
+        return assemble_result(
+            compiled=self.compiled, config=self.config, energy=energy,
+            drop_traces=drop_traces, activity=activity, failures=failures,
+            stall_total=stall_total, level_traces=level_traces,
+            chip_drop_trace=chip_drop_trace, controller=controller,
+            group_members=group_members)
 
 
 def simulate(compiled: CompiledWorkload, config: Optional[RuntimeConfig] = None,

@@ -1,6 +1,11 @@
 """Workload profiles and synthetic input-stream generators."""
 
-from .generator import ActivationStreamGenerator, dataset_activation_stats, flip_factor_sequence
+from .generator import (
+    ActivationStreamGenerator,
+    dataset_activation_stats,
+    flip_factor_matrix,
+    flip_factor_sequence,
+)
 from .profiles import (
     MIXED_OPERATOR_COMBOS,
     WorkloadProfile,
@@ -10,7 +15,8 @@ from .profiles import (
 )
 
 __all__ = [
-    "flip_factor_sequence", "ActivationStreamGenerator", "dataset_activation_stats",
+    "flip_factor_sequence", "flip_factor_matrix", "ActivationStreamGenerator",
+    "dataset_activation_stats",
     "WorkloadProfile", "build_workload_profile", "classify_layer_kind",
     "mixed_operator_workload", "MIXED_OPERATOR_COMBOS",
 ]

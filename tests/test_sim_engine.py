@@ -1,0 +1,259 @@
+"""Equivalence and unit tests for the vectorized simulation engine.
+
+The vectorized engine (``repro.sim.engine``) must reproduce the reference
+cycle-by-cycle loop bit-for-bit: identical failures, stalls, level traces,
+drop traces and chip traces, with energy equal up to floating-point summation
+order.  These tests sweep all three controllers, both modes and several seeds,
+plus stress settings (small beta, long recompute windows, zero noise) that
+exercise the within-cycle stall-propagation corner cases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ir_booster import BoosterMode, IRBoosterController
+from repro.pim.config import small_chip_config
+from repro.power.energy import EnergyBreakdown, EnergyModel
+from repro.power.monitor import IRMonitor
+from repro.power.vf_table import VFTable
+from repro.sim import (
+    CompilerConfig,
+    RuntimeConfig,
+    compile_workload,
+    simulate,
+)
+from repro.workloads import flip_factor_matrix, flip_factor_sequence
+from repro.workloads.profiles import WorkloadProfile
+
+from tests.helpers import make_operator
+
+
+def assert_results_equivalent(reference, vectorized):
+    """Exact equality on discrete outcomes, tight allclose on energy."""
+    assert len(reference.macro_results) == len(vectorized.macro_results)
+    for ref, vec in zip(reference.macro_results, vectorized.macro_results):
+        assert ref.macro_index == vec.macro_index
+        assert ref.failures == vec.failures
+        assert ref.stall_cycles == vec.stall_cycles
+        assert np.array_equal(ref.rtog_trace, vec.rtog_trace)
+        assert np.array_equal(ref.drop_trace, vec.drop_trace)
+        assert np.isclose(ref.energy.dynamic_energy, vec.energy.dynamic_energy,
+                          rtol=1e-9)
+        assert np.isclose(ref.energy.static_energy, vec.energy.static_energy,
+                          rtol=1e-9)
+        assert np.isclose(ref.energy.elapsed_time, vec.energy.elapsed_time,
+                          rtol=1e-9)
+        assert ref.energy.completed_macs == pytest.approx(vec.energy.completed_macs)
+    assert len(reference.group_results) == len(vectorized.group_results)
+    for ref, vec in zip(reference.group_results, vectorized.group_results):
+        assert ref.group_id == vec.group_id
+        assert ref.safe_level == vec.safe_level
+        assert ref.final_level == vec.final_level
+        assert ref.failures == vec.failures
+        assert np.array_equal(ref.level_trace, vec.level_trace)
+    assert np.array_equal(reference.chip_drop_trace, vectorized.chip_drop_trace)
+
+
+@pytest.fixture(scope="module")
+def engine_compiled():
+    """A mixed workload on an 8-group chip (multi-macro logical sets)."""
+    chip = small_chip_config(groups=8, macros_per_group=2, banks=4, rows=8)
+    table = VFTable(nominal_voltage=chip.nominal_voltage,
+                    nominal_frequency=chip.nominal_frequency,
+                    signoff_ir_drop=chip.signoff_ir_drop)
+    rows, cols = chip.macro.rows, chip.macro.banks
+    operators = [
+        make_operator("conv1", rows * 2, cols, kind="conv", seed=1),
+        make_operator("conv2", rows * 2, cols, kind="conv", seed=2),
+        make_operator("fc", rows * 2, cols, kind="linear", seed=3),
+        make_operator("attn.qk_t", rows * 2, cols, kind="qk_t", seed=4, spread=40.0),
+    ]
+    profile = WorkloadProfile(name="engine-test", family="mixed", operators=operators)
+    compiled = compile_workload(profile, chip, table,
+                                CompilerConfig(mapping_strategy="sequential",
+                                               max_tasks_per_operator=2))
+    return compiled, table
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("controller", ["dvfs", "booster_safe", "booster"])
+    @pytest.mark.parametrize("mode", [BoosterMode.LOW_POWER, BoosterMode.SPRINT])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_engines_agree(self, engine_compiled, controller, mode, seed):
+        compiled, table = engine_compiled
+        kwargs = dict(cycles=400, controller=controller, mode=mode, seed=seed)
+        reference = simulate(compiled, RuntimeConfig(engine="reference", **kwargs),
+                             table=table)
+        vectorized = simulate(compiled, RuntimeConfig(engine="vectorized", **kwargs),
+                              table=table)
+        assert_results_equivalent(reference, vectorized)
+
+    def test_engines_agree_under_failure_pressure(self, engine_compiled):
+        """Small beta + long recompute stalls: many overlapping Set stalls."""
+        compiled, table = engine_compiled
+        kwargs = dict(cycles=500, controller="booster", beta=10,
+                      recompute_cycles=25, monitor_noise=0.006, seed=5)
+        reference = simulate(compiled, RuntimeConfig(engine="reference", **kwargs),
+                             table=table)
+        vectorized = simulate(compiled, RuntimeConfig(engine="vectorized", **kwargs),
+                              table=table)
+        assert reference.total_failures > 0            # the stress must bite
+        assert_results_equivalent(reference, vectorized)
+
+    def test_engines_agree_without_noise(self, engine_compiled):
+        compiled, table = engine_compiled
+        for controller in ("dvfs", "booster_safe", "booster"):
+            kwargs = dict(cycles=300, controller=controller, monitor_noise=0.0,
+                          seed=2)
+            reference = simulate(compiled, RuntimeConfig(engine="reference", **kwargs),
+                                 table=table)
+            vectorized = simulate(compiled, RuntimeConfig(engine="vectorized",
+                                                          **kwargs), table=table)
+            assert_results_equivalent(reference, vectorized)
+
+    def test_engines_agree_zero_recompute(self, engine_compiled):
+        compiled, table = engine_compiled
+        kwargs = dict(cycles=300, controller="booster", recompute_cycles=0, seed=1)
+        reference = simulate(compiled, RuntimeConfig(engine="reference", **kwargs),
+                             table=table)
+        vectorized = simulate(compiled, RuntimeConfig(engine="vectorized", **kwargs),
+                              table=table)
+        assert_results_equivalent(reference, vectorized)
+
+    def test_vectorized_is_default_engine(self):
+        assert RuntimeConfig().engine == "vectorized"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(engine="warp").validate()
+
+
+class TestAdvanceNofail:
+    def make_controller(self, beta=7):
+        table = VFTable()
+        controller = IRBoosterController(table, beta=beta)
+        controller.configure_group(0, group_hr=0.42)
+        return controller
+
+    def clone_states(self, controller):
+        state = controller.state(0)
+        return (state.safe_level, state.a_level, state.level, state.safe_counter,
+                state.failures, state.level_ups, state.level_downs)
+
+    @pytest.mark.parametrize("spans", [
+        [30], [1, 1, 1, 5], [100], [7, 14, 15, 16], [3, 40, 2, 60],
+    ])
+    def test_matches_stepwise_execution(self, spans):
+        """advance_nofail == the same number of step() calls, at any phase."""
+        fast = self.make_controller()
+        slow = self.make_controller()
+        for span in spans:
+            transitions = fast.advance_nofail(0, span)
+            observed = []
+            for _ in range(span):
+                slow.step(0, ir_failure=False)
+                observed.append(slow.state(0).level)
+            assert self.clone_states(fast) == self.clone_states(slow)
+            # Every reported transition matches the stepwise level at the
+            # same offset, and between transitions the level is constant.
+            for offset, level in transitions:
+                assert observed[offset - 1] == level
+            # interleave a failure to shift the phase
+            fast.step(0, ir_failure=True)
+            slow.step(0, ir_failure=True)
+            assert self.clone_states(fast) == self.clone_states(slow)
+
+    def test_level_trace_reconstruction(self):
+        """The transitions reconstruct the exact per-cycle level trace."""
+        fast = self.make_controller(beta=5)
+        slow = self.make_controller(beta=5)
+        n = 60
+        stepwise = []
+        for _ in range(n):
+            stepwise.append(slow.state(0).level)
+            slow.step(0, ir_failure=False)
+        trace = []
+        level = fast.state(0).level
+        transitions = fast.advance_nofail(0, n)
+        breaks = {offset: lvl for offset, lvl in transitions}
+        for cycle in range(n):
+            if cycle in breaks:
+                level = breaks[cycle]
+            trace.append(level)
+        assert trace == stepwise
+
+    def test_zero_steps_is_noop(self):
+        controller = self.make_controller()
+        before = self.clone_states(controller)
+        assert controller.advance_nofail(0, 0) == []
+        assert self.clone_states(controller) == before
+
+
+class TestBatchedPrimitives:
+    def test_flip_factor_matrix_matches_sequence(self):
+        seeds = [17, 34, 51, 9]
+        matrix = flip_factor_matrix(seeds, 256, mean=0.55, std=0.2,
+                                    correlation=0.8)
+        assert matrix.shape == (4, 256)
+        for i, seed in enumerate(seeds):
+            row = flip_factor_sequence(256, mean=0.55, std=0.2, correlation=0.8,
+                                       seed=seed)
+            assert np.array_equal(matrix[i], row)
+
+    def test_flip_factor_matrix_cached_and_readonly(self):
+        a = flip_factor_matrix([1, 2], 64)
+        b = flip_factor_matrix([1, 2], 64)
+        assert a is b
+        with pytest.raises(ValueError):
+            a[0, 0] = 0.5
+
+    def test_monitor_noise_is_cycle_indexed(self):
+        sequential = IRMonitor(sensing_noise=0.01, seed=42)
+        skipping = IRMonitor(sensing_noise=0.01, seed=42)
+        dense = [sequential.noise_at(c) for c in range(20)]
+        # Sampling only every third cycle must see the same per-cycle values.
+        sparse = {c: skipping.noise_at(c) for c in range(0, 20, 3)}
+        for cycle, value in sparse.items():
+            assert value == dense[cycle]
+
+    def test_monitor_batch_matches_scalar_sampling(self):
+        scalar = IRMonitor(sensing_noise=0.01, seed=7)
+        batch = IRMonitor(sensing_noise=0.01, seed=7, record_readings=False)
+        rng = np.random.default_rng(0)
+        effective = 0.65 + rng.normal(0.0, 0.01, size=200)
+        expected = np.array([scalar.sample(c, float(effective[c]), 0.65)
+                             for c in range(200)])
+        observed = batch.sample_batch(0, effective, 0.65)
+        assert np.array_equal(expected, observed)
+        assert batch.failure_count == scalar.failure_count
+        assert batch.readings == []                      # recording disabled
+        assert len(scalar.readings) == 200
+
+    def test_monitor_reading_cap(self):
+        monitor = IRMonitor(sensing_noise=0.0, max_readings=10)
+        for cycle in range(50):
+            monitor.sample(cycle, 0.7, 0.65)
+        assert len(monitor.readings) == 10
+        assert monitor.readings[-1].cycle == 49
+        assert monitor.failure_count == 0                # counters still global
+
+    def test_accumulate_cycles_matches_scalar(self):
+        model = EnergyModel()
+        rng = np.random.default_rng(3)
+        activity = rng.uniform(0.1, 0.9, size=300)
+        stalled = rng.random(300) < 0.2
+        scalar = EnergyBreakdown()
+        for act, stall in zip(activity, stalled):
+            model.accumulate_cycle(scalar, 0.71, 0.9e9, float(act), 2.5,
+                                   stalled=bool(stall))
+        batched = EnergyBreakdown()
+        model.accumulate_cycles(batched, 0.71, 0.9e9, activity, 2.5,
+                                stalled=stalled)
+        traced = EnergyBreakdown()
+        model.accumulate_trace(traced, np.full(300, 0.71), np.full(300, 0.9e9),
+                               activity, 2.5, stalled=stalled)
+        for result in (batched, traced):
+            assert result.dynamic_energy == pytest.approx(scalar.dynamic_energy)
+            assert result.static_energy == pytest.approx(scalar.static_energy)
+            assert result.elapsed_time == pytest.approx(scalar.elapsed_time)
+            assert result.completed_macs == pytest.approx(scalar.completed_macs)

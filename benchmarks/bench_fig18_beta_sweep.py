@@ -4,47 +4,77 @@ Expected shape (paper): a smaller beta (tighter Algorithm-2 windows) yields more
 aggressive operation and therefore more IR-drop mitigation, but also more
 IRFailures and hence more recompute/delay cycles; a larger beta is the opposite.
 Results are normalized against IR-Booster running at the safe level only.
+
+Rebased onto the :mod:`repro.sweep` runner: the beta grid and the safe-only
+reference run as one declarative sweep over the paper-scale 64-macro reference
+chip, with an ``N_SEEDS`` ensemble per point (mean +- bootstrap CI) instead of
+a single seed.
 """
 
-import numpy as np
+import pytest
 
 from repro.analysis import format_series
 from repro.core.ir_booster import BoosterMode
-from common import compiled_workload, run_sim
+from repro.sweep import SweepSpec, run_sweeps
 
-BETAS = (10, 30, 50, 70, 90)
+from common import (
+    N_SEEDS,
+    SIM_CYCLES,
+    SWEEP_MASTER_SEED,
+    reference_workload_spec,
+    smoke_grid,
+    sweep_executor,
+)
+
+pytestmark = pytest.mark.sweep
+
+BETAS = smoke_grid((10, 30, 50, 70, 90))
 
 
 def test_fig18_beta_sweep(benchmark):
-    def run():
-        compiled = compiled_workload("vit", lhr=True, wds_delta=16, mapping="hr_aware",
-                                     mode=BoosterMode.SPRINT)
-        reference = run_sim(compiled, controller="booster_safe", mode=BoosterMode.SPRINT,
-                            cycles=500)
-        sweep = {}
-        for beta in BETAS:
-            result = run_sim(compiled, controller="booster", mode=BoosterMode.SPRINT,
-                             beta=beta, cycles=500)
-            mitigation = (reference.mean_ir_drop - result.mean_ir_drop) \
-                / max(reference.mean_ir_drop, 1e-12)
-            sweep[beta] = {
-                "normalized_delay": (result.total_stall_cycles + 1)
-                / (reference.total_stall_cycles + 1),
-                "failures": result.total_failures,
-                "extra_mitigation": mitigation,
-            }
-        return sweep
+    workload = reference_workload_spec("vit", mode=BoosterMode.SPRINT,
+                                       label="vit@64")
+    betas_spec = SweepSpec(
+        name="fig18-betas", workloads=(workload,), controllers=("booster",),
+        modes=(BoosterMode.SPRINT,), betas=BETAS, cycles=SIM_CYCLES,
+        seeds=N_SEEDS, master_seed=SWEEP_MASTER_SEED)
+    safe_spec = SweepSpec(
+        name="fig18-safe", workloads=(workload,), controllers=("booster_safe",),
+        modes=(BoosterMode.SPRINT,), betas=(BETAS[0],), cycles=SIM_CYCLES,
+        seeds=N_SEEDS, master_seed=SWEEP_MASTER_SEED)
 
-    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    def run():
+        return run_sweeps([betas_spec, safe_spec], executor=sweep_executor())
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    safe = results["fig18-safe"].aggregate()[0]
+    safe_stalls = safe.stats["total_stall_cycles"].mean
+    safe_drop = safe.stats["mean_ir_drop"].mean
+
+    sweep = {}
+    for point in results["fig18-betas"].aggregate():
+        beta = point.axes["beta"]
+        drop = point.stats["mean_ir_drop"]
+        sweep[beta] = {
+            "normalized_delay": (point.stats["total_stall_cycles"].mean + 1)
+            / (safe_stalls + 1),
+            "failures": point.stats["total_failures"].mean,
+            "failures_ci": (point.stats["total_failures"].ci_low,
+                            point.stats["total_failures"].ci_high),
+            "extra_mitigation": (safe_drop - drop.mean) / max(safe_drop, 1e-12),
+        }
+
     print()
     print(format_series("Fig 18 delay (normalized)",
                         {b: sweep[b]["normalized_delay"] for b in BETAS}))
-    print(format_series("Fig 18 IRFailures", {b: float(sweep[b]["failures"]) for b in BETAS}))
+    print(format_series("Fig 18 IRFailures (ensemble mean)",
+                        {b: float(sweep[b]["failures"]) for b in BETAS}))
     print(format_series("Fig 18 extra mitigation vs safe-only",
                         {b: sweep[b]["extra_mitigation"] for b in BETAS}))
 
     # Smaller beta -> at least as many failures/delay as the largest beta.
-    assert sweep[10]["failures"] >= sweep[90]["failures"]
-    assert sweep[10]["normalized_delay"] >= sweep[90]["normalized_delay"] - 1e-9
+    assert sweep[BETAS[0]]["failures"] >= sweep[BETAS[-1]]["failures"]
+    assert sweep[BETAS[0]]["normalized_delay"] >= \
+        sweep[BETAS[-1]]["normalized_delay"] - 1e-9
     # Aggressive adjustment never *increases* the mean drop vs safe-only by much.
     assert all(s["extra_mitigation"] > -0.25 for s in sweep.values())

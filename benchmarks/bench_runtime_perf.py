@@ -9,29 +9,91 @@ runtime.  It times both engines on
 * a long 5000-cycle horizon (the reference loop's cost grows linearly, the
   vectorized engine's event cost stays sparse);
 * the paper-scale 64-macro reference chip, which only became benchable with
-  the vectorized engine.
+  the vectorized engine;
+* the :mod:`repro.sweep` runner: serial vs. ``multiprocessing.Pool`` executors
+  over a beta x seed grid on the reference chip (the sweeps themselves are
+  embarrassingly parallel, so pool throughput tracks the core count).
 
-Results (cycles/second per engine, speedups, and the equivalence of the
-aggregate failure counts) are written to ``BENCH_runtime.json`` at the repo
-root so future PRs can track the trajectory.
+Results (cycles/second per engine, speedups, sweep throughput, and the
+equivalence of the aggregate failure counts) are written to
+``BENCH_runtime.json`` at the repo root so future PRs can track the trajectory.
 """
 
 import json
 import os
 import time
 
+import pytest
+
 from repro.analysis import format_ratio, format_table
 from repro.core.ir_booster import BoosterMode
+from repro.sweep import (
+    PoolExecutor,
+    SerialExecutor,
+    SweepRunner,
+    SweepSpec,
+    build_compiled_workload,
+)
 
 from common import (
     HW_WORKLOADS,
     REFERENCE_CHIP,
     REFERENCE_TABLE,
     SIM_CYCLES,
+    SMOKE,
+    SWEEP_MASTER_SEED,
     compiled_workload,
     reference_chip_workload,
+    reference_workload_spec,
     run_sim,
+    smoke_grid,
 )
+
+pytestmark = pytest.mark.perf
+
+#: The sweep-throughput grid: >= 8 points (beta x seed) on the 64-macro chip.
+SWEEP_BETAS = smoke_grid((10, 30, 50, 70))
+SWEEP_SEEDS = 2 if len(SWEEP_BETAS) < 4 else 4
+#: Long horizon so one run is a meaningful unit of pool work.
+SWEEP_CYCLES = SIM_CYCLES if SMOKE else max(SIM_CYCLES, 5000)
+
+
+def _time_sweep_executors():
+    """Serial vs. pool wall time on the beta x seed grid (records must match)."""
+    workload = reference_workload_spec("vit", mode=BoosterMode.LOW_POWER,
+                                       label="vit@64")
+    spec = SweepSpec(name="perf-sweep", workloads=(workload,),
+                     controllers=("booster",), modes=(BoosterMode.LOW_POWER,),
+                     betas=SWEEP_BETAS, cycles=SWEEP_CYCLES, seeds=SWEEP_SEEDS,
+                     master_seed=SWEEP_MASTER_SEED)
+    # Warm the per-process workload cache: the serial pass then measures pure
+    # simulation, and fork-started pool workers inherit the compiled image.
+    build_compiled_workload(workload)
+
+    start = time.perf_counter()
+    serial_result = SweepRunner(spec, SerialExecutor()).run()
+    serial_time = time.perf_counter() - start
+
+    processes = os.cpu_count() or 1
+    start = time.perf_counter()
+    pool_result = SweepRunner(spec, PoolExecutor(processes=processes)).run()
+    pool_time = time.perf_counter() - start
+
+    identical = [r.to_json_dict() for r in serial_result.sorted_records()] == \
+        [r.to_json_dict() for r in pool_result.sorted_records()]
+    return {
+        "n_points": spec.n_points,
+        "n_runs": spec.n_runs,
+        "cycles": SWEEP_CYCLES,
+        "serial_seconds": serial_time,
+        "pool_seconds": pool_time,
+        "speedup": serial_time / pool_time,
+        "serial_runs_per_sec": spec.n_runs / serial_time,
+        "pool_runs_per_sec": spec.n_runs / pool_time,
+        "cpu_count": os.cpu_count(),
+        "pool_processes": processes,
+        "records_identical": identical,
+    }
 
 RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
                            "BENCH_runtime.json")
@@ -111,6 +173,8 @@ def test_runtime_engine_speedup(benchmark):
             "speedup": ref_time / vec_time,
             "macro_cycles_per_sec": SIM_CYCLES * len(result.macro_results) / vec_time,
         }
+
+        report["sweep_throughput"] = _time_sweep_executors()
         return report
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -138,7 +202,28 @@ def test_runtime_engine_speedup(benchmark):
           f"{report['reference_chip']['macro_cycles_per_sec']:.2e}"]],
         title="Runtime engine performance (BENCH_runtime.json)"))
 
+    sweep = report["sweep_throughput"]
+    print(format_table(
+        ["sweep grid", "serial s", "pool s", "speedup", "pool runs/s", "cores"],
+        [[f"{sweep['n_points']} pts x {sweep['n_runs'] // sweep['n_points']} seeds"
+          f" @{sweep['cycles']}",
+          f"{sweep['serial_seconds']:.3f}", f"{sweep['pool_seconds']:.3f}",
+          format_ratio(sweep["speedup"]), f"{sweep['pool_runs_per_sec']:.2f}",
+          f"{sweep['cpu_count']}"]],
+        title="Sweep-runner executor throughput (BENCH_runtime.json)"))
+
     # The tentpole acceptance bar: >= 20x on the Sec. 6.6 headline settings.
-    assert headline["speedup"] >= 20.0, headline
-    assert long_run["speedup"] >= 20.0, long_run
-    assert report["reference_chip"]["speedup"] >= 10.0
+    # Smoke mode shrinks the horizon (less to amortize), so only the full
+    # configuration enforces the perf bars; correctness bars always hold.
+    assert sweep["records_identical"]
+    if not SMOKE:
+        assert headline["speedup"] >= 20.0, headline
+        assert long_run["speedup"] >= 20.0, long_run
+        assert report["reference_chip"]["speedup"] >= 10.0
+
+        # Wall-clock pool speedup is only a meaningful bar when the machine
+        # has cores to use (the records equality above always is).
+        if (sweep["cpu_count"] or 1) >= 4:
+            assert sweep["speedup"] > 2.0, sweep
+        elif (sweep["cpu_count"] or 1) >= 2:
+            assert sweep["speedup"] > 1.2, sweep

@@ -8,6 +8,7 @@ each harness still exercises the real code paths.
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
@@ -20,6 +21,7 @@ from repro.power.vf_table import VFTable
 from repro.quant import QATConfig, QATResult, run_qat
 from repro.sim import CompiledWorkload, CompilerConfig, RuntimeConfig, compile_workload, simulate
 from repro.sim.results import SimulationResult
+from repro.sweep import PoolExecutor, SerialExecutor, WorkloadSpec
 from repro.workloads import WorkloadProfile, build_workload_profile
 
 #: Models used by the hardware-facing experiments (one conv, one transformer),
@@ -44,8 +46,49 @@ REFERENCE_TABLE = VFTable(nominal_voltage=REFERENCE_CHIP.nominal_voltage,
                           nominal_frequency=REFERENCE_CHIP.nominal_frequency,
                           signoff_ir_drop=REFERENCE_CHIP.signoff_ir_drop)
 
+#: Smoke mode (``pytest benchmarks/ --smoke`` or ``REPRO_BENCH_SMOKE=1``):
+#: short horizons, single-seed ensembles, truncated sweep grids, so the whole
+#: benchmark suite doubles as a quick CI sanity pass.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").lower() in ("1", "true", "yes")
+
 QAT_EPOCHS = 2
-SIM_CYCLES = 600
+#: Simulation horizon of the paper-figure harnesses.  The vectorized engine
+#: made long horizons cheap, so this sits well above the seed repo's 600.
+SIM_CYCLES = 300 if SMOKE else 2000
+#: Seed-ensemble size of the sweep-based harnesses (mean +- bootstrap CI).
+N_SEEDS = 1 if SMOKE else 3
+#: Master seed every benchmark sweep derives its per-run seeds from.
+SWEEP_MASTER_SEED = 0
+
+
+def smoke_grid(values: tuple) -> tuple:
+    """Truncate a sweep axis to 2 points in smoke mode."""
+    return values[:2] if SMOKE else values
+
+
+def sweep_executor():
+    """Pool executor when the machine has cores to use, serial otherwise."""
+    cores = os.cpu_count() or 1
+    if cores >= 2:
+        return PoolExecutor(processes=min(cores, 8))
+    return SerialExecutor()
+
+
+def reference_workload_spec(model: str, lhr: bool = True,
+                            wds_delta: Optional[int] = 16,
+                            mapping: str = "hr_aware",
+                            mode: str = BoosterMode.LOW_POWER,
+                            label: str = "") -> WorkloadSpec:
+    """Spec for the paper-scale 64-macro reference chip (16 groups x 4 macros).
+
+    Mirrors :func:`reference_chip_workload`: no per-operator task cap, so the
+    workload fills the chip.
+    """
+    return WorkloadSpec(builder="model", model=model, lhr=lhr,
+                        wds_delta=wds_delta, mapping=mapping, mode=mode,
+                        max_tasks_per_operator=None, qat_epochs=QAT_EPOCHS,
+                        groups=16, macros_per_group=4, banks=4, rows=32,
+                        label=label or f"{model}@64")
 
 
 @lru_cache(maxsize=None)

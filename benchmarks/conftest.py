@@ -1,6 +1,31 @@
-"""Benchmark-suite configuration: make the shared ``common`` module importable."""
+"""Benchmark-suite configuration: shared imports, markers, and smoke mode.
+
+* makes the shared ``common`` module importable from every harness;
+* registers the ``sweep`` / ``perf`` markers so ``-m sweep`` selects the
+  sweep-runner harnesses (and ``-m "not perf"`` skips the timing ones);
+* adds ``--smoke``: short horizons, single-seed ensembles and 2-point grids
+  (see ``common.SMOKE``), letting the whole figure suite run as a CI sanity
+  pass in well under a minute.  ``REPRO_BENCH_SMOKE=1`` does the same from the
+  environment.
+"""
 
 import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_addoption(parser):
+    parser.addoption("--smoke", action="store_true", default=False,
+                     help="run benchmarks in smoke mode: short horizons, "
+                          "single-seed ensembles, truncated sweep grids")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "sweep: benchmark drives the repro.sweep runner")
+    config.addinivalue_line(
+        "markers", "perf: benchmark measures wall-clock performance")
+    if config.getoption("--smoke"):
+        # Set before any harness imports ``common`` (collection happens later).
+        os.environ["REPRO_BENCH_SMOKE"] = "1"

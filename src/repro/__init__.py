@@ -12,17 +12,19 @@ Package layout
 * :mod:`repro.pim`       — behavioural SRAM-PIM chip model (banks → chip).
 * :mod:`repro.power`     — V-f tables, PDN solver, IR-drop model, monitors, energy.
 * :mod:`repro.sim`       — compiler and cycle-level runtime.
+* :mod:`repro.sweep`     — parallel multi-seed parameter sweeps over the runtime.
 * :mod:`repro.workloads` — operator profiles and synthetic input streams.
 * :mod:`repro.analysis`  — statistics and report formatting.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import analysis, core, models, nn, pim, power, quant, sim, workloads
+from . import analysis, core, models, nn, pim, power, quant, sim, sweep, workloads
 from .core import AIMConfig, AIMOutcome, AIMPipeline
 
 __all__ = [
-    "core", "nn", "models", "quant", "pim", "power", "sim", "workloads", "analysis",
+    "core", "nn", "models", "quant", "pim", "power", "sim", "sweep",
+    "workloads", "analysis",
     "AIMPipeline", "AIMConfig", "AIMOutcome",
     "__version__",
 ]

@@ -98,7 +98,22 @@ class GroupBoosterState:
 
 
 class IRBoosterController:
-    """Per-group implementation of Algorithm 2 plus V-f pair selection."""
+    """Per-group implementation of Algorithm 2 plus V-f pair selection.
+
+    ``beta`` is the safe-window length in cycles: after an IRFailure a group
+    runs at its safe level for ``beta`` failure-free cycles before re-entering
+    the aggressive level, and raises the a-level after ``2 * beta`` more.
+    ``mode`` picks the V-f pair at a level: "sprint" prefers the highest
+    frequency, "low_power" the lowest voltage (Sec. 5.5.1).
+
+    The controller is a pure, deterministic state machine — no internal RNG —
+    so both simulation engines (and every sweep worker process) drive bit-
+    identical level sequences from the same failure inputs.  The closed-form
+    fast-forward helpers (:meth:`cycles_to_next_transition`,
+    :meth:`advance_nofail`) are what the vectorized engine uses to jump
+    between events; they are step-for-step equivalent to repeated
+    ``step(ir_failure=False)`` calls.
+    """
 
     def __init__(self, table: VFTable, beta: int = 50,
                  mode: str = BoosterMode.SPRINT) -> None:

@@ -42,20 +42,47 @@ CONTROLLERS = ("dvfs", "booster_safe", "booster")
 
 @dataclass
 class RuntimeConfig:
-    """Parameters of one simulation run."""
+    """Parameters of one simulation run.
 
+    All randomness (activity streams, monitor sensing noise) derives from
+    ``seed`` alone, so two runs with equal configs are bit-identical — on
+    either engine, in any process.  The sweep runner
+    (:mod:`repro.sweep`) builds these from declarative grid points.
+
+    Units: one *cycle* is one macro wave slot at the group's current
+    frequency; voltages are volts, frequencies GHz, IR-drops volts.
+    """
+
+    #: simulation horizon in cycles (every loaded macro sees all of them).
     cycles: int = 2000
-    controller: str = "booster"        #: one of :data:`CONTROLLERS`
-    mode: str = BoosterMode.LOW_POWER  #: "sprint" or "low_power"
-    beta: int = 50                     #: Algorithm-2 safe-window length
-    recompute_cycles: int = 12         #: stall per IRFailure (V-f switch + redo wave)
+    #: power-control strategy, one of :data:`CONTROLLERS`: ``"dvfs"`` (always
+    #: the 100 % signoff level), ``"booster_safe"`` (IR-Booster pinned to the
+    #: software safe level) or ``"booster"`` (full Algorithm-2 adjustment).
+    controller: str = "booster"
+    #: V-f pair preference per level: "sprint" (max frequency) or "low_power"
+    #: (min voltage) — Sec. 5.5.1.
+    mode: str = BoosterMode.LOW_POWER
+    #: Algorithm-2 safe-window length in cycles: failure-free cycles required
+    #: before re-entering the aggressive level (Fig. 18 sweeps this).
+    beta: int = 50
+    #: stall per IRFailure in cycles (V-f switch + redo wave, Fig. 11); the
+    #: whole logical Set of the failing macro stalls for this window.
+    recompute_cycles: int = 12
+    #: stationary mean of the AR(1) input flip factor (fraction, 0-1).
     flip_mean: float = 0.6
+    #: stationary standard deviation of the flip factor.
     flip_std: float = 0.15
+    #: lag-1 autocorrelation of the flip factor in [0, 1).
     flip_correlation: float = 0.7
+    #: std-dev (volts) of the IR monitors' per-sample sensing noise.
     monitor_noise: float = 0.003
-    input_determined_hr: float = 0.5   #: HR assumed for runtime-generated in-memory data
+    #: HR assumed for runtime-generated in-memory data (QK^T / SV), ~50 %.
+    input_determined_hr: float = 0.5
+    #: master seed of the run; every macro/monitor stream derives from it.
     seed: int = 0
-    engine: str = "vectorized"         #: one of :data:`~repro.sim.engine.ENGINES`
+    #: one of :data:`~repro.sim.engine.ENGINES` — "vectorized" (default) or
+    #: the original "reference" loop kept as the behavioural oracle.
+    engine: str = "vectorized"
 
     def validate(self) -> None:
         if self.controller not in CONTROLLERS:
@@ -69,7 +96,13 @@ class RuntimeConfig:
 
 
 class PIMRuntime:
-    """Drives a :class:`CompiledWorkload` cycle by cycle under a controller."""
+    """Drives a :class:`CompiledWorkload` cycle by cycle under a controller.
+
+    The V-f table, IR-drop model and energy model default to the compiled
+    workload's chip configuration (nominal 0.75 V / 1 GHz, 140 mV signoff
+    drop on the paper's reference chip); pass explicit instances to explore
+    other operating corners.
+    """
 
     def __init__(self, compiled: CompiledWorkload, config: Optional[RuntimeConfig] = None,
                  table: Optional[VFTable] = None,
@@ -164,12 +197,21 @@ class PIMRuntime:
     # main loop
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationResult:
-        """Execute the configured engine.
+        """Execute the configured engine and return the run's results.
 
         ``engine="vectorized"`` (default) runs the event-driven array engine of
         :mod:`repro.sim.engine`; ``engine="reference"`` runs the original
         cycle-by-cycle Python loop, kept as the behavioural oracle the
         vectorized engine is tested against.
+
+        Equivalence guarantee: for equal configs the engines agree bit-for-bit
+        on failures, stalls, drop/level/chip traces and Rtog activity; energy
+        agrees to floating-point summation order (1e-9 rtol) because the
+        vectorized engine accumulates per-cycle energy with array reductions.
+        ``tests/test_sim_engine.py`` enforces this across all controllers,
+        modes, seeds and stress settings.  The call is deterministic in
+        ``config.seed`` and side-effect-free on the compiled workload, so runs
+        can be distributed freely (see :mod:`repro.sweep`).
         """
         if self.config.engine == "vectorized":
             return run_vectorized(self)

@@ -1,0 +1,37 @@
+"""Parallel multi-seed parameter sweeps over the cycle-level runtime.
+
+The paper's figures are sweeps over independent simulations: Fig. 18 sweeps
+the Algorithm-2 beta window, Sec. 6.6 sweeps a workload/controller portfolio,
+Figs. 19/20 sweep ablation steps.  This package makes those first-class:
+
+* :class:`~repro.sweep.spec.SweepSpec` — a declarative cartesian grid
+  (workloads x controllers x modes x betas x stress knobs) with a seed
+  ensemble, expanded into picklable :class:`~repro.sweep.spec.RunSpec`s with
+  ``SeedSequence``-derived per-run seeds;
+* :class:`~repro.sweep.runner.SweepRunner` — executes runs through a pluggable
+  executor (:class:`~repro.sweep.runner.SerialExecutor` or the chunked
+  :class:`~repro.sweep.runner.PoolExecutor`); workers rebuild workloads from
+  specs (:mod:`repro.sweep.builders`) so nothing heavyweight crosses the pipe;
+* :class:`~repro.sweep.records.SweepResult` — per-point mean/std and bootstrap
+  confidence intervals over the seed ensemble, JSON persistence, and
+  resume-from-partial that aggregates identically to a fresh run.
+
+Serial and pool execution are bit-for-bit equivalent for the same spec and
+master seed; ``tests/test_sweep.py`` enforces the contract.
+"""
+
+from .builders import (
+    build_compiled_workload,
+    clear_workload_cache,
+    register_workload_builder,
+)
+from .records import METRIC_NAMES, MetricStats, PointSummary, RunRecord, SweepResult
+from .runner import PoolExecutor, SerialExecutor, SweepRunner, execute_run, run_sweeps
+from .spec import RunSpec, SweepSpec, WorkloadSpec, run_seed
+
+__all__ = [
+    "SweepSpec", "RunSpec", "WorkloadSpec", "run_seed",
+    "SweepRunner", "SerialExecutor", "PoolExecutor", "execute_run", "run_sweeps",
+    "SweepResult", "RunRecord", "MetricStats", "PointSummary", "METRIC_NAMES",
+    "register_workload_builder", "build_compiled_workload", "clear_workload_cache",
+]

@@ -1,0 +1,215 @@
+"""Sweep execution: serial and multiprocess executors plus the runner.
+
+The runner turns a :class:`~repro.sweep.spec.SweepSpec` into
+:class:`~repro.sweep.records.RunRecord`s through a pluggable *executor*:
+
+* :class:`SerialExecutor` — in-process loop; zero overhead, the baseline;
+* :class:`PoolExecutor` — ``multiprocessing.Pool`` with chunked dispatch.
+  Runs are embarrassingly parallel (independent simulations), so the pool
+  simply maps the picklable :class:`RunSpec`s over worker processes; each
+  worker rebuilds (and memoizes) compiled workloads from their specs — see
+  :mod:`repro.sweep.builders`.
+
+Because every run's seed is a pure function of ``(master_seed, point_index,
+seed_index)`` and workload construction is deterministic, both executors
+produce *bit-identical* records for the same spec; ``tests/test_sweep.py``
+enforces this.
+
+Resume: pass ``resume_from`` (a JSON path or loaded
+:class:`~repro.sweep.records.SweepResult`) and the runner re-executes only
+runs whose records are missing, then merges.  Aggregates of a resumed sweep
+equal a fresh run's exactly (see :mod:`repro.sweep.records`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+from math import ceil
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from .builders import build_compiled_workload
+from .records import RunRecord, SweepResult
+from .spec import RunSpec, SweepSpec
+
+__all__ = ["SerialExecutor", "PoolExecutor", "SweepRunner", "execute_run",
+           "run_sweeps"]
+
+
+def execute_run(run: RunSpec) -> RunRecord:
+    """Simulate one run and summarize it (the unit of executor work).
+
+    Module-level so :mod:`multiprocessing` can pickle it by reference; builds
+    the compiled workload through the per-process cache.
+    """
+    from ..sim.runtime import PIMRuntime
+    compiled = build_compiled_workload(run.workload)
+    result = PIMRuntime(compiled, run.runtime_config()).run()
+    return RunRecord.from_simulation(run, result)
+
+
+class SerialExecutor:
+    """Run every simulation in the calling process, in spec order."""
+
+    def map(self, fn: Callable[[RunSpec], RunRecord],
+            runs: Sequence[RunSpec]) -> List[RunRecord]:
+        return [fn(run) for run in runs]
+
+
+def _apply_chunk(args) -> List[RunRecord]:
+    """Worker-side chunk evaluation (top-level so it pickles by reference)."""
+    fn, chunk = args
+    return [fn(run) for run in chunk]
+
+
+class PoolExecutor:
+    """Chunked ``multiprocessing.Pool`` dispatch over worker processes.
+
+    ``processes`` defaults to the machine's CPU count; ``chunksize`` defaults
+    to ``ceil(n_runs / (4 * processes))`` so each worker receives a handful of
+    chunks (amortizing IPC without starving the tail).  Chunks are
+    *workload-aligned* — a chunk never spans two distinct
+    :class:`~repro.sweep.spec.WorkloadSpec`s — so a worker only constructs the
+    workloads of the chunks it actually processes: distinct workloads build in
+    parallel across workers, with duplicate builds bounded by the number of
+    chunks per workload.
+
+    ``prebuild=True`` instead constructs each distinct workload once in the
+    parent before the pool starts (serially, but with zero duplicate builds);
+    forked workers then inherit every compiled image via the per-process
+    cache.  Prefer it when a single expensive workload dominates the sweep.
+
+    ``start_method`` defaults to the platform default — ``fork`` on Linux.
+    With ``spawn``, workers import :mod:`repro.sweep.builders` fresh: the
+    built-in ``"model"``/``"synthetic"`` builders are available, but a custom
+    builder registered from a script is not — register it at import time of a
+    module the workers also import, or stick with ``fork``.
+    """
+
+    def __init__(self, processes: Optional[int] = None,
+                 chunksize: Optional[int] = None,
+                 start_method: Optional[str] = None,
+                 prebuild: bool = False) -> None:
+        if processes is not None and processes <= 0:
+            raise ValueError("processes must be positive")
+        self.processes = processes
+        self.chunksize = chunksize
+        self.start_method = start_method
+        self.prebuild = prebuild
+
+    def map(self, fn: Callable[[RunSpec], RunRecord],
+            runs: Sequence[RunSpec]) -> List[RunRecord]:
+        runs = list(runs)
+        if not runs:
+            return []
+        processes = self.processes or (os.cpu_count() or 1)
+        processes = min(processes, len(runs))
+        chunksize = self.chunksize or max(1, ceil(len(runs) / (4 * processes)))
+
+        # Workload-aligned chunking (expand() emits each workload's runs
+        # contiguously, so this groups without reordering results).
+        chunks: List[List[RunSpec]] = []
+        for _, group in itertools.groupby(runs, key=lambda run: run.workload):
+            group = list(group)
+            for start in range(0, len(group), chunksize):
+                chunks.append(group[start:start + chunksize])
+
+        context = multiprocessing.get_context(self.start_method)
+        if self.prebuild and context.get_start_method() == "fork":
+            # Warm the parent cache so forked workers inherit every image.
+            for workload in dict.fromkeys(run.workload for run in runs):
+                build_compiled_workload(workload)
+        with context.Pool(processes=processes) as pool:
+            nested = pool.map(_apply_chunk, [(fn, chunk) for chunk in chunks],
+                              chunksize=1)
+        return [record for chunk_records in nested for record in chunk_records]
+
+
+Executor = Union[SerialExecutor, PoolExecutor]
+
+
+class SweepRunner:
+    """Expands a :class:`SweepSpec` and drives an executor over its runs."""
+
+    def __init__(self, spec: SweepSpec, executor: Optional[Executor] = None) -> None:
+        self.spec = spec
+        self.executor = executor or SerialExecutor()
+
+    def run(self, resume_from: Union[None, str, SweepResult] = None,
+            save_path: Optional[str] = None) -> SweepResult:
+        """Execute all (remaining) runs and return the merged result.
+
+        ``resume_from`` supplies records of a previous partial execution (a
+        JSON path or an in-memory result); records whose ``run_id`` belongs to
+        this spec are kept and their runs skipped.  A resumed record whose
+        stored seed or grid point disagrees with this spec's derivation (a
+        different ``master_seed``, or an edited grid reusing the same sweep
+        name) raises rather than silently mixing ensembles.
+        ``save_path`` persists the merged result as JSON afterwards.
+        """
+        runs = self.spec.expand()
+        by_id = {run.run_id: run for run in runs}
+
+        prior: List[RunRecord] = []
+        if resume_from is not None:
+            loaded = SweepResult.load(resume_from) \
+                if isinstance(resume_from, str) else resume_from
+            for record in loaded.records:
+                expected = by_id.get(record.run_id)
+                if expected is None:
+                    continue
+                if record.seed != expected.seed:
+                    raise ValueError(
+                        f"resumed record {record.run_id!r} was produced with "
+                        f"seed {record.seed}, but this spec derives "
+                        f"{expected.seed} — refusing to mix ensembles")
+                if record.point_key != expected.point_key:
+                    raise ValueError(
+                        f"resumed record {record.run_id!r} was produced at "
+                        f"grid point {dict(record.point_key)}, but this spec "
+                        f"places it at {dict(expected.point_key)} — the grid "
+                        f"changed; refusing to mix sweeps")
+                prior.append(record)
+
+        done = {record.run_id for record in prior}
+        pending = [run for run in runs if run.run_id not in done]
+        fresh = self.executor.map(execute_run, pending)
+
+        result = SweepResult(spec=self.spec, records=prior + list(fresh))
+        result.records = result.sorted_records()
+        if save_path is not None:
+            result.save(save_path)
+        return result
+
+
+def run_sweeps(specs: Sequence[SweepSpec],
+               executor: Optional[Executor] = None) -> Dict[str, SweepResult]:
+    """Execute several sweeps through one executor pass, keyed by spec name.
+
+    Paper harnesses often need *coupled* grids (e.g. the Sec. 6.6 headline
+    pairs the baseline compile with the DVFS controller and the AIM compile
+    with the booster), which a single cartesian product cannot express.  This
+    helper expands every spec, executes the union of runs in one ``map`` so a
+    pool executor parallelizes across sweeps, and splits the records back per
+    spec.  Spec names must be unique (they prefix the run ids).
+    """
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"sweep names must be unique, got {names}")
+    executor = executor or SerialExecutor()
+
+    all_runs: List[RunSpec] = []
+    owner: List[str] = []
+    for spec in specs:
+        expanded = spec.expand()
+        all_runs.extend(expanded)
+        owner.extend([spec.name] * len(expanded))
+
+    records = executor.map(execute_run, all_runs)
+    results = {spec.name: SweepResult(spec=spec) for spec in specs}
+    for name, record in zip(owner, records):
+        results[name].add(record)
+    for result in results.values():
+        result.records = result.sorted_records()
+    return results

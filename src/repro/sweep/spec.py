@@ -1,0 +1,264 @@
+"""Declarative sweep specifications.
+
+The paper's headline experiments (the Sec. 6.6 portfolio, the Fig. 18 beta
+trade-off, the Fig. 19/20 ablations) are all parameter sweeps over independent
+simulations.  A :class:`SweepSpec` describes such a sweep declaratively — a
+cartesian grid over workloads, controllers, modes, beta windows, stress knobs
+and a seed ensemble — and expands into a flat list of :class:`RunSpec`s, the
+unit of work the :class:`~repro.sweep.runner.SweepRunner` dispatches.
+
+Everything in this module is a plain frozen dataclass of primitives so that
+specs pickle cheaply across :mod:`multiprocessing` boundaries.  Workers never
+receive a compiled workload: they receive the :class:`WorkloadSpec` and build
+(and cache) the chip image themselves — see :mod:`repro.sweep.builders`.
+
+Determinism contract
+--------------------
+Every run's simulation seed is derived as::
+
+    SeedSequence(master_seed, spawn_key=(point_index, seed_index))
+
+so a run's seed depends only on the sweep's ``master_seed``, its grid-point
+index and its position in the seed ensemble — not on execution order, executor
+choice (serial vs. pool), chunking, or which runs were resumed from a partial
+result file.  This is what makes the pool executor reproduce serial sweeps
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["WorkloadSpec", "RunSpec", "SweepSpec", "run_seed"]
+
+
+def run_seed(master_seed: int, point_index: int, seed_index: int) -> int:
+    """The deterministic simulation seed of one run (see module docstring)."""
+    sequence = np.random.SeedSequence(master_seed,
+                                      spawn_key=(point_index, seed_index))
+    return int(sequence.generate_state(1, dtype=np.uint32)[0])
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative, picklable recipe for one compiled workload.
+
+    The spec names a registered *builder* (see :mod:`repro.sweep.builders`)
+    plus everything that builder needs to reconstruct the exact chip image in a
+    worker process: the model/profile parameters, the compiler knobs and the
+    chip geometry.  Building is deterministic — two processes given the same
+    spec produce identical compiled workloads.
+
+    Builders:
+
+    * ``"model"`` — QAT-train a model-zoo network (``model``/``lhr``/
+      ``qat_epochs``) and compile it (mirrors ``benchmarks/common.py``);
+    * ``"synthetic"`` — random Laplace-code operators, no training; used by
+      tests and examples where compile cost must stay in milliseconds.
+    """
+
+    builder: str = "model"
+    #: model-zoo name ("resnet18", "vit", ...) for the "model" builder.
+    model: str = "resnet18"
+    lhr: bool = True                       #: LHR-regularized QAT (lambda=2.0)?
+    wds_delta: Optional[int] = 16          #: WDS shift; None disables WDS.
+    mapping: str = "hr_aware"              #: task-mapping strategy.
+    mode: str = "low_power"                #: mapping-evaluator objective.
+    bits: int = 8
+    max_tasks_per_operator: Optional[int] = 2
+    qat_epochs: int = 2
+    qat_learning_rate: float = 3e-3
+    attention_seq_len: int = 16
+    #: chip geometry (``small_chip_config`` arguments).
+    groups: int = 8
+    macros_per_group: int = 2
+    banks: int = 4
+    rows: int = 32
+    compile_seed: int = 0
+    #: "synthetic" builder: number of operators and their Laplace spread.
+    n_operators: int = 4
+    code_spread: float = 20.0
+    #: display name; auto-derived when empty.
+    label: str = ""
+
+    @property
+    def name(self) -> str:
+        if self.label:
+            return self.label
+        wds = f"wds{self.wds_delta}" if self.wds_delta is not None else "nowds"
+        lhr = "lhr" if self.lhr else "base"
+        return f"{self.model}:{lhr}+{wds}:{self.mapping}"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-resolved simulation: a grid point plus one ensemble seed.
+
+    ``point_key`` identifies the grid point (everything except the seed) as a
+    canonical tuple of ``(axis, value)`` pairs; records of the same point are
+    aggregated together across the seed ensemble.  It captures the *complete*
+    run identity — including ``recompute_cycles`` and a fingerprint of every
+    :class:`WorkloadSpec` field — so resuming a sweep whose spec was edited in
+    any way that changes simulation outcomes is detected and rejected, not
+    silently satisfied by stale records.
+    """
+
+    run_id: str
+    point_index: int
+    seed_index: int
+    seed: int                              #: RuntimeConfig.seed for this run.
+    workload: WorkloadSpec
+    controller: str
+    mode: str
+    beta: int
+    cycles: int
+    recompute_cycles: int = 12
+    flip_mean: float = 0.6
+    flip_std: float = 0.15
+    flip_correlation: float = 0.7
+    monitor_noise: float = 0.003
+
+    @property
+    def point_key(self) -> Tuple[Tuple[str, object], ...]:
+        return (
+            ("workload", self.workload.name),
+            ("workload_config", workload_fingerprint(self.workload)),
+            ("controller", self.controller),
+            ("mode", self.mode),
+            ("beta", self.beta),
+            ("cycles", self.cycles),
+            ("recompute_cycles", self.recompute_cycles),
+            ("flip_mean", self.flip_mean),
+            ("flip_std", self.flip_std),
+            ("flip_correlation", self.flip_correlation),
+            ("monitor_noise", self.monitor_noise),
+        )
+
+    def runtime_config(self):
+        """The :class:`~repro.sim.runtime.RuntimeConfig` this run simulates."""
+        from ..sim.runtime import RuntimeConfig
+        return RuntimeConfig(
+            cycles=self.cycles, controller=self.controller, mode=self.mode,
+            beta=self.beta, recompute_cycles=self.recompute_cycles,
+            flip_mean=self.flip_mean, flip_std=self.flip_std,
+            flip_correlation=self.flip_correlation,
+            monitor_noise=self.monitor_noise, seed=self.seed)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A cartesian sweep grid plus a seed ensemble.
+
+    The grid is the product ``workloads x controllers x modes x betas x
+    flip_means x flip_stds x flip_correlations x monitor_noises``; every grid
+    point is simulated ``seeds`` times with :func:`run_seed`-derived seeds.
+    ``expand()`` returns the runs in a deterministic order (itertools.product
+    order, seeds innermost), but nothing downstream depends on that order.
+    """
+
+    name: str = "sweep"
+    workloads: Tuple[WorkloadSpec, ...] = (WorkloadSpec(),)
+    controllers: Tuple[str, ...] = ("booster",)
+    modes: Tuple[str, ...] = ("low_power",)
+    betas: Tuple[int, ...] = (50,)
+    cycles: int = 2000
+    recompute_cycles: int = 12
+    #: stress axes: activity statistics and monitor sensing noise.
+    flip_means: Tuple[float, ...] = (0.6,)
+    flip_stds: Tuple[float, ...] = (0.15,)
+    flip_correlations: Tuple[float, ...] = (0.7,)
+    monitor_noises: Tuple[float, ...] = (0.003,)
+    #: seed-ensemble size per grid point and the sweep's master seed.
+    seeds: int = 1
+    master_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.seeds <= 0:
+            raise ValueError("seeds must be a positive ensemble size")
+        if self.cycles <= 0:
+            raise ValueError("cycles must be positive")
+
+    @property
+    def n_points(self) -> int:
+        return (len(self.workloads) * len(self.controllers) * len(self.modes)
+                * len(self.betas) * len(self.flip_means) * len(self.flip_stds)
+                * len(self.flip_correlations) * len(self.monitor_noises))
+
+    @property
+    def n_runs(self) -> int:
+        return self.n_points * self.seeds
+
+    def expand(self) -> List[RunSpec]:
+        """Expand the grid into :class:`RunSpec`s (one per point per seed)."""
+        runs: List[RunSpec] = []
+        grid = itertools.product(
+            self.workloads, self.controllers, self.modes, self.betas,
+            self.flip_means, self.flip_stds, self.flip_correlations,
+            self.monitor_noises)
+        for point_index, (workload, controller, mode, beta, flip_mean,
+                          flip_std, flip_correlation, monitor_noise) in enumerate(grid):
+            for seed_index in range(self.seeds):
+                runs.append(RunSpec(
+                    run_id=f"{self.name}/p{point_index:04d}/s{seed_index:03d}",
+                    point_index=point_index, seed_index=seed_index,
+                    seed=run_seed(self.master_seed, point_index, seed_index),
+                    workload=workload, controller=controller, mode=mode,
+                    beta=beta, cycles=self.cycles,
+                    recompute_cycles=self.recompute_cycles,
+                    flip_mean=flip_mean, flip_std=flip_std,
+                    flip_correlation=flip_correlation,
+                    monitor_noise=monitor_noise))
+        return runs
+
+    def to_json_dict(self) -> Dict:
+        """JSON-serializable description (persisted alongside the records)."""
+        return {
+            "name": self.name,
+            "workloads": [vars_of(w) for w in self.workloads],
+            "controllers": list(self.controllers),
+            "modes": list(self.modes),
+            "betas": list(self.betas),
+            "cycles": self.cycles,
+            "recompute_cycles": self.recompute_cycles,
+            "flip_means": list(self.flip_means),
+            "flip_stds": list(self.flip_stds),
+            "flip_correlations": list(self.flip_correlations),
+            "monitor_noises": list(self.monitor_noises),
+            "seeds": self.seeds,
+            "master_seed": self.master_seed,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict) -> "SweepSpec":
+        workloads = tuple(WorkloadSpec(**w) for w in data["workloads"])
+        return cls(
+            name=data["name"], workloads=workloads,
+            controllers=tuple(data["controllers"]), modes=tuple(data["modes"]),
+            betas=tuple(int(b) for b in data["betas"]), cycles=int(data["cycles"]),
+            recompute_cycles=int(data["recompute_cycles"]),
+            flip_means=tuple(data["flip_means"]),
+            flip_stds=tuple(data["flip_stds"]),
+            flip_correlations=tuple(data["flip_correlations"]),
+            monitor_noises=tuple(data["monitor_noises"]),
+            seeds=int(data["seeds"]), master_seed=int(data["master_seed"]))
+
+
+def vars_of(spec: WorkloadSpec) -> Dict:
+    """``dataclasses.asdict`` without the deep copies (all fields are scalars)."""
+    return {f.name: getattr(spec, f.name) for f in fields(spec)}
+
+
+def workload_fingerprint(spec: WorkloadSpec) -> str:
+    """Canonical string over every field of a :class:`WorkloadSpec`.
+
+    Stored in each record's ``point_key`` so a resumed sweep whose workload
+    definition changed (even under an unchanged ``label``) is rejected.
+    ``repr`` round-trips floats exactly, so the fingerprint is stable across
+    processes and JSON serialization.
+    """
+    return "|".join(f"{name}={value!r}"
+                    for name, value in sorted(vars_of(spec).items()))

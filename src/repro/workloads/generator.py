@@ -124,19 +124,33 @@ class ActivationStreamGenerator:
     seed: int = 0
 
     def generate(self, waves: int) -> np.ndarray:
-        """Return (waves, rows) signed integer activations."""
+        """Return (waves, rows) signed integer activations.
+
+        The AR(1) recurrence over waves runs through
+        :func:`scipy.signal.lfilter` (axis 0, all rows at once), the same
+        formulation as :func:`flip_factor_matrix`.  RNG consumption matches
+        the historical per-wave Python loop exactly — one ``rows``-sized draw
+        for wave 0, then one ``(waves - 1, rows)`` batch whose C-order layout
+        consumes the stream in the loop's wave-by-wave order — so the emitted
+        integer codes are bit-identical to the loop's (for the default
+        ``mean=0`` the intermediate floats are too; equivalence is enforced by
+        ``tests/test_workloads_sim.py``).
+        """
         if waves <= 0:
             return np.zeros((0, self.rows), dtype=np.int64)
         rng = np.random.default_rng(self.seed)
         qmax = (1 << (self.input_bits - 1)) - 1
         scale = max(3.0 * self.std, 1e-9) / qmax
+        first = rng.normal(self.mean, self.std, size=self.rows)
         values = np.empty((waves, self.rows))
-        current = rng.normal(self.mean, self.std, size=self.rows)
-        values[0] = current
-        for wave in range(1, waves):
+        values[0] = first
+        if waves > 1:
             noise = rng.normal(0.0, self.std * np.sqrt(1 - self.correlation ** 2),
-                               size=self.rows)
-            current = self.mean + self.correlation * (current - self.mean) + noise
-            values[wave] = current
+                               size=(waves - 1, self.rows))
+            # Deviation-space AR(1): d[t] = correlation * d[t-1] + noise[t].
+            deviations, _ = lfilter(
+                [1.0], [1.0, -self.correlation], noise, axis=0,
+                zi=self.correlation * (first - self.mean)[None, :])
+            values[1:] = self.mean + deviations
         codes = np.clip(np.round(values / scale), -qmax - 1, qmax)
         return codes.astype(np.int64)

@@ -17,6 +17,13 @@ from repro.sim.compiler import CompilerConfig, compile_workload
 from repro.workloads.profiles import WorkloadProfile
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "sweep_smoke: fast mini-sweep exercising the repro.sweep runner "
+        "end-to-end inside the tier-1 suite")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)

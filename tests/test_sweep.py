@@ -1,0 +1,253 @@
+"""Tests for the parallel multi-seed sweep subsystem (:mod:`repro.sweep`).
+
+The load-bearing guarantees:
+
+* expansion is deterministic and seeds depend only on ``(master_seed,
+  point_index, seed_index)``;
+* the pool executor reproduces serial sweeps **bit-for-bit**;
+* resuming from a partial JSON file yields the same records *and* the same
+  aggregates (bootstrap CIs included) as an uninterrupted run;
+* a 2-point mini-sweep (the ``sweep_smoke`` marker) exercises the whole path
+  within tier-1 time budgets.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sim import CompiledWorkload
+from repro.sweep import (
+    METRIC_NAMES,
+    PoolExecutor,
+    SerialExecutor,
+    SweepRunner,
+    SweepSpec,
+    SweepResult,
+    WorkloadSpec,
+    build_compiled_workload,
+    execute_run,
+    register_workload_builder,
+    run_seed,
+    run_sweeps,
+)
+
+#: Fast synthetic workload on a tiny chip: builds in milliseconds, no QAT.
+TINY = WorkloadSpec(builder="synthetic", groups=2, macros_per_group=2, banks=4,
+                    rows=8, n_operators=4, label="tiny")
+
+
+def tiny_spec(**overrides) -> SweepSpec:
+    defaults = dict(name="t", workloads=(TINY,), controllers=("booster",),
+                    betas=(10, 50), cycles=200, seeds=2, master_seed=7)
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+def records_as_dicts(result: SweepResult):
+    return [r.to_json_dict() for r in result.sorted_records()]
+
+
+class TestSpec:
+    def test_expand_grid_shape_and_ids(self):
+        spec = tiny_spec(controllers=("dvfs", "booster"), seeds=3)
+        runs = spec.expand()
+        assert spec.n_points == 4 and spec.n_runs == 12 and len(runs) == 12
+        assert len({r.run_id for r in runs}) == 12
+        assert all(r.run_id.startswith("t/") for r in runs)
+
+    def test_seeds_depend_only_on_coordinates(self):
+        spec = tiny_spec()
+        again = tiny_spec()
+        assert [r.seed for r in spec.expand()] == [r.seed for r in again.expand()]
+        # Different master seed -> different ensemble.
+        shifted = tiny_spec(master_seed=8)
+        assert [r.seed for r in spec.expand()] != [r.seed for r in shifted.expand()]
+        # The derivation is the documented SeedSequence contract.
+        first = spec.expand()[0]
+        assert first.seed == run_seed(7, first.point_index, first.seed_index)
+
+    def test_point_key_excludes_seed(self):
+        runs = tiny_spec(seeds=3).expand()
+        by_point = {}
+        for run in runs:
+            by_point.setdefault(run.point_index, set()).add(run.point_key)
+        assert all(len(keys) == 1 for keys in by_point.values())
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            tiny_spec(seeds=0)
+        with pytest.raises(ValueError):
+            tiny_spec(cycles=0)
+
+    def test_spec_json_roundtrip(self):
+        spec = tiny_spec(flip_means=(0.5, 0.7), monitor_noises=(0.0, 0.003))
+        assert SweepSpec.from_json_dict(spec.to_json_dict()) == spec
+
+
+class TestBuilders:
+    def test_synthetic_builder_is_deterministic_and_cached(self):
+        first = build_compiled_workload(TINY)
+        assert isinstance(first, CompiledWorkload)
+        assert build_compiled_workload(TINY) is first          # per-process memo
+        assert len(first.tasks) == 4
+        # qk_t operators mark their group input-determined.
+        assert any(first.group_input_determined.values())
+
+    def test_unknown_builder_raises(self):
+        bad = WorkloadSpec(builder="no-such-builder")
+        with pytest.raises(KeyError, match="no-such-builder"):
+            build_compiled_workload(bad)
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            register_workload_builder("synthetic", lambda spec: None)
+
+    def test_execute_run_metrics_complete(self):
+        record = execute_run(tiny_spec().expand()[0])
+        assert set(record.metrics) == set(METRIC_NAMES)
+        assert record.metrics["effective_tops"] > 0
+        assert record.metrics["worst_ir_drop"] > 0
+
+
+class TestDeterminism:
+    def test_serial_rerun_is_identical(self):
+        spec = tiny_spec()
+        a = SweepRunner(spec, SerialExecutor()).run()
+        b = SweepRunner(spec, SerialExecutor()).run()
+        assert records_as_dicts(a) == records_as_dicts(b)
+
+    def test_pool_matches_serial_bit_for_bit(self):
+        spec = tiny_spec(seeds=3)
+        serial = SweepRunner(spec, SerialExecutor()).run()
+        pool = SweepRunner(spec, PoolExecutor(processes=2, chunksize=1)).run()
+        assert records_as_dicts(serial) == records_as_dicts(pool)
+
+    def test_run_sweeps_parallelizes_coupled_grids(self):
+        specs = [tiny_spec(name="a", controllers=("dvfs",)),
+                 tiny_spec(name="b", controllers=("booster",))]
+        results = run_sweeps(specs, executor=SerialExecutor())
+        assert set(results) == {"a", "b"}
+        for name, result in results.items():
+            assert all(r.run_id.startswith(f"{name}/") for r in result.records)
+        # DVFS at the signoff level never raises IRFailures.
+        dvfs_points = results["a"].aggregate()
+        assert all(p.stats["total_failures"].mean == 0 for p in dvfs_points)
+        with pytest.raises(ValueError, match="unique"):
+            run_sweeps([tiny_spec(), tiny_spec()])
+
+
+class TestAggregation:
+    def test_point_statistics_and_bootstrap_ci(self):
+        result = SweepRunner(tiny_spec(seeds=4), SerialExecutor()).run()
+        for point in result.aggregate():
+            assert point.n_seeds == 4
+            for stats in point.stats.values():
+                assert stats.n == 4
+                assert stats.std >= 0.0
+                assert stats.ci_low <= stats.mean + 1e-12
+                assert stats.ci_high >= stats.mean - 1e-12
+
+    def test_single_seed_degenerate_ci(self):
+        result = SweepRunner(tiny_spec(seeds=1), SerialExecutor()).run()
+        point = result.aggregate()[0]
+        stats = point.stats["effective_tops"]
+        assert stats.std == 0.0
+        assert stats.ci_low == stats.mean == stats.ci_high
+
+    def test_select_and_point_lookup(self):
+        result = SweepRunner(tiny_spec(), SerialExecutor()).run()
+        assert len(result.select(beta=10)) == 1
+        assert result.point(beta=10).axes["beta"] == 10
+        with pytest.raises(KeyError):
+            result.point(workload="tiny")        # both betas match
+
+    def test_beta_ordering_matches_runtime(self):
+        """The sweep reproduces the Fig. 18 shape: small beta -> more failures."""
+        result = SweepRunner(tiny_spec(seeds=3), SerialExecutor()).run()
+        failures = {p.axes["beta"]: p.stats["total_failures"].mean
+                    for p in result.aggregate()}
+        assert failures[10] >= failures[50]
+
+
+class TestPersistenceAndResume:
+    def test_save_load_roundtrip(self, tmp_path):
+        result = SweepRunner(tiny_spec(), SerialExecutor()).run()
+        path = str(tmp_path / "sweep.json")
+        result.save(path)
+        loaded = SweepResult.load(path)
+        assert loaded.spec == result.spec
+        assert records_as_dicts(loaded) == records_as_dicts(result)
+
+    def test_resume_from_partial_matches_fresh(self, tmp_path):
+        spec = tiny_spec(seeds=3)
+        fresh = SweepRunner(spec, SerialExecutor()).run()
+
+        full_path = str(tmp_path / "full.json")
+        fresh.save(full_path)
+        payload = json.loads(open(full_path).read())
+        payload["records"] = payload["records"][: len(payload["records"]) // 2]
+        partial_path = str(tmp_path / "partial.json")
+        with open(partial_path, "w") as handle:
+            json.dump(payload, handle)
+
+        resumed = SweepRunner(spec, SerialExecutor()).run(resume_from=partial_path)
+        assert records_as_dicts(resumed) == records_as_dicts(fresh)
+
+        # Aggregates (bootstrap CIs included) are bit-identical too.
+        for a, b in zip(fresh.aggregate(), resumed.aggregate()):
+            assert a.stats == b.stats
+
+    def test_resume_rejects_foreign_master_seed(self, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        SweepRunner(tiny_spec(master_seed=7), SerialExecutor()).run(save_path=path)
+        other = tiny_spec(master_seed=8)
+        with pytest.raises(ValueError, match="refusing to mix"):
+            SweepRunner(other, SerialExecutor()).run(resume_from=path)
+
+    @pytest.mark.parametrize("edit", [
+        dict(betas=(20, 60)),
+        dict(cycles=400),
+        dict(recompute_cycles=48),
+        dict(workloads=(WorkloadSpec(builder="synthetic", groups=4,
+                                     macros_per_group=2, banks=4, rows=8,
+                                     n_operators=4, label="tiny"),)),
+    ], ids=["betas", "cycles", "recompute", "workload-same-label"])
+    def test_resume_rejects_changed_grid(self, tmp_path, edit):
+        """Editing the grid or workload definition while keeping name/master
+        seed must not pass stale records off as results for the new spec."""
+        path = str(tmp_path / "sweep.json")
+        SweepRunner(tiny_spec(), SerialExecutor()).run(save_path=path)
+        with pytest.raises(ValueError, match="grid changed"):
+            SweepRunner(tiny_spec(**edit), SerialExecutor()).run(resume_from=path)
+
+    def test_resume_ignores_records_of_other_sweeps(self, tmp_path):
+        path = str(tmp_path / "other.json")
+        SweepRunner(tiny_spec(name="other"), SerialExecutor()).run(save_path=path)
+        result = SweepRunner(tiny_spec(), SerialExecutor()).run(resume_from=path)
+        assert len(result.records) == tiny_spec().n_runs
+
+    def test_save_path_checkpoints(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        result = SweepRunner(tiny_spec(), SerialExecutor()).run(save_path=path)
+        assert records_as_dicts(SweepResult.load(path)) == records_as_dicts(result)
+
+
+@pytest.mark.sweep_smoke
+def test_mini_sweep_smoke():
+    """Tier-1 smoke: a 2-point mini-sweep through the full runner path.
+
+    Mirrors what ``pytest benchmarks/ --smoke`` exercises at scale, but with a
+    synthetic workload and a short horizon so it stays well under a second.
+    """
+    spec = SweepSpec(name="smoke", workloads=(TINY,),
+                     controllers=("dvfs", "booster"), betas=(50,), cycles=120,
+                     seeds=1, master_seed=0)
+    result = SweepRunner(spec, SerialExecutor()).run()
+    points = result.aggregate()
+    assert spec.n_points == 2 and len(points) == 2
+    booster = result.point(controller="booster")
+    dvfs = result.point(controller="dvfs")
+    assert dvfs.stats["total_failures"].mean == 0
+    assert booster.stats["average_macro_power_mw"].mean <= \
+        dvfs.stats["average_macro_power_mw"].mean

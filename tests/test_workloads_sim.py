@@ -58,6 +58,38 @@ class TestGenerators:
         assert np.array_equal(a, b)
         assert a.max() <= 7 and a.min() >= -8
 
+    @staticmethod
+    def _loop_reference_codes(gen: ActivationStreamGenerator, waves: int) -> np.ndarray:
+        """The historical per-wave AR(1) Python loop the lfilter port replaced."""
+        rng = np.random.default_rng(gen.seed)
+        qmax = (1 << (gen.input_bits - 1)) - 1
+        scale = max(3.0 * gen.std, 1e-9) / qmax
+        values = np.empty((waves, gen.rows))
+        current = rng.normal(gen.mean, gen.std, size=gen.rows)
+        values[0] = current
+        for wave in range(1, waves):
+            noise = rng.normal(0.0, gen.std * np.sqrt(1 - gen.correlation ** 2),
+                               size=gen.rows)
+            current = gen.mean + gen.correlation * (current - gen.mean) + noise
+            values[wave] = current
+        return np.clip(np.round(values / scale), -qmax - 1, qmax).astype(np.int64)
+
+    @pytest.mark.parametrize("mean,std,correlation,bits", [
+        (0.0, 1.0, 0.5, 8),      # the default configuration of every caller
+        (0.0, 2.0, 0.9, 4),
+        (1.3, 0.7, 0.5, 8),      # non-zero mean exercises the zi deviation path
+        (-0.4, 1.5, 0.0, 6),     # correlation 0: lfilter degenerates to the noise
+        (2.0, 1.0, 0.95, 8),
+    ])
+    def test_activation_generator_bit_equivalent_to_loop(self, mean, std,
+                                                         correlation, bits):
+        for seed in (0, 7, 123):
+            gen = ActivationStreamGenerator(rows=16, input_bits=bits, mean=mean,
+                                            std=std, correlation=correlation,
+                                            seed=seed)
+            assert np.array_equal(gen.generate(150),
+                                  self._loop_reference_codes(gen, 150))
+
     def test_dataset_activation_stats(self):
         mean, std = dataset_activation_stats(np.array([1.0, 3.0]))
         assert mean == 2.0 and std > 0

@@ -19,7 +19,6 @@ equivalence of the aggregate failure counts) are written to
 ``BENCH_runtime.json`` at the repo root so future PRs can track the trajectory.
 """
 
-import json
 import os
 import time
 
@@ -47,6 +46,7 @@ from common import (
     reference_workload_spec,
     run_sim,
     smoke_grid,
+    update_bench_runtime,
 )
 
 pytestmark = pytest.mark.perf
@@ -94,9 +94,6 @@ def _time_sweep_executors():
         "pool_processes": processes,
         "records_identical": identical,
     }
-
-RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
-                           "BENCH_runtime.json")
 
 #: (label, controller, lhr, wds, mapping) — the headline's four simulate()
 #: calls per model (baseline = DVFS on the unoptimized compile, AIM = booster
@@ -179,8 +176,9 @@ def test_runtime_engine_speedup(benchmark):
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
 
-    with open(RESULT_PATH, "w") as handle:
-        json.dump(report, handle, indent=2)
+    # Merge-preserve: other harnesses own their own sections (e.g. the
+    # ``stress`` section written by bench_stress_failures).
+    update_bench_runtime(report)
 
     headline = report["horizons"][str(SIM_CYCLES)]
     long_run = report["horizons"]["5000"]

@@ -8,6 +8,7 @@ each harness still exercises the real code paths.
 
 from __future__ import annotations
 
+import json
 import os
 from functools import lru_cache
 from typing import Dict, Optional, Tuple
@@ -64,6 +65,44 @@ SWEEP_MASTER_SEED = 0
 def smoke_grid(values: tuple) -> tuple:
     """Truncate a sweep axis to 2 points in smoke mode."""
     return values[:2] if SMOKE else values
+
+
+#: The repo-root performance ledger shared by the perf harnesses.
+BENCH_RUNTIME_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                                  "BENCH_runtime.json")
+
+
+def update_bench_runtime(sections: Dict[str, object]) -> Dict[str, object]:
+    """Merge ``sections`` into ``BENCH_runtime.json`` (atomic replace).
+
+    Several harnesses contribute to the ledger (``bench_runtime_perf`` owns
+    the engine/sweep sections, ``bench_stress_failures`` the ``stress``
+    section); merging instead of overwriting keeps every section current with
+    its own harness.  Returns the merged report.
+    """
+    try:
+        with open(BENCH_RUNTIME_PATH) as handle:
+            report = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        report = {}
+    report.update(sections)
+    tmp_path = BENCH_RUNTIME_PATH + ".tmp"
+    with open(tmp_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+    os.replace(tmp_path, BENCH_RUNTIME_PATH)
+    return report
+
+
+def stress_workload_spec(label: str = "stress@64", **overrides) -> WorkloadSpec:
+    """The high-failure-rate benchmark workload: a synthetic fill of the
+    paper's 64-macro reference geometry (16 groups x 4 macros) with two-macro
+    logical Sets, so IRFailures stall whole Sets without any QAT cost.
+    """
+    params = dict(builder="synthetic", groups=16, macros_per_group=4, banks=4,
+                  rows=16, operator_rows=32, n_operators=32, code_spread=30.0,
+                  mapping="sequential", label=label)
+    params.update(overrides)
+    return WorkloadSpec(**params)
 
 
 def sweep_executor():

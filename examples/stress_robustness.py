@@ -1,0 +1,82 @@
+"""Stress-axis robustness harness: IR-Booster under drifting activity stats.
+
+IR-Booster's safe and aggressive levels are derived from *profiling-time*
+assumptions about activity (the AR(1) flip-factor statistics of Sec. 5.2) and
+about the monitors' sensing noise.  This harness sweeps the stress axes that
+are first-class in :class:`~repro.sweep.SweepSpec` — ``flip_means``,
+``flip_stds`` and ``monitor_noises`` — and shows, paper-style, how the
+mitigation degrades as the runtime drifts away from those assumptions: the
+IRFailure rate climbs, recompute stalls eat into effective TOPS, and the
+energy-efficiency advantage over the DVFS baseline narrows.
+
+The sweep uses ``seed_mode="shared"`` (common random numbers): every grid
+point sees the same activity realization per ensemble member, so cross-point
+comparisons isolate the drift itself — and the engine's process-level level
+cache reuses the per-(group, level) physics across the whole controller
+comparison at each (flip, noise) point.
+
+Run with:  python examples/stress_robustness.py
+"""
+
+from repro.sim import level_cache_stats
+from repro.sweep import SerialExecutor, SweepRunner, SweepSpec, WorkloadSpec
+
+#: Profiling assumption (left column of the table) and drifted operating
+#: points: activity running hotter and noisier than profiled.
+FLIP_MEANS = (0.5, 0.6, 0.7, 0.8)
+FLIP_STDS = (0.15, 0.25)
+MONITOR_NOISES = (0.003, 0.008)
+
+
+def main() -> None:
+    workload = WorkloadSpec(builder="synthetic", groups=8, macros_per_group=2,
+                            banks=4, rows=16, operator_rows=32, n_operators=8,
+                            code_spread=25.0, mapping="sequential",
+                            label="stress-robustness")
+
+    spec = SweepSpec(name="stress-axes", workloads=(workload,),
+                     controllers=("dvfs", "booster"), modes=("low_power",),
+                     betas=(30,), cycles=1500,
+                     flip_means=FLIP_MEANS, flip_stds=FLIP_STDS,
+                     monitor_noises=MONITOR_NOISES,
+                     seeds=2, master_seed=0, seed_mode="shared")
+
+    print(f"{spec.n_runs} runs ({spec.n_points} grid points x {spec.seeds} "
+          "shared-seed ensemble members), serial ...")
+    result = SweepRunner(spec, SerialExecutor()).run()
+    points = result.aggregate()
+
+    print(f"\n{'flip mean':>9} | {'flip std':>8} | {'noise (mV)':>10} | "
+          f"{'IRFailures':>10} | {'stall frac':>10} | {'TOPS vs DVFS':>12} | "
+          f"{'eff. vs DVFS':>12}")
+    for noise in MONITOR_NOISES:
+        for std in FLIP_STDS:
+            for mean in FLIP_MEANS:
+                axes = dict(flip_mean=mean, flip_std=std, monitor_noise=noise)
+                booster = next(p for p in points
+                               if p.matches(controller="booster", **axes))
+                dvfs = next(p for p in points
+                            if p.matches(controller="dvfs", **axes))
+                failures = booster.stats["total_failures"].mean
+                stall_fraction = booster.stats["total_stall_cycles"].mean / (
+                    spec.cycles * 16)          # 16 loaded macros
+                tops_ratio = booster.stats["effective_tops"].mean / \
+                    max(dvfs.stats["effective_tops"].mean, 1e-12)
+                eff_ratio = \
+                    booster.stats["energy_efficiency_tops_per_watt"].mean / \
+                    max(dvfs.stats["energy_efficiency_tops_per_watt"].mean, 1e-12)
+                print(f"{mean:>9.2f} | {std:>8.2f} | {noise * 1e3:>10.1f} | "
+                      f"{failures:>10.1f} | {stall_fraction:>10.3f} | "
+                      f"{tops_ratio:>11.2f}x | {eff_ratio:>11.2f}x")
+
+    stats = level_cache_stats()
+    print(f"\nLevel-cache reuse across the sweep: {stats['hits']} hits / "
+          f"{stats['misses']} misses ({stats['bytes'] / 1e6:.1f} MB held).")
+    print("Reading guide: as flip_mean/flip_std drift above the profiling "
+          "assumption (0.6/0.15) and sensing noise grows, IRFailures and the "
+          "stall fraction rise, and IR-Booster's efficiency edge over DVFS "
+          "narrows — the paper's robustness argument, quantified.")
+
+
+if __name__ == "__main__":
+    main()

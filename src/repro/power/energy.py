@@ -207,3 +207,32 @@ class EnergyModel:
         breakdown.static_energy += self._k_static * float(np.dot(voltages, inverse_f))
         breakdown.completed_macs += macs_per_cycle * worked
         breakdown.elapsed_time += float(inverse_f.sum())
+
+    def accumulate_trace_rows(self, voltages: np.ndarray, frequencies: np.ndarray,
+                              activity_rows: np.ndarray,
+                              macs_per_cycle_rows: np.ndarray,
+                              stalled_rows: np.ndarray) -> list:
+        """Row-batched :meth:`accumulate_trace` for macros sharing V/f traces.
+
+        ``activity_rows``/``stalled_rows`` are ``(rows, cycles)`` blocks (one
+        row per macro of a group), ``voltages``/``frequencies`` the group's
+        shared per-cycle operating point.  Returns one fresh
+        :class:`EnergyBreakdown` per row.  The per-row dot products become one
+        matrix-vector product and the ``V^2`` / ``1/f`` vectors are computed
+        once per group instead of once per macro; results match per-row
+        :meth:`accumulate_trace` up to floating-point summation order.
+        """
+        voltages = np.asarray(voltages, dtype=np.float64)
+        activity_rows = np.asarray(activity_rows, dtype=np.float64)
+        inverse_f = 1.0 / np.asarray(frequencies, dtype=np.float64)
+        n = voltages.size
+        stalled_rows = np.asarray(stalled_rows, dtype=bool)
+        weights = np.where(stalled_rows, self.STALL_DYNAMIC_FRACTION, 1.0)
+        dynamic = self._k_dynamic * ((activity_rows * weights) @ (voltages ** 2))
+        static = self._k_static * float(np.dot(voltages, inverse_f))
+        elapsed = float(inverse_f.sum())
+        worked = n - stalled_rows.sum(axis=1)
+        return [EnergyBreakdown(dynamic_energy=float(dynamic[i]),
+                                static_energy=static, elapsed_time=elapsed,
+                                completed_macs=float(macs_per_cycle_rows[i]) * int(worked[i]))
+                for i in range(activity_rows.shape[0])]

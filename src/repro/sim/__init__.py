@@ -2,6 +2,11 @@
 
 from .compiler import CompiledWorkload, CompilerConfig, compile_workload
 from .engine import ENGINES, run_vectorized
+from .level_cache import (
+    clear_level_cache,
+    level_cache_stats,
+    set_level_cache_budget,
+)
 from .results import GroupResult, MacroResult, SimulationResult, assemble_result
 from .runtime import CONTROLLERS, PIMRuntime, RuntimeConfig, simulate
 from .scheduler import OperatorSchedule, SchedulePhase, schedule_operators
@@ -16,6 +21,7 @@ __all__ = [
     "CompilerConfig", "CompiledWorkload", "compile_workload",
     "RuntimeConfig", "PIMRuntime", "simulate", "CONTROLLERS", "ENGINES",
     "run_vectorized",
+    "clear_level_cache", "level_cache_stats", "set_level_cache_budget",
     "SimulationResult", "MacroResult", "GroupResult", "assemble_result",
     "OperatorSchedule", "SchedulePhase", "schedule_operators",
     "OperatorRtogProfile", "profile_operator_rtog", "profile_task_rtog", "rtog_histogram",

@@ -1,4 +1,4 @@
-"""Vectorized segment-based simulation engine for the cycle-level runtime.
+"""Vectorized event-driven simulation engine for the cycle-level runtime.
 
 The reference engine in :mod:`repro.sim.runtime` walks ``for cycle -> for group
 -> for macro`` in pure Python: every cycle re-evaluates scalar Eq.-2 drops,
@@ -9,7 +9,9 @@ boundary.  Between two events every quantity of the simulation is a closed-form
 array expression over the precomputed ``(n_macros, cycles)`` activity matrix:
 
 * the per-macro IR-drop is ``static + dynamic * rtog * scale(V, f)`` — one
-  ``drop_array`` call per (group, level) pair, cached and reused;
+  ``drop_array`` call per (group, level) pair, shared through the process-level
+  :mod:`~repro.sim.level_cache` so repeated runs on the same ``(workload, seed,
+  stress settings)`` — a beta grid, a controller comparison — reuse the physics;
 * the monitor decision is a thresholded comparison against the group's
   cycle-indexed noise stream (see :class:`~repro.power.monitor.IRMonitor`), so
   *candidate failure cycles* per (group, level) are precomputable with one
@@ -17,15 +19,29 @@ array expression over the precomputed ``(n_macros, cycles)`` activity matrix:
 * energy reduces to dot products of activity against per-cycle ``V^2`` and
   ``1/f`` vectors (:meth:`~repro.power.energy.EnergyModel.accumulate_trace`).
 
-The engine therefore simulates from event to event: it keeps, per group, the
-next scheduled Algorithm-2 transition and the next candidate IRFailure, jumps
-straight to the earliest one, and replays only that single cycle with the exact
+Event processing is split by *recompute-stall coupling*.  Stalls propagate
+within a failing macro's logical Set, so a group whose Sets all live inside its
+own row range can never interact with any other group: each such *independent*
+group's entire failure timeline is processed in one batched pass
+(:meth:`_VectorizedEngine._run_group_batched`) that keeps per-member candidate
+pointers, jumps failure-to-failure with ``bisect`` on plain Python lists, and
+drives Algorithm 2 through the closed-form batch API of
+:class:`~repro.core.ir_booster.IRBoosterController` (``advance_to_transition``,
+``advance_and_fail``).  Groups whose Sets straddle group boundaries are
+*coupled* and run under a lazy-invalidation heap scheduler that interleaves
+their events in global cycle order.  Failure cycles are replayed with the exact
 scalar ordering of the reference loop (failures propagate recompute stalls to
 the failing macro's logical Set *within* the cycle, which suppresses later
 samples).  Controllers without feedback (``dvfs``, ``booster_safe``) have no
 scheduled transitions at all, so a failure-free run is a single fully
-vectorized pass.  Traces, stall masks and energy are materialized once at the
+vectorized pass.  Traces, stall masks (rebuilt from logged recompute windows
+with one ``bincount``/``cumsum`` pass) and energy are materialized once at the
 end into preallocated arrays.
+
+The pre-batching event loop — a per-event scan over all groups with per-member
+``searchsorted`` queries — is retained as ``batched=False`` so
+``benchmarks/bench_stress_failures.py`` can keep the batching speedup on
+record and the tests can triangulate all three implementations.
 
 Bit-for-bit equivalence with the reference engine (same seed, same failures,
 same stalls, same level traces; energy equal up to floating-point summation
@@ -34,6 +50,8 @@ order) is enforced by ``tests/test_sim_engine.py``.
 
 from __future__ import annotations
 
+import heapq
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Tuple
 
@@ -42,6 +60,7 @@ import numpy as np
 from ..power.energy import EnergyBreakdown
 from ..power.monitor import IRMonitor
 from ..power.vf_table import VFPair
+from .level_cache import LEVEL_CACHE, workload_cache_key
 from .results import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -55,17 +74,27 @@ ENGINES = ("vectorized", "reference")
 
 @dataclass
 class _LevelCache:
-    """Precomputed per-(group, level) arrays over the full horizon."""
+    """Precomputed per-(group, level) physics over the full horizon.
+
+    Entries are immutable once built (``drop_rows`` is marked read-only) and
+    shared across runs through :data:`~repro.sim.level_cache.LEVEL_CACHE`.
+    """
 
     pair: VFPair
-    drop_rows: np.ndarray          #: (members, cycles) Eq.-2 drop at this pair
-    fail_cycles: List[np.ndarray]  #: per member, sorted candidate cycle indices
+    drop_rows: np.ndarray           #: (members, cycles) Eq.-2 drop at this pair
+    fail_cycles: List[np.ndarray]   #: per member, sorted candidate cycle indices
+    fail_lists: List[List[int]]     #: same data as Python lists (bisect hot paths)
 
 
 class _VectorizedEngine:
-    """One simulation run, event-driven.  Built fresh per :meth:`run` call."""
+    """One simulation run, event-driven.  Built fresh per :meth:`run` call.
 
-    def __init__(self, runtime: "PIMRuntime") -> None:
+    ``batched=False`` selects the pre-batching event loop (per-event scan over
+    all groups, per-member ``searchsorted`` queries), kept as the measured
+    baseline of the batched failure path.
+    """
+
+    def __init__(self, runtime: "PIMRuntime", batched: bool = True) -> None:
         self.runtime = runtime
         self.cfg = runtime.config
         self.compiled = runtime.compiled
@@ -73,13 +102,29 @@ class _VectorizedEngine:
         self.ir_model = runtime.ir_model
         self.energy_model = runtime.energy_model
         self.n = self.cfg.cycles
+        self.batched = batched
 
     # ------------------------------------------------------------------ #
     # setup
     # ------------------------------------------------------------------ #
     def _setup(self) -> None:
         runtime, cfg = self.runtime, self.cfg
-        activity = runtime._macro_activity_traces()
+        # The realized-Rtog traces are pure functions of the workload and the
+        # flip statistics — shared across runs like the level physics (a beta
+        # grid reuses them for every point).  The raw flip matrices underneath
+        # stay in their own memo (flip_factor_matrix, 64 MB budget) because
+        # the reference engine still derives traces from them; both caches are
+        # independently byte-bounded, so the duplication is capped.
+        activity_key = ("activity", workload_cache_key(self.compiled),
+                        cfg.cycles, cfg.flip_mean, cfg.flip_std,
+                        cfg.flip_correlation, cfg.seed, cfg.input_determined_hr)
+        activity = LEVEL_CACHE.get(activity_key)
+        if activity is None:
+            activity = runtime._macro_activity_traces()
+            for trace in activity.values():
+                trace.setflags(write=False)
+            LEVEL_CACHE.put(activity_key, activity,
+                            sum(trace.nbytes for trace in activity.values()))
         self.activity = activity
         self.controller = runtime._controller()
 
@@ -116,18 +161,38 @@ class _VectorizedEngine:
         self.set_rows = {sid: sorted(self.row_of[m] for m in members)
                          for sid, members in set_members.items()}
 
+        # Stall-coupling analysis: a group is *independent* when every logical
+        # Set touching its rows lives entirely inside the group, so its failure
+        # timeline cannot interact with any other group's and can be processed
+        # in one batched per-group pass.  Sets that straddle group boundaries
+        # couple all their groups into the heap-scheduled event loop.
+        coupled = set()
+        for rows in self.set_rows.values():
+            touched = {self.group_of_row[row] for row in rows}
+            if len(touched) > 1:
+                coupled.update(touched)
+        self.coupled_groups = [gid for gid in self.groups if gid in coupled]
+        self.independent_groups = [gid for gid in self.groups
+                                   if gid not in coupled]
+
         macs = runtime._macs_per_cycle()
         self.macs_per_cycle = np.array([macs[m] for m in proc_order]) \
             if proc_order else np.zeros(0)
 
         # Cycle-indexed monitor noise, one stream per group (same construction
-        # as the reference engine's monitors).
+        # as the reference engine's monitors), generated lazily: a run whose
+        # level physics all hit the shared cache never touches the noise RNG.
         self.noise: Dict[int, np.ndarray] = {}
-        for gid in self.groups:
-            monitor = IRMonitor(sensing_noise=cfg.monitor_noise, seed=cfg.seed + gid,
-                                record_readings=False)
-            self.noise[gid] = monitor.noise_for_cycles(self.n)
         self.min_voltage_margin = 0.0
+
+        # Everything the per-(group, level) physics depends on — the key under
+        # which entries are shared across runs (see repro.sim.level_cache).
+        ir = self.ir_model
+        self._share_key = (
+            workload_cache_key(self.compiled), cfg.cycles, cfg.flip_mean,
+            cfg.flip_std, cfg.flip_correlation, cfg.monitor_noise, cfg.seed,
+            cfg.input_determined_hr, ir.supply_voltage, ir.signoff_drop,
+            ir.static_fraction, ir.nominal_frequency, self.min_voltage_margin)
 
         # Controller-facing state.
         self.level: Dict[int, int] = {}
@@ -136,8 +201,12 @@ class _VectorizedEngine:
                 self.level[gid] = 100
             else:
                 self.level[gid] = self.controller.state(gid).level
-        self.level_breaks: Dict[int, List[Tuple[int, int]]] = {
-            gid: [(0, self.level[gid])] for gid in self.groups}
+        # Level breaks as parallel (cycle, level) lists: int appends during
+        # event processing, one C-level np.array conversion at materialization.
+        self.break_cycles: Dict[int, List[int]] = {
+            gid: [0] for gid in self.groups}
+        self.break_levels: Dict[int, List[int]] = {
+            gid: [self.level[gid]] for gid in self.groups}
 
         self._caches: Dict[Tuple[int, int], _LevelCache] = {}
 
@@ -151,17 +220,36 @@ class _VectorizedEngine:
                   if self.stepping else inf)
             for gid in self.groups}
         self.stall_end = [0] * self.n_rows
-        self.stall_mask = np.zeros((self.n_rows, self.n), dtype=bool)
+        # Recompute windows and failure points are *logged* during event
+        # processing (every window spans `recompute_cycles`) and rebuilt into
+        # the stall mask with one bincount/cumsum pass at materialization.
+        self.stall_log_rows: List[int] = []
+        self.stall_log_starts: List[int] = []
+        self.fail_log_rows: List[int] = []
+        self.fail_log_cycles: List[int] = []
         self.fail_counts = [0] * self.n_rows
-        self.fail_points: List[Tuple[int, int]] = []
         #: the active level's cache per group (refreshed on level changes)
         self.cur_cache = {gid: self._cache(gid, self.level[gid])
                           for gid in self.groups}
-        self.next_fail = {gid: self._query_next_fail(gid) for gid in self.groups}
+        self.next_fail: Dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # per-(group, level) caches
     # ------------------------------------------------------------------ #
+    def _noise(self, gid: int) -> np.ndarray:
+        """The group's cycle-indexed monitor-noise stream (lazily generated).
+
+        A run whose level physics all hit the shared cache never touches the
+        noise RNG — the candidate cycles already bake the stream in.
+        """
+        noise = self.noise.get(gid)
+        if noise is None:
+            monitor = IRMonitor(sensing_noise=self.cfg.monitor_noise,
+                                seed=self.cfg.seed + gid, record_readings=False)
+            noise = monitor.noise_for_cycles(self.n)
+            self.noise[gid] = noise
+        return noise
+
     def _pair_for(self, gid: int, level: int) -> VFPair:
         if self.controller is None:
             return self.table.nominal_dvfs_pair()
@@ -174,19 +262,32 @@ class _VectorizedEngine:
         if cached is not None:
             return cached
         pair = self._pair_for(gid, level)
-        allowed_drop = self.ir_model.drop(
-            min(pair.level, 100) / 100.0, pair.voltage, pair.frequency)
-        lo, hi = self.group_rows[gid]
-        drop_rows = self.ir_model.drop_array(self.A[lo:hi], pair.voltage,
-                                             pair.frequency)
-        # Exactly the reference comparison: (V - drop) + noise < (V - allowed) + margin.
-        threshold = (pair.voltage - allowed_drop) + self.min_voltage_margin
-        fail_rows = (pair.voltage - drop_rows) + self.noise[gid] < threshold
-        fail_cycles = [np.nonzero(fail_rows[i])[0] for i in range(hi - lo)]
-        cached = _LevelCache(pair=pair, drop_rows=drop_rows,
-                             fail_cycles=fail_cycles)
-        self._caches[key] = cached
-        return cached
+        # The physics depends on the pair, not the Algorithm-2 level that
+        # selected it, so the shared entry is keyed by (V, f, signoff level).
+        shared_key = (self._share_key, gid, pair.level, pair.voltage,
+                      pair.frequency)
+        entry = LEVEL_CACHE.get(shared_key)
+        if entry is None:
+            allowed_drop = self.ir_model.drop(
+                min(pair.level, 100) / 100.0, pair.voltage, pair.frequency)
+            lo, hi = self.group_rows[gid]
+            drop_rows = self.ir_model.drop_array(self.A[lo:hi], pair.voltage,
+                                                 pair.frequency)
+            # Exactly the reference comparison:
+            # (V - drop) + noise < (V - allowed) + margin.
+            threshold = (pair.voltage - allowed_drop) + self.min_voltage_margin
+            fail_rows = (pair.voltage - drop_rows) + self._noise(gid) < threshold
+            fail_cycles = [np.nonzero(fail_rows[i])[0] for i in range(hi - lo)]
+            fail_lists = [cycles.tolist() for cycles in fail_cycles]
+            drop_rows.setflags(write=False)
+            nbytes = (drop_rows.nbytes
+                      + sum(cycles.nbytes for cycles in fail_cycles)
+                      + 32 * sum(len(lst) for lst in fail_lists) + 512)
+            entry = _LevelCache(pair=pair, drop_rows=drop_rows,
+                                fail_cycles=fail_cycles, fail_lists=fail_lists)
+            LEVEL_CACHE.put(shared_key, entry, nbytes)
+        self._caches[key] = entry
+        return entry
 
     # ------------------------------------------------------------------ #
     # event queries
@@ -196,8 +297,316 @@ class _VectorizedEngine:
 
         Valid until the group's level actually changes (the caller recomputes
         then) — scheduled Algorithm-2 transitions that keep the level are
-        no-ops for failure candidates.
+        no-ops for failure candidates.  One ``bisect`` per member on the
+        cached candidate lists.
         """
+        lo, _ = self.group_rows[gid]
+        base = self.scan_from[gid]
+        stall_end = self.stall_end
+        best = self.n
+        for local, lst in enumerate(self.cur_cache[gid].fail_lists):
+            first = stall_end[lo + local]
+            if first < base:
+                first = base
+            if first >= best:
+                continue
+            j = bisect_left(lst, first)
+            if j < len(lst) and lst[j] < best:
+                best = lst[j]
+        return best
+
+    # ------------------------------------------------------------------ #
+    # batched per-group failure runs (independent groups)
+    # ------------------------------------------------------------------ #
+    def _run_group_batched(self, gid: int) -> None:
+        """Process a stall-independent group's entire event timeline.
+
+        Applies the group's whole run of failure events in one pass: per-member
+        candidate pointers advance monotonically (``bisect`` with a moving low
+        bound — candidates behind ``scan_from`` or inside a recompute window
+        are dead permanently, since both bounds only grow), and Algorithm 2 is
+        driven through the controller's closed-form batch API.  Failure cycles
+        keep the reference loop's exact member visit order and within-cycle
+        stall suppression.
+        """
+        n = self.n
+        recompute = self.cfg.recompute_cycles
+        stepping = self.stepping
+        controller = self.controller
+        lo, hi = self.group_rows[gid]
+        m_count = hi - lo
+        members = range(m_count)
+        stall_end = self.stall_end
+        set_rows, set_of_row = self.set_rows, self.set_of_row
+        fail_counts = self.fail_counts
+        s_rows, s_starts = self.stall_log_rows, self.stall_log_starts
+        f_rows, f_cycles = self.fail_log_rows, self.fail_log_cycles
+        break_cycles = self.break_cycles[gid]
+        break_levels = self.break_levels[gid]
+
+        level = self.level[gid]
+        caches: Dict[int, _LevelCache] = {level: self.cur_cache[gid]}
+        lists = caches[level].fail_lists
+        scan_from = self.scan_from[gid]
+        synced = self.synced[gid]
+        next_sched = self.next_sched[gid]
+
+        # Per-member incremental candidate pointers, kept *per level* so the
+        # frequent safe <-> a-level flips reuse each level's pointer state.
+        # All bounds (scan_from, stall windows) only ever grow, so a pointer
+        # whose candidate already clears the new bound needs no bisect at all,
+        # and each level's lists are consumed at most once over the run.
+        ptrs: Dict[int, Tuple[List[int], List[int]]] = {}
+
+        def bind(to_level: int, from_cycle: int) -> Tuple[List[int], List[int]]:
+            entry = ptrs.get(to_level)
+            if entry is None:
+                idxs = [0] * m_count
+                next_c = [n] * m_count
+                for m in members:
+                    lst = lists[m]
+                    bound = stall_end[lo + m]
+                    if bound < from_cycle:
+                        bound = from_cycle
+                    j = bisect_left(lst, bound)
+                    idxs[m] = j
+                    next_c[m] = lst[j] if j < len(lst) else n
+                entry = (idxs, next_c)
+                ptrs[to_level] = entry
+            else:
+                idxs, next_c = entry
+                for m in members:
+                    bound = stall_end[lo + m]
+                    if bound < from_cycle:
+                        bound = from_cycle
+                    if next_c[m] < bound:
+                        lst = lists[m]
+                        j = bisect_left(lst, bound, idxs[m])
+                        idxs[m] = j
+                        next_c[m] = lst[j] if j < len(lst) else n
+            return entry
+
+        idxs, next_c = bind(level, scan_from)
+
+        while True:
+            f = min(next_c) if next_c else n
+            if stepping and next_sched <= f:
+                if next_sched >= n:
+                    break
+                s = next_sched
+                _, new_level, gap = controller.advance_to_transition(gid)
+                synced = s
+                next_sched = s + gap
+                if new_level != level:
+                    level = new_level
+                    break_cycles.append(s)
+                    break_levels.append(new_level)
+                    cache = caches.get(new_level)
+                    if cache is None:
+                        cache = self._cache(gid, new_level)
+                        caches[new_level] = cache
+                    lists = cache.fail_lists
+                    scan_from = s
+                    idxs, next_c = bind(new_level, s)
+                continue
+            if f >= n:
+                break
+
+            # Failure cycle f, members visited in row order (the reference
+            # loop's order): a failure stalls its whole Set immediately for
+            # later rows, which suppresses their sample this cycle.
+            group_failed = False
+            for m in members:
+                if next_c[m] != f:
+                    continue
+                row = lo + m
+                if stall_end[row] <= f:
+                    group_failed = True
+                    fail_counts[row] += 1
+                    f_rows.append(row)
+                    f_cycles.append(f)
+                    if recompute > 0:
+                        for member_row in set_rows[set_of_row[row]]:
+                            start = f + 1 if member_row <= row else f
+                            end = start + recompute
+                            s_rows.append(member_row)
+                            s_starts.append(start)
+                            if end > stall_end[member_row]:
+                                stall_end[member_row] = end
+                # Consume this member's cycle-f candidate.
+                lst = lists[m]
+                bound = stall_end[row]
+                if bound < f + 1:
+                    bound = f + 1
+                j = bisect_left(lst, bound, idxs[m] + 1)
+                idxs[m] = j
+                next_c[m] = lst[j] if j < len(lst) else n
+            scan_from = f + 1
+            if recompute > 0 and group_failed:
+                # Members stalled by this cycle's failures (including earlier
+                # rows whose windows start next cycle) jump past the window.
+                for m in members:
+                    nc = next_c[m]
+                    if nc < n and nc < stall_end[lo + m]:
+                        lst = lists[m]
+                        j = bisect_left(lst, stall_end[lo + m], idxs[m])
+                        idxs[m] = j
+                        next_c[m] = lst[j] if j < len(lst) else n
+            if stepping and group_failed:
+                _, new_level, gap = controller.advance_and_fail(gid, f - synced)
+                synced = f + 1
+                next_sched = f + 1 + gap
+                if new_level != level:
+                    level = new_level
+                    break_cycles.append(f + 1)
+                    break_levels.append(new_level)
+                    cache = caches.get(new_level)
+                    if cache is None:
+                        cache = self._cache(gid, new_level)
+                        caches[new_level] = cache
+                    lists = cache.fail_lists
+                    idxs, next_c = bind(new_level, scan_from)
+
+        # Write back for the common controller flush and materialization.
+        self.level[gid] = level
+        self.cur_cache[gid] = caches[level]
+        self.scan_from[gid] = scan_from
+        self.synced[gid] = synced
+        self.next_sched[gid] = next_sched
+
+    # ------------------------------------------------------------------ #
+    # heap-scheduled event loop (coupled groups)
+    # ------------------------------------------------------------------ #
+    def _push_next_fail(self, gid: int, heap: list, gpos: Dict[int, int]) -> None:
+        nf = self._query_next_fail(gid)
+        self.next_fail[gid] = nf
+        if nf < self.n:
+            heapq.heappush(heap, (nf, 1, gpos[gid]))
+
+    def _apply_scheduled_heap(self, gid: int, cycle: int, heap: list,
+                              gpos: Dict[int, int]) -> None:
+        """Algorithm-2 transition whose new level first applies at ``cycle``."""
+        _, new_level, gap = self.controller.advance_to_transition(gid)
+        self.synced[gid] = cycle
+        next_sched = cycle + gap
+        self.next_sched[gid] = next_sched
+        if next_sched < self.n:
+            heapq.heappush(heap, (next_sched, 0, gpos[gid]))
+        if new_level != self.level[gid]:
+            # Candidate failures depend on the level; rescan from this cycle.
+            self.level[gid] = new_level
+            self.cur_cache[gid] = self._cache(gid, new_level)
+            self.break_cycles[gid].append(cycle)
+            self.break_levels[gid].append(new_level)
+            self.scan_from[gid] = cycle
+            self._push_next_fail(gid, heap, gpos)
+
+    def _process_failure_cycle_heap(self, cycle: int, fail_gids: List[int],
+                                    heap: list, gpos: Dict[int, int]) -> None:
+        """Replay one cycle with the reference loop's exact visit order."""
+        recompute = self.cfg.recompute_cycles
+        stall_end = self.stall_end
+        group_of_row, n = self.group_of_row, self.n
+        failed_groups: List[int] = []
+        affected: set = set()
+        for gid in fail_gids:
+            lo, _ = self.group_rows[gid]
+            group_failed = False
+            for local, lst in enumerate(self.cur_cache[gid].fail_lists):
+                row = lo + local
+                if stall_end[row] > cycle:
+                    continue               # stalled (possibly just this cycle)
+                j = bisect_left(lst, cycle)
+                if j >= len(lst) or lst[j] != cycle:
+                    continue               # no candidate failure this cycle
+                # IRFailure: the whole logical Set stalls for the recompute
+                # window.  Members the reference loop already visited this
+                # cycle (row <= failing row) begin stalling next cycle; later
+                # members stall immediately, which suppresses their sample.
+                group_failed = True
+                self.fail_counts[row] += 1
+                self.fail_log_rows.append(row)
+                self.fail_log_cycles.append(cycle)
+                for member_row in self.set_rows[self.set_of_row[row]]:
+                    if recompute > 0:
+                        start = cycle + 1 if member_row <= row else cycle
+                        end = start + recompute
+                        self.stall_log_rows.append(member_row)
+                        self.stall_log_starts.append(start)
+                        if end > stall_end[member_row]:
+                            stall_end[member_row] = end
+                    affected.add(group_of_row[member_row])
+            if group_failed:
+                failed_groups.append(gid)
+            self.scan_from[gid] = cycle + 1
+            affected.add(gid)
+
+        if self.stepping:
+            for gid in failed_groups:
+                # Advance the lazily-tracked Algorithm-2 state to this cycle,
+                # then apply the failure branch, in one closed-form call (the
+                # reference engine's ``controller.step(gid, ir_failure=True)``).
+                _, new_level, gap = self.controller.advance_and_fail(
+                    gid, cycle - self.synced[gid])
+                self.synced[gid] = cycle + 1
+                if new_level != self.level[gid]:
+                    self.level[gid] = new_level
+                    self.cur_cache[gid] = self._cache(gid, new_level)
+                    self.break_cycles[gid].append(cycle + 1)
+                    self.break_levels[gid].append(new_level)
+                next_sched = cycle + 1 + gap
+                self.next_sched[gid] = next_sched
+                if next_sched < n:
+                    heapq.heappush(heap, (next_sched, 0, gpos[gid]))
+        for gid in affected:
+            self._push_next_fail(gid, heap, gpos)
+
+    def _run_events_heap(self, gids: List[int]) -> None:
+        """Event loop over ``gids`` driven by a lazy-invalidation min-heap.
+
+        Heap entries are ``(cycle, kind, group_position)`` with kind 0 =
+        scheduled transition, 1 = candidate failure; an entry is stale (and
+        discarded on pop) when the group's current ``next_sched``/``next_fail``
+        no longer matches.  Scheduled transitions at a cycle are applied before
+        failure detection at that cycle, exactly as in the reference loop.
+        """
+        n = self.n
+        next_sched, next_fail = self.next_sched, self.next_fail
+        gpos = {gid: i for i, gid in enumerate(gids)}
+        heap: List[Tuple[int, int, int]] = []
+        for gid in gids:
+            if next_sched[gid] < n:
+                heapq.heappush(heap, (next_sched[gid], 0, gpos[gid]))
+            self._push_next_fail(gid, heap, gpos)
+        while heap:
+            cycle = heap[0][0]
+            if cycle >= n:
+                break
+            sched_gids: List[int] = []
+            fail_candidates: List[int] = []
+            while heap and heap[0][0] == cycle:
+                _, kind, gp = heapq.heappop(heap)
+                gid = gids[gp]
+                if kind == 0:
+                    if next_sched[gid] == cycle and gid not in sched_gids:
+                        sched_gids.append(gid)
+                elif gid not in fail_candidates:
+                    fail_candidates.append(gid)
+            for gid in sched_gids:
+                self._apply_scheduled_heap(gid, cycle, heap, gpos)
+            # Failures are collected *after* the scheduled transitions: a level
+            # change at this cycle already moved the group's candidates.
+            fail_set = {gid for gid in fail_candidates if next_fail[gid] == cycle}
+            fail_set.update(gid for gid in sched_gids if next_fail[gid] == cycle)
+            if fail_set:
+                fail_gids = sorted(fail_set, key=gpos.__getitem__)
+                self._process_failure_cycle_heap(cycle, fail_gids, heap, gpos)
+
+    # ------------------------------------------------------------------ #
+    # pre-batching event loop (kept as the measured baseline)
+    # ------------------------------------------------------------------ #
+    def _query_next_fail_scan(self, gid: int) -> int:
+        """Pre-batching query: per-member ``np.searchsorted`` scan."""
         lo, _ = self.group_rows[gid]
         base = self.scan_from[gid]
         best = self.n
@@ -210,28 +619,23 @@ class _VectorizedEngine:
                 best = int(cycles[j])
         return best
 
-    # ------------------------------------------------------------------ #
-    # event processing
-    # ------------------------------------------------------------------ #
-    def _apply_scheduled(self, gid: int, cycle: int) -> None:
-        """Algorithm-2 transition whose new level first applies at ``cycle``."""
+    def _apply_scheduled_scan(self, gid: int, cycle: int) -> None:
         self.controller.advance_nofail(gid, cycle - self.synced[gid])
         self.synced[gid] = cycle
         self.next_sched[gid] = cycle + self.controller.cycles_to_next_transition(gid)
         new_level = self.controller.state(gid).level
         if new_level != self.level[gid]:
-            # Candidate failures depend on the level; rescan from this cycle.
             self.level[gid] = new_level
             self.cur_cache[gid] = self._cache(gid, new_level)
-            self.level_breaks[gid].append((cycle, new_level))
+            self.break_cycles[gid].append(cycle)
+            self.break_levels[gid].append(new_level)
             self.scan_from[gid] = cycle
-            self.next_fail[gid] = self._query_next_fail(gid)
+            self.next_fail[gid] = self._query_next_fail_scan(gid)
 
-    def _process_failure_cycle(self, cycle: int, fail_gids: List[int]) -> None:
-        """Replay one cycle with the reference loop's exact visit order."""
+    def _process_failure_cycle_scan(self, cycle: int, fail_gids: List[int]) -> None:
         recompute = self.cfg.recompute_cycles
-        stall_end, stall_mask = self.stall_end, self.stall_mask
-        group_of_row, n = self.group_of_row, self.n
+        stall_end = self.stall_end
+        group_of_row = self.group_of_row
         failed_groups: List[int] = []
         affected: set = set()
         for gid in fail_gids:
@@ -241,22 +645,20 @@ class _VectorizedEngine:
             for local, cycles in enumerate(fail_cycles):
                 row = lo + local
                 if stall_end[row] > cycle:
-                    continue               # stalled (possibly just this cycle)
+                    continue
                 j = cycles.searchsorted(cycle)
                 if j >= cycles.size or cycles[j] != cycle:
-                    continue               # no candidate failure this cycle
-                # IRFailure: the whole logical Set stalls for the recompute
-                # window.  Members the reference loop already visited this
-                # cycle (row <= failing row) begin stalling next cycle; later
-                # members stall immediately, which suppresses their sample.
+                    continue
                 group_failed = True
                 self.fail_counts[row] += 1
-                self.fail_points.append((row, cycle))
+                self.fail_log_rows.append(row)
+                self.fail_log_cycles.append(cycle)
                 for member_row in self.set_rows[self.set_of_row[row]]:
-                    start = cycle + 1 if member_row <= row else cycle
-                    end = start + recompute
-                    if end > start:
-                        stall_mask[member_row, start:min(end, n)] = True
+                    if recompute > 0:
+                        start = cycle + 1 if member_row <= row else cycle
+                        end = start + recompute
+                        self.stall_log_rows.append(member_row)
+                        self.stall_log_starts.append(start)
                         if end > stall_end[member_row]:
                             stall_end[member_row] = end
                     affected.add(group_of_row[member_row])
@@ -267,9 +669,6 @@ class _VectorizedEngine:
 
         if self.stepping:
             for gid in failed_groups:
-                # Advance the lazily-tracked Algorithm-2 state to this cycle,
-                # then apply the failure branch (the reference engine's
-                # ``controller.step(gid, ir_failure=True)``).
                 self.controller.advance_nofail(gid, cycle - self.synced[gid])
                 self.controller.step(gid, ir_failure=True)
                 self.synced[gid] = cycle + 1
@@ -277,15 +676,18 @@ class _VectorizedEngine:
                 if new_level != self.level[gid]:
                     self.level[gid] = new_level
                     self.cur_cache[gid] = self._cache(gid, new_level)
-                    self.level_breaks[gid].append((cycle + 1, new_level))
+                    self.break_cycles[gid].append(cycle + 1)
+                    self.break_levels[gid].append(new_level)
                 self.next_sched[gid] = \
                     cycle + 1 + self.controller.cycles_to_next_transition(gid)
         for gid in affected:
-            self.next_fail[gid] = self._query_next_fail(gid)
+            self.next_fail[gid] = self._query_next_fail_scan(gid)
 
-    def _run_events(self) -> None:
+    def _run_events_scan(self) -> None:
         n = self.n
         next_sched, next_fail = self.next_sched, self.next_fail
+        for gid in self.groups:
+            next_fail[gid] = self._query_next_fail_scan(gid)
         while True:
             next_cycle = n
             for gid in self.groups:
@@ -298,34 +700,35 @@ class _VectorizedEngine:
                 break
             for gid in self.groups:
                 if next_sched[gid] == next_cycle:
-                    self._apply_scheduled(gid, next_cycle)
+                    self._apply_scheduled_scan(gid, next_cycle)
             fail_gids = [gid for gid in self.groups if next_fail[gid] == next_cycle]
             if fail_gids:
-                self._process_failure_cycle(next_cycle, fail_gids)
+                self._process_failure_cycle_scan(next_cycle, fail_gids)
+
+    # ------------------------------------------------------------------ #
+    # event dispatch
+    # ------------------------------------------------------------------ #
+    def _run_events(self) -> None:
+        if self.batched:
+            for gid in self.independent_groups:
+                self._run_group_batched(gid)
+            if self.coupled_groups:
+                self._run_events_heap(self.coupled_groups)
+        else:
+            self._run_events_scan()
         if self.stepping:
             # Flush the remaining failure-free steps so final controller state
             # (final level, counters) matches the reference engine.
             for gid in self.groups:
-                self.controller.advance_nofail(gid, n - self.synced[gid])
-                self.synced[gid] = n
+                self.controller.advance_nofail(gid, self.n - self.synced[gid])
+                self.synced[gid] = self.n
 
     # ------------------------------------------------------------------ #
     # materialization
     # ------------------------------------------------------------------ #
-    def _segments(self, gid: int) -> List[Tuple[int, int, int]]:
-        """Level breakpoints -> (start, end, level) spans covering the horizon."""
-        breaks = self.level_breaks[gid]
-        spans = []
-        for i, (start, level) in enumerate(breaks):
-            end = breaks[i + 1][0] if i + 1 < len(breaks) else self.n
-            if end > start:
-                spans.append((start, end, level))
-        return spans
-
     def _materialize(self) -> SimulationResult:
         n, n_rows = self.n, self.n_rows
         drops = np.zeros((n_rows, n))
-        chip_drop = np.zeros(n)
         # Operating points are shared within a group: one V / one f vector per
         # group instead of (n_rows, cycles) matrices.
         group_voltage: Dict[int, np.ndarray] = {}
@@ -333,45 +736,94 @@ class _VectorizedEngine:
         level_traces: Dict[int, np.ndarray] = {}
         for gid in self.groups:
             lo, hi = self.group_rows[gid]
-            spans = self._segments(gid)
             voltage = np.empty(n)
             frequency = np.empty(n)
-            for start, end, level in spans:
-                cache = self._cache(gid, level)
-                drops[lo:hi, start:end] = cache.drop_rows[:, start:end]
-                voltage[start:end] = cache.pair.voltage
-                frequency[start:end] = cache.pair.frequency
+            # Level breakpoints -> spans, in one array pass (failure-heavy
+            # booster runs log thousands of breaks per group).
+            starts = np.array(self.break_cycles[gid], dtype=np.int64)
+            levels = np.array(self.break_levels[gid], dtype=np.int64)
+            ends = np.empty_like(starts)
+            ends[:-1] = starts[1:]
+            ends[-1] = n
+            keep = ends > starts
+            if not keep.all():
+                starts, ends, levels = starts[keep], ends[keep], levels[keep]
+            level_trace = np.repeat(levels, ends - starts)
+            level_traces[gid] = level_trace
+            distinct_levels = np.unique(levels)
+            if starts.size <= max(4, 2 * distinct_levels.size):
+                for start, end, level in zip(starts.tolist(), ends.tolist(),
+                                             levels.tolist()):
+                    cache = self._cache(gid, level)
+                    drops[lo:hi, start:end] = cache.drop_rows[:, start:end]
+                    voltage[start:end] = cache.pair.voltage
+                    frequency[start:end] = cache.pair.frequency
+            else:
+                # Thousands of short spans: one per-cycle slot gather replaces
+                # the span loop.  Slot k holds the k-th distinct level's cached
+                # rows; take_along_axis then assembles the whole horizon in a
+                # single indexed pass per group.
+                slot_caches = [self._cache(gid, level)
+                               for level in distinct_levels.tolist()]
+                slot_of_span = np.searchsorted(distinct_levels, levels)
+                slots = np.repeat(slot_of_span, ends - starts)
+                stacked = np.stack([cache.drop_rows for cache in slot_caches])
+                drops[lo:hi] = np.take_along_axis(
+                    stacked, slots[np.newaxis, np.newaxis, :], axis=0)[0]
+                pair_voltages = np.array([cache.pair.voltage
+                                          for cache in slot_caches])
+                pair_frequencies = np.array([cache.pair.frequency
+                                             for cache in slot_caches])
+                voltage = pair_voltages[slots]
+                frequency = pair_frequencies[slots]
             group_voltage[gid] = voltage
             group_frequency[gid] = frequency
-            level_traces[gid] = np.repeat(
-                np.array([level for _, _, level in spans], dtype=np.int64),
-                np.array([end - start for start, end, _ in spans], dtype=np.int64)) \
-                if spans else np.zeros(0, dtype=np.int64)
-        if n_rows:
-            chip_drop = drops.max(axis=0)
+        chip_drop = drops.max(axis=0) if n_rows else np.zeros(n)
 
-        energy_stalled = self.stall_mask.copy()
-        for row, cycle in self.fail_points:
-            energy_stalled[row, cycle] = True
-        stall_sums = self.stall_mask.sum(axis=1) if n_rows else np.zeros(0)
+        # Rebuild the stall mask from the logged recompute windows: +1/-1
+        # boundary counts per row (bincount) and a running sum along cycles.
+        if self.stall_log_rows:
+            width = n + 1
+            rows = np.asarray(self.stall_log_rows, dtype=np.int64)
+            starts = np.asarray(self.stall_log_starts, dtype=np.int64)
+            ends = np.minimum(starts + self.cfg.recompute_cycles, n)
+            size = n_rows * width
+            boundaries = (np.bincount(rows * width + starts, minlength=size)
+                          - np.bincount(rows * width + ends, minlength=size))
+            stall_mask = boundaries.reshape(n_rows, width) \
+                .cumsum(axis=1)[:, :n] > 0
+        else:
+            stall_mask = np.zeros((n_rows, n), dtype=bool)
+        energy_stalled = stall_mask.copy()
+        if self.fail_log_rows:
+            energy_stalled[np.asarray(self.fail_log_rows, dtype=np.int64),
+                           np.asarray(self.fail_log_cycles, dtype=np.int64)] = True
+        stall_sums = stall_mask.sum(axis=1) if n_rows else np.zeros(0)
 
         energy: Dict[int, EnergyBreakdown] = {}
         drop_traces: Dict[int, np.ndarray] = {}
         failures: Dict[int, int] = {}
         stall_total: Dict[int, int] = {}
-        for row, macro_index in enumerate(self.proc_order):
-            gid = self.group_of_row[row]
-            breakdown = EnergyBreakdown()
-            self.energy_model.accumulate_trace(
-                breakdown, group_voltage[gid], group_frequency[gid], self.A[row],
-                self.macs_per_cycle[row], stalled=energy_stalled[row])
-            energy[macro_index] = breakdown
-            drop_traces[macro_index] = drops[row]
-            failures[macro_index] = self.fail_counts[row]
-            stall_total[macro_index] = int(stall_sums[row])
+        for gid in self.groups:
+            lo, hi = self.group_rows[gid]
+            breakdowns = self.energy_model.accumulate_trace_rows(
+                group_voltage[gid], group_frequency[gid], self.A[lo:hi],
+                self.macs_per_cycle[lo:hi], energy_stalled[lo:hi])
+            for local, breakdown in enumerate(breakdowns):
+                row = lo + local
+                macro_index = self.proc_order[row]
+                energy[macro_index] = breakdown
+                drop_traces[macro_index] = drops[row]
+                failures[macro_index] = self.fail_counts[row]
+                stall_total[macro_index] = int(stall_sums[row])
 
+        # Hand out private copies of the (shared, read-only) cached activity
+        # traces so results stay independently mutable, exactly as the
+        # reference engine's are.
+        activity_out = {macro: np.array(trace)
+                        for macro, trace in self.activity.items()}
         return self.runtime._collect(
-            energy, drop_traces, self.activity, failures, stall_total,
+            energy, drop_traces, activity_out, failures, stall_total,
             level_traces, chip_drop, self.controller,
             group_members=self.group_members)
 
@@ -382,6 +834,12 @@ class _VectorizedEngine:
         return self._materialize()
 
 
-def run_vectorized(runtime: "PIMRuntime") -> SimulationResult:
-    """Run ``runtime`` on the vectorized segment-based engine."""
-    return _VectorizedEngine(runtime).run()
+def run_vectorized(runtime: "PIMRuntime", batched: bool = True) -> SimulationResult:
+    """Run ``runtime`` on the vectorized event-driven engine.
+
+    ``batched=False`` selects the pre-batching event loop (kept as the measured
+    baseline of the batched failure path — see
+    ``benchmarks/bench_stress_failures.py``); results are bit-identical either
+    way.
+    """
+    return _VectorizedEngine(runtime, batched=batched).run()

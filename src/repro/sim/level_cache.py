@@ -1,0 +1,176 @@
+"""Process-level, byte-budgeted cache for per-(group, level) simulation physics.
+
+Sweeps simulate the same ``(workload, seed, stress settings)`` many times —
+once per beta, per controller, per mode — and every one of those runs derives
+*identical* per-(group, level) arrays from Eq. 2: the drop rows over the
+horizon and the candidate-failure cycle sets (see
+:class:`repro.sim.engine._LevelCache`).  Only the *event dynamics* differ
+between such runs.  This module holds those arrays in a process-level LRU
+keyed on everything the physics actually depends on, so a Fig.-18 beta grid
+(or a multi-controller point) computes each group's physics once per process
+instead of once per run.  The pattern mirrors the ``flip_factor_matrix`` memo
+in :mod:`repro.workloads.generator`: entries are immutable, eviction is
+byte-budgeted, and correctness never depends on a hit.
+
+Key derivation
+--------------
+An entry key is ``(share_key, group_id, pair.level, pair.voltage,
+pair.frequency)`` where ``share_key`` covers the workload identity, the
+IR-model calibration and every :class:`~repro.sim.runtime.RuntimeConfig` field
+that shapes the activity matrix or the monitor noise (cycles, flip statistics,
+monitor noise, seed, input-determined HR).  The workload identity is, in
+preference order:
+
+* ``compiled.cache_key`` — set by :mod:`repro.sweep.builders` to the
+  :func:`~repro.sweep.spec.workload_fingerprint` of the producing
+  :class:`~repro.sweep.spec.WorkloadSpec`.  Builders are deterministic, so two
+  compiled instances of the same spec (e.g. in a long-lived sweep worker)
+  share entries;
+* a per-object token attached on first sight — object identity without the
+  ``id()`` reuse hazard, so ad-hoc compiled workloads (benchmark ``lru_cache``
+  images, test fixtures) still share across repeated runs of the same object.
+
+Notably *absent* from the key: ``beta``, ``recompute_cycles``, the controller
+and the mode.  They steer which levels are visited and when, not what a
+level's physics looks like — that independence is what makes the cross-run
+reuse large.  (The mode does pick the V-f pair, but the pair's
+``(level, voltage, frequency)`` is part of the key, so distinct modes simply
+key distinct entries.)
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from itertools import count
+from typing import Dict, Hashable, Optional, Tuple
+
+__all__ = [
+    "ByteBudgetCache",
+    "LEVEL_CACHE",
+    "clear_level_cache",
+    "level_cache_stats",
+    "set_level_cache_budget",
+    "workload_cache_key",
+]
+
+
+class ByteBudgetCache:
+    """An LRU mapping with a byte budget and hit/miss counters.
+
+    Values are opaque; the caller supplies each entry's size estimate.  A
+    ``budget_bytes`` of 0 disables storage entirely (every ``get`` misses),
+    which the benchmarks use to measure cold-path behaviour.  Single-threaded
+    by design — the simulation engines run one per process.
+    """
+
+    def __init__(self, budget_bytes: int) -> None:
+        if budget_bytes < 0:
+            raise ValueError("budget_bytes must be non-negative")
+        self.budget_bytes = budget_bytes
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._sizes: Dict[Hashable, int] = {}
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[object]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: object, nbytes: int) -> None:
+        if nbytes > self.budget_bytes:
+            return                         # oversized entry (or cache disabled)
+        if key in self._entries:
+            self._bytes -= self._sizes[key]
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        self._sizes[key] = nbytes
+        self._bytes += nbytes
+        while self._bytes > self.budget_bytes and self._entries:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self._bytes -= self._sizes.pop(evicted_key)
+
+    def set_budget(self, budget_bytes: int) -> int:
+        """Change the byte budget, evicting down to it; returns the old one."""
+        if budget_bytes < 0:
+            raise ValueError("budget_bytes must be non-negative")
+        old = self.budget_bytes
+        self.budget_bytes = budget_bytes
+        while self._bytes > budget_bytes and self._entries:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self._bytes -= self._sizes.pop(evicted_key)
+        return old
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._sizes.clear()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "bytes": self._bytes,
+            "budget_bytes": self.budget_bytes,
+        }
+
+
+#: Default budget: comfortably holds the level caches of dozens of
+#: reference-chip runs while bounding long multi-workload sweeps.
+_DEFAULT_BUDGET_BYTES = 256 * 1024 * 1024
+
+#: The process-level cache instance shared by every simulation engine run.
+LEVEL_CACHE = ByteBudgetCache(_DEFAULT_BUDGET_BYTES)
+
+
+def clear_level_cache() -> None:
+    """Drop all shared level-cache entries and reset the counters."""
+    LEVEL_CACHE.clear()
+
+
+def level_cache_stats() -> Dict[str, int]:
+    """Hit/miss/occupancy counters of the process-level cache."""
+    return LEVEL_CACHE.stats()
+
+
+def set_level_cache_budget(budget_bytes: int) -> int:
+    """Set the cache byte budget (0 disables storage); returns the old budget.
+
+    Shrinking the budget evicts immediately.  The benchmarks use
+    ``set_level_cache_budget(0)`` to time the cache-disabled path and restore
+    the previous budget afterwards.
+    """
+    return LEVEL_CACHE.set_budget(budget_bytes)
+
+
+_TOKENS = count()
+
+
+def workload_cache_key(compiled) -> Tuple[str, object]:
+    """A stable, hashable identity for a compiled workload's physics.
+
+    Prefers the builder-attached ``cache_key`` (a deterministic fingerprint of
+    the producing :class:`~repro.sweep.spec.WorkloadSpec`); otherwise tags the
+    object with a fresh token on first sight so repeated runs of the *same*
+    compiled object share entries without the ``id()``-reuse hazard.  Objects
+    that cannot be tagged are never shared.
+    """
+    key = getattr(compiled, "cache_key", None)
+    if key is not None:
+        return ("spec", key)
+    token = getattr(compiled, "_level_cache_token", None)
+    if token is None:
+        token = next(_TOKENS)
+        try:
+            compiled._level_cache_token = token
+        except AttributeError:             # unsettable object: never share
+            return ("unshared", object())
+    return ("token", token)

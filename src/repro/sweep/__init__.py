@@ -27,10 +27,10 @@ from .builders import (
 )
 from .records import METRIC_NAMES, MetricStats, PointSummary, RunRecord, SweepResult
 from .runner import PoolExecutor, SerialExecutor, SweepRunner, execute_run, run_sweeps
-from .spec import RunSpec, SweepSpec, WorkloadSpec, run_seed
+from .spec import RunSpec, SweepSpec, WorkloadSpec, ensemble_seed, run_seed
 
 __all__ = [
-    "SweepSpec", "RunSpec", "WorkloadSpec", "run_seed",
+    "SweepSpec", "RunSpec", "WorkloadSpec", "run_seed", "ensemble_seed",
     "SweepRunner", "SerialExecutor", "PoolExecutor", "execute_run", "run_sweeps",
     "SweepResult", "RunRecord", "MetricStats", "PointSummary", "METRIC_NAMES",
     "register_workload_builder", "build_compiled_workload", "clear_workload_cache",

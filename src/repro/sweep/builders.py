@@ -38,7 +38,7 @@ from ..pim.config import small_chip_config
 from ..pim.dataflow import Operator
 from ..sim.compiler import CompiledWorkload, CompilerConfig, compile_workload
 from ..workloads.profiles import WorkloadProfile, build_workload_profile
-from .spec import WorkloadSpec
+from .spec import WorkloadSpec, workload_fingerprint
 
 __all__ = [
     "register_workload_builder",
@@ -73,6 +73,11 @@ def build_compiled_workload(spec: WorkloadSpec) -> CompiledWorkload:
         raise KeyError(f"unknown workload builder {spec.builder!r}; "
                        f"registered: {sorted(_BUILDERS)}") from None
     compiled = builder(spec)
+    # Tag the image with the spec's deterministic fingerprint: the simulation
+    # engine keys its process-level per-(group, level) physics cache
+    # (repro.sim.level_cache) on it, so every run of any rebuild of this spec
+    # — across betas, controllers and modes — shares the same entries.
+    compiled.cache_key = workload_fingerprint(spec)
     _CACHE[spec] = compiled
     return compiled
 
@@ -130,12 +135,13 @@ def build_synthetic_workload(spec: WorkloadSpec) -> CompiledWorkload:
     rng_seed = spec.compile_seed
     qmax = (1 << (spec.bits - 1)) - 1
     kinds = ("conv", "linear", "qk_t")
+    operator_rows = spec.operator_rows or spec.rows
     operators = []
     for i in range(spec.n_operators):
         rng = np.random.default_rng(rng_seed + 31 * i)
         codes = np.clip(
             np.round(rng.laplace(0.0, spec.code_spread,
-                                 size=(spec.rows, spec.banks))),
+                                 size=(operator_rows, spec.banks))),
             -qmax - 1, qmax).astype(np.int64)
         kind = kinds[i % len(kinds)]
         operators.append(Operator(name=f"syn{i}.{kind}", kind=kind,

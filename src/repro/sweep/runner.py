@@ -19,6 +19,13 @@ Resume: pass ``resume_from`` (a JSON path or loaded
 :class:`~repro.sweep.records.SweepResult`) and the runner re-executes only
 runs whose records are missing, then merges.  Aggregates of a resumed sweep
 equal a fresh run's exactly (see :mod:`repro.sweep.records`).
+
+Checkpointing: the runner consumes records through the executors' streaming
+``imap_unordered`` interface, saving to ``save_path`` every
+``checkpoint_every`` completed records (atomic temp-file + ``os.replace``)
+and — whenever ``save_path`` is set — on any executor error or interruption,
+so long sweeps survive being killed mid-executor-pass and resume from the
+last checkpoint.
 """
 
 from __future__ import annotations
@@ -26,8 +33,9 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import warnings
 from math import ceil
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from .builders import build_compiled_workload
 from .records import RunRecord, SweepResult
@@ -56,6 +64,12 @@ class SerialExecutor:
             runs: Sequence[RunSpec]) -> List[RunRecord]:
         return [fn(run) for run in runs]
 
+    def imap_unordered(self, fn: Callable[[RunSpec], RunRecord],
+                       runs: Sequence[RunSpec]) -> Iterator[RunRecord]:
+        """Yield records one by one as they complete (spec order here)."""
+        for run in runs:
+            yield fn(run)
+
 
 def _apply_chunk(args) -> List[RunRecord]:
     """Worker-side chunk evaluation (top-level so it pickles by reference)."""
@@ -79,6 +93,9 @@ class PoolExecutor:
     parent before the pool starts (serially, but with zero duplicate builds);
     forked workers then inherit every compiled image via the per-process
     cache.  Prefer it when a single expensive workload dominates the sweep.
+    Under non-``fork`` start methods prebuilding can only warm the parent —
+    workers rebuild on first use, and the executor emits a ``RuntimeWarning``
+    to say so.
 
     ``start_method`` defaults to the platform default — ``fork`` on Linux.
     With ``spawn``, workers import :mod:`repro.sweep.builders` fresh: the
@@ -98,11 +115,8 @@ class PoolExecutor:
         self.start_method = start_method
         self.prebuild = prebuild
 
-    def map(self, fn: Callable[[RunSpec], RunRecord],
-            runs: Sequence[RunSpec]) -> List[RunRecord]:
-        runs = list(runs)
-        if not runs:
-            return []
+    def _plan(self, runs: List[RunSpec]):
+        """(context, processes, workload-aligned chunks) for a run list."""
         processes = self.processes or (os.cpu_count() or 1)
         processes = min(processes, len(runs))
         chunksize = self.chunksize or max(1, ceil(len(runs) / (4 * processes)))
@@ -114,16 +128,62 @@ class PoolExecutor:
             group = list(group)
             for start in range(0, len(group), chunksize):
                 chunks.append(group[start:start + chunksize])
+        return multiprocessing.get_context(self.start_method), processes, chunks
 
-        context = multiprocessing.get_context(self.start_method)
-        if self.prebuild and context.get_start_method() == "fork":
-            # Warm the parent cache so forked workers inherit every image.
-            for workload in dict.fromkeys(run.workload for run in runs):
-                build_compiled_workload(workload)
+    def _maybe_prebuild(self, context, runs: Sequence[RunSpec]) -> None:
+        """Warm the parent's workload cache before the pool starts.
+
+        With the ``fork`` start method workers inherit every prebuilt image.
+        Other start methods (``spawn``, ``forkserver``) cannot inherit the
+        parent's memory, so prebuilding only warms the *parent* — each worker
+        still rebuilds its workloads on first use; a ``RuntimeWarning`` makes
+        that visible instead of silently dropping the requested behaviour.
+        """
+        if not self.prebuild:
+            return
+        for workload in dict.fromkeys(run.workload for run in runs):
+            build_compiled_workload(workload)
+        method = context.get_start_method()
+        if method != "fork":
+            warnings.warn(
+                f"PoolExecutor(prebuild=True) under the {method!r} start "
+                "method only warms the parent process: workers cannot inherit "
+                "the compiled-workload cache and will rebuild their workloads "
+                "on first use", RuntimeWarning, stacklevel=3)
+
+    def map(self, fn: Callable[[RunSpec], RunRecord],
+            runs: Sequence[RunSpec]) -> List[RunRecord]:
+        runs = list(runs)
+        if not runs:
+            return []
+        context, processes, chunks = self._plan(runs)
+        self._maybe_prebuild(context, runs)
         with context.Pool(processes=processes) as pool:
             nested = pool.map(_apply_chunk, [(fn, chunk) for chunk in chunks],
                               chunksize=1)
         return [record for chunk_records in nested for record in chunk_records]
+
+    def imap_unordered(self, fn: Callable[[RunSpec], RunRecord],
+                       runs: Sequence[RunSpec]) -> Iterator[RunRecord]:
+        """Yield records as worker chunks complete, in completion order.
+
+        The streaming counterpart of :meth:`map`:
+        ``multiprocessing.Pool.imap_unordered`` over the same workload-aligned
+        chunks, so the consumer (:meth:`SweepRunner.run`) can checkpoint
+        completed records while later chunks are still executing.  Record
+        order is *not* the spec order — sweep aggregation is order-free by
+        contract.
+        """
+        runs = list(runs)
+        if not runs:
+            return
+        context, processes, chunks = self._plan(runs)
+        self._maybe_prebuild(context, runs)
+        with context.Pool(processes=processes) as pool:
+            for chunk_records in pool.imap_unordered(
+                    _apply_chunk, [(fn, chunk) for chunk in chunks],
+                    chunksize=1):
+                yield from chunk_records
 
 
 Executor = Union[SerialExecutor, PoolExecutor]
@@ -137,7 +197,8 @@ class SweepRunner:
         self.executor = executor or SerialExecutor()
 
     def run(self, resume_from: Union[None, str, SweepResult] = None,
-            save_path: Optional[str] = None) -> SweepResult:
+            save_path: Optional[str] = None,
+            checkpoint_every: Optional[int] = None) -> SweepResult:
         """Execute all (remaining) runs and return the merged result.
 
         ``resume_from`` supplies records of a previous partial execution (a
@@ -147,7 +208,21 @@ class SweepRunner:
         different ``master_seed``, or an edited grid reusing the same sweep
         name) raises rather than silently mixing ensembles.
         ``save_path`` persists the merged result as JSON afterwards.
+
+        Checkpointing: records stream from the executor
+        (``imap_unordered``), and with ``checkpoint_every=k`` every ``k``
+        completed records trigger an atomic save to ``save_path`` — a long
+        sweep killed mid-executor-pass resumes from the last checkpoint
+        instead of restarting.  Independent of ``checkpoint_every``, when
+        ``save_path`` is set the records completed so far are saved even if a
+        run raises (or the process is interrupted with ``KeyboardInterrupt``),
+        so ``resume_from=save_path`` always picks up where execution stopped.
         """
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be a positive record count")
+        if checkpoint_every is not None and save_path is None:
+            raise ValueError("checkpoint_every requires save_path — there is "
+                             "nowhere to write the checkpoints")
         runs = self.spec.expand()
         by_id = {run.run_id: run for run in runs}
 
@@ -174,12 +249,29 @@ class SweepRunner:
 
         done = {record.run_id for record in prior}
         pending = [run for run in runs if run.run_id not in done]
-        fresh = self.executor.map(execute_run, pending)
 
-        result = SweepResult(spec=self.spec, records=prior + list(fresh))
+        result = SweepResult(spec=self.spec, records=list(prior))
+        # Custom executors predating the streaming interface only provide
+        # map(); fall back to it — checkpointing then degrades to the
+        # end-of-pass (and on-error) saves.
+        imap = getattr(self.executor, "imap_unordered", None)
+        stream = imap(execute_run, pending) if imap is not None \
+            else iter(self.executor.map(execute_run, pending))
+        since_checkpoint = 0
+        try:
+            for record in stream:
+                result.add(record)
+                since_checkpoint += 1
+                if (save_path is not None and checkpoint_every is not None
+                        and since_checkpoint >= checkpoint_every):
+                    result.save(save_path)
+                    since_checkpoint = 0
+        finally:
+            # Persist whatever completed — the final result on success, the
+            # freshest checkpoint on an executor error or interruption.
+            if save_path is not None:
+                result.save(save_path)
         result.records = result.sorted_records()
-        if save_path is not None:
-            result.save(save_path)
         return result
 
 

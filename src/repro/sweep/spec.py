@@ -33,13 +33,25 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["WorkloadSpec", "RunSpec", "SweepSpec", "run_seed"]
+__all__ = ["WorkloadSpec", "RunSpec", "SweepSpec", "run_seed", "ensemble_seed"]
 
 
 def run_seed(master_seed: int, point_index: int, seed_index: int) -> int:
     """The deterministic simulation seed of one run (see module docstring)."""
     sequence = np.random.SeedSequence(master_seed,
                                       spawn_key=(point_index, seed_index))
+    return int(sequence.generate_state(1, dtype=np.uint32)[0])
+
+
+def ensemble_seed(master_seed: int, seed_index: int) -> int:
+    """The shared (common-random-numbers) seed of one ensemble member.
+
+    Used by ``SweepSpec(seed_mode="shared")``: every grid point's ``k``-th
+    ensemble run draws the same seed, so points differ *only* in their
+    configuration.  Distinct from any :func:`run_seed` derivation (the spawn
+    key has a different shape).
+    """
+    sequence = np.random.SeedSequence(master_seed, spawn_key=(seed_index,))
     return int(sequence.generate_state(1, dtype=np.uint32)[0])
 
 
@@ -82,6 +94,12 @@ class WorkloadSpec:
     #: "synthetic" builder: number of operators and their Laplace spread.
     n_operators: int = 4
     code_spread: float = 20.0
+    #: "synthetic" builder: rows per operator (defaults to the chip's macro
+    #: rows).  Larger values tile one operator across several macros, creating
+    #: multi-macro logical Sets whose recompute stalls propagate — and, when
+    #: the tile count does not divide the group size, Sets that straddle group
+    #: boundaries (the engine's coupled-group path).
+    operator_rows: Optional[int] = None
     #: display name; auto-derived when empty.
     label: str = ""
 
@@ -175,12 +193,23 @@ class SweepSpec:
     #: seed-ensemble size per grid point and the sweep's master seed.
     seeds: int = 1
     master_seed: int = 0
+    #: seed derivation: "per_point" (default — every run draws an independent
+    #: seed from its grid coordinates) or "shared" (common random numbers —
+    #: every grid point's k-th ensemble run uses the same seed, so points
+    #: differ only in configuration).  Shared seeds reduce the variance of
+    #: cross-point comparisons (e.g. the Fig. 18 beta trade-off) and let the
+    #: engine's process-level level cache (:mod:`repro.sim.level_cache`) reuse
+    #: the per-(group, level) physics across every point of the grid.
+    seed_mode: str = "per_point"
 
     def __post_init__(self) -> None:
         if self.seeds <= 0:
             raise ValueError("seeds must be a positive ensemble size")
         if self.cycles <= 0:
             raise ValueError("cycles must be positive")
+        if self.seed_mode not in ("per_point", "shared"):
+            raise ValueError(f"unknown seed_mode {self.seed_mode!r}; "
+                             "expected 'per_point' or 'shared'")
 
     @property
     def n_points(self) -> int:
@@ -199,13 +228,15 @@ class SweepSpec:
             self.workloads, self.controllers, self.modes, self.betas,
             self.flip_means, self.flip_stds, self.flip_correlations,
             self.monitor_noises)
+        shared = self.seed_mode == "shared"
         for point_index, (workload, controller, mode, beta, flip_mean,
                           flip_std, flip_correlation, monitor_noise) in enumerate(grid):
             for seed_index in range(self.seeds):
                 runs.append(RunSpec(
                     run_id=f"{self.name}/p{point_index:04d}/s{seed_index:03d}",
                     point_index=point_index, seed_index=seed_index,
-                    seed=run_seed(self.master_seed, point_index, seed_index),
+                    seed=(ensemble_seed(self.master_seed, seed_index) if shared
+                          else run_seed(self.master_seed, point_index, seed_index)),
                     workload=workload, controller=controller, mode=mode,
                     beta=beta, cycles=self.cycles,
                     recompute_cycles=self.recompute_cycles,
@@ -230,6 +261,7 @@ class SweepSpec:
             "monitor_noises": list(self.monitor_noises),
             "seeds": self.seeds,
             "master_seed": self.master_seed,
+            "seed_mode": self.seed_mode,
         }
 
     @classmethod
@@ -244,7 +276,8 @@ class SweepSpec:
             flip_stds=tuple(data["flip_stds"]),
             flip_correlations=tuple(data["flip_correlations"]),
             monitor_noises=tuple(data["monitor_noises"]),
-            seeds=int(data["seeds"]), master_seed=int(data["master_seed"]))
+            seeds=int(data["seeds"]), master_seed=int(data["master_seed"]),
+            seed_mode=data.get("seed_mode", "per_point"))
 
 
 def vars_of(spec: WorkloadSpec) -> Dict:

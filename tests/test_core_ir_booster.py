@@ -145,3 +145,104 @@ class TestVFPairSelection:
         assert controller.state(1).safe_level == 100
         # Its initial aggressive level is still a booster level (Table 1: 100 -> 60).
         assert controller.state(1).a_level == 60
+
+
+class TestBatchedControllerOps:
+    """The closed-form batch counterparts of step(): step-for-step equivalent
+    to looped per-cycle execution, at every phase of Algorithm 2."""
+
+    def make_pair(self, table, beta=9, hr=0.42):
+        controllers = []
+        for _ in range(2):
+            controller = IRBoosterController(table, beta=beta)
+            controller.configure_group(0, group_hr=hr)
+            controllers.append(controller)
+        return controllers
+
+    def snapshot(self, controller):
+        state = controller.state(0)
+        return (state.safe_level, state.a_level, state.level,
+                state.safe_counter, state.failures, state.level_ups,
+                state.level_downs)
+
+    @pytest.mark.parametrize("gap", [0, 1, 3, 8, 9, 17, 19, 40])
+    def test_advance_and_fail_matches_stepwise(self, table, gap):
+        fast, slow = self.make_pair(table)
+        # Shift phase with a couple of failures first, then compare the fused
+        # call against advance + step at several gap lengths.
+        for controller in (fast, slow):
+            controller.step(0, ir_failure=True)
+        for _ in range(3):
+            transitions, level, next_gap = fast.advance_and_fail(0, gap)
+            observed = []
+            for _ in range(gap):
+                slow.step(0, ir_failure=False)
+                observed.append(slow.state(0).level)
+            slow.step(0, ir_failure=True)
+            assert self.snapshot(fast) == self.snapshot(slow)
+            assert level == slow.state(0).level
+            assert next_gap == slow.cycles_to_next_transition(0)
+            for offset, lvl in transitions:
+                assert observed[offset - 1] == lvl
+
+    def test_advance_to_transition_matches_advance_nofail(self, table):
+        fast, slow = self.make_pair(table, beta=6)
+        for i in range(25):
+            expected_gap = slow.cycles_to_next_transition(0)
+            steps, level, next_gap = fast.advance_to_transition(0)
+            transitions = slow.advance_nofail(0, expected_gap)
+            assert steps == expected_gap
+            assert self.snapshot(fast) == self.snapshot(slow)
+            assert level == slow.state(0).level
+            assert next_gap == slow.cycles_to_next_transition(0)
+            assert transitions and transitions[-1][1] == level
+            if i % 7 == 3:                       # shift phase with a failure
+                fast.step(0, ir_failure=True)
+                slow.step(0, ir_failure=True)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 5])
+    def test_apply_failures_matches_looped_step(self, table, seed):
+        """Property test: random failure offsets over a horizon — the batch
+        call reproduces the looped reference state and per-cycle levels."""
+        import numpy as np
+        rng = np.random.default_rng(seed)
+        total = 400
+        n_fails = int(rng.integers(1, 40))
+        offsets = sorted(rng.choice(total, size=n_fails, replace=False).tolist())
+
+        batch, looped = self.make_pair(table, beta=int(rng.integers(3, 30)))
+        initial_level = batch.state(0).level
+        breaks = batch.apply_failures(0, offsets, total)
+
+        fails = set(offsets)
+        stepwise = []
+        for cycle in range(total):
+            looped.step(0, ir_failure=cycle in fails)
+            stepwise.append(looped.state(0).level)
+        assert self.snapshot(batch) == self.snapshot(looped)
+
+        # Reconstruct the per-cycle level trace from the break list.
+        level = initial_level
+        reconstructed = []
+        by_offset = {}
+        for offset, lvl in breaks:
+            by_offset[offset] = lvl              # last break at an offset wins
+        for cycle in range(1, total + 1):
+            if cycle in by_offset:
+                level = by_offset[cycle]
+            reconstructed.append(level)
+        assert reconstructed == stepwise
+
+    def test_apply_failures_rejects_bad_offsets(self, table):
+        controller, _ = self.make_pair(table)
+        with pytest.raises(ValueError):
+            controller.apply_failures(0, [5, 5], 100)    # not strictly increasing
+        with pytest.raises(ValueError):
+            controller.apply_failures(0, [100], 100)     # outside the horizon
+
+    def test_apply_failures_without_failures_is_advance_nofail(self, table):
+        fast, slow = self.make_pair(table, beta=5)
+        breaks = fast.apply_failures(0, [], 60)
+        transitions = slow.advance_nofail(0, 60)
+        assert breaks == transitions
+        assert self.snapshot(fast) == self.snapshot(slow)

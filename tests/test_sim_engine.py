@@ -19,9 +19,15 @@ from repro.power.vf_table import VFTable
 from repro.sim import (
     CompilerConfig,
     RuntimeConfig,
+    PIMRuntime,
+    clear_level_cache,
     compile_workload,
+    level_cache_stats,
+    set_level_cache_budget,
     simulate,
 )
+from repro.sim.engine import _VectorizedEngine, run_vectorized
+from repro.sweep import WorkloadSpec, build_compiled_workload
 from repro.workloads import flip_factor_matrix, flip_factor_sequence
 from repro.workloads.profiles import WorkloadProfile
 
@@ -126,6 +132,195 @@ class TestEngineEquivalence:
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError):
             RuntimeConfig(engine="warp").validate()
+
+
+def run_unbatched(compiled, config, table=None):
+    """The pre-batching event loop (the batched path's measured baseline)."""
+    return run_vectorized(PIMRuntime(compiled, config, table=table),
+                          batched=False)
+
+
+def coupling_of(compiled, config, table=None):
+    """(independent, coupled) group counts the engine derives for a workload."""
+    engine = _VectorizedEngine(PIMRuntime(compiled, config, table=table))
+    engine._setup()
+    return len(engine.independent_groups), len(engine.coupled_groups)
+
+
+class TestFailureDenseEquivalence:
+    """Forced high-failure-density configs: batched and pre-batching event
+    loops must both reproduce the reference oracle bit-for-bit, across the
+    independent-group (batched per-group runs) and coupled-group (heap
+    scheduler) code paths."""
+
+    STRESS = dict(controller="booster", beta=4, recompute_cycles=10,
+                  flip_mean=0.8, monitor_noise=0.01, seed=7)
+
+    def triangulate(self, compiled, table=None, **kwargs):
+        reference = simulate(compiled, RuntimeConfig(engine="reference", **kwargs),
+                             table=table)
+        batched = simulate(compiled, RuntimeConfig(engine="vectorized", **kwargs),
+                           table=table)
+        unbatched = run_unbatched(compiled, RuntimeConfig(**kwargs), table=table)
+        assert_results_equivalent(reference, batched)
+        assert_results_equivalent(reference, unbatched)
+        return reference
+
+    def test_high_density_mixed_sets(self, engine_compiled):
+        compiled, table = engine_compiled
+        result = self.triangulate(compiled, table=table, cycles=600, **self.STRESS)
+        assert result.total_failures > 100          # the stress must bite
+
+    def test_high_density_zero_recompute(self, engine_compiled):
+        compiled, table = engine_compiled
+        kwargs = dict(self.STRESS, recompute_cycles=0)
+        result = self.triangulate(compiled, table=table, cycles=500, **kwargs)
+        assert result.total_failures > 100
+        assert result.total_stall_cycles == 0
+
+    def test_high_density_booster_safe(self, engine_compiled):
+        compiled, table = engine_compiled
+        kwargs = dict(self.STRESS, controller="booster_safe")
+        self.triangulate(compiled, table=table, cycles=500, **kwargs)
+
+    def test_independent_groups_take_batched_path(self):
+        """Group-contained Sets (sequential mapping, even tiling): every group
+        is processed by the batched per-group runner."""
+        spec = WorkloadSpec(builder="synthetic", groups=6, macros_per_group=4,
+                            banks=4, rows=8, operator_rows=16, n_operators=12,
+                            code_spread=30.0, mapping="sequential",
+                            label="engine-independent")
+        compiled = build_compiled_workload(spec)
+        kwargs = dict(cycles=700, **self.STRESS)
+        independent, coupled = coupling_of(compiled, RuntimeConfig(**kwargs))
+        assert coupled == 0 and independent > 0
+        result = self.triangulate(compiled, **kwargs)
+        assert result.total_failures > 100
+
+    def test_straddling_sets_take_heap_path(self):
+        """Two-macro Sets over three-macro groups straddle group boundaries,
+        forcing the coupled-group heap scheduler (cross-group stalls)."""
+        spec = WorkloadSpec(builder="synthetic", groups=6, macros_per_group=3,
+                            banks=4, rows=8, operator_rows=16, n_operators=9,
+                            code_spread=30.0, mapping="sequential",
+                            label="engine-straddle")
+        compiled = build_compiled_workload(spec)
+        kwargs = dict(cycles=700, **self.STRESS)
+        independent, coupled = coupling_of(compiled, RuntimeConfig(**kwargs))
+        assert coupled > 0
+        result = self.triangulate(compiled, **kwargs)
+        assert result.total_failures > 50
+        assert result.total_stall_cycles > 0
+
+    def test_mixed_independent_and_coupled(self):
+        """hr_aware mapping scatters Sets: some groups couple, and the run
+        mixes both event paths in one simulation."""
+        spec = WorkloadSpec(builder="synthetic", groups=8, macros_per_group=4,
+                            banks=4, rows=8, operator_rows=16, n_operators=14,
+                            code_spread=30.0, mapping="hr_aware",
+                            label="engine-mixed")
+        compiled = build_compiled_workload(spec)
+        kwargs = dict(cycles=600, **self.STRESS)
+        self.triangulate(compiled, **kwargs)
+
+
+@pytest.fixture
+def fresh_level_cache():
+    """Isolate and restore the process-level physics cache around a test."""
+    clear_level_cache()
+    yield
+    clear_level_cache()
+
+
+class TestLevelCacheSharing:
+    """The process-level per-(group, level) physics cache: reuse across runs
+    must be invisible in the results, and the cache must stay keyed on
+    everything the physics depends on."""
+
+    def make_compiled(self, label="cache-w"):
+        spec = WorkloadSpec(builder="synthetic", groups=4, macros_per_group=2,
+                            banks=4, rows=8, operator_rows=16, n_operators=4,
+                            code_spread=30.0, mapping="sequential", label=label)
+        return build_compiled_workload(spec)
+
+    def run_once(self, compiled, **kwargs):
+        return simulate(compiled, RuntimeConfig(**kwargs))
+
+    def test_cross_run_reuse_is_bit_identical(self, fresh_level_cache):
+        compiled = self.make_compiled()
+        kwargs = dict(cycles=400, controller="booster", flip_mean=0.75,
+                      monitor_noise=0.008, seed=1)
+        cold = self.run_once(compiled, beta=10, **kwargs)
+        assert level_cache_stats()["entries"] > 0
+        before = level_cache_stats()["hits"]
+        warm_other_beta = self.run_once(compiled, beta=40, **kwargs)
+        assert level_cache_stats()["hits"] > before     # physics reused
+
+        # The beta=40 run with a *disabled* cache must match bit-for-bit.
+        old_budget = set_level_cache_budget(0)
+        try:
+            clean = self.run_once(compiled, beta=40, **kwargs)
+        finally:
+            set_level_cache_budget(old_budget)
+        assert_results_equivalent(clean, warm_other_beta)
+        # And beta actually matters (the runs are genuinely different).
+        assert not np.array_equal(cold.group_results[0].level_trace,
+                                  warm_other_beta.group_results[0].level_trace)
+
+    def test_seed_and_noise_key_isolation(self, fresh_level_cache):
+        """Runs differing only in seed (or noise level) never share entries:
+        results equal a fresh-process run exactly."""
+        compiled = self.make_compiled()
+        base = dict(cycles=300, controller="booster", beta=8, flip_mean=0.75)
+        first = self.run_once(compiled, monitor_noise=0.008, seed=1, **base)
+        second = self.run_once(compiled, monitor_noise=0.008, seed=2, **base)
+        third = self.run_once(compiled, monitor_noise=0.002, seed=1, **base)
+        old_budget = set_level_cache_budget(0)
+        try:
+            for warm, kwargs in [
+                    (first, dict(monitor_noise=0.008, seed=1)),
+                    (second, dict(monitor_noise=0.008, seed=2)),
+                    (third, dict(monitor_noise=0.002, seed=1))]:
+                clean = self.run_once(compiled, **base, **kwargs)
+                assert_results_equivalent(clean, warm)
+        finally:
+            set_level_cache_budget(old_budget)
+
+    def test_zero_budget_disables_storage(self, fresh_level_cache):
+        compiled = self.make_compiled()
+        old_budget = set_level_cache_budget(0)
+        try:
+            self.run_once(compiled, cycles=200, controller="booster", seed=0)
+            stats = level_cache_stats()
+            assert stats["entries"] == 0 and stats["bytes"] == 0
+        finally:
+            set_level_cache_budget(old_budget)
+
+    def test_budget_eviction_is_lru_and_bounded(self, fresh_level_cache):
+        compiled = self.make_compiled()
+        self.run_once(compiled, cycles=300, controller="booster", seed=0)
+        stats = level_cache_stats()
+        assert 0 < stats["bytes"] <= stats["budget_bytes"]
+        # Shrinking the budget evicts down to the new bound immediately.
+        old_budget = set_level_cache_budget(stats["bytes"] // 2)
+        try:
+            assert level_cache_stats()["bytes"] <= stats["bytes"] // 2
+        finally:
+            set_level_cache_budget(old_budget)
+
+    def test_builder_fingerprint_shares_across_rebuilds(self, fresh_level_cache):
+        """Two compiled instances of the same WorkloadSpec share entries via
+        the builder-attached fingerprint (the sweep-worker pattern)."""
+        from repro.sweep import clear_workload_cache
+        compiled_a = self.make_compiled(label="cache-fp")
+        self.run_once(compiled_a, cycles=200, controller="booster", seed=3)
+        misses_before = level_cache_stats()["misses"]
+        clear_workload_cache()                     # force a fresh build
+        compiled_b = self.make_compiled(label="cache-fp")
+        assert compiled_a is not compiled_b
+        assert compiled_a.cache_key == compiled_b.cache_key
+        self.run_once(compiled_b, cycles=200, controller="booster", seed=3)
+        assert level_cache_stats()["misses"] == misses_before
 
 
 class TestAdvanceNofail:
@@ -257,3 +452,19 @@ class TestBatchedPrimitives:
             assert result.static_energy == pytest.approx(scalar.static_energy)
             assert result.elapsed_time == pytest.approx(scalar.elapsed_time)
             assert result.completed_macs == pytest.approx(scalar.completed_macs)
+
+
+def test_vectorized_results_stay_independently_mutable(fresh_level_cache):
+    """Cached activity traces are shared read-only inside the engine, but the
+    results hand out private writable copies (the PR-2 API)."""
+    spec = WorkloadSpec(builder="synthetic", groups=2, macros_per_group=2,
+                        banks=4, rows=8, n_operators=4, label="mutable-res")
+    compiled = build_compiled_workload(spec)
+    config = dict(cycles=120, controller="booster", seed=0)
+    first = simulate(compiled, RuntimeConfig(**config))
+    second = simulate(compiled, RuntimeConfig(**config))   # warm-cache run
+    trace = second.macro_results[0].rtog_trace
+    assert trace is not first.macro_results[0].rtog_trace
+    original = first.macro_results[0].rtog_trace.copy()
+    trace *= 0.5                                           # must not raise
+    assert np.array_equal(first.macro_results[0].rtog_trace, original)

@@ -251,3 +251,193 @@ def test_mini_sweep_smoke():
     assert dvfs.stats["total_failures"].mean == 0
     assert booster.stats["average_macro_power_mw"].mean <= \
         dvfs.stats["average_macro_power_mw"].mean
+
+
+class StopAfter(Exception):
+    """Injected executor failure for the kill/resume checkpointing tests."""
+
+
+class ExplodingExecutor(SerialExecutor):
+    """Serial executor that dies after yielding ``after`` records."""
+
+    def __init__(self, after: int) -> None:
+        self.after = after
+
+    def imap_unordered(self, fn, runs):
+        for index, run in enumerate(runs):
+            if index >= self.after:
+                raise StopAfter(f"killed after {self.after} records")
+            yield fn(run)
+
+
+class TestIncrementalCheckpointing:
+    def test_kill_mid_pass_then_resume_matches_fresh(self, tmp_path):
+        """A sweep killed mid-executor-pass leaves a resumable checkpoint, and
+        resuming completes to the exact fresh-run records and aggregates."""
+        spec = tiny_spec(seeds=3)                      # 6 runs
+        fresh = SweepRunner(spec, SerialExecutor()).run()
+
+        path = str(tmp_path / "checkpoint.json")
+        with pytest.raises(StopAfter):
+            SweepRunner(spec, ExplodingExecutor(after=4)).run(
+                save_path=path, checkpoint_every=1)
+
+        partial = SweepResult.load(path)
+        assert len(partial.records) == 4               # saved before the crash
+
+        resumed = SweepRunner(spec, SerialExecutor()).run(
+            resume_from=path, save_path=path)
+        assert records_as_dicts(resumed) == records_as_dicts(fresh)
+        for a, b in zip(fresh.aggregate(), resumed.aggregate()):
+            assert a.stats == b.stats
+        # The final save holds the complete sweep.
+        assert len(SweepResult.load(path).records) == spec.n_runs
+
+    def test_crash_without_checkpoint_every_still_saves_progress(self, tmp_path):
+        """Even with no periodic interval, completed records are persisted on
+        an executor error (the finally-save kill protection)."""
+        spec = tiny_spec(seeds=2)                      # 4 runs
+        path = str(tmp_path / "on-error.json")
+        with pytest.raises(StopAfter):
+            SweepRunner(spec, ExplodingExecutor(after=3)).run(save_path=path)
+        assert len(SweepResult.load(path).records) == 3
+
+    def test_periodic_checkpoints_written_during_pass(self, tmp_path, monkeypatch):
+        saves = []
+        original = SweepResult.save
+
+        def counting_save(self, path):
+            saves.append(len(self.records))
+            original(self, path)
+
+        monkeypatch.setattr(SweepResult, "save", counting_save)
+        spec = tiny_spec(seeds=2)                      # 4 runs
+        path = str(tmp_path / "periodic.json")
+        SweepRunner(spec, SerialExecutor()).run(save_path=path,
+                                                checkpoint_every=2)
+        # Two periodic saves (after 2 and 4 records) plus the finally-save.
+        assert saves == [2, 4, 4]
+
+    def test_checkpoint_every_validation(self, tmp_path):
+        path = str(tmp_path / "x.json")
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            SweepRunner(tiny_spec(), SerialExecutor()).run(save_path=path,
+                                                           checkpoint_every=0)
+        # Checkpointing without a destination is a silent no-op trap: reject.
+        with pytest.raises(ValueError, match="save_path"):
+            SweepRunner(tiny_spec(), SerialExecutor()).run(checkpoint_every=5)
+
+    def test_pool_imap_streams_and_matches_serial(self, tmp_path):
+        spec = tiny_spec(seeds=2)
+        serial = SweepRunner(spec, SerialExecutor()).run()
+        path = str(tmp_path / "pool.json")
+        pool = SweepRunner(spec, PoolExecutor(processes=2, chunksize=1)).run(
+            save_path=path, checkpoint_every=1)
+        assert records_as_dicts(pool) == records_as_dicts(serial)
+        assert records_as_dicts(SweepResult.load(path)) == records_as_dicts(serial)
+
+    def test_serial_imap_unordered_streams_lazily(self):
+        spec = tiny_spec()
+        runs = spec.expand()
+        iterator = SerialExecutor().imap_unordered(execute_run, runs)
+        first = next(iterator)
+        assert first.run_id == runs[0].run_id          # nothing else ran yet
+
+
+class TestPrebuildStartMethods:
+    def test_prebuild_under_spawn_warns_and_warms_parent(self):
+        import multiprocessing
+
+        from repro.sweep.builders import _CACHE
+
+        workload = WorkloadSpec(builder="synthetic", groups=2,
+                                macros_per_group=2, banks=4, rows=8,
+                                n_operators=2, label="prebuild-spawn")
+        runs = tiny_spec(workloads=(workload,)).expand()
+        executor = PoolExecutor(prebuild=True, start_method="spawn")
+        context = multiprocessing.get_context("spawn")
+        with pytest.warns(RuntimeWarning, match="cannot inherit"):
+            executor._maybe_prebuild(context, runs)
+        assert workload in _CACHE                      # parent cache is warm
+
+    def test_prebuild_under_fork_does_not_warn(self):
+        import multiprocessing
+        import warnings as warnings_module
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no fork start method")
+        executor = PoolExecutor(prebuild=True)
+        context = multiprocessing.get_context("fork")
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            executor._maybe_prebuild(context, tiny_spec().expand())
+
+
+class TestSharedSeedMode:
+    def test_shared_seeds_equal_across_points(self):
+        spec = tiny_spec(seeds=2, seed_mode="shared",
+                         controllers=("dvfs", "booster"))
+        runs = spec.expand()
+        by_seed_index = {}
+        for run in runs:
+            by_seed_index.setdefault(run.seed_index, set()).add(run.seed)
+        # One seed per ensemble member, shared by every grid point ...
+        assert all(len(seeds) == 1 for seeds in by_seed_index.values())
+        # ... and distinct between members.
+        assert len({seeds.pop() for seeds in by_seed_index.values()}) == 2
+
+    def test_shared_differs_from_per_point_derivation(self):
+        shared = tiny_spec(seed_mode="shared").expand()
+        per_point = tiny_spec().expand()
+        assert [r.seed for r in shared] != [r.seed for r in per_point]
+
+    def test_seed_mode_json_roundtrip_and_validation(self):
+        spec = tiny_spec(seed_mode="shared")
+        assert SweepSpec.from_json_dict(spec.to_json_dict()) == spec
+        # Legacy payloads without the field load as per_point.
+        payload = tiny_spec().to_json_dict()
+        del payload["seed_mode"]
+        assert SweepSpec.from_json_dict(payload).seed_mode == "per_point"
+        with pytest.raises(ValueError, match="seed_mode"):
+            tiny_spec(seed_mode="chaotic")
+
+    def test_shared_mode_sweep_is_deterministic(self):
+        spec = tiny_spec(seed_mode="shared")
+        a = SweepRunner(spec, SerialExecutor()).run()
+        b = SweepRunner(spec, SerialExecutor()).run()
+        assert records_as_dicts(a) == records_as_dicts(b)
+
+
+class TestOperatorRows:
+    def test_operator_rows_create_multi_macro_sets(self):
+        spec = WorkloadSpec(builder="synthetic", groups=2, macros_per_group=2,
+                            banks=4, rows=8, operator_rows=16, n_operators=2,
+                            label="two-tile")
+        compiled = build_compiled_workload(spec)
+        assert len(compiled.tasks) == 4                # two tiles per operator
+        set_sizes = {}
+        for task in compiled.tasks:
+            set_sizes[task.set_id] = set_sizes.get(task.set_id, 0) + 1
+        assert sorted(set_sizes.values()) == [2, 2]
+
+    def test_default_operator_rows_single_tile(self):
+        compiled = build_compiled_workload(TINY)
+        assert len(compiled.tasks) == TINY.n_operators
+
+
+class MapOnlyExecutor:
+    """An executor written against the pre-streaming contract (map only)."""
+
+    def map(self, fn, runs):
+        return [fn(run) for run in runs]
+
+
+def test_map_only_executor_still_works(tmp_path):
+    """Custom executors without imap_unordered keep working (checkpointing
+    degrades to the end-of-pass save)."""
+    spec = tiny_spec()
+    path = str(tmp_path / "maponly.json")
+    legacy = SweepRunner(spec, MapOnlyExecutor()).run(save_path=path)
+    serial = SweepRunner(spec, SerialExecutor()).run()
+    assert records_as_dicts(legacy) == records_as_dicts(serial)
+    assert len(SweepResult.load(path).records) == spec.n_runs

@@ -12,6 +12,12 @@ Rebased onto the :mod:`repro.sweep` runner on the 64-macro reference chip: each
 ablation step is one coupled sweep (compile variant paired with its
 controller), every point an ``N_SEEDS`` ensemble.  Workload compiles are shared
 between steps through the per-process builder cache.
+
+Seeds are *shared* across ablation steps (``seed_mode="shared"``, common
+random numbers): every step of a stack sees the same stochastic inputs, so
+the step-to-step deltas the figures assert are differences of configuration,
+not of seed draw — a deliberate re-baseline over the PR-2/PR-3 ``per_point``
+records (noted in CHANGES.md).
 """
 
 import pytest
@@ -56,7 +62,8 @@ def _step_spec(name: str, lhr, wds, mapping, controller) -> SweepSpec:
         for model in HW_WORKLOADS)
     return SweepSpec(name=name, workloads=workloads, controllers=(controller,),
                      modes=(MODE,), betas=(50,), cycles=SIM_CYCLES,
-                     seeds=N_SEEDS, master_seed=SWEEP_MASTER_SEED)
+                     seeds=N_SEEDS, master_seed=SWEEP_MASTER_SEED,
+                     seed_mode="shared")
 
 
 def test_fig19_ablation(benchmark):

@@ -54,8 +54,14 @@ pytestmark = pytest.mark.perf
 #: The sweep-throughput grid: >= 8 points (beta x seed) on the 64-macro chip.
 SWEEP_BETAS = smoke_grid((10, 30, 50, 70))
 SWEEP_SEEDS = 2 if len(SWEEP_BETAS) < 4 else 4
+#: ``REPRO_BENCH_POOL_BAR=1`` arms the wall-clock pool-speedup assertion even
+#: in smoke mode (the multicore-CI configuration): the sweep keeps the long
+#: horizon so one run stays a meaningful unit of pool work, and the
+#: cpu_count-tiered bars below are enforced.
+POOL_BAR = os.environ.get("REPRO_BENCH_POOL_BAR", "").lower() in \
+    ("1", "true", "yes")
 #: Long horizon so one run is a meaningful unit of pool work.
-SWEEP_CYCLES = SIM_CYCLES if SMOKE else max(SIM_CYCLES, 5000)
+SWEEP_CYCLES = SIM_CYCLES if SMOKE and not POOL_BAR else max(SIM_CYCLES, 5000)
 
 
 def _time_sweep_executors():
@@ -219,9 +225,13 @@ def test_runtime_engine_speedup(benchmark):
         assert long_run["speedup"] >= 20.0, long_run
         assert report["reference_chip"]["speedup"] >= 10.0
 
-        # Wall-clock pool speedup is only a meaningful bar when the machine
-        # has cores to use (the records equality above always is).
+    # Wall-clock pool speedup is only a meaningful bar when the machine has
+    # cores to use (the records equality above always is).  Armed outside
+    # smoke mode, or in smoke with REPRO_BENCH_POOL_BAR=1 — the multicore-CI
+    # configuration (bars left modest: shared CI runners are noisy).
+    if not SMOKE or POOL_BAR:
         if (sweep["cpu_count"] or 1) >= 4:
-            assert sweep["speedup"] > 2.0, sweep
+            bar = 1.5 if (POOL_BAR and SMOKE) else 2.0
+            assert sweep["speedup"] > bar, sweep
         elif (sweep["cpu_count"] or 1) >= 2:
-            assert sweep["speedup"] > 1.2, sweep
+            assert sweep["speedup"] > 1.15, sweep

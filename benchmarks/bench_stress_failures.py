@@ -9,11 +9,14 @@ points).  This harness pins that regime down as a benchmark:
   two-macro-Set workload (``common.stress_workload_spec``), run with elevated
   ``flip_mean``/``monitor_noise`` and a small beta so IRFailures arrive every
   few cycles per group (tens of thousands over the horizon).
-* **Contenders** — the batched engine (per-group failure runs + heap
-  scheduler, warm process-level level cache: the steady state of any sweep),
-  the same engine cold (cache disabled), the pre-batching event loop of PR 1/2
-  (``run_vectorized(..., batched=False)`` with the cache disabled — exactly
-  the per-run behaviour this PR replaces), and the reference oracle.
+* **Contenders** — the batched engine (per-group failure runs — since PR 4
+  driven by the closed-form timeline kernels of :mod:`repro.sim.kernels` —
+  plus the heap scheduler, warm process-level level cache: the steady state
+  of any sweep), the same engine cold (cache disabled), the pre-batching
+  event loop of PR 1/2 (``run_vectorized(..., batched=False)`` with the
+  cache disabled — exactly the per-run behaviour PR 3 replaced), and the
+  reference oracle.  (``bench_kernels_store.py`` isolates kernel-on vs
+  kernel-off; here the batched contender is simply the engine default.)
 * **Contract** — all engines must agree bit-for-bit on failures, stalls, drop
   traces and level traces *in this same run*; the speedup bar
   (``>= 3x`` batched-warm vs. pre-batching) only counts because of it.

@@ -2,8 +2,11 @@
 
 from .compiler import CompiledWorkload, CompilerConfig, compile_workload
 from .engine import ENGINES, run_vectorized
+from .kernels import active_kernel, set_kernel
 from .level_cache import (
+    attach_shared_store,
     clear_level_cache,
+    detach_shared_store,
     level_cache_stats,
     set_level_cache_budget,
 )
@@ -20,8 +23,9 @@ from .trace import (
 __all__ = [
     "CompilerConfig", "CompiledWorkload", "compile_workload",
     "RuntimeConfig", "PIMRuntime", "simulate", "CONTROLLERS", "ENGINES",
-    "run_vectorized",
-    "clear_level_cache", "level_cache_stats", "set_level_cache_budget",
+    "run_vectorized", "active_kernel", "set_kernel",
+    "attach_shared_store", "clear_level_cache", "detach_shared_store",
+    "level_cache_stats", "set_level_cache_budget",
     "SimulationResult", "MacroResult", "GroupResult", "assemble_result",
     "OperatorSchedule", "SchedulePhase", "schedule_operators",
     "OperatorRtogProfile", "profile_operator_rtog", "profile_task_rtog", "rtog_histogram",

@@ -22,26 +22,32 @@ array expression over the precomputed ``(n_macros, cycles)`` activity matrix:
 Event processing is split by *recompute-stall coupling*.  Stalls propagate
 within a failing macro's logical Set, so a group whose Sets all live inside its
 own row range can never interact with any other group: each such *independent*
-group's entire failure timeline is processed in one batched pass
-(:meth:`_VectorizedEngine._run_group_batched`) that keeps per-member candidate
-pointers, jumps failure-to-failure with ``bisect`` on plain Python lists, and
-drives Algorithm 2 through the closed-form batch API of
-:class:`~repro.core.ir_booster.IRBoosterController` (``advance_to_transition``,
-``advance_and_fail``).  Groups whose Sets straddle group boundaries are
-*coupled* and run under a lazy-invalidation heap scheduler that interleaves
-their events in global cycle order.  Failure cycles are replayed with the exact
-scalar ordering of the reference loop (failures propagate recompute stalls to
-the failing macro's logical Set *within* the cycle, which suppresses later
-samples).  Controllers without feedback (``dvfs``, ``booster_safe``) have no
-scheduled transitions at all, so a failure-free run is a single fully
-vectorized pass.  Traces, stall masks (rebuilt from logged recompute windows
-with one ``bincount``/``cumsum`` pass) and energy are materialized once at the
-end into preallocated arrays.
+group's entire failure timeline resolves through the closed-form timeline
+kernels of :mod:`repro.sim.kernels` — groups whose level never changes
+(``dvfs``, ``booster_safe``) as one greedy min-gap selection per Set over a
+merged ``(cycle, row)`` candidate stream
+(:meth:`_VectorizedEngine._run_group_kernel`), ``booster`` groups as the same
+selection resumed across level-stable spans with Algorithm 2 driven through
+the closed-form batch API of
+:class:`~repro.core.ir_booster.IRBoosterController`
+(:meth:`_VectorizedEngine._run_group_span_kernel`).  Groups whose Sets
+straddle group boundaries are *coupled* and run under a lazy-invalidation
+heap scheduler that interleaves their events in global cycle order.  Failure
+cycles are replayed with the exact scalar ordering of the reference loop
+(failures propagate recompute stalls to the failing macro's logical Set
+*within* the cycle, which suppresses later samples).  Controllers without
+feedback (``dvfs``, ``booster_safe``) have no scheduled transitions at all,
+so a failure-free run is a single fully vectorized pass.  Traces, stall masks
+(rebuilt from logged recompute windows with one ``bincount``/``cumsum`` pass)
+and energy are materialized once at the end into preallocated arrays.
 
-The pre-batching event loop — a per-event scan over all groups with per-member
-``searchsorted`` queries — is retained as ``batched=False`` so
-``benchmarks/bench_stress_failures.py`` can keep the batching speedup on
-record and the tests can triangulate all three implementations.
+Two baselines are retained for measurement and triangulation: the pre-kernel
+batched loop — per-member candidate pointers advanced with ``bisect``, the
+PR-3 implementation — as ``kernel=False``
+(:meth:`_VectorizedEngine._run_group_batched`, measured by
+``benchmarks/bench_kernels_store.py``), and the pre-batching event loop — a
+per-event scan over all groups with per-member ``searchsorted`` queries — as
+``batched=False`` (measured by ``benchmarks/bench_stress_failures.py``).
 
 Bit-for-bit equivalence with the reference engine (same seed, same failures,
 same stalls, same level traces; energy equal up to floating-point summation
@@ -51,8 +57,7 @@ order) is enforced by ``tests/test_sim_engine.py``.
 from __future__ import annotations
 
 import heapq
-from bisect import bisect_left
-from dataclasses import dataclass
+from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING, Dict, List, Tuple
 
 import numpy as np
@@ -60,7 +65,9 @@ import numpy as np
 from ..power.energy import EnergyBreakdown
 from ..power.monitor import IRMonitor
 from ..power.vf_table import VFPair
-from .level_cache import LEVEL_CACHE, workload_cache_key
+from .kernels import MergedCandidates, frontier_key, merge_candidates, \
+    select_failures
+from .level_cache import LEVEL_CACHE, LevelEntry, workload_cache_key
 from .results import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -72,20 +79,6 @@ __all__ = ["ENGINES", "run_vectorized"]
 ENGINES = ("vectorized", "reference")
 
 
-@dataclass
-class _LevelCache:
-    """Precomputed per-(group, level) physics over the full horizon.
-
-    Entries are immutable once built (``drop_rows`` is marked read-only) and
-    shared across runs through :data:`~repro.sim.level_cache.LEVEL_CACHE`.
-    """
-
-    pair: VFPair
-    drop_rows: np.ndarray           #: (members, cycles) Eq.-2 drop at this pair
-    fail_cycles: List[np.ndarray]   #: per member, sorted candidate cycle indices
-    fail_lists: List[List[int]]     #: same data as Python lists (bisect hot paths)
-
-
 class _VectorizedEngine:
     """One simulation run, event-driven.  Built fresh per :meth:`run` call.
 
@@ -94,7 +87,8 @@ class _VectorizedEngine:
     baseline of the batched failure path.
     """
 
-    def __init__(self, runtime: "PIMRuntime", batched: bool = True) -> None:
+    def __init__(self, runtime: "PIMRuntime", batched: bool = True,
+                 use_kernel: bool = True) -> None:
         self.runtime = runtime
         self.cfg = runtime.config
         self.compiled = runtime.compiled
@@ -103,6 +97,7 @@ class _VectorizedEngine:
         self.energy_model = runtime.energy_model
         self.n = self.cfg.cycles
         self.batched = batched
+        self.use_kernel = use_kernel and batched
 
     # ------------------------------------------------------------------ #
     # setup
@@ -154,6 +149,10 @@ class _VectorizedEngine:
         for gid, (lo, hi) in self.group_rows.items():
             for row in range(lo, hi):
                 self.group_of_row[row] = gid
+        #: bits to pack a global row into a timeline-kernel key (a pure
+        #: function of the workload, so shared merged streams stay valid).
+        self.row_shift = max(1, (self.n_rows - 1).bit_length()) \
+            if self.n_rows > 1 else 1
 
         # Logical sets (recompute stalls propagate set-wide), as row indices.
         macro_set, set_members = runtime._logical_sets()
@@ -208,7 +207,7 @@ class _VectorizedEngine:
         self.break_levels: Dict[int, List[int]] = {
             gid: [self.level[gid]] for gid in self.groups}
 
-        self._caches: Dict[Tuple[int, int], _LevelCache] = {}
+        self._caches: Dict[Tuple[int, int], LevelEntry] = {}
 
         # Event bookkeeping.
         inf = self.n
@@ -227,6 +226,14 @@ class _VectorizedEngine:
         self.stall_log_starts: List[int] = []
         self.fail_log_rows: List[int] = []
         self.fail_log_cycles: List[int] = []
+        # Closed-form kernel paths log whole selections as array chunks
+        # (scalar appends would dominate their runtime); materialization
+        # concatenates chunks and scalar logs alike.
+        self.stall_chunk_rows: List[np.ndarray] = []
+        self.stall_chunk_starts: List[np.ndarray] = []
+        self.fail_chunk_rows: List[np.ndarray] = []
+        self.fail_chunk_cycles: List[np.ndarray] = []
+        self._group_sets_memo: Dict[int, List[np.ndarray]] = {}
         self.fail_counts = [0] * self.n_rows
         #: the active level's cache per group (refreshed on level changes)
         self.cur_cache = {gid: self._cache(gid, self.level[gid])
@@ -256,7 +263,7 @@ class _VectorizedEngine:
         lookup = level if level in self.table.levels else 100
         return self.table.select_pair(lookup, self.cfg.mode)
 
-    def _cache(self, gid: int, level: int) -> _LevelCache:
+    def _cache(self, gid: int, level: int) -> LevelEntry:
         key = (gid, level)
         cached = self._caches.get(key)
         if cached is not None:
@@ -278,14 +285,10 @@ class _VectorizedEngine:
             threshold = (pair.voltage - allowed_drop) + self.min_voltage_margin
             fail_rows = (pair.voltage - drop_rows) + self._noise(gid) < threshold
             fail_cycles = [np.nonzero(fail_rows[i])[0] for i in range(hi - lo)]
-            fail_lists = [cycles.tolist() for cycles in fail_cycles]
             drop_rows.setflags(write=False)
-            nbytes = (drop_rows.nbytes
-                      + sum(cycles.nbytes for cycles in fail_cycles)
-                      + 32 * sum(len(lst) for lst in fail_lists) + 512)
-            entry = _LevelCache(pair=pair, drop_rows=drop_rows,
-                                fail_cycles=fail_cycles, fail_lists=fail_lists)
-            LEVEL_CACHE.put(shared_key, entry, nbytes)
+            entry = LevelEntry(pair=pair, drop_rows=drop_rows,
+                               fail_cycles=fail_cycles)
+            LEVEL_CACHE.put(shared_key, entry, entry.nbytes_estimate())
         self._caches[key] = entry
         return entry
 
@@ -345,7 +348,7 @@ class _VectorizedEngine:
         break_levels = self.break_levels[gid]
 
         level = self.level[gid]
-        caches: Dict[int, _LevelCache] = {level: self.cur_cache[gid]}
+        caches: Dict[int, LevelEntry] = {level: self.cur_cache[gid]}
         lists = caches[level].fail_lists
         scan_from = self.scan_from[gid]
         synced = self.synced[gid]
@@ -470,6 +473,272 @@ class _VectorizedEngine:
         # Write back for the common controller flush and materialization.
         self.level[gid] = level
         self.cur_cache[gid] = caches[level]
+        self.scan_from[gid] = scan_from
+        self.synced[gid] = synced
+        self.next_sched[gid] = next_sched
+
+    # ------------------------------------------------------------------ #
+    # closed-form kernel paths (independent groups)
+    # ------------------------------------------------------------------ #
+    def _group_sets(self, gid: int) -> List[np.ndarray]:
+        """The group's logical Sets as sorted global-row arrays.
+
+        First-row order (deterministic); only called for *independent*
+        groups, whose Sets are contained in the group by definition.
+        """
+        cached = self._group_sets_memo.get(gid)
+        if cached is None:
+            lo, hi = self.group_rows[gid]
+            seen = set()
+            cached = []
+            for row in range(lo, hi):
+                sid = self.set_of_row[row]
+                if sid not in seen:
+                    seen.add(sid)
+                    cached.append(np.asarray(self.set_rows[sid],
+                                             dtype=np.int64))
+            self._group_sets_memo[gid] = cached
+        return cached
+
+    def _merged(self, gid: int, entry: LevelEntry) -> List[MergedCandidates]:
+        """Per-Set merged packed-key candidate streams of one entry.
+
+        Memoized on the (shared) entry: the Set partition is a pure function
+        of the workload the entry is already keyed on, so reuse across runs —
+        and across processes via the shared store — is sound.  Keys pack
+        ``(cycle, global row)`` — the reference loop's visit order.
+        """
+        merged = entry.merged
+        if merged is None:
+            lo, _ = self.group_rows[gid]
+            shift = self.row_shift
+            merged = []
+            for set_rows in self._group_sets(gid):
+                row_ids = set_rows.tolist()
+                merged.append(merge_candidates(
+                    [entry.fail_cycles[row - lo] for row in row_ids],
+                    row_ids, shift))
+            entry.merged = merged
+        return merged
+
+    def _run_group_kernel(self, gid: int) -> None:
+        """Closed-form timeline for a no-level-change group.
+
+        ``dvfs`` and ``booster_safe`` groups never change level, so each
+        logical Set's whole failure timeline is one greedy min-gap selection
+        over its merged candidate stream (see :mod:`repro.sim.kernels`);
+        failure/stall logs materialize as array chunks in one pass per Set.
+        """
+        n = self.n
+        recompute = self.cfg.recompute_cycles
+        shift = self.row_shift
+        entry = self.cur_cache[gid]
+        stall_end = self.stall_end
+        fail_counts = self.fail_counts
+        start = frontier_key(self.scan_from[gid], -1, shift)
+        last_cycle = -1
+        for set_rows, merged in zip(self._group_sets(gid),
+                                    self._merged(gid, entry)):
+            if not merged.keys_list:
+                continue
+            out, _ = select_failures(merged, n, recompute, start)
+            if not out:
+                continue
+            sel = np.asarray(out, dtype=np.int64)
+            sel_c = sel >> shift
+            sel_r = sel & merged.mask
+            self.fail_chunk_rows.append(sel_r)
+            self.fail_chunk_cycles.append(sel_c)
+            for row, count in zip(*(arr.tolist() for arr in
+                                    np.unique(sel_r, return_counts=True))):
+                fail_counts[row] += count
+            f = int(sel_c[-1])
+            if f > last_cycle:
+                last_cycle = f
+            if recompute > 0:
+                # start = f + 1 for members at or before the failing row
+                # (already visited this cycle), f for later members.
+                starts = sel_c[:, None] + (set_rows[None, :] <= sel_r[:, None])
+                self.stall_chunk_rows.append(np.tile(set_rows, sel_c.size))
+                self.stall_chunk_starts.append(starts.ravel())
+                last_r = int(sel_r[-1])
+                for row in set_rows.tolist():
+                    end = f + recompute + (1 if row <= last_r else 0)
+                    if end > stall_end[row]:
+                        stall_end[row] = end
+        if last_cycle >= 0:
+            self.scan_from[gid] = last_cycle + 1
+
+    def _run_group_span_kernel(self, gid: int) -> None:
+        """Kernel-driven timeline for a stall-independent ``booster`` group.
+
+        Between level breaks the group is exactly a no-level-change span, so
+        each Set advances through the packed-key candidate streams of the
+        current level with the kernel's frontier key — at most one ``bisect``
+        per *selected* failure instead of per-member ``bisect`` per event.
+        The frontier encodes the Set's stall windows and survives level
+        changes unchanged (stalls are level-independent); Algorithm 2 is
+        driven through the same closed-form batch API as the pre-kernel
+        batched loop, with identical event ordering (scheduled transitions
+        before failure detection at the same cycle).
+        """
+        n = self.n
+        recompute = self.cfg.recompute_cycles
+        controller = self.controller
+        stall_end = self.stall_end
+        fail_counts = self.fail_counts
+        s_rows, s_starts = self.stall_log_rows, self.stall_log_starts
+        f_rows, f_cycles = self.fail_log_rows, self.fail_log_cycles
+        break_cycles = self.break_cycles[gid]
+        break_levels = self.break_levels[gid]
+        set_arrays = self._group_sets(gid)
+        k = len(set_arrays)
+
+        set_row_lists = [arr.tolist() for arr in set_arrays]
+        shift = self.row_shift
+        mask = (1 << shift) - 1
+        jump = recompute << shift
+
+        level = self.level[gid]
+        entries: Dict[int, LevelEntry] = {level: self.cur_cache[gid]}
+        scan_from = self.scan_from[gid]
+        synced = self.synced[gid]
+        next_sched = self.next_sched[gid]
+
+        # Per-Set packed frontier key (level-independent eligibility bound)
+        # plus, *per level*, the candidate key streams, each Set's resume
+        # index into them and its cached next eligible key.  The index
+        # doubles as the bisect ``lo`` bound, and a cached key stays valid
+        # as long as it still clears the (only-growing) frontier — so the
+        # frequent safe <-> a-level flips mostly revalidate with one scalar
+        # compare instead of re-searching.  UNPEEKED forces the first look;
+        # EXHAUSTED (sorts above every real key) means "none left".
+        UNPEEKED = -2
+        EXHAUSTED = 1 << 62
+        fks = [frontier_key(scan_from, -1, shift)] * k
+        next_f = [n] * k                    # next eligible candidate *cycle*
+        level_state: Dict[int, Tuple] = {}
+
+        def bind(to_level: int, from_cycle: int) -> Tuple:
+            state = level_state.get(to_level)
+            if state is None:
+                entry = entries.get(to_level)
+                if entry is None:
+                    entry = self._cache(gid, to_level)
+                    entries[to_level] = entry
+                merged = self._merged(gid, entry)
+                state = ([m.keys_list for m in merged], [0] * k,
+                         [UNPEEKED] * k)
+                level_state[to_level] = state
+            key_lists, idxs, nf_key = state
+            base = (from_cycle << shift) - 1
+            for s in range(k):
+                fk = fks[s]
+                if fk < base:
+                    fk = base
+                    fks[s] = fk
+                key = nf_key[s]
+                if key > fk:                # cached candidate still eligible
+                    next_f[s] = key >> shift if key < EXHAUSTED else n
+                    continue
+                keys = key_lists[s]
+                m = len(keys)
+                i = idxs[s]
+                if i < m and keys[i] <= fk:
+                    i = bisect_right(keys, fk, i + 1)
+                idxs[s] = i
+                if i < m:
+                    nf_key[s] = keys[i]
+                    next_f[s] = keys[i] >> shift
+                else:
+                    nf_key[s] = EXHAUSTED
+                    next_f[s] = n
+            return state
+
+        key_lists, next_i, next_key = bind(level, scan_from)
+
+        while True:
+            f = min(next_f) if k else n
+            if next_sched <= f:
+                if next_sched >= n:
+                    break
+                t = next_sched
+                _, new_level, gap = controller.advance_to_transition(gid)
+                synced = t
+                next_sched = t + gap
+                if new_level != level:
+                    level = new_level
+                    break_cycles.append(t)
+                    break_levels.append(new_level)
+                    scan_from = t
+                    key_lists, next_i, next_key = bind(new_level, t)
+                continue
+            if f >= n:
+                break
+
+            # Failure cycle f: every Set whose next eligible candidate sits
+            # at f fails (streams are tie-broken by the reference loop's
+            # member visit order, baked into the packed keys).
+            cycle_end_key = (f + 1) << shift
+            for s in range(k):
+                if next_f[s] != f:
+                    continue
+                keys = key_lists[s]
+                m = len(keys)
+                i = next_i[s]
+                set_row_list = set_row_lists[s]
+                fk = fks[s]
+                # The candidate at ``i`` cleared the frontier when peeked;
+                # with recompute > 0 one selection suppresses the rest of
+                # the cycle, with recompute == 0 every later same-cycle key
+                # clears the moved frontier automatically.
+                while i < m:
+                    key = keys[i]
+                    if key >= cycle_end_key:
+                        break
+                    r = key & mask
+                    fail_counts[r] += 1
+                    f_rows.append(r)
+                    f_cycles.append(f)
+                    if recompute > 0:
+                        for row in set_row_list:
+                            start = f + 1 if row <= r else f
+                            end = start + recompute
+                            s_rows.append(row)
+                            s_starts.append(start)
+                            if end > stall_end[row]:
+                                stall_end[row] = end
+                    fk = key + jump
+                    i += 1
+                    if recompute > 0:
+                        break
+                fks[s] = fk
+                # Refresh this Set's next eligible candidate (inlined peek;
+                # ``i`` is a valid lo bound — everything before it is
+                # permanently ineligible; the bisect only pays when the next
+                # key does not already clear the frontier).
+                if i < m and keys[i] <= fk:
+                    i = bisect_right(keys, fk, i + 1)
+                next_i[s] = i
+                if i < m:
+                    next_key[s] = keys[i]
+                    next_f[s] = keys[i] >> shift
+                else:
+                    next_key[s] = EXHAUSTED
+                    next_f[s] = n
+            scan_from = f + 1
+            _, new_level, gap = controller.advance_and_fail(gid, f - synced)
+            synced = f + 1
+            next_sched = f + 1 + gap
+            if new_level != level:
+                level = new_level
+                break_cycles.append(f + 1)
+                break_levels.append(new_level)
+                key_lists, next_i, next_key = bind(new_level, f + 1)
+
+        # Write back for the common controller flush and materialization.
+        self.level[gid] = level
+        self.cur_cache[gid] = entries[level]
         self.scan_from[gid] = scan_from
         self.synced[gid] = synced
         self.next_sched[gid] = next_sched
@@ -711,7 +980,12 @@ class _VectorizedEngine:
     def _run_events(self) -> None:
         if self.batched:
             for gid in self.independent_groups:
-                self._run_group_batched(gid)
+                if not self.use_kernel:
+                    self._run_group_batched(gid)
+                elif self.stepping:
+                    self._run_group_span_kernel(gid)
+                else:
+                    self._run_group_kernel(gid)
             if self.coupled_groups:
                 self._run_events_heap(self.coupled_groups)
         else:
@@ -780,24 +1054,41 @@ class _VectorizedEngine:
             group_frequency[gid] = frequency
         chip_drop = drops.max(axis=0) if n_rows else np.zeros(n)
 
-        # Rebuild the stall mask from the logged recompute windows: +1/-1
-        # boundary counts per row (bincount) and a running sum along cycles.
+        # Rebuild the stall mask from the logged recompute windows (scalar
+        # logs from the event loops plus array chunks from the kernel paths):
+        # +1/-1 boundary counts per row (bincount) and a running sum.
+        stall_rows_parts = list(self.stall_chunk_rows)
+        stall_starts_parts = list(self.stall_chunk_starts)
         if self.stall_log_rows:
+            stall_rows_parts.append(np.asarray(self.stall_log_rows,
+                                               dtype=np.int64))
+            stall_starts_parts.append(np.asarray(self.stall_log_starts,
+                                                 dtype=np.int64))
+        if stall_rows_parts:
             width = n + 1
-            rows = np.asarray(self.stall_log_rows, dtype=np.int64)
-            starts = np.asarray(self.stall_log_starts, dtype=np.int64)
+            rows = np.concatenate(stall_rows_parts)
+            starts = np.concatenate(stall_starts_parts)
             ends = np.minimum(starts + self.cfg.recompute_cycles, n)
             size = n_rows * width
             boundaries = (np.bincount(rows * width + starts, minlength=size)
                           - np.bincount(rows * width + ends, minlength=size))
+            # int32 accumulation: window-nesting depths are tiny and the
+            # running sum is memory-bound on long horizons.
             stall_mask = boundaries.reshape(n_rows, width) \
-                .cumsum(axis=1)[:, :n] > 0
+                .cumsum(axis=1, dtype=np.int32)[:, :n] > 0
         else:
             stall_mask = np.zeros((n_rows, n), dtype=bool)
         energy_stalled = stall_mask.copy()
+        fail_rows_parts = list(self.fail_chunk_rows)
+        fail_cycles_parts = list(self.fail_chunk_cycles)
         if self.fail_log_rows:
-            energy_stalled[np.asarray(self.fail_log_rows, dtype=np.int64),
-                           np.asarray(self.fail_log_cycles, dtype=np.int64)] = True
+            fail_rows_parts.append(np.asarray(self.fail_log_rows,
+                                              dtype=np.int64))
+            fail_cycles_parts.append(np.asarray(self.fail_log_cycles,
+                                                dtype=np.int64))
+        if fail_rows_parts:
+            energy_stalled[np.concatenate(fail_rows_parts),
+                           np.concatenate(fail_cycles_parts)] = True
         stall_sums = stall_mask.sum(axis=1) if n_rows else np.zeros(0)
 
         energy: Dict[int, EnergyBreakdown] = {}
@@ -834,12 +1125,15 @@ class _VectorizedEngine:
         return self._materialize()
 
 
-def run_vectorized(runtime: "PIMRuntime", batched: bool = True) -> SimulationResult:
+def run_vectorized(runtime: "PIMRuntime", batched: bool = True,
+                   kernel: bool = True) -> SimulationResult:
     """Run ``runtime`` on the vectorized event-driven engine.
 
     ``batched=False`` selects the pre-batching event loop (kept as the measured
-    baseline of the batched failure path — see
-    ``benchmarks/bench_stress_failures.py``); results are bit-identical either
-    way.
+    baseline of the batched failure path); ``kernel=False`` selects the
+    pre-kernel batched loop (per-member ``bisect`` pointers — the PR-3
+    implementation, kept as the measured baseline of the closed-form timeline
+    kernels; see ``benchmarks/bench_kernels_store.py``).  Results are
+    bit-identical on every path.
     """
-    return _VectorizedEngine(runtime, batched=batched).run()
+    return _VectorizedEngine(runtime, batched=batched, use_kernel=kernel).run()

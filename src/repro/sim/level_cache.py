@@ -41,50 +41,137 @@ key distinct entries.)
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import dataclass, field
 from itertools import count
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from ..power.vf_table import VFPair
 
 __all__ = [
     "ByteBudgetCache",
     "LEVEL_CACHE",
+    "LevelEntry",
+    "attach_shared_store",
     "clear_level_cache",
+    "detach_shared_store",
     "level_cache_stats",
     "set_level_cache_budget",
     "workload_cache_key",
 ]
 
 
-class ByteBudgetCache:
-    """An LRU mapping with a byte budget and hit/miss counters.
+@dataclass
+class LevelEntry:
+    """Precomputed per-(group, level) physics over the full horizon.
 
-    Values are opaque; the caller supplies each entry's size estimate.  A
-    ``budget_bytes`` of 0 disables storage entirely (every ``get`` misses),
-    which the benchmarks use to measure cold-path behaviour.  Single-threaded
-    by design — the simulation engines run one per process.
+    Entries are immutable once built (``drop_rows`` is marked read-only) and
+    shared across runs through :data:`LEVEL_CACHE` — and, when a shared store
+    is attached, across *processes* as read-only ``np.memmap`` views (see
+    :mod:`repro.sim.shared_store`).  Both derived representations are built
+    lazily per process, so each event path only pays for what it consumes:
+    ``merged`` holds the per-Set packed-key candidate streams the timeline
+    kernels walk (:mod:`repro.sim.kernels`), :attr:`fail_lists` the
+    per-member plain-list mirror the heap scheduler and the pre-kernel
+    batched loop ``bisect`` over.
     """
 
-    def __init__(self, budget_bytes: int) -> None:
+    pair: VFPair
+    drop_rows: np.ndarray           #: (members, cycles) Eq.-2 drop at this pair
+    fail_cycles: List[np.ndarray]   #: per member, sorted candidate cycle indices
+    #: lazily-built per-Set merged candidate streams (kernel hot path); keyed
+    #: implicitly by the owning group's Set partition, which is a pure
+    #: function of the workload the entry is already keyed on.
+    merged: Optional[List] = field(default=None, compare=False)
+    _fail_lists: Optional[List[List[int]]] = field(default=None, compare=False)
+
+    @property
+    def fail_lists(self) -> List[List[int]]:
+        """Per member, the candidate cycles as plain Python lists (a scalar
+        list ``bisect`` beats a scalar ``searchsorted`` several-fold in the
+        event hot paths).  Converted on first use and memoized."""
+        lists = self._fail_lists
+        if lists is None:
+            lists = [cycles.tolist() for cycles in self.fail_cycles]
+            self._fail_lists = lists
+        return lists
+
+    def nbytes_estimate(self) -> int:
+        """Byte-budget charge for this entry, wherever it was built.
+
+        Candidate bytes count 7x: the arrays themselves (1x) plus the
+        lazily-built derived forms — the merged key stream with its boxed
+        list mirror and the plain ``fail_lists`` — a deliberate overestimate
+        so derived data stays inside the budget.  The engine and the shared
+        store both charge through this one estimator so locally-built and
+        backend-loaded entries weigh the same under LRU eviction.
+        """
+        cand_bytes = sum(cycles.nbytes for cycles in self.fail_cycles)
+        return int(self.drop_rows.nbytes + 7 * cand_bytes + 512)
+
+
+class ByteBudgetCache:
+    """An LRU mapping with a byte budget, hit/miss counters and an optional
+    storage backend.
+
+    Values are opaque; the caller supplies each entry's size estimate.  A
+    ``budget_bytes`` of 0 disables in-memory storage entirely (every ``get``
+    misses), which the benchmarks use to measure cold-path behaviour.
+    Single-threaded by design — the simulation engines run one per process.
+
+    A *backend* (duck-typed: ``load(key) -> Optional[(value, nbytes)]``,
+    ``store(key, value, nbytes) -> bool``) extends the cache beyond the
+    process: on an in-memory miss the backend is consulted (a hit is counted
+    in ``backend_hits`` and promoted into memory), and every ``put`` is
+    offered to the backend as well.  :mod:`repro.sim.shared_store` provides
+    the on-disk ``np.memmap`` backend that lets a pool-executor fleet share
+    one physics store across workers.
+    """
+
+    def __init__(self, budget_bytes: int, backend: Optional[object] = None) -> None:
         if budget_bytes < 0:
             raise ValueError("budget_bytes must be non-negative")
         self.budget_bytes = budget_bytes
+        self.backend = backend
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self._sizes: Dict[Hashable, int] = {}
         self._bytes = 0
         self.hits = 0
         self.misses = 0
+        self.backend_hits = 0
+        self.rejected = 0
 
     def get(self, key: Hashable) -> Optional[object]:
         entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        # ``budget_bytes == 0`` means "cache disabled" — the cold-path
+        # measurement mode — so an attached backend must not quietly serve
+        # warm entries either.
+        if self.backend is not None and self.budget_bytes > 0:
+            loaded = self.backend.load(key)
+            if loaded is not None:
+                value, nbytes = loaded
+                self.backend_hits += 1
+                # Promotion is best-effort: an oversized backend entry is
+                # still served, it just stays disk-only (not a rejected put).
+                self._insert(key, value, nbytes, count_rejection=False)
+                return value
+        self.misses += 1
+        return None
 
-    def put(self, key: Hashable, value: object, nbytes: int) -> None:
+    def _insert(self, key: Hashable, value: object, nbytes: int,
+                count_rejection: bool = True) -> None:
         if nbytes > self.budget_bytes:
-            return                         # oversized entry (or cache disabled)
+            # Oversized put (or in-memory storage disabled): surfaced via
+            # ``rejected`` so a misconfigured budget shows up in stats()
+            # instead of reading as a mysterious 0-hit cache.
+            if count_rejection:
+                self.rejected += 1
+            return
         if key in self._entries:
             self._bytes -= self._sizes[key]
         self._entries[key] = value
@@ -94,6 +181,11 @@ class ByteBudgetCache:
         while self._bytes > self.budget_bytes and self._entries:
             evicted_key, _ = self._entries.popitem(last=False)
             self._bytes -= self._sizes.pop(evicted_key)
+
+    def put(self, key: Hashable, value: object, nbytes: int) -> None:
+        self._insert(key, value, nbytes)
+        if self.backend is not None and self.budget_bytes > 0:
+            self.backend.store(key, value, nbytes)
 
     def set_budget(self, budget_bytes: int) -> int:
         """Change the byte budget, evicting down to it; returns the old one."""
@@ -112,15 +204,22 @@ class ByteBudgetCache:
         self._bytes = 0
         self.hits = 0
         self.misses = 0
+        self.backend_hits = 0
+        self.rejected = 0
 
     def stats(self) -> Dict[str, int]:
-        return {
+        stats = {
             "hits": self.hits,
             "misses": self.misses,
             "entries": len(self._entries),
             "bytes": self._bytes,
             "budget_bytes": self.budget_bytes,
+            "rejected": self.rejected,
+            "backend_hits": self.backend_hits,
         }
+        if self.backend is not None:
+            stats["backend"] = self.backend.stats()
+        return stats
 
 
 #: Default budget: comfortably holds the level caches of dozens of
@@ -146,9 +245,32 @@ def set_level_cache_budget(budget_bytes: int) -> int:
 
     Shrinking the budget evicts immediately.  The benchmarks use
     ``set_level_cache_budget(0)`` to time the cache-disabled path and restore
-    the previous budget afterwards.
+    the previous budget afterwards; a zero budget also bypasses any attached
+    shared-store backend, so "disabled" genuinely means cold.
     """
     return LEVEL_CACHE.set_budget(budget_bytes)
+
+
+def attach_shared_store(directory: str, record_events: bool = True):
+    """Attach an on-disk shared physics store as the cache's backend.
+
+    ``directory`` is created if missing.  Returns the attached
+    :class:`~repro.sim.shared_store.SharedPhysicsStore`.  Pool-executor
+    workers call this in their initializer
+    (``PoolExecutor(shared_cache_dir=...)``) so a whole fleet shares one
+    cross-process copy of the per-(group, level) physics; arrays loaded from
+    the store are read-only ``np.memmap`` views.  ``record_events=False``
+    skips the store's reuse audit log.
+    """
+    from .shared_store import SharedPhysicsStore
+    store = SharedPhysicsStore(directory, record_events=record_events)
+    LEVEL_CACHE.backend = store
+    return store
+
+
+def detach_shared_store() -> None:
+    """Detach the shared store (in-memory entries stay valid)."""
+    LEVEL_CACHE.backend = None
 
 
 _TOKENS = count()

@@ -1,0 +1,421 @@
+"""On-disk, ``np.memmap``-backed cross-process store for simulation physics.
+
+The process-level :data:`~repro.sim.level_cache.LEVEL_CACHE` stops at the
+process boundary: every worker of a :class:`~repro.sweep.runner.PoolExecutor`
+fleet re-derives per-(group, level) drop/candidate arrays its siblings already
+computed.  This module is the cache's pluggable *backend* that crosses that
+boundary: entries are serialized once into flat binary files under a shared
+directory and attached by every other process as **read-only memory-mapped
+views** — the OS page cache makes a fleet share one physical copy.
+
+Layout (one directory per store)::
+
+    index.json     # digest -> {file, size, kind, meta, arrays[], pid}
+    <digest>.bin   # the entry's arrays, raw C-order bytes, 64-byte aligned
+    stats.jsonl    # append-only event log ("store"/"hit" + pid), optional
+    .lock          # advisory flock serializing index/stats writers
+
+Consistency model — writers are *publish-only*: a ``.bin`` file is written to
+a temp name and atomically renamed, then the index is rewritten (read-merge-
+replace) under an advisory ``flock``; data files are immutable once indexed.
+Readers never lock: they see either the old or the new index (atomic
+``os.replace``), and every lookup re-validates the recorded file size before
+mapping — an index entry whose data file is missing, truncated or resized is
+*stale* and treated as a miss (correctness never depends on a hit; the engine
+just recomputes).  Two processes racing to store the same key write
+bit-identical bytes (entries are deterministic), so last-rename-wins is safe.
+
+Keys are the level cache's tuples of primitives, digested via their ``repr``.
+Keys carrying a process-local workload identity (the ``("token", n)`` /
+``("unshared", ...)`` markers of
+:func:`~repro.sim.level_cache.workload_cache_key`) are **refused** — token
+numbers collide across processes, and silently sharing them would hand one
+workload another's physics.  Sweep-built workloads carry a deterministic
+fingerprint instead (``("spec", ...)``) and share freely.
+
+Two value kinds are understood: :class:`~repro.sim.level_cache.LevelEntry`
+(drop rows + candidate-failure cycles) and the activity-trace dict
+(``{macro_index: trace}``).  Anything else is declined.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from ..power.vf_table import VFPair
+from .level_cache import LevelEntry
+
+try:                                        # POSIX advisory locking
+    import fcntl
+except ImportError:                         # pragma: no cover - non-POSIX
+    fcntl = None
+
+__all__ = ["SharedPhysicsStore", "shareable_key"]
+
+_ALIGN = 64
+_FORMAT_VERSION = 1
+
+#: Process-local markers of :func:`~repro.sim.level_cache.workload_cache_key`
+#: — meaningless (and colliding) in any other process.
+_UNSHAREABLE_TAGS = ("token", "unshared")
+
+
+def shareable_key(key: Hashable) -> bool:
+    """Whether a cache key is safe to share across processes.
+
+    True iff the key is built purely from primitives and carries no
+    process-local workload identity marker (see module docstring).
+    """
+    if isinstance(key, tuple):
+        if (len(key) == 2 and isinstance(key[0], str)
+                and key[0] in _UNSHAREABLE_TAGS):
+            return False
+        return all(shareable_key(item) for item in key)
+    return isinstance(key, (str, int, float, bool, type(None)))
+
+
+def _digest(key: Hashable) -> str:
+    """Stable content digest of a primitives-only key tuple."""
+    return hashlib.sha256(repr(key).encode()).hexdigest()[:40]
+
+
+class _Flock:
+    """Advisory exclusive lock on a file (no-op where flock is unavailable)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = None
+
+    def __enter__(self) -> "_Flock":
+        if fcntl is not None:
+            self._handle = open(self.path, "a")
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._handle is not None:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            self._handle.close()
+            self._handle = None
+
+
+# ---------------------------------------------------------------------- #
+# value codecs
+# ---------------------------------------------------------------------- #
+def _encode(value: object) -> Optional[Tuple[str, Dict, List[Tuple[str, np.ndarray]]]]:
+    """``value -> (kind, meta, named arrays)``; None when not understood."""
+    if isinstance(value, LevelEntry):
+        cand = (np.concatenate(value.fail_cycles).astype(np.int64)
+                if value.fail_cycles else np.empty(0, dtype=np.int64))
+        offsets = np.zeros(len(value.fail_cycles) + 1, dtype=np.int64)
+        np.cumsum([len(c) for c in value.fail_cycles], out=offsets[1:])
+        meta = {"pair": [int(value.pair.level), float(value.pair.voltage),
+                         float(value.pair.frequency)]}
+        return "level", meta, [
+            ("drop", np.ascontiguousarray(value.drop_rows)),
+            ("cand", np.ascontiguousarray(cand)),
+            ("offsets", offsets)]
+    if (isinstance(value, dict) and value
+            and all(isinstance(k, (int, np.integer)) for k in value)
+            and all(isinstance(v, np.ndarray) and v.ndim == 1
+                    for v in value.values())):
+        macros = sorted(int(k) for k in value)
+        traces = np.ascontiguousarray(
+            np.vstack([value[m] for m in macros]))
+        return "activity", {"macros": macros}, [("traces", traces)]
+    return None
+
+
+def _decode(kind: str, meta: Dict, arrays: Dict[str, np.ndarray]
+            ) -> Optional[Tuple[object, int]]:
+    """``(kind, meta, named arrays) -> (value, nbytes)``; None when unknown."""
+    if kind == "level":
+        level, voltage, frequency = meta["pair"]
+        drop = arrays["drop"]
+        cand = arrays["cand"]
+        offsets = arrays["offsets"]
+        fail_cycles = [cand[offsets[i]:offsets[i + 1]]
+                       for i in range(offsets.size - 1)]
+        entry = LevelEntry(
+            pair=VFPair(level=int(level), voltage=float(voltage),
+                        frequency=float(frequency)),
+            drop_rows=drop,
+            fail_cycles=fail_cycles)
+        return entry, entry.nbytes_estimate()
+    if kind == "activity":
+        traces = arrays["traces"]
+        value = {int(m): traces[i] for i, m in enumerate(meta["macros"])}
+        return value, int(traces.nbytes)
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# the store
+# ---------------------------------------------------------------------- #
+class SharedPhysicsStore:
+    """A directory of memory-mapped physics entries shared by a process fleet.
+
+    Duck-typed as a :class:`~repro.sim.level_cache.ByteBudgetCache` backend:
+    ``load(key) -> Optional[(value, nbytes)]`` and ``store(key, value,
+    nbytes) -> bool``.  See the module docstring for the on-disk format and
+    the consistency model.  ``record_events=True`` (default) appends one line
+    per store/cross-load to ``stats.jsonl`` (lock-free ``O_APPEND``; one line
+    per entry per process at most) so benchmarks and tests can count
+    *cross-worker* reuse after the fleet is gone; pass ``False`` — also
+    accepted by :func:`~repro.sim.level_cache.attach_shared_store` — for
+    long-lived persistent stores that do not need the audit trail.
+    """
+
+    def __init__(self, directory: str, record_events: bool = True) -> None:
+        self.directory = directory
+        self.record_events = record_events
+        os.makedirs(directory, exist_ok=True)
+        self._index_path = os.path.join(directory, "index.json")
+        self._lock_path = os.path.join(directory, ".lock")
+        self._events_path = os.path.join(directory, "stats.jsonl")
+        self._index: Dict[str, Dict] = {}
+        self._index_stat: Optional[Tuple[int, int]] = None
+        #: digests this instance already logged per event kind — one audit
+        #: line per (entry, process) even when an oversized-for-memory entry
+        #: is re-loaded on every get.
+        self._logged: Dict[str, set] = {"hit": set(), "store": set()}
+        self.loads = 0
+        self.load_hits = 0
+        self.stores = 0
+        self.rejected_keys = 0
+        self.stale_rejected = 0
+
+    # ------------------------------------------------------------------ #
+    # index handling
+    # ------------------------------------------------------------------ #
+    def _read_index(self) -> Dict[str, Dict]:
+        try:
+            stat = os.stat(self._index_path)
+            with open(self._index_path) as handle:
+                data = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return {}
+        if data.get("version") != _FORMAT_VERSION:
+            return {}
+        self._index_stat = (stat.st_mtime_ns, stat.st_size)
+        return data.get("entries", {})
+
+    def _refresh_index(self) -> None:
+        try:
+            stat = os.stat(self._index_path)
+        except FileNotFoundError:
+            return
+        if self._index_stat != (stat.st_mtime_ns, stat.st_size):
+            self._index = self._read_index()
+
+    def _log_event(self, event: str, digest: str) -> None:
+        if not self.record_events:
+            return
+        logged = self._logged[event]
+        if digest in logged:
+            return                          # bounded: one line per entry
+        logged.add(digest)
+        # Lock-free: O_APPEND writes of one short line are atomic on POSIX,
+        # so concurrent workers interleave whole lines.  With the dedup
+        # above, volume is bounded by (entries x processes).
+        line = json.dumps({"event": event, "digest": digest,
+                           "pid": os.getpid()})
+        try:
+            with open(self._events_path, "a") as handle:
+                handle.write(line + "\n")
+        except OSError:                     # audit is never worth a crash
+            pass
+
+    def read_events(self) -> List[Dict]:
+        """All logged store/hit events (for cross-worker reuse accounting)."""
+        try:
+            with open(self._events_path) as handle:
+                return [json.loads(line) for line in handle if line.strip()]
+        except FileNotFoundError:
+            return []
+
+    def cross_worker_hits(self) -> int:
+        """Loads served to a process that never stored that entry itself.
+
+        Racing writers may both publish one digest (permitted — identical
+        bytes); a later hit by either of them is *not* cross-worker, so the
+        check is membership in the full storer set, not the last storer.
+        """
+        events = self.read_events()
+        stored_by: Dict[str, set] = {}
+        for event in events:
+            if event["event"] == "store":
+                stored_by.setdefault(event["digest"], set()).add(event["pid"])
+        return sum(1 for e in events if e["event"] == "hit"
+                   and e["digest"] in stored_by
+                   and e["pid"] not in stored_by[e["digest"]])
+
+    def _published(self, digest: str) -> bool:
+        """Whether the index lists ``digest`` *and* its data file is intact.
+
+        An index record whose data file vanished or changed size is stale —
+        treating it as published would permanently suppress re-publication
+        (the disk index can outlive a deleted ``.bin`` under concurrent
+        writers), so staleness here means "not published, write it again".
+        """
+        record = self._index.get(digest)
+        if record is None:
+            return False
+        path = os.path.join(self.directory, record["file"])
+        try:
+            return os.path.getsize(path) == record["size"]
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------ #
+    # backend protocol
+    # ------------------------------------------------------------------ #
+    def load(self, key: Hashable) -> Optional[Tuple[object, int]]:
+        """Attach an entry as read-only views; None on miss or stale index.
+
+        Best-effort by contract: any I/O failure (store directory removed
+        mid-sweep, permissions, ENOSPC on the audit log) degrades to a miss
+        — the engine just recomputes — never to a crashed run.
+        """
+        try:
+            return self._load(key)
+        except (OSError, ValueError, KeyError):
+            # OSError: directory/file gone or unreadable; ValueError/KeyError:
+            # a corrupt index record that survived the size check.
+            return None
+
+    def _load(self, key: Hashable) -> Optional[Tuple[object, int]]:
+        if not shareable_key(key):
+            return None
+        self.loads += 1
+        digest = _digest(key)
+        record = self._index.get(digest)
+        if record is None:
+            self._refresh_index()
+            record = self._index.get(digest)
+            if record is None:
+                return None
+        path = os.path.join(self.directory, record["file"])
+        try:
+            if os.path.getsize(path) != record["size"]:
+                raise OSError("size mismatch")
+            mm = np.memmap(path, dtype=np.uint8, mode="r")
+        except (OSError, ValueError):
+            # Stale index: the data file vanished or changed size after the
+            # index snapshot was taken.  Reject the entry and miss.
+            self._index.pop(digest, None)
+            self.stale_rejected += 1
+            return None
+        arrays: Dict[str, np.ndarray] = {}
+        for spec in record["arrays"]:
+            shape = tuple(spec["shape"])
+            dtype = np.dtype(spec["dtype"])
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            arr = np.frombuffer(mm, dtype=dtype, count=count,
+                                offset=spec["offset"]).reshape(shape)
+            arrays[spec["name"]] = arr      # read-only view of the memmap
+        decoded = _decode(record["kind"], record["meta"], arrays)
+        if decoded is None:
+            return None
+        self.load_hits += 1
+        self._log_event("hit", digest)
+        return decoded
+
+    def store(self, key: Hashable, value: object, nbytes: int) -> bool:
+        """Publish an entry (idempotent; refuses process-local keys).
+
+        Best-effort like :meth:`load`: publication failures (directory gone,
+        ENOSPC, permissions) report ``False`` instead of raising into the
+        simulation — the fleet just loses sharing for that entry.
+        """
+        try:
+            return self._store(key, value, nbytes)
+        except OSError:
+            return False
+
+    def _store(self, key: Hashable, value: object, nbytes: int) -> bool:
+        if not shareable_key(key):
+            self.rejected_keys += 1
+            return False
+        encoded = _encode(value)
+        if encoded is None:
+            return False
+        digest = _digest(key)
+        if not self._published(digest):
+            self._refresh_index()
+        if self._published(digest):
+            # Already on disk — but this process still *derived* the entry
+            # (puts only follow computation), so record it as a storer:
+            # its own later disk reloads are not cross-worker reuse.
+            self._log_event("store", digest)
+            return True
+        kind, meta, named_arrays = encoded
+
+        specs: List[Dict] = []
+        chunks: List[bytes] = []
+        offset = 0
+        for name, array in named_arrays:
+            pad = (-offset) % _ALIGN
+            if pad:
+                chunks.append(b"\x00" * pad)
+                offset += pad
+            raw = array.tobytes()
+            specs.append({"name": name, "dtype": array.dtype.str,
+                          "shape": list(array.shape), "offset": offset})
+            chunks.append(raw)
+            offset += len(raw)
+        blob = b"".join(chunks)
+
+        file_name = digest + ".bin"
+        final_path = os.path.join(self.directory, file_name)
+        fd, tmp_path = tempfile.mkstemp(dir=self.directory,
+                                        prefix=".tmp-" + digest[:8])
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_path, final_path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            return False
+
+        record = {"file": file_name, "size": len(blob), "kind": kind,
+                  "meta": meta, "arrays": specs, "pid": os.getpid()}
+        with _Flock(self._lock_path):
+            entries = self._read_index()
+            entries[digest] = record
+            payload = {"version": _FORMAT_VERSION, "entries": entries}
+            fd, tmp_path = tempfile.mkstemp(dir=self.directory,
+                                            prefix=".tmp-index")
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, self._index_path)
+            self._index = entries
+            try:
+                stat = os.stat(self._index_path)
+                self._index_stat = (stat.st_mtime_ns, stat.st_size)
+            except FileNotFoundError:       # pragma: no cover - racing rmtree
+                self._index_stat = None
+        self.stores += 1
+        self._log_event("store", digest)
+        return True
+
+    def stats(self) -> Dict[str, int]:
+        self._refresh_index()
+        return {
+            "directory": self.directory,
+            "entries": len(self._index),
+            "loads": self.loads,
+            "load_hits": self.load_hits,
+            "stores": self.stores,
+            "rejected_keys": self.rejected_keys,
+            "stale_rejected": self.stale_rejected,
+        }

@@ -33,7 +33,10 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import shutil
+import tempfile
 import warnings
+from contextlib import contextmanager
 from math import ceil
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
@@ -77,6 +80,16 @@ def _apply_chunk(args) -> List[RunRecord]:
     return [fn(run) for run in chunk]
 
 
+def _attach_store_initializer(directory: str, record_events: bool) -> None:
+    """Pool-worker initializer: attach the shared physics store.
+
+    Top-level so it pickles by reference under any start method; runs once
+    per worker process before the first chunk.
+    """
+    from ..sim.level_cache import attach_shared_store
+    attach_shared_store(directory, record_events=record_events)
+
+
 class PoolExecutor:
     """Chunked ``multiprocessing.Pool`` dispatch over worker processes.
 
@@ -102,18 +115,34 @@ class PoolExecutor:
     built-in ``"model"``/``"synthetic"`` builders are available, but a custom
     builder registered from a script is not — register it at import time of a
     module the workers also import, or stick with ``fork``.
+
+    ``shared_cache_dir`` arms the cross-worker physics store
+    (:mod:`repro.sim.shared_store`): every worker attaches the directory as
+    its level-cache backend at initializer time, so the fleet derives each
+    per-(group, level) physics entry once instead of once per worker, and
+    attaches everything else as read-only ``np.memmap`` views.  Pass a path
+    (created if missing, left in place) or ``"auto"`` for a temporary
+    directory created per executor pass and removed afterwards.  Works under
+    ``fork`` and ``spawn`` alike — the store is process-neutral by design.
+    ``shared_cache_events=False`` turns off the store's per-entry reuse
+    audit log (``stats.jsonl``) — recommended for long-lived persistent
+    store directories that do not need the cross-worker accounting.
     """
 
     def __init__(self, processes: Optional[int] = None,
                  chunksize: Optional[int] = None,
                  start_method: Optional[str] = None,
-                 prebuild: bool = False) -> None:
+                 prebuild: bool = False,
+                 shared_cache_dir: Optional[str] = None,
+                 shared_cache_events: bool = True) -> None:
         if processes is not None and processes <= 0:
             raise ValueError("processes must be positive")
         self.processes = processes
         self.chunksize = chunksize
         self.start_method = start_method
         self.prebuild = prebuild
+        self.shared_cache_dir = shared_cache_dir
+        self.shared_cache_events = shared_cache_events
 
     def _plan(self, runs: List[RunSpec]):
         """(context, processes, workload-aligned chunks) for a run list."""
@@ -151,6 +180,32 @@ class PoolExecutor:
                 "the compiled-workload cache and will rebuild their workloads "
                 "on first use", RuntimeWarning, stacklevel=3)
 
+    @contextmanager
+    def _pool(self, context, processes: int):
+        """A worker pool with the shared physics store (if any) attached.
+
+        Resolves ``shared_cache_dir`` for this pass ("auto" creates a
+        tempdir, removed when the pass ends; an explicit path is created if
+        missing and left in place) and installs the worker-side attach
+        initializer.
+        """
+        shared_dir, created = None, False
+        if self.shared_cache_dir == "auto":
+            shared_dir, created = tempfile.mkdtemp(
+                prefix="repro-physics-"), True
+        elif self.shared_cache_dir is not None:
+            os.makedirs(self.shared_cache_dir, exist_ok=True)
+            shared_dir = self.shared_cache_dir
+        pool_kwargs = {} if shared_dir is None else {
+            "initializer": _attach_store_initializer,
+            "initargs": (shared_dir, self.shared_cache_events)}
+        try:
+            with context.Pool(processes=processes, **pool_kwargs) as pool:
+                yield pool
+        finally:
+            if created:
+                shutil.rmtree(shared_dir, ignore_errors=True)
+
     def map(self, fn: Callable[[RunSpec], RunRecord],
             runs: Sequence[RunSpec]) -> List[RunRecord]:
         runs = list(runs)
@@ -158,7 +213,7 @@ class PoolExecutor:
             return []
         context, processes, chunks = self._plan(runs)
         self._maybe_prebuild(context, runs)
-        with context.Pool(processes=processes) as pool:
+        with self._pool(context, processes) as pool:
             nested = pool.map(_apply_chunk, [(fn, chunk) for chunk in chunks],
                               chunksize=1)
         return [record for chunk_records in nested for record in chunk_records]
@@ -179,7 +234,7 @@ class PoolExecutor:
             return
         context, processes, chunks = self._plan(runs)
         self._maybe_prebuild(context, runs)
-        with context.Pool(processes=processes) as pool:
+        with self._pool(context, processes) as pool:
             for chunk_records in pool.imap_unordered(
                     _apply_chunk, [(fn, chunk) for chunk in chunks],
                     chunksize=1):

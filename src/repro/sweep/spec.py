@@ -199,7 +199,11 @@ class SweepSpec:
     #: differ only in configuration).  Shared seeds reduce the variance of
     #: cross-point comparisons (e.g. the Fig. 18 beta trade-off) and let the
     #: engine's process-level level cache (:mod:`repro.sim.level_cache`) reuse
-    #: the per-(group, level) physics across every point of the grid.
+    #: the per-(group, level) physics across every point of the grid — and,
+    #: under ``PoolExecutor(shared_cache_dir=...)``, across every *worker* of
+    #: a pool fleet through the on-disk store
+    #: (:mod:`repro.sim.shared_store`).  The paper-figure harnesses (Fig. 18,
+    #: Fig. 19-20) run shared since PR 4.
     seed_mode: str = "per_point"
 
     def __post_init__(self) -> None:

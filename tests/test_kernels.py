@@ -1,0 +1,261 @@
+"""Tests for the closed-form failure-timeline kernels.
+
+Two layers: direct unit tests of the greedy min-gap selection
+(:mod:`repro.sim.kernels`) against a brute-force model of the reference
+semantics, and randomized end-to-end property tests asserting kernel ==
+pre-kernel batched == pre-batching scan == reference oracle, bit for bit, on
+failure-dense workloads across all controllers — including multi-macro Sets
+and group-straddling Sets (which route around the kernels through the heap
+scheduler, and must keep agreeing when both paths mix in one run).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import PIMRuntime, RuntimeConfig, clear_level_cache, simulate
+from repro.sim.engine import run_vectorized
+from repro.sim.kernels import (
+    KERNEL_NAMES,
+    active_kernel,
+    frontier_key,
+    merge_candidates,
+    select_failures,
+    set_kernel,
+)
+from repro.sweep import WorkloadSpec, build_compiled_workload
+
+from tests.test_sim_engine import assert_results_equivalent
+
+SHIFT = 4                                  # test streams use rows < 16
+
+
+def decode(keys, shift=SHIFT):
+    mask = (1 << shift) - 1
+    return [(key >> shift, key & mask) for key in keys]
+
+
+# ---------------------------------------------------------------------- #
+# the selection rule, modelled brute-force
+# ---------------------------------------------------------------------- #
+def brute_force_select(per_row, n_cycles, recompute):
+    """Reference-loop semantics for one Set at a constant level.
+
+    Walks every cycle and every row in visit order, maintaining per-row
+    stall-until bounds exactly as the runtime does: a failure at ``(f, r)``
+    stalls rows ``<= r`` from ``f + 1`` and rows ``> r`` from ``f``.
+    """
+    stall_until = [0] * len(per_row)
+    candidates = [set(c) for c in per_row]
+    selected = []
+    for cycle in range(n_cycles):
+        for row, cand in enumerate(candidates):
+            if stall_until[row] > cycle or cycle not in cand:
+                continue
+            selected.append((cycle, row))
+            if recompute > 0:
+                for other in range(len(per_row)):
+                    start = cycle + 1 if other <= row else cycle
+                    stall_until[other] = max(stall_until[other],
+                                             start + recompute)
+    return selected
+
+
+class TestSelectFailures:
+    def make_merged(self, per_row):
+        return merge_candidates([np.asarray(c, dtype=np.int64)
+                                 for c in per_row],
+                                list(range(len(per_row))), SHIFT)
+
+    def select(self, merged, end_cycle, recompute, start_cycle=0):
+        start = frontier_key(start_cycle, -1, SHIFT)
+        keys, frontier = select_failures(merged, end_cycle, recompute, start)
+        return decode(keys), frontier
+
+    @pytest.mark.parametrize("recompute", [0, 1, 3, 12])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_brute_force(self, recompute, seed):
+        rng = np.random.default_rng(seed)
+        n_cycles = 300
+        rows = int(rng.integers(1, 5))
+        per_row = [np.flatnonzero(rng.random(n_cycles) < 0.25)
+                   for _ in range(rows)]
+        merged = self.make_merged(per_row)
+        selected, _ = self.select(merged, n_cycles, recompute)
+        assert selected == brute_force_select(per_row, n_cycles, recompute)
+
+    def test_zero_recompute_selects_every_candidate(self):
+        merged = self.make_merged([[1, 5, 9], [1, 2, 9]])
+        selected, _ = self.select(merged, 10, 0)
+        assert selected == [(1, 0), (1, 1), (2, 1), (5, 0), (9, 0), (9, 1)]
+
+    def test_frontier_resumes_across_spans(self):
+        """Splitting the horizon at arbitrary points must not change the
+        selection — the frontier key is the whole carry-over state."""
+        rng = np.random.default_rng(7)
+        per_row = [np.flatnonzero(rng.random(400) < 0.3) for _ in range(3)]
+        merged = self.make_merged(per_row)
+        whole, _ = self.select(merged, 400, 5)
+        for split in (0, 1, 57, 123, 399, 400):
+            first, frontier = self.select(merged, split, 5)
+            rest_keys, _ = select_failures(merged, 400, 5, frontier)
+            # Candidates in [split, frontier) are suppressed by the stall
+            # window that straddles the split, never by the split itself.
+            assert first + decode(rest_keys) == whole
+
+    def test_end_cycle_bounds_selection(self):
+        merged = self.make_merged([[2, 4, 6, 8]])
+        selected, _ = self.select(merged, 5, 1)
+        assert [c for c, _ in selected] == [2, 4]
+
+    def test_merge_candidates_orders_ties_by_row(self):
+        merged = merge_candidates(
+            [np.array([3, 7]), np.array([3, 5])], [10, 20], shift=6)
+        mask = (1 << 6) - 1
+        assert [key >> 6 for key in merged.keys_list] == [3, 3, 5, 7]
+        assert [key & mask for key in merged.keys_list] == [10, 20, 20, 10]
+        assert np.array_equal(merged.keys,
+                              np.asarray(merged.keys_list, dtype=np.int64))
+        assert (merged.shift, merged.mask) == (6, mask)
+
+    def test_empty_input(self):
+        merged = merge_candidates([], [], SHIFT)
+        start = frontier_key(0, -1, SHIFT)
+        keys, frontier = select_failures(merged, 100, 5, start)
+        assert not list(keys)
+        assert frontier == start
+
+
+class TestKernelGate:
+    def test_default_is_numpy(self):
+        assert active_kernel() in KERNEL_NAMES
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            set_kernel("fortran")
+
+    def test_numba_falls_back_without_wheel(self):
+        try:
+            import numba                                   # noqa: F401
+            has_numba = True
+        except ImportError:
+            has_numba = False
+        previous = active_kernel()
+        try:
+            if has_numba:
+                set_kernel("numba")
+                assert active_kernel() == "numba"
+            else:
+                with pytest.warns(RuntimeWarning, match="numba"):
+                    set_kernel("numba")
+                assert active_kernel() == "numpy"
+        finally:
+            set_kernel(previous)
+
+    def test_numba_variant_matches_if_available(self):
+        pytest.importorskip("numba")
+        rng = np.random.default_rng(11)
+        per_row = [np.flatnonzero(rng.random(500) < 0.3) for _ in range(4)]
+        merged = merge_candidates(per_row, list(range(4)), SHIFT)
+        start = frontier_key(0, -1, SHIFT)
+        previous = set_kernel("numba")
+        try:
+            jit = select_failures(merged, 500, 4, start)
+        finally:
+            set_kernel(previous)
+        ref = select_failures(merged, 500, 4, start)
+        assert list(jit[0]) == list(ref[0])
+        assert jit[1] == ref[1]
+
+
+# ---------------------------------------------------------------------- #
+# end-to-end equivalence properties
+# ---------------------------------------------------------------------- #
+def quadrangulate(compiled, **kwargs):
+    """reference == scan == batched-no-kernel == batched-kernel, bit for bit."""
+    clear_level_cache()
+    reference = simulate(compiled, RuntimeConfig(engine="reference", **kwargs))
+    config = RuntimeConfig(**kwargs)
+    scan = run_vectorized(PIMRuntime(compiled, config), batched=False)
+    pre_kernel = run_vectorized(PIMRuntime(compiled, config), kernel=False)
+    kernel = run_vectorized(PIMRuntime(compiled, config), kernel=True)
+    assert_results_equivalent(reference, scan)
+    assert_results_equivalent(reference, pre_kernel)
+    assert_results_equivalent(reference, kernel)
+    return reference
+
+
+class TestKernelEngineEquivalence:
+    """Randomized failure-dense triangulation across every engine path."""
+
+    def synthetic(self, label, **overrides):
+        params = dict(builder="synthetic", groups=6, macros_per_group=4,
+                      banks=4, rows=8, operator_rows=16, n_operators=12,
+                      code_spread=30.0, mapping="sequential", label=label)
+        params.update(overrides)
+        return build_compiled_workload(WorkloadSpec(**params))
+
+    @pytest.mark.parametrize("controller", ["dvfs", "booster_safe", "booster"])
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_failure_dense_all_controllers(self, controller, seed):
+        compiled = self.synthetic("kernel-dense")
+        result = quadrangulate(
+            compiled, cycles=600, controller=controller, beta=4,
+            recompute_cycles=3, flip_mean=0.85, monitor_noise=0.02, seed=seed)
+        if controller != "dvfs":
+            assert result.total_failures > 100      # the stress must bite
+
+    @pytest.mark.parametrize("recompute", [0, 1, 25])
+    def test_recompute_extremes(self, recompute):
+        """R=0 (all candidates fail), R=1 (densest windows) and a window
+        longer than the beta period (group-wide overlapping stalls)."""
+        compiled = self.synthetic("kernel-recompute")
+        quadrangulate(compiled, cycles=500, controller="booster_safe", beta=6,
+                      recompute_cycles=recompute, flip_mean=0.85,
+                      monitor_noise=0.02, seed=2)
+        quadrangulate(compiled, cycles=500, controller="booster", beta=6,
+                      recompute_cycles=recompute, flip_mean=0.85,
+                      monitor_noise=0.02, seed=2)
+
+    def test_multi_macro_sets(self):
+        """Four-macro Sets: within-cycle suppression spans several rows."""
+        compiled = self.synthetic("kernel-multimacro", operator_rows=32,
+                                  n_operators=6)
+        for controller in ("booster_safe", "booster"):
+            result = quadrangulate(
+                compiled, cycles=700, controller=controller, beta=5,
+                recompute_cycles=4, flip_mean=0.85, monitor_noise=0.02,
+                seed=3)
+            assert result.total_failures > 50
+
+    def test_group_straddling_sets_mix_kernel_and_heap(self):
+        """Two-macro Sets over 3-macro groups: straddling Sets force the heap
+        scheduler while contained groups still take the kernels — both paths
+        in one run, against the oracle."""
+        compiled = self.synthetic("kernel-straddle", groups=6,
+                                  macros_per_group=3, n_operators=9)
+        result = quadrangulate(
+            compiled, cycles=700, controller="booster", beta=4,
+            recompute_cycles=10, flip_mean=0.8, monitor_noise=0.01, seed=7)
+        assert result.total_failures > 50
+        assert result.total_stall_cycles > 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_stress_grid(self, seed):
+        """Random stress points: geometry and knobs drawn per seed."""
+        rng = np.random.default_rng(100 + seed)
+        compiled = self.synthetic(
+            f"kernel-rand-{seed}",
+            groups=int(rng.integers(3, 8)),
+            macros_per_group=int(rng.integers(2, 5)),
+            operator_rows=int(rng.choice([8, 16, 32])),
+            n_operators=int(rng.integers(4, 14)),
+            mapping=str(rng.choice(["sequential", "hr_aware"])))
+        quadrangulate(
+            compiled,
+            cycles=int(rng.integers(200, 600)),
+            controller=str(rng.choice(["dvfs", "booster_safe", "booster"])),
+            beta=int(rng.integers(3, 30)),
+            recompute_cycles=int(rng.integers(0, 15)),
+            flip_mean=float(rng.uniform(0.6, 0.9)),
+            monitor_noise=float(rng.uniform(0.0, 0.025)),
+            seed=int(rng.integers(0, 1000)))

@@ -1,0 +1,386 @@
+"""Tests for the cross-worker shared physics store.
+
+Lifecycle (attach/detach/auto-cleanup), value roundtrips as read-only views,
+stale-index rejection, key-shareability filtering, concurrent readers, and
+the end-to-end contract: a pool sweep with ``shared_cache_dir`` produces
+records bit-identical to the private-cache run while actually sharing
+entries across workers.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.power.vf_table import VFPair
+from repro.sim import (
+    RuntimeConfig,
+    attach_shared_store,
+    clear_level_cache,
+    detach_shared_store,
+    level_cache_stats,
+    simulate,
+)
+from repro.sim.level_cache import ByteBudgetCache, LEVEL_CACHE, LevelEntry
+from repro.sim.shared_store import SharedPhysicsStore, shareable_key
+from repro.sweep import (
+    PoolExecutor,
+    SerialExecutor,
+    SweepRunner,
+    SweepSpec,
+    WorkloadSpec,
+    build_compiled_workload,
+)
+
+
+@pytest.fixture
+def fresh_cache():
+    """Isolate the process-level cache and detach any store around a test."""
+    clear_level_cache()
+    detach_shared_store()
+    yield
+    clear_level_cache()
+    detach_shared_store()
+
+
+def sample_entry(members=3, cycles=50, seed=0):
+    rng = np.random.default_rng(seed)
+    drop = rng.random((members, cycles))
+    drop.setflags(write=False)
+    fail_cycles = [np.flatnonzero(rng.random(cycles) < 0.2)
+                   for _ in range(members)]
+    return LevelEntry(pair=VFPair(level=40, voltage=0.68, frequency=1.1e9),
+                      drop_rows=drop, fail_cycles=fail_cycles)
+
+
+SPEC_KEY = ("spec", "w|fingerprint")
+
+
+def level_key(tag="a"):
+    return ((SPEC_KEY, 400, 0.6, 0.15, 0.7, 0.003, 1, 0.5), 0, 40, 0.68, tag)
+
+
+class TestShareableKeys:
+    def test_spec_fingerprints_share(self):
+        assert shareable_key(level_key())
+
+    def test_token_and_unshared_markers_refused(self):
+        assert not shareable_key((("token", 3), 0, 40))
+        assert not shareable_key((("unshared", 1), 0))
+        assert not shareable_key(((("token", 0), 17), "x"))
+
+    def test_non_primitives_refused(self):
+        assert not shareable_key((object(), 1))
+
+
+class TestStoreRoundtrip:
+    def test_level_entry_roundtrip_readonly(self, tmp_path):
+        store = SharedPhysicsStore(str(tmp_path))
+        entry = sample_entry()
+        assert store.store(level_key(), entry, 1000)
+
+        other = SharedPhysicsStore(str(tmp_path))
+        loaded = other.load(level_key())
+        assert loaded is not None
+        value, nbytes = loaded
+        assert nbytes > 0
+        assert value.pair == entry.pair
+        assert np.array_equal(value.drop_rows, entry.drop_rows)
+        assert len(value.fail_cycles) == len(entry.fail_cycles)
+        for got, want in zip(value.fail_cycles, entry.fail_cycles):
+            assert np.array_equal(got, want)
+        assert value.fail_lists == entry.fail_lists
+        # Attached arrays are read-only views of the mapped file.
+        assert not value.drop_rows.flags.writeable
+        with pytest.raises(ValueError):
+            value.drop_rows[0, 0] = 1.0
+
+    def test_activity_dict_roundtrip(self, tmp_path):
+        store = SharedPhysicsStore(str(tmp_path))
+        rng = np.random.default_rng(1)
+        activity = {3: rng.random(64), 11: rng.random(64)}
+        key = ("activity", SPEC_KEY, 64, 0.6, 0.15, 0.7, 1, 0.5)
+        assert store.store(key, activity, 1024)
+        value, _ = SharedPhysicsStore(str(tmp_path)).load(key)
+        assert sorted(value) == [3, 11]
+        for macro in activity:
+            assert np.array_equal(value[macro], activity[macro])
+        assert not value[3].flags.writeable
+
+    def test_store_is_idempotent(self, tmp_path):
+        store = SharedPhysicsStore(str(tmp_path))
+        entry = sample_entry()
+        assert store.store(level_key(), entry, 1000)
+        assert store.store(level_key(), entry, 1000)
+        assert store.stats()["entries"] == 1
+
+    def test_unshareable_key_not_stored(self, tmp_path):
+        store = SharedPhysicsStore(str(tmp_path))
+        key = ((("token", 1), 400), 0, 40, 0.68, "a")
+        assert not store.store(key, sample_entry(), 1000)
+        assert store.load(key) is None
+        assert store.stats()["entries"] == 0
+        assert store.rejected_keys == 1
+
+    def test_unknown_value_kind_declined(self, tmp_path):
+        store = SharedPhysicsStore(str(tmp_path))
+        assert not store.store(level_key(), {"not": "physics"}, 10)
+
+    def test_miss_on_absent_key(self, tmp_path):
+        store = SharedPhysicsStore(str(tmp_path))
+        assert store.load(level_key("missing")) is None
+
+    def test_concurrent_readers_share_one_file(self, tmp_path):
+        """Two attached stores map the same published bytes."""
+        writer = SharedPhysicsStore(str(tmp_path))
+        writer.store(level_key(), sample_entry(seed=5), 1000)
+        readers = [SharedPhysicsStore(str(tmp_path)) for _ in range(2)]
+        values = [r.load(level_key())[0] for r in readers]
+        assert np.array_equal(values[0].drop_rows, values[1].drop_rows)
+        # Same backing file on disk — one physical copy for the fleet.
+        bins = [f for f in os.listdir(tmp_path) if f.endswith(".bin")]
+        assert len(bins) == 1
+
+    def test_index_visible_to_earlier_attachers(self, tmp_path):
+        """A store attached before a sibling published still sees the entry
+        (mtime-based index refresh)."""
+        early = SharedPhysicsStore(str(tmp_path))
+        assert early.load(level_key()) is None
+        SharedPhysicsStore(str(tmp_path)).store(level_key(),
+                                                sample_entry(), 1000)
+        assert early.load(level_key()) is not None
+
+
+class TestStaleIndexRejection:
+    def test_truncated_data_file_rejected(self, tmp_path):
+        store = SharedPhysicsStore(str(tmp_path))
+        store.store(level_key(), sample_entry(), 1000)
+        [bin_name] = [f for f in os.listdir(tmp_path) if f.endswith(".bin")]
+        with open(tmp_path / bin_name, "r+b") as handle:
+            handle.truncate(8)
+        reader = SharedPhysicsStore(str(tmp_path))
+        assert reader.load(level_key()) is None
+        assert reader.stale_rejected == 1
+
+    def test_missing_data_file_rejected(self, tmp_path):
+        store = SharedPhysicsStore(str(tmp_path))
+        store.store(level_key(), sample_entry(), 1000)
+        [bin_name] = [f for f in os.listdir(tmp_path) if f.endswith(".bin")]
+        os.unlink(tmp_path / bin_name)
+        reader = SharedPhysicsStore(str(tmp_path))
+        assert reader.load(level_key()) is None
+        assert reader.stale_rejected == 1
+
+    def test_stale_entry_can_be_republished(self, tmp_path):
+        """A digest whose data file vanished must not block re-publication
+        just because the disk index still lists it."""
+        store = SharedPhysicsStore(str(tmp_path))
+        store.store(level_key(), sample_entry(), 1000)
+        [bin_name] = [f for f in os.listdir(tmp_path) if f.endswith(".bin")]
+        os.unlink(tmp_path / bin_name)
+        healer = SharedPhysicsStore(str(tmp_path))    # fresh index snapshot
+        assert healer.load(level_key()) is None       # stale-rejected
+        assert healer.store(level_key(), sample_entry(), 1000)
+        assert healer.stores == 1                     # actually rewritten
+        assert SharedPhysicsStore(str(tmp_path)).load(level_key()) is not None
+
+    def test_unknown_format_version_ignored(self, tmp_path):
+        store = SharedPhysicsStore(str(tmp_path))
+        store.store(level_key(), sample_entry(), 1000)
+        index = json.loads((tmp_path / "index.json").read_text())
+        index["version"] = 999
+        (tmp_path / "index.json").write_text(json.dumps(index))
+        assert SharedPhysicsStore(str(tmp_path)).load(level_key()) is None
+
+
+class TestByteBudgetCacheBackend:
+    def test_rejected_counter_counts_oversized_puts(self):
+        cache = ByteBudgetCache(100)
+        cache.put("small", "v", 10)
+        cache.put("big", "v", 1000)
+        stats = cache.stats()
+        assert stats["rejected"] == 1
+        assert stats["entries"] == 1
+        cache.clear()
+        assert cache.stats()["rejected"] == 0
+
+    def test_zero_budget_counts_every_put_as_rejected(self):
+        cache = ByteBudgetCache(0)
+        cache.put("a", "v", 1)
+        assert cache.stats()["rejected"] == 1
+
+    def test_backend_hit_promotes_into_memory(self, tmp_path):
+        backend = SharedPhysicsStore(str(tmp_path))
+        backend.store(level_key(), sample_entry(), 1000)
+        cache = ByteBudgetCache(1 << 20, backend=backend)
+        assert cache.get(level_key()) is not None
+        stats = cache.stats()
+        assert stats["backend_hits"] == 1 and stats["misses"] == 0
+        # Second get is a pure in-memory hit.
+        assert cache.get(level_key()) is not None
+        assert cache.stats()["hits"] == 1
+        assert "backend" in stats
+
+    def test_puts_flow_through_to_backend(self, tmp_path):
+        backend = SharedPhysicsStore(str(tmp_path))
+        cache = ByteBudgetCache(1 << 20, backend=backend)
+        cache.put(level_key(), sample_entry(), 1000)
+        assert backend.stats()["entries"] == 1
+
+
+def store_workload(label="store-w"):
+    return WorkloadSpec(builder="synthetic", groups=4, macros_per_group=2,
+                        banks=4, rows=8, operator_rows=16, n_operators=4,
+                        code_spread=30.0, mapping="sequential", label=label)
+
+
+class TestLevelCacheIntegration:
+    def test_attach_detach_lifecycle(self, fresh_cache, tmp_path):
+        store = attach_shared_store(str(tmp_path))
+        assert LEVEL_CACHE.backend is store
+        assert "backend" in level_cache_stats()
+        detach_shared_store()
+        assert LEVEL_CACHE.backend is None
+        assert "backend" not in level_cache_stats()
+
+    def test_cross_process_reuse_is_bit_identical(self, fresh_cache, tmp_path):
+        """Simulate a worker handoff: populate the store, wipe the in-memory
+        cache (a fresh process), rerun — backend hits, identical results."""
+        compiled = build_compiled_workload(store_workload())
+        config = dict(cycles=400, controller="booster", beta=6,
+                      flip_mean=0.8, monitor_noise=0.01, seed=2)
+        attach_shared_store(str(tmp_path))
+        first = simulate(compiled, RuntimeConfig(**config))
+        clear_level_cache()                    # memory gone, disk remains
+        second = simulate(compiled, RuntimeConfig(**config))
+        assert level_cache_stats()["backend_hits"] > 0
+        detach_shared_store()
+        clear_level_cache()
+        private = simulate(compiled, RuntimeConfig(**config))
+        for warm in (first, second):
+            assert warm.total_failures == private.total_failures
+            assert warm.total_stall_cycles == private.total_stall_cycles
+            for a, b in zip(warm.macro_results, private.macro_results):
+                assert np.array_equal(a.drop_trace, b.drop_trace)
+                assert a.failures == b.failures
+            for a, b in zip(warm.group_results, private.group_results):
+                assert np.array_equal(a.level_trace, b.level_trace)
+
+    def test_zero_budget_bypasses_backend(self, fresh_cache, tmp_path):
+        """``set_level_cache_budget(0)`` means *cold*: an attached store
+        must neither serve nor receive entries, so cache-disabled timing
+        runs stay honest inside store-attached workers."""
+        from repro.sim import set_level_cache_budget
+        compiled = build_compiled_workload(store_workload("store-cold"))
+        config = RuntimeConfig(cycles=200, controller="booster", seed=0)
+        store = attach_shared_store(str(tmp_path))
+        simulate(compiled, config)             # populate the store
+        assert store.stats()["entries"] > 0
+        clear_level_cache()
+        loads_before = store.loads
+        old_budget = set_level_cache_budget(0)
+        try:
+            simulate(compiled, config)
+            stats = level_cache_stats()
+            assert stats["backend_hits"] == 0
+            assert stats["entries"] == 0
+            assert store.loads == loads_before    # backend never consulted
+        finally:
+            set_level_cache_budget(old_budget)
+        simulate(compiled, config)             # re-enabled: served from disk
+        assert level_cache_stats()["backend_hits"] > 0
+
+    def test_store_io_failure_degrades_to_recompute(self, fresh_cache,
+                                                    tmp_path):
+        """Losing the store directory mid-sweep must not crash a run —
+        the backend is best-effort by contract."""
+        import shutil
+        compiled = build_compiled_workload(store_workload("store-gone"))
+        config = RuntimeConfig(cycles=200, controller="booster", seed=0)
+        attach_shared_store(str(tmp_path / "volatile"))
+        baseline = simulate(compiled, config)
+        shutil.rmtree(tmp_path / "volatile")   # operator cleanup mid-run
+        clear_level_cache()
+        survived = simulate(compiled, config)  # must not raise
+        assert survived.total_failures == baseline.total_failures
+        for a, b in zip(baseline.macro_results, survived.macro_results):
+            assert np.array_equal(a.drop_trace, b.drop_trace)
+
+    def test_adhoc_workloads_never_cross_processes(self, fresh_cache,
+                                                   tmp_path):
+        """Compiled images without a builder fingerprint key by process-local
+        token — the store must refuse them."""
+        compiled = build_compiled_workload(store_workload("store-token"))
+        compiled = type(compiled)(**{
+            f: getattr(compiled, f) for f in compiled.__dataclass_fields__})
+        assert getattr(compiled, "cache_key", None) is None
+        store = attach_shared_store(str(tmp_path))
+        simulate(compiled, RuntimeConfig(cycles=200, controller="booster",
+                                         seed=0))
+        assert store.stats()["entries"] == 0
+        assert store.rejected_keys > 0
+
+
+class TestPoolExecutorSharedStore:
+    def sweep_spec(self):
+        return SweepSpec(
+            name="store-sweep", workloads=(store_workload("store-pool"),),
+            controllers=("booster",), modes=("low_power",), betas=(5, 9),
+            cycles=300, flip_means=(0.8,), monitor_noises=(0.01,), seeds=2,
+            master_seed=0, seed_mode="shared")
+
+    def test_shared_dir_records_match_serial(self, fresh_cache, tmp_path):
+        spec = self.sweep_spec()
+        serial = SweepRunner(spec, SerialExecutor()).run()
+        clear_level_cache()
+        executor = PoolExecutor(processes=2, shared_cache_dir=str(tmp_path))
+        pool = SweepRunner(spec, executor).run()
+        assert [r.to_json_dict() for r in serial.sorted_records()] == \
+            [r.to_json_dict() for r in pool.sorted_records()]
+        store = SharedPhysicsStore(str(tmp_path))
+        assert store.stats()["entries"] > 0
+        # A second fleet over the same store must reuse the first fleet's
+        # entries (fresh worker pids — cross-worker by construction) and
+        # still reproduce the records bit for bit.
+        clear_level_cache()
+        again = SweepRunner(spec, executor).run()
+        assert [r.to_json_dict() for r in pool.sorted_records()] == \
+            [r.to_json_dict() for r in again.sorted_records()]
+        assert store.cross_worker_hits() > 0
+
+    def test_auto_dir_is_cleaned_up(self, fresh_cache, tmp_path,
+                                    monkeypatch):
+        import tempfile as _tempfile
+        created = []
+        real_mkdtemp = _tempfile.mkdtemp
+
+        def tracking_mkdtemp(*args, **kwargs):
+            kwargs.setdefault("dir", str(tmp_path))
+            path = real_mkdtemp(*args, **kwargs)
+            created.append(path)
+            return path
+
+        monkeypatch.setattr("repro.sweep.runner.tempfile",
+                            type("T", (), {"mkdtemp": tracking_mkdtemp}))
+        spec = self.sweep_spec()
+        SweepRunner(spec, PoolExecutor(processes=2,
+                                       shared_cache_dir="auto")).run()
+        assert len(created) == 1
+        assert not os.path.exists(created[0])
+
+    def test_explicit_dir_left_in_place(self, fresh_cache, tmp_path):
+        spec = self.sweep_spec()
+        target = tmp_path / "physics"
+        SweepRunner(spec, PoolExecutor(
+            processes=2, shared_cache_dir=str(target))).run()
+        assert target.is_dir()
+        assert SharedPhysicsStore(str(target)).stats()["entries"] > 0
+
+    def test_events_can_be_disabled(self, fresh_cache, tmp_path):
+        spec = self.sweep_spec()
+        SweepRunner(spec, PoolExecutor(
+            processes=2, shared_cache_dir=str(tmp_path),
+            shared_cache_events=False)).run()
+        assert SharedPhysicsStore(str(tmp_path)).stats()["entries"] > 0
+        assert not (tmp_path / "stats.jsonl").exists()

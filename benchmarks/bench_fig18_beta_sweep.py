@@ -29,6 +29,7 @@ from common import (
     N_SEEDS,
     SIM_CYCLES,
     SWEEP_MASTER_SEED,
+    assert_traces_equivalent,
     reference_workload_spec,
     smoke_grid,
     sweep_executor,
@@ -55,6 +56,11 @@ def test_fig18_beta_sweep(benchmark):
         return run_sweeps([betas_spec, safe_spec], executor=sweep_executor())
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The sweeps run on the scalar fast path (SweepSpec defaults to
+    # traces="none"); assert record equivalence against the full-trace
+    # oracle path on the cheapest spec — outside the timed region, so the
+    # recorded sweep timings stay comparable across PRs.
+    assert_traces_equivalent(safe_spec)
     safe = results["fig18-safe"].aggregate()[0]
     safe_stalls = safe.stats["total_stall_cycles"].mean
     safe_drop = safe.stats["mean_ir_drop"].mean

@@ -31,6 +31,7 @@ from common import (
     N_SEEDS,
     SIM_CYCLES,
     SWEEP_MASTER_SEED,
+    assert_traces_equivalent,
     reference_workload_spec,
     sweep_executor,
 )
@@ -80,6 +81,10 @@ def test_fig19_ablation(benchmark):
         return data
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Scalar fast path (traces="none" by default): record equivalence
+    # against the full-trace path, asserted on the baseline step outside
+    # the timed region.
+    assert_traces_equivalent(specs[0])
     print()
     for model, rows in data.items():
         table_rows = []
@@ -122,6 +127,9 @@ def test_fig20_energy_efficiency_stacking(benchmark):
         return gains
 
     gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Scalar fast path: record equivalence on the DVFS baseline sweep,
+    # outside the timed region.
+    assert_traces_equivalent(specs[0])
     print()
     print(format_table(
         ["model", "IR-Booster", "+LHR", "+LHR+WDS"],

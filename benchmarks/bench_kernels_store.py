@@ -25,6 +25,8 @@ Two measurements, two ``BENCH_runtime.json`` sections (merge-preserving —
   store must show cross-worker hits.
 """
 
+import gc
+import os
 import shutil
 import tempfile
 import time
@@ -43,10 +45,17 @@ from repro.sweep import (
     PoolExecutor,
     SweepRunner,
     SweepSpec,
+    WorkloadSpec,
     build_compiled_workload,
 )
 
-from common import SMOKE, smoke_grid, stress_workload_spec, update_bench_runtime
+from common import (
+    QAT_EPOCHS,
+    SMOKE,
+    smoke_grid,
+    stress_workload_spec,
+    update_bench_runtime,
+)
 
 pytestmark = pytest.mark.perf
 
@@ -61,6 +70,14 @@ KERNEL_SEED = 3
 STORE_BETAS = smoke_grid((4, 5, 6, 8))
 STORE_CYCLES = KERNEL_CYCLES // 2
 STORE_PROCESSES = 2
+
+#: Kernel-speedup bar on the ``booster_safe`` scenario; overridable from the
+#: environment so the hosted-runner configuration can be tuned without a
+#: code change.
+KERNEL_BAR_MIN = float(os.environ.get("REPRO_BENCH_KERNEL_BAR_MIN", "2.0"))
+#: Same for the booster span-kernel leg (batched safe-run resolution through
+#: ``IRBoosterController.apply_failures_at_cycles``).
+BOOSTER_BAR_MIN = float(os.environ.get("REPRO_BENCH_BOOSTER_BAR_MIN", "1.5"))
 
 
 def _config(controller: str, engine: str = "vectorized") -> RuntimeConfig:
@@ -87,12 +104,25 @@ def _assert_equivalent(reference, candidate, label: str) -> None:
         assert ref.final_level == cand.final_level, label
 
 
-def _best_of(fn, repeats: int = 3) -> float:
+def _best_of(fn, repeats: int = 5) -> float:
+    """Best wall time over ``repeats``, with the GC parked.
+
+    The kernel timings run in the same process as the other harnesses, whose
+    caches keep millions of objects alive; a generational collection landing
+    inside a timed region would charge their bookkeeping to this measurement.
+    """
     best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+    finally:
+        if was_enabled:
+            gc.enable()
     return best
 
 
@@ -168,11 +198,13 @@ def test_kernel_timeline_speedup(benchmark):
     assert safe["equivalence_asserted"]
     assert safe["failures"] > (1000 if SMOKE else 10000)   # failure-dense
     if not SMOKE:
-        # The acceptance bar: the no-level-change kernel at >= 2x over the
-        # PR-3 batched engine; the booster span path must at least not
-        # regress (it shares the group timelines with the heap/controller).
-        assert safe["speedup_kernel_vs_pre_kernel"] >= 2.0, safe
-        assert booster["speedup_kernel_vs_pre_kernel"] >= 0.85, booster
+        # The acceptance bars: the no-level-change kernel at >= 2x over the
+        # PR-3 batched engine, and the booster span kernel at >= 1.5x (its
+        # safe-level failure runs resolve in closed form with one
+        # ``apply_failures_at_cycles`` controller call per run).
+        assert safe["speedup_kernel_vs_pre_kernel"] >= KERNEL_BAR_MIN, safe
+        assert booster["speedup_kernel_vs_pre_kernel"] >= BOOSTER_BAR_MIN, \
+            booster
 
 
 def _pool_sweep(spec, shared_dir):
@@ -182,6 +214,49 @@ def _pool_sweep(spec, shared_dir):
     start = time.perf_counter()
     result = SweepRunner(spec, executor).run()
     return result, time.perf_counter() - start
+
+
+def _model_store_fleet():
+    """A small ``"model"`` (QAT) workload fleet over one shared store.
+
+    Covers the compiled-chip *activity* sharing: the workload's realized-Rtog
+    traces carry the spec's content-derived fingerprint, so they publish into
+    the store and are served to workers that never derived them.  A beta pair
+    under shared seeds means the whole fleet needs exactly one activity
+    derivation.
+    """
+    workload = WorkloadSpec(builder="model", model="resnet18",
+                            qat_epochs=QAT_EPOCHS, groups=8,
+                            macros_per_group=2, banks=4, rows=32,
+                            label="resnet18@model-store")
+    spec = SweepSpec(name="store-model", workloads=(workload,),
+                     controllers=("booster",), modes=(BoosterMode.LOW_POWER,),
+                     betas=smoke_grid((40, 60)), cycles=STORE_CYCLES // 2,
+                     seeds=1, master_seed=0, seed_mode="shared")
+    build_compiled_workload(workload)   # parent-side QAT (forked workers inherit)
+    private, _ = _pool_sweep(spec, None)
+    shared_dir = tempfile.mkdtemp(prefix="repro-bench-model-store-")
+    try:
+        populate, _ = _pool_sweep(spec, shared_dir)
+        warm, _ = _pool_sweep(spec, shared_dir)
+        store = SharedPhysicsStore(shared_dir)
+        kinds = store.kind_counts()
+        cross_hits = store.cross_worker_hits()
+    finally:
+        shutil.rmtree(shared_dir, ignore_errors=True)
+    records = [r.to_json_dict() for r in private.sorted_records()]
+    identical = (records == [r.to_json_dict()
+                             for r in populate.sorted_records()]
+                 and records == [r.to_json_dict()
+                                 for r in warm.sorted_records()])
+    return {
+        "workload": workload.label,
+        "n_runs": spec.n_runs,
+        "activity_entries": kinds.get("activity", 0),
+        "level_entries": kinds.get("level", 0),
+        "cross_worker_hits": cross_hits,
+        "records_identical": identical,
+    }
 
 
 def test_shared_store_cross_worker_reuse(benchmark):
@@ -225,6 +300,7 @@ def test_shared_store_cross_worker_reuse(benchmark):
             "store_entries": stats["entries"],
             "cross_worker_hits": cross_hits,
             "records_identical": identical,
+            "model_builder": _model_store_fleet(),
         }
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -243,6 +319,20 @@ def test_shared_store_cross_worker_reuse(benchmark):
         title="Cross-worker shared physics store, 2-worker pool "
               "(BENCH_runtime.json: shared_store)"))
 
+    model = report["model_builder"]
+    print(format_table(
+        ["model fleet", "runs", "activity entries", "level entries",
+         "x-worker hits", "identical"],
+        [[model["workload"], str(model["n_runs"]),
+          str(model["activity_entries"]), str(model["level_entries"]),
+          str(model["cross_worker_hits"]), str(model["records_identical"])]],
+        title="QAT-workload activity sharing through the store "
+              "(BENCH_runtime.json: shared_store.model_builder)"))
+
     assert report["records_identical"]
     assert report["store_entries"] > 0
     assert report["cross_worker_hits"] > 0
+    # The "model" builder's compiled-chip activity crosses the store too.
+    assert model["records_identical"]
+    assert model["activity_entries"] > 0
+    assert model["cross_worker_hits"] > 0

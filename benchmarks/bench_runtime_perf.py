@@ -41,6 +41,7 @@ from common import (
     SIM_CYCLES,
     SMOKE,
     SWEEP_MASTER_SEED,
+    assert_records_equivalent,
     compiled_workload,
     reference_chip_workload,
     reference_workload_spec,
@@ -62,6 +63,73 @@ POOL_BAR = os.environ.get("REPRO_BENCH_POOL_BAR", "").lower() in \
     ("1", "true", "yes")
 #: Long horizon so one run is a meaningful unit of pool work.
 SWEEP_CYCLES = SIM_CYCLES if SMOKE and not POOL_BAR else max(SIM_CYCLES, 5000)
+
+#: Materialization benchmark: the scalar-record fast path (traces="none") vs
+#: full-trace materialization on the reference chip.  Long horizon so the
+#: per-run trace work dominates over setup.
+MAT_CYCLES = SIM_CYCLES if SMOKE else 8000
+MAT_SEEDS = 1 if SMOKE else 3
+
+#: Smoke bars, overridable from the environment so the hosted-runner
+#: configuration can be tuned without a code change.
+POOL_BAR_MIN = os.environ.get("REPRO_BENCH_POOL_BAR_MIN")
+
+
+def _materialization_spec(controller: str, traces: str) -> SweepSpec:
+    workload = reference_workload_spec("vit", mode=BoosterMode.LOW_POWER,
+                                       label="vit@64")
+    return SweepSpec(name=f"mat-{controller}", workloads=(workload,),
+                     controllers=(controller,),
+                     modes=(BoosterMode.LOW_POWER,), betas=(50,),
+                     cycles=MAT_CYCLES, seeds=MAT_SEEDS,
+                     master_seed=SWEEP_MASTER_SEED, traces=traces)
+
+
+def _time_materialization():
+    """Full-trace vs scalar-record sweep wall time on the reference chip.
+
+    ``booster_safe`` is the materialization-dominated scenario (its failure
+    timeline resolves through one closed-form kernel call per Set, so trace
+    gathers and stall-mask rebuilds dominate the full-trace run); ``dvfs``
+    (no failures at all — pure materialization) and ``booster`` (event-path
+    heavy, so the ratio is smaller) are recorded alongside.  Record
+    equivalence between the two modes is asserted in the same run: discrete
+    metrics bit-identical, float metrics <= 1e-9 rtol.
+    """
+    build_compiled_workload(
+        reference_workload_spec("vit", mode=BoosterMode.LOW_POWER,
+                                label="vit@64"))
+    report = {"cycles": MAT_CYCLES, "seeds": MAT_SEEDS, "workload": "vit@64",
+              "controllers": {}}
+    for controller in ("booster_safe", "dvfs", "booster"):
+        spec_full = _materialization_spec(controller, "full")
+        spec_none = _materialization_spec(controller, "none")
+        # Warm pass: populate the level cache and activity aggregates (the
+        # steady state of any sweep), and assert record equivalence.
+        full_result = SweepRunner(spec_full, SerialExecutor()).run()
+        none_result = SweepRunner(spec_none, SerialExecutor()).run()
+        assert_records_equivalent(full_result, none_result)
+
+        full_seconds = min(
+            _timed(lambda: SweepRunner(spec_full, SerialExecutor()).run())
+            for _ in range(3))
+        none_seconds = min(
+            _timed(lambda: SweepRunner(spec_none, SerialExecutor()).run())
+            for _ in range(3))
+        report["controllers"][controller] = {
+            "n_runs": spec_full.n_runs,
+            "full_seconds": full_seconds,
+            "none_seconds": none_seconds,
+            "speedup": full_seconds / none_seconds,
+            "records_equivalent": True,
+        }
+    return report
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
 
 
 def _time_sweep_executors():
@@ -178,6 +246,7 @@ def test_runtime_engine_speedup(benchmark):
         }
 
         report["sweep_throughput"] = _time_sweep_executors()
+        report["materialization"] = _time_materialization()
         return report
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -216,6 +285,15 @@ def test_runtime_engine_speedup(benchmark):
           f"{sweep['cpu_count']}"]],
         title="Sweep-runner executor throughput (BENCH_runtime.json)"))
 
+    mat = report["materialization"]
+    print(format_table(
+        ["controller", "runs", "full s", "none s", "speedup"],
+        [[controller, str(data["n_runs"]), f"{data['full_seconds']:.3f}",
+          f"{data['none_seconds']:.3f}", format_ratio(data["speedup"])]
+         for controller, data in mat["controllers"].items()],
+        title=f"Scalar-record fast path, vit@64 x {mat['cycles']} cycles "
+              "(BENCH_runtime.json: materialization)"))
+
     # The tentpole acceptance bar: >= 20x on the Sec. 6.6 headline settings.
     # Smoke mode shrinks the horizon (less to amortize), so only the full
     # configuration enforces the perf bars; correctness bars always hold.
@@ -224,14 +302,22 @@ def test_runtime_engine_speedup(benchmark):
         assert headline["speedup"] >= 20.0, headline
         assert long_run["speedup"] >= 20.0, long_run
         assert report["reference_chip"]["speedup"] >= 10.0
+        # The scalar-record fast path must clear 1.5x on the
+        # materialization-dominated scenario (equivalence asserted in-run).
+        assert mat["controllers"]["booster_safe"]["speedup"] >= 1.5, mat
 
     # Wall-clock pool speedup is only a meaningful bar when the machine has
     # cores to use (the records equality above always is).  Armed outside
     # smoke mode, or in smoke with REPRO_BENCH_POOL_BAR=1 — the multicore-CI
-    # configuration (bars left modest: shared CI runners are noisy).
+    # configuration.  The thresholds default to the values below and are
+    # overridable with REPRO_BENCH_POOL_BAR_MIN, so the first green
+    # hosted-runner run can be tuned without a code change (shared CI
+    # runners are noisy).
     if not SMOKE or POOL_BAR:
         if (sweep["cpu_count"] or 1) >= 4:
-            bar = 1.5 if (POOL_BAR and SMOKE) else 2.0
+            default_bar = 1.5 if (POOL_BAR and SMOKE) else 2.0
+            bar = float(POOL_BAR_MIN) if POOL_BAR_MIN else default_bar
             assert sweep["speedup"] > bar, sweep
         elif (sweep["cpu_count"] or 1) >= 2:
-            assert sweep["speedup"] > 1.15, sweep
+            bar = float(POOL_BAR_MIN) if POOL_BAR_MIN else 1.15
+            assert sweep["speedup"] > bar, sweep

@@ -27,6 +27,7 @@ from common import (
     REFERENCE_CHIP,
     SIM_CYCLES,
     SWEEP_MASTER_SEED,
+    assert_traces_equivalent,
     reference_workload_spec,
     sweep_executor,
 )
@@ -91,6 +92,10 @@ def test_sec66_headline(benchmark):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Scalar fast path (traces="none" by default): record equivalence
+    # against the full-trace path, asserted on the baseline portfolio
+    # outside the timed region.
+    assert_traces_equivalent(specs[0])
     print()
     print(format_table(
         ["model", "IR mitigation (LP)", "IR mitigation (sprint)", "energy eff.",

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
+from datetime import datetime, timezone
 from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
@@ -72,25 +74,104 @@ BENCH_RUNTIME_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
                                   "BENCH_runtime.json")
 
 
+def _git_commit() -> Optional[str]:
+    """Short HEAD hash, ``-dirty``-suffixed when the tree has local changes.
+
+    The dirty marker matters for the ledger's provenance: benchmarks are
+    typically run *before* committing the change that produced the numbers,
+    and stamping the bare parent hash would attribute them to code that
+    never contained the change.  Returns None outside a git checkout.
+    """
+    cwd = os.path.dirname(os.path.abspath(__file__))
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"], cwd=cwd,
+                             capture_output=True, text=True, timeout=10)
+        if out.returncode != 0 or not out.stdout.strip():
+            return None
+        commit = out.stdout.strip()
+        status = subprocess.run(["git", "status", "--porcelain"], cwd=cwd,
+                                capture_output=True, text=True, timeout=10)
+        if status.returncode == 0 and status.stdout.strip():
+            commit += "-dirty"
+        return commit
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
 def update_bench_runtime(sections: Dict[str, object]) -> Dict[str, object]:
     """Merge ``sections`` into ``BENCH_runtime.json`` (atomic replace).
 
     Several harnesses contribute to the ledger (``bench_runtime_perf`` owns
     the engine/sweep sections, ``bench_stress_failures`` the ``stress``
     section); merging instead of overwriting keeps every section current with
-    its own harness.  Returns the merged report.
+    its own harness.  Every write also stamps the top-level ``"recorded"``
+    map with the producing git commit and an ISO-8601 UTC date per section
+    (kept *outside* the section payloads, whose schemas stay untouched), so
+    the ledger reads as a perf trajectory: each section says which commit
+    produced it and when.  Smoke passes (short horizons, truncated grids)
+    merge in memory but never persist — their numbers would overwrite the
+    trajectory with meaningless values on every CI sanity run.  Returns the
+    merged report.
     """
     try:
         with open(BENCH_RUNTIME_PATH) as handle:
             report = json.load(handle)
     except (FileNotFoundError, json.JSONDecodeError):
         report = {}
-    report.update(sections)
+    stamp = {
+        "commit": _git_commit(),
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+    }
+    recorded = report.setdefault("recorded", {})
+    for name, section in sections.items():
+        report[name] = section
+        recorded[name] = stamp
+    if SMOKE:
+        return report
     tmp_path = BENCH_RUNTIME_PATH + ".tmp"
     with open(tmp_path, "w") as handle:
         json.dump(report, handle, indent=2)
     os.replace(tmp_path, BENCH_RUNTIME_PATH)
     return report
+
+
+def assert_traces_equivalent(spec) -> None:
+    """Run ``spec`` on both materialization paths and compare the records.
+
+    Used by the figure harnesses *outside* their benchmark-timed regions:
+    the sweeps themselves run on the scalar fast path, and this re-runs the
+    (cheapest) spec serially with ``traces="none"`` and ``traces="full"`` to
+    assert record equivalence in the same test run without inflating the
+    recorded sweep timings.
+    """
+    from dataclasses import replace
+
+    from repro.sweep import SerialExecutor, SweepRunner
+    fast = SweepRunner(replace(spec, traces="none"), SerialExecutor()).run()
+    full = SweepRunner(replace(spec, traces="full"), SerialExecutor()).run()
+    assert_records_equivalent(full, fast)
+
+
+def assert_records_equivalent(first, second, rtol: float = 1e-9) -> None:
+    """Scalar-record equivalence between two sweep results.
+
+    Discrete metrics (failures, stall cycles) must be bit-identical; float
+    metrics equal to ``rtol`` (the trace-free fast path computes them
+    closed-form per span, reassociating float reductions).
+    """
+    first_records = first.sorted_records()
+    second_records = second.sorted_records()
+    assert len(first_records) == len(second_records)
+    for a, b in zip(first_records, second_records):
+        assert a.run_id == b.run_id and a.seed == b.seed
+        assert a.point_key == b.point_key
+        for name, value in a.metrics.items():
+            other = b.metrics[name]
+            if name in ("total_failures", "total_stall_cycles"):
+                assert value == other, (a.run_id, name, value, other)
+            else:
+                assert np.isclose(value, other, rtol=rtol, atol=0.0), \
+                    (a.run_id, name, value, other)
 
 
 def stress_workload_spec(label: str = "stress@64", **overrides) -> WorkloadSpec:

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..power.vf_table import VFPair, VFTable
 
 __all__ = [
@@ -278,6 +280,107 @@ class IRBoosterController:
             state.level_downs += 1
         state.safe_counter = 0
         return transitions, state.level, self.beta
+
+    def apply_failures_at_cycles(self, group_id: int,
+                                 cycles: Sequence[int]) -> Tuple[int, int]:
+        """Apply one whole *safe-level failure run* in a single vectorized call.
+
+        ``cycles`` are the strictly increasing, non-negative cycle offsets
+        (relative to the group's current state) of consecutive IRFailures
+        under the *no-transition contract*: the first failure arrives before
+        the next scheduled Algorithm-2 transition and every later one within
+        ``beta`` cycles of its predecessor, so the whole run plays out on the
+        failure branch alone (lines 4-10) — after the first failure the group
+        sits at its safe level and each further failure merely pushes the
+        next transition out.  Equivalent to ``advance_and_fail`` once per
+        failure, but resolved in closed form over the failure-count
+        thresholds with no per-event Python:
+
+        * ``failures`` grows by ``len(cycles)``;
+        * the a-level steps toward safe once per failure whose preceding
+          failure-free gap is shorter than ``0.2 * beta`` — the downgrade
+          count is one thresholded comparison over the gap array, and the
+          resulting a-level is a single index walk up the table's booster
+          levels (saturating at the ceiling, like repeated
+          :meth:`_level_down`);
+        * the level ends at the safe level with a zeroed safe counter.
+
+        Returns ``(level, next_gap)`` — the level after the last failure and
+        the distance from it to the next scheduled transition (always
+        ``beta``).  Raises ``ValueError`` when the contract is violated (a
+        transition would fire inside the run); the caller must split the
+        batch at the first ``beta``-long gap.  The vectorized simulation
+        engine drives this from its booster span kernel, one call per
+        safe-level span; ``tests/test_core_ir_booster.py`` pins it to the
+        looped per-cycle :meth:`step`.
+        """
+        state = self._groups[group_id]
+        count = len(cycles)
+        if count == 0:
+            return state.level, self._transition_gap(state.safe_counter)
+        beta = self.beta
+        threshold = 0.2 * beta
+        if count < 64:
+            # Scalar path: typical safe runs hold a handful of failures, where
+            # per-call numpy overhead would dominate the closed form.
+            prev = -1
+            downs = 0
+            counter = state.safe_counter
+            first_gap = self._transition_gap(counter)
+            for cycle in cycles:
+                cycle = int(cycle)
+                gap = counter + cycle if prev < 0 else cycle - prev - 1
+                if prev < 0:
+                    if cycle < 0 or cycle >= first_gap:
+                        raise ValueError(
+                            "a scheduled transition fires inside the failure "
+                            "run; split the batch at the first beta-long "
+                            "failure-free gap" if cycle >= 0 else
+                            "cycles must be strictly increasing non-negative "
+                            "offsets")
+                elif gap < 0:
+                    raise ValueError(
+                        "cycles must be strictly increasing non-negative "
+                        "offsets")
+                elif gap >= beta:
+                    raise ValueError(
+                        "a scheduled transition fires inside the failure run; "
+                        "split the batch at the first beta-long failure-free "
+                        "gap")
+                if gap < threshold:
+                    downs += 1
+                prev = cycle
+        else:
+            offsets = np.asarray(cycles, dtype=np.int64)
+            diffs = np.diff(offsets)
+            if offsets[0] < 0 or (diffs.size and int(diffs.min()) <= 0):
+                raise ValueError(
+                    "cycles must be strictly increasing non-negative offsets")
+            gaps = np.empty(offsets.size, dtype=np.int64)
+            gaps[0] = state.safe_counter + int(offsets[0])
+            gaps[1:] = diffs - 1
+            if int(offsets[0]) >= self._transition_gap(state.safe_counter) or \
+                    (diffs.size and int(diffs.max()) > self.beta):
+                raise ValueError(
+                    "a scheduled transition fires inside the failure run; "
+                    "split the batch at the first beta-long failure-free gap")
+            downs = int((gaps < threshold).sum())
+        state.failures += count
+        if downs:
+            levels = self.table.booster_levels()        # sorted ascending
+            try:
+                index = levels.index(state.a_level)
+            except ValueError:
+                # Off-table a-level (hand-edited state): fall back to the
+                # stepwise walk, which snaps onto the table immediately.
+                for _ in range(downs):
+                    state.a_level = self._level_down(state.a_level)
+            else:
+                state.a_level = levels[min(index + downs, len(levels) - 1)]
+            state.level_downs += downs
+        state.level = state.safe_level
+        state.safe_counter = 0
+        return state.level, self.beta
 
     def apply_failures(self, group_id: int, fail_cycles: Sequence[int],
                        total_cycles: int) -> List[Tuple[int, int]]:

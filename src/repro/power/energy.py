@@ -236,3 +236,39 @@ class EnergyModel:
                                 static_energy=static, elapsed_time=elapsed,
                                 completed_macs=float(macs_per_cycle_rows[i]) * int(worked[i]))
                 for i in range(activity_rows.shape[0])]
+
+    def span_breakdowns(self, voltages: np.ndarray, frequencies: np.ndarray,
+                        lengths: np.ndarray, activity_span_sums: np.ndarray,
+                        stalled_activity_v2: np.ndarray,
+                        worked_cycles: np.ndarray,
+                        macs_per_cycle_rows: np.ndarray) -> list:
+        """Closed-form row breakdowns from level-stable span aggregates.
+
+        The trace-free counterpart of :meth:`accumulate_trace_rows`: instead
+        of per-cycle operating-point vectors it takes one entry per *span* —
+        ``voltages``/``frequencies``/``lengths`` describe the group's
+        level-stable spans, ``activity_span_sums`` is ``(rows, spans)`` with
+        each row's activity summed per span (from cached prefix sums), and
+        ``stalled_activity_v2`` is each row's ``sum(activity * V^2)`` over
+        its energy-stalled cycles (recompute windows plus failure cycles).
+        Per cycle the dynamic energy is ``k_dyn * act * V^2`` and a stalled
+        cycle burns :data:`STALL_DYNAMIC_FRACTION` of it, so the whole run
+        reduces to one ``(rows, spans) @ (spans,)`` product plus the stall
+        correction; static energy and elapsed time are span dot products.
+        Matches :meth:`accumulate_trace_rows` up to floating-point summation
+        order (<= 1e-9 rtol in the engine equivalence suite).
+        """
+        voltages = np.asarray(voltages, dtype=np.float64)
+        inverse_f = 1.0 / np.asarray(frequencies, dtype=np.float64)
+        lengths = np.asarray(lengths, dtype=np.float64)
+        dynamic = self._k_dynamic * (
+            np.asarray(activity_span_sums, dtype=np.float64) @ voltages ** 2
+            - (1.0 - self.STALL_DYNAMIC_FRACTION)
+            * np.asarray(stalled_activity_v2, dtype=np.float64))
+        static = self._k_static * float(np.dot(lengths * voltages, inverse_f))
+        elapsed = float(np.dot(lengths, inverse_f))
+        return [EnergyBreakdown(dynamic_energy=float(dynamic[i]),
+                                static_energy=static, elapsed_time=elapsed,
+                                completed_macs=float(macs_per_cycle_rows[i])
+                                * int(worked_cycles[i]))
+                for i in range(dynamic.shape[0])]

@@ -27,19 +27,26 @@ kernels of :mod:`repro.sim.kernels` — groups whose level never changes
 (``dvfs``, ``booster_safe``) as one greedy min-gap selection per Set over a
 merged ``(cycle, row)`` candidate stream
 (:meth:`_VectorizedEngine._run_group_kernel`), ``booster`` groups as the same
-selection resumed across level-stable spans with Algorithm 2 driven through
-the closed-form batch API of
-:class:`~repro.core.ir_booster.IRBoosterController`
-(:meth:`_VectorizedEngine._run_group_span_kernel`).  Groups whose Sets
+selection resumed across level-stable spans, with each *safe-level failure
+run* (consecutive failures all within ``beta`` of each other) chained in a
+tight controller-free inner loop and applied to Algorithm 2 in one
+vectorized :meth:`~repro.core.ir_booster.IRBoosterController.\
+apply_failures_at_cycles` call (:meth:`_VectorizedEngine.\
+_run_group_span_kernel`).  Groups whose Sets
 straddle group boundaries are *coupled* and run under a lazy-invalidation
 heap scheduler that interleaves their events in global cycle order.  Failure
 cycles are replayed with the exact scalar ordering of the reference loop
 (failures propagate recompute stalls to the failing macro's logical Set
 *within* the cycle, which suppresses later samples).  Controllers without
 feedback (``dvfs``, ``booster_safe``) have no scheduled transitions at all,
-so a failure-free run is a single fully vectorized pass.  Traces, stall masks
-(rebuilt from logged recompute windows with one ``bincount``/``cumsum`` pass)
-and energy are materialized once at the end into preallocated arrays.
+so a failure-free run is a single fully vectorized pass.  Materialization is
+mode-dependent: ``traces="full"`` (default) assembles every per-cycle trace,
+stall mask (rebuilt from logged recompute windows with one
+``bincount``/``cumsum`` pass) and energy matrix product once at the end;
+``traces="none"`` — the scalar-record fast path sweeps run on — skips all of
+that and computes the scalar record fields closed-form per level-stable span
+from cached prefix sums and row statistics
+(:meth:`_VectorizedEngine._materialize_scalar`).
 
 Two baselines are retained for measurement and triangulation: the pre-kernel
 batched loop — per-member candidate pointers advanced with ``bisect``, the
@@ -68,7 +75,7 @@ from ..power.vf_table import VFPair
 from .kernels import MergedCandidates, frontier_key, merge_candidates, \
     select_failures
 from .level_cache import LEVEL_CACHE, LevelEntry, workload_cache_key
-from .results import SimulationResult
+from .results import SimulationResult, assemble_scalar_result
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .runtime import PIMRuntime
@@ -113,19 +120,19 @@ class _VectorizedEngine:
         activity_key = ("activity", workload_cache_key(self.compiled),
                         cfg.cycles, cfg.flip_mean, cfg.flip_std,
                         cfg.flip_correlation, cfg.seed, cfg.input_determined_hr)
-        activity = LEVEL_CACHE.get(activity_key)
-        if activity is None:
-            activity = runtime._macro_activity_traces()
-            for trace in activity.values():
-                trace.setflags(write=False)
-            LEVEL_CACHE.put(activity_key, activity,
-                            sum(trace.nbytes for trace in activity.values()))
-        self.activity = activity
+        self._activity_key = activity_key
+        # Both the per-macro dict and its row-stacked matrix are lazy (and
+        # shared across runs through the level cache): a trace-free run whose
+        # physics and activity aggregates all hit the cache never touches
+        # the flip RNG or copies a single trace.
+        self._activity: Dict[int, np.ndarray] = LEVEL_CACHE.get(activity_key)
+        self._A = None
         self.controller = runtime._controller()
 
         # Group membership in the reference engine's processing order: groups
         # in first-encounter order over sorted macro indices, members sorted.
-        self.macro_indices = sorted(activity)
+        self.macro_indices = sorted(
+            macro for macro in runtime.compiled.mapping.assignment.values())
         self.group_members = runtime._group_members(self.macro_indices)
         self.groups: List[int] = list(self.group_members)
 
@@ -137,8 +144,6 @@ class _VectorizedEngine:
         self.proc_order = proc_order
         self.row_of = {m: r for r, m in enumerate(proc_order)}
         self.n_rows = len(proc_order)
-        self.A = np.vstack([activity[m] for m in proc_order]) if proc_order \
-            else np.zeros((0, self.n))
         self.group_rows: Dict[int, Tuple[int, int]] = {}
         start = 0
         for gid in self.groups:
@@ -239,6 +244,75 @@ class _VectorizedEngine:
         self.cur_cache = {gid: self._cache(gid, self.level[gid])
                           for gid in self.groups}
         self.next_fail: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # lazy, cross-run-shared activity forms
+    # ------------------------------------------------------------------ #
+    @property
+    def activity(self) -> Dict[int, np.ndarray]:
+        """Per-macro realized-Rtog traces (lazily generated, cache-shared)."""
+        activity = self._activity
+        if activity is None:
+            activity = self.runtime._macro_activity_traces()
+            for trace in activity.values():
+                trace.setflags(write=False)
+            LEVEL_CACHE.put(self._activity_key, activity,
+                            sum(trace.nbytes for trace in activity.values()))
+            self._activity = activity
+        return activity
+
+    @property
+    def A(self) -> np.ndarray:
+        """The row-stacked ``(n_rows, cycles)`` activity matrix (lazy).
+
+        Stacked once per ``(workload, seed, stress)`` and shared across runs
+        through the level cache (row order is the workload-determined
+        processing order, so the stacked form is as shareable as the dict).
+        """
+        A = self._A
+        if A is None:
+            if not self.proc_order:
+                A = np.zeros((0, self.n))
+            else:
+                stack_key = ("activity_stack",) + self._activity_key[1:]
+                A = LEVEL_CACHE.get(stack_key)
+                if A is None:
+                    activity = self.activity
+                    A = np.vstack([activity[m] for m in self.proc_order])
+                    A.setflags(write=False)
+                    LEVEL_CACHE.put(stack_key, A, A.nbytes)
+            self._A = A
+        return A
+
+    def _activity_prefix(self) -> np.ndarray:
+        """``(n_rows, cycles + 1)`` activity prefix sums (cache-shared).
+
+        The scalar fast path turns any span's per-row activity sum into two
+        gathers, so warm trace-free runs never scan the activity matrix.
+        """
+        key = ("activity_prefix",) + self._activity_key[1:]
+        prefix = LEVEL_CACHE.get(key)
+        if prefix is None:
+            A = self.A
+            prefix = np.zeros((self.n_rows, self.n + 1))
+            np.cumsum(A, axis=1, out=prefix[:, 1:])
+            prefix.setflags(write=False)
+            LEVEL_CACHE.put(key, prefix, prefix.nbytes)
+        return prefix
+
+    def _activity_stats(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row ``(mean, max)`` of the activity matrix (cache-shared)."""
+        key = ("activity_stats",) + self._activity_key[1:]
+        stats = LEVEL_CACHE.get(key)
+        if stats is None:
+            A = self.A
+            means = A.mean(axis=1) if A.size else np.zeros(self.n_rows)
+            maxes = A.max(axis=1) if A.size else np.zeros(self.n_rows)
+            means.setflags(write=False)
+            maxes.setflags(write=False)
+            stats = (means, maxes)
+            LEVEL_CACHE.put(key, stats, means.nbytes + maxes.nbytes)
+        return stats
 
     # ------------------------------------------------------------------ #
     # per-(group, level) caches
@@ -577,18 +651,24 @@ class _VectorizedEngine:
         current level with the kernel's frontier key — at most one ``bisect``
         per *selected* failure instead of per-member ``bisect`` per event.
         The frontier encodes the Set's stall windows and survives level
-        changes unchanged (stalls are level-independent); Algorithm 2 is
-        driven through the same closed-form batch API as the pre-kernel
-        batched loop, with identical event ordering (scheduled transitions
-        before failure detection at the same cycle).
+        changes unchanged (stalls are level-independent).
+
+        Failures arrive in *safe-level runs*: an IRFailure always lands the
+        group on its safe level, every further failure keeps it there while
+        pushing the next scheduled transition out, and the run ends exactly
+        at the first ``beta``-long failure-free gap.  Each run is chained in
+        a tight inner loop that never touches the controller, then applied
+        to Algorithm 2 with one vectorized ``apply_failures_at_cycles``
+        call; committed selections accumulate as packed keys and materialize
+        as one array chunk per Set at the end.  Event ordering matches the
+        reference loop exactly (scheduled transitions before failure
+        detection at the same cycle).
         """
         n = self.n
         recompute = self.cfg.recompute_cycles
         controller = self.controller
         stall_end = self.stall_end
         fail_counts = self.fail_counts
-        s_rows, s_starts = self.stall_log_rows, self.stall_log_starts
-        f_rows, f_cycles = self.fail_log_rows, self.fail_log_cycles
         break_cycles = self.break_cycles[gid]
         break_levels = self.break_levels[gid]
         set_arrays = self._group_sets(gid)
@@ -619,6 +699,12 @@ class _VectorizedEngine:
         next_f = [n] * k                    # next eligible candidate *cycle*
         level_state: Dict[int, Tuple] = {}
 
+        # NOTE: the warm path of this function (the per-set revalidation
+        # loop) is deliberately inlined at its two hot call sites below —
+        # the transition branch and the failure branch — because the call
+        # overhead alone is measurable at one invocation per level flip.
+        # A change to the eligibility logic here must be applied to all
+        # three copies.
         def bind(to_level: int, from_cycle: int) -> Tuple:
             state = level_state.get(to_level)
             if state is None:
@@ -656,14 +742,35 @@ class _VectorizedEngine:
             return state
 
         key_lists, next_i, next_key = bind(level, scan_from)
+        beta = controller.beta
+        safe = controller.state(gid).safe_level
+        advance_to_transition = controller.advance_to_transition
+        apply_failures_at_cycles = controller.apply_failures_at_cycles
+        #: per Set, every committed key of the whole run — decoded and logged
+        #: as one array chunk at the end (per-key scalar logging would
+        #: dominate the failure hot path) — and the run's last committed key,
+        #: which alone determines the Set's final stall bound.
+        span_keys: List[List[int]] = [[] for _ in range(k)]
+        last_keys = [-1] * k
+        single = k == 1
+        pair = k == 2
+        sets_range = range(k)
 
         while True:
-            f = min(next_f) if k else n
+            if single:
+                f = next_f[0]
+            elif pair:
+                f = next_f[0]
+                f2 = next_f[1]
+                if f2 < f:
+                    f = f2
+            else:
+                f = min(next_f) if k else n
             if next_sched <= f:
                 if next_sched >= n:
                     break
                 t = next_sched
-                _, new_level, gap = controller.advance_to_transition(gid)
+                _, new_level, gap = advance_to_transition(gid)
                 synced = t
                 next_sched = t + gap
                 if new_level != level:
@@ -671,70 +778,190 @@ class _VectorizedEngine:
                     break_cycles.append(t)
                     break_levels.append(new_level)
                     scan_from = t
-                    key_lists, next_i, next_key = bind(new_level, t)
+                    # Inlined warm-path bind (one call per level flip makes
+                    # the call overhead itself measurable; ``bind`` handles
+                    # the cold first-sight path).
+                    state = level_state.get(new_level)
+                    if state is None:
+                        key_lists, next_i, next_key = bind(new_level, t)
+                    else:
+                        key_lists, next_i, next_key = state
+                        base = (t << shift) - 1
+                        for s in sets_range:
+                            fk = fks[s]
+                            if fk < base:
+                                fk = base
+                                fks[s] = fk
+                            key = next_key[s]
+                            if key > fk:
+                                next_f[s] = key >> shift \
+                                    if key < EXHAUSTED else n
+                                continue
+                            keys = key_lists[s]
+                            m = len(keys)
+                            i = next_i[s]
+                            if i < m and keys[i] <= fk:
+                                i = bisect_right(keys, fk, i + 1)
+                            next_i[s] = i
+                            if i < m:
+                                next_key[s] = keys[i]
+                                next_f[s] = keys[i] >> shift
+                            else:
+                                next_key[s] = EXHAUSTED
+                                next_f[s] = n
                 continue
             if f >= n:
                 break
 
-            # Failure cycle f: every Set whose next eligible candidate sits
-            # at f fails (streams are tie-broken by the reference loop's
-            # member visit order, baked into the packed keys).
-            cycle_end_key = (f + 1) << shift
-            for s in range(k):
-                if next_f[s] != f:
-                    continue
-                keys = key_lists[s]
-                m = len(keys)
-                i = next_i[s]
-                set_row_list = set_row_lists[s]
-                fk = fks[s]
-                # The candidate at ``i`` cleared the frontier when peeked;
-                # with recompute > 0 one selection suppresses the rest of
-                # the cycle, with recompute == 0 every later same-cycle key
-                # clears the moved frontier automatically.
-                while i < m:
-                    key = keys[i]
-                    if key >= cycle_end_key:
-                        break
-                    r = key & mask
-                    fail_counts[r] += 1
-                    f_rows.append(r)
-                    f_cycles.append(f)
-                    if recompute > 0:
-                        for row in set_row_list:
-                            start = f + 1 if row <= r else f
-                            end = start + recompute
-                            s_rows.append(row)
-                            s_starts.append(start)
-                            if end > stall_end[row]:
-                                stall_end[row] = end
-                    fk = key + jump
-                    i += 1
-                    if recompute > 0:
-                        break
-                fks[s] = fk
-                # Refresh this Set's next eligible candidate (inlined peek;
-                # ``i`` is a valid lo bound — everything before it is
-                # permanently ineligible; the bisect only pays when the next
-                # key does not already clear the frontier).
-                if i < m and keys[i] <= fk:
-                    i = bisect_right(keys, fk, i + 1)
-                next_i[s] = i
-                if i < m:
-                    next_key[s] = keys[i]
-                    next_f[s] = keys[i] >> shift
+            # Failure cycle f opens a *safe-level failure run*: an IRFailure
+            # always lands the group on its safe level, every further
+            # failure keeps it there while pushing the next scheduled
+            # transition out, and the run ends exactly at the first
+            # beta-long failure-free gap.  The inner loop chains through the
+            # run without touching the controller — cycle f consumes the
+            # current level's streams, the rest the safe level's — and the
+            # whole run is then applied to Algorithm 2 in one closed-form
+            # ``apply_failures_at_cycles`` call: no per-failure controller
+            # round-trip, no per-failure transition bookkeeping.
+            run_base = synced
+            run_offsets: List[int] = [f - run_base]
+            cur = f
+            while True:
+                # Every Set whose next eligible candidate sits at ``cur``
+                # fails (streams are tie-broken by the reference loop's
+                # member visit order, baked into the packed keys).
+                cycle_end_key = (cur + 1) << shift
+                for s in sets_range:
+                    if next_f[s] != cur:
+                        continue
+                    keys = key_lists[s]
+                    m = len(keys)
+                    i = next_i[s]
+                    fk = fks[s]
+                    acc = span_keys[s]
+                    # The candidate at ``i`` cleared the frontier when
+                    # peeked; with recompute > 0 one selection suppresses
+                    # the rest of the cycle, with recompute == 0 every later
+                    # same-cycle key clears the moved frontier automatically.
+                    while i < m:
+                        key = keys[i]
+                        if key >= cycle_end_key:
+                            break
+                        acc.append(key)
+                        last_keys[s] = key
+                        fk = key + jump
+                        i += 1
+                        if recompute > 0:
+                            break
+                    fks[s] = fk
+                    # Inlined peek refresh: ``i`` is a valid lo bound —
+                    # everything before it is permanently ineligible.  A
+                    # recompute window suppresses only a handful of keys in
+                    # dense streams, so probe a few linearly before paying
+                    # for a bisect.
+                    probe_limit = i + 4
+                    while i < m and keys[i] <= fk:
+                        i += 1
+                        if i >= probe_limit:
+                            if i < m and keys[i] <= fk:
+                                i = bisect_right(keys, fk, i + 1)
+                            break
+                    next_i[s] = i
+                    if i < m:
+                        next_key[s] = keys[i]
+                        next_f[s] = keys[i] >> shift
+                    else:
+                        next_key[s] = EXHAUSTED
+                        next_f[s] = n
+                if cur == f and safe != level:
+                    # First failure of the run: the level drops to safe and
+                    # the chain continues on the safe level's streams
+                    # (inlined warm-path bind, as in the transition branch).
+                    level = safe
+                    break_cycles.append(f + 1)
+                    break_levels.append(safe)
+                    state = level_state.get(safe)
+                    if state is None:
+                        key_lists, next_i, next_key = bind(safe, f + 1)
+                    else:
+                        key_lists, next_i, next_key = state
+                        base = ((f + 1) << shift) - 1
+                        for s in sets_range:
+                            fk = fks[s]
+                            if fk < base:
+                                fk = base
+                                fks[s] = fk
+                            key = next_key[s]
+                            if key > fk:
+                                next_f[s] = key >> shift \
+                                    if key < EXHAUSTED else n
+                                continue
+                            keys = key_lists[s]
+                            m = len(keys)
+                            i = next_i[s]
+                            if i < m and keys[i] <= fk:
+                                i = bisect_right(keys, fk, i + 1)
+                            next_i[s] = i
+                            if i < m:
+                                next_key[s] = keys[i]
+                                next_f[s] = keys[i] >> shift
+                            else:
+                                next_key[s] = EXHAUSTED
+                                next_f[s] = n
+                if single:
+                    nf = next_f[0]
+                elif pair:
+                    nf = next_f[0]
+                    f2 = next_f[1]
+                    if f2 < nf:
+                        nf = f2
                 else:
-                    next_key[s] = EXHAUSTED
-                    next_f[s] = n
-            scan_from = f + 1
-            _, new_level, gap = controller.advance_and_fail(gid, f - synced)
-            synced = f + 1
-            next_sched = f + 1 + gap
-            if new_level != level:
-                level = new_level
-                break_cycles.append(f + 1)
-                break_levels.append(new_level)
-                key_lists, next_i, next_key = bind(new_level, f + 1)
+                    nf = min(next_f)
+                if nf - cur > beta or nf >= n:
+                    break                   # the next transition fires first
+                cur = nf
+                run_offsets.append(nf - run_base)
+            # One controller call for the whole run (failures are per
+            # *cycle*: several Sets failing the same cycle are one
+            # Algorithm-2 event, exactly as in the reference loop).
+            _, gap = apply_failures_at_cycles(gid, run_offsets)
+            synced = cur + 1
+            next_sched = cur + 1 + gap
+            scan_from = cur + 1
+
+        if recompute > 0:
+            # Selections are time-ordered per Set, so its last committed key
+            # alone determines the final stall bound per row.
+            for s in range(k):
+                key = last_keys[s]
+                if key >= 0:
+                    c = key >> shift
+                    r = key & mask
+                    for row in set_row_lists[s]:
+                        end = c + recompute + (1 if row <= r else 0)
+                        if end > stall_end[row]:
+                            stall_end[row] = end
+
+        # Decode and log every committed selection as one array chunk per
+        # Set (the same materialization shape as the no-level-change kernel
+        # path).
+        for s in range(k):
+            acc = span_keys[s]
+            if not acc:
+                continue
+            sel = np.asarray(acc, dtype=np.int64)
+            sel_c = sel >> shift
+            sel_r = sel & mask
+            self.fail_chunk_rows.append(sel_r)
+            self.fail_chunk_cycles.append(sel_c)
+            for row, count in zip(*(arr.tolist() for arr in
+                                    np.unique(sel_r, return_counts=True))):
+                fail_counts[row] += count
+            if recompute > 0:
+                set_rows = set_arrays[s]
+                starts = sel_c[:, None] + (set_rows[None, :] <= sel_r[:, None])
+                self.stall_chunk_rows.append(np.tile(set_rows, sel_c.size))
+                self.stall_chunk_starts.append(starts.ravel())
 
         # Write back for the common controller flush and materialization.
         self.level[gid] = level
@@ -1000,6 +1227,253 @@ class _VectorizedEngine:
     # ------------------------------------------------------------------ #
     # materialization
     # ------------------------------------------------------------------ #
+    def _logged_failures(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All logged failure points as ``(rows, cycles)`` arrays (chunked
+        kernel logs first, then the event loops' scalar logs)."""
+        rows_parts = list(self.fail_chunk_rows)
+        cycles_parts = list(self.fail_chunk_cycles)
+        if self.fail_log_rows:
+            rows_parts.append(np.asarray(self.fail_log_rows, dtype=np.int64))
+            cycles_parts.append(np.asarray(self.fail_log_cycles,
+                                           dtype=np.int64))
+        if not rows_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(rows_parts), np.concatenate(cycles_parts)
+
+    def _logged_stall_windows(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All logged recompute windows as ``(rows, starts)`` arrays."""
+        rows_parts = list(self.stall_chunk_rows)
+        starts_parts = list(self.stall_chunk_starts)
+        if self.stall_log_rows:
+            rows_parts.append(np.asarray(self.stall_log_rows, dtype=np.int64))
+            starts_parts.append(np.asarray(self.stall_log_starts,
+                                           dtype=np.int64))
+        if not rows_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(rows_parts), np.concatenate(starts_parts)
+
+    def _group_spans(self, gid: int) -> Tuple[np.ndarray, np.ndarray,
+                                              np.ndarray]:
+        """The group's level-stable spans as ``(starts, ends, levels)``."""
+        starts = np.array(self.break_cycles[gid], dtype=np.int64)
+        levels = np.array(self.break_levels[gid], dtype=np.int64)
+        ends = np.empty_like(starts)
+        ends[:-1] = starts[1:]
+        ends[-1] = self.n
+        keep = ends > starts
+        if not keep.all():
+            starts, ends, levels = starts[keep], ends[keep], levels[keep]
+        return starts, ends, levels
+
+    def _materialize_scalar(self) -> SimulationResult:
+        """Trace-free materialization (``RuntimeConfig.traces == "none"``).
+
+        Computes every scalar record field closed-form per level-stable span
+        from cached aggregates — per-(group, level) drop prefix sums and
+        row maxima (:class:`LevelEntry`), activity prefix sums and row stats
+        (shared through the level cache) — with per-failure stall/recompute
+        corrections applied from the engine's logged failure points and
+        recompute windows.  No drop/level/chip trace is gathered, no stall
+        mask is rebuilt, no activity copy is made; results are equivalent to
+        the full-trace path (discrete fields bit-identical, float reductions
+        to 1e-9 rtol) with every trace field ``None``.
+        """
+        n, n_rows = self.n, self.n_rows
+        recompute = self.cfg.recompute_cycles
+        A_cs = self._activity_prefix()
+        rtog_means, rtog_peaks = self._activity_stats()
+
+        fail_rows, fail_cycles = self._logged_failures()
+        stall_rows, stall_starts = self._logged_stall_windows()
+
+        # Merge the logged recompute windows per row (windows overlap; both
+        # the stall totals and the energy corrections need the union).  The
+        # packed segmented max-accumulate merges all rows in one pass.
+        if stall_rows.size:
+            width = n + 1
+            order = np.lexsort((stall_starts, stall_rows))
+            w_rows = stall_rows[order]
+            w_starts = stall_starts[order]
+            w_ends = np.minimum(w_starts + recompute, n)
+            packed_end = w_rows * width + w_ends
+            running_end = np.maximum.accumulate(packed_end)
+            packed_start = w_rows * width + w_starts
+            fresh = np.empty(w_rows.size, dtype=bool)
+            fresh[0] = True
+            fresh[1:] = packed_start[1:] >= running_end[:-1]
+            first = np.flatnonzero(fresh)
+            m_rows = w_rows[first]
+            m_starts = w_starts[first]
+            last = np.append(first[1:] - 1, w_rows.size - 1)
+            m_ends = running_end[last] - m_rows * width
+        else:
+            m_rows = np.empty(0, dtype=np.int64)
+            m_starts = m_ends = m_rows
+
+        stall_counts = np.zeros(n_rows, dtype=np.int64)
+        np.add.at(stall_counts, m_rows, m_ends - m_starts)
+        fail_count_rows = np.asarray(self.fail_counts, dtype=np.int64)
+        group_of_row = np.asarray(self.group_of_row, dtype=np.int64)
+        window_gids = group_of_row[m_rows] if m_rows.size else m_rows
+        failure_gids = group_of_row[fail_rows] if fail_rows.size else fail_rows
+
+        energy: Dict[int, EnergyBreakdown] = {}
+        drop_mean: Dict[int, float] = {}
+        drop_peak: Dict[int, float] = {}
+        rtog_mean: Dict[int, float] = {}
+        rtog_peak: Dict[int, float] = {}
+        failures: Dict[int, int] = {}
+        stall_total: Dict[int, int] = {}
+        group_level_means: Dict[int, float] = {}
+
+        for gid in self.groups:
+            lo, hi = self.group_rows[gid]
+            mcount = hi - lo
+            starts, ends, levels = self._group_spans(gid)
+            lengths = ends - starts
+            group_level_means[gid] = float(np.dot(levels, lengths)) / n
+
+            distinct_levels = np.unique(levels)
+            slot_caches = [self._cache(gid, level)
+                           for level in distinct_levels.tolist()]
+            slot_of_span = np.searchsorted(distinct_levels, levels)
+            pair_voltages = np.array([cache.pair.voltage
+                                      for cache in slot_caches])
+            pair_frequencies = np.array([cache.pair.frequency
+                                         for cache in slot_caches])
+            span_v = pair_voltages[slot_of_span]
+            span_f = pair_frequencies[slot_of_span]
+            span_v2 = span_v ** 2
+
+            prefix_rows = A_cs[lo:hi]
+            act_span = prefix_rows[:, ends] - prefix_rows[:, starts]
+
+            # Per-row drop sum (prefix gathers) and worst drop (cached row
+            # maxima, restricted to the visited spans when the global argmax
+            # falls outside them) per distinct level.
+            dsum = np.zeros(mcount)
+            dpeak = np.zeros(mcount)
+            for slot, cache in enumerate(slot_caches):
+                in_slot = slot_of_span == slot
+                st_k = starts[in_slot]
+                en_k = ends[in_slot]
+                prefix = cache.drop_prefix
+                dsum += (prefix[:, en_k] - prefix[:, st_k]).sum(axis=1)
+                peak, argmax = cache.drop_row_stats
+                j = np.searchsorted(st_k, argmax, side="right") - 1
+                inside = (j >= 0) & (argmax < en_k[np.maximum(j, 0)])
+                if inside.all():
+                    candidate = peak
+                else:
+                    # A row whose global argmax lies outside this level's
+                    # visited spans needs a *restricted* max over the union
+                    # of the spans.
+                    candidate = np.where(inside, peak, 0.0)
+                    out_rows = np.flatnonzero(~inside)
+                    span_lens = en_k - st_k
+                    covered_total = int(span_lens.sum())
+                    if covered_total <= max(2048, n >> 3):
+                        # Sparsely-visited level: gather exactly the covered
+                        # cycles and reduce.
+                        bases = np.repeat(
+                            st_k - np.concatenate(
+                                ([0], np.cumsum(span_lens)[:-1])), span_lens)
+                        covered_idx = np.arange(covered_total) + bases
+                        candidate[out_rows] = cache.drop_rows[
+                            np.ix_(out_rows, covered_idx)].max(axis=1)
+                    else:
+                        # Broadly-visited level: walk the row's descending-
+                        # drop cycle order in growing chunks until a covered
+                        # cycle appears (coverage is a large fraction of the
+                        # horizon, so a handful of gathers suffice).
+                        order = cache.drop_row_order
+                        vals = np.zeros(out_rows.size)
+                        undone = np.arange(out_rows.size)
+                        col, step = 0, 16
+                        while undone.size and col < n:
+                            stop = min(n, col + step)
+                            rows_u = out_rows[undone]
+                            chunk = order[rows_u[:, None],
+                                          np.arange(col, stop)[None, :]]
+                            j = np.searchsorted(st_k, chunk,
+                                                side="right") - 1
+                            hits = (j >= 0) & (chunk < en_k[np.maximum(j, 0)])
+                            found = hits.any(axis=1)
+                            if found.any():
+                                sel = undone[found]
+                                rows_s = out_rows[sel]
+                                first = hits[found].argmax(axis=1) + col
+                                vals[sel] = cache.drop_rows[
+                                    rows_s, order[rows_s, first]]
+                                undone = undone[~found]
+                            col = stop
+                            step *= 4
+                        candidate[out_rows] = vals
+                dpeak = np.maximum(dpeak, candidate)
+
+            # Stall/failure energy corrections: sum(activity * V^2) over the
+            # energy-stalled cycles.  Each merged recompute window decomposes
+            # over the level spans it crosses (almost always one or two); the
+            # piece loop below peels one piece per window per iteration, so
+            # everything stays vectorized with no weighted per-cycle arrays.
+            stalled_v2 = np.zeros(mcount)
+            g_win = np.flatnonzero(window_gids == gid) if m_rows.size \
+                else m_rows
+            g_fail = np.flatnonzero(failure_gids == gid) if fail_rows.size \
+                else fail_rows
+            if g_win.size:
+                w_rows = m_rows[g_win] - lo
+                w_starts = m_starts[g_win]
+                w_ends = m_ends[g_win]
+                first_span = np.searchsorted(starts, w_starts,
+                                             side="right") - 1
+                last_span = np.searchsorted(starts, w_ends - 1,
+                                            side="right") - 1
+                piece = 0
+                active = np.arange(g_win.size)
+                while active.size:
+                    spans = first_span[active] + piece
+                    active = active[spans <= last_span[active]]
+                    if not active.size:
+                        break
+                    spans = first_span[active] + piece
+                    a = np.maximum(w_starts[active], starts[spans])
+                    b = np.minimum(w_ends[active], ends[spans])
+                    rw = w_rows[active]
+                    np.add.at(stalled_v2, rw,
+                              span_v2[spans]
+                              * (prefix_rows[rw, b] - prefix_rows[rw, a]))
+                    piece += 1
+            if g_fail.size:
+                rw = fail_rows[g_fail] - lo
+                fc = fail_cycles[g_fail]
+                f_spans = np.searchsorted(starts, fc, side="right") - 1
+                np.add.at(stalled_v2, rw,
+                          self.A[lo:hi][rw, fc] * span_v2[f_spans])
+
+            worked = n - stall_counts[lo:hi] - fail_count_rows[lo:hi]
+            breakdowns = self.energy_model.span_breakdowns(
+                span_v, span_f, lengths, act_span, stalled_v2, worked,
+                self.macs_per_cycle[lo:hi])
+
+            for local in range(mcount):
+                row = lo + local
+                macro_index = self.proc_order[row]
+                energy[macro_index] = breakdowns[local]
+                drop_mean[macro_index] = dsum[local] / n
+                drop_peak[macro_index] = float(dpeak[local])
+                rtog_mean[macro_index] = float(rtog_means[row])
+                rtog_peak[macro_index] = float(rtog_peaks[row])
+                failures[macro_index] = self.fail_counts[row]
+                stall_total[macro_index] = int(stall_counts[row])
+
+        return assemble_scalar_result(
+            self.compiled, self.cfg, energy, drop_mean, drop_peak, rtog_mean,
+            rtog_peak, failures, stall_total, group_level_means,
+            self.controller, self.group_members)
+
     def _materialize(self) -> SimulationResult:
         n, n_rows = self.n, self.n_rows
         drops = np.zeros((n_rows, n))
@@ -1014,14 +1488,7 @@ class _VectorizedEngine:
             frequency = np.empty(n)
             # Level breakpoints -> spans, in one array pass (failure-heavy
             # booster runs log thousands of breaks per group).
-            starts = np.array(self.break_cycles[gid], dtype=np.int64)
-            levels = np.array(self.break_levels[gid], dtype=np.int64)
-            ends = np.empty_like(starts)
-            ends[:-1] = starts[1:]
-            ends[-1] = n
-            keep = ends > starts
-            if not keep.all():
-                starts, ends, levels = starts[keep], ends[keep], levels[keep]
+            starts, ends, levels = self._group_spans(gid)
             level_trace = np.repeat(levels, ends - starts)
             level_traces[gid] = level_trace
             distinct_levels = np.unique(levels)
@@ -1036,12 +1503,23 @@ class _VectorizedEngine:
                 # Thousands of short spans: one per-cycle slot gather replaces
                 # the span loop.  Slot k holds the k-th distinct level's cached
                 # rows; take_along_axis then assembles the whole horizon in a
-                # single indexed pass per group.
+                # single indexed pass per group.  The stacked per-slot rows
+                # are themselves cached across runs (stacking copies every
+                # visited level's drop matrix, which would otherwise dominate
+                # failure-heavy materializations).
                 slot_caches = [self._cache(gid, level)
                                for level in distinct_levels.tolist()]
                 slot_of_span = np.searchsorted(distinct_levels, levels)
                 slots = np.repeat(slot_of_span, ends - starts)
-                stacked = np.stack([cache.drop_rows for cache in slot_caches])
+                stack_key = ("drop_stack", self._share_key, gid) + tuple(
+                    (cache.pair.level, cache.pair.voltage,
+                     cache.pair.frequency) for cache in slot_caches)
+                stacked = LEVEL_CACHE.get(stack_key)
+                if stacked is None:
+                    stacked = np.stack([cache.drop_rows
+                                        for cache in slot_caches])
+                    stacked.setflags(write=False)
+                    LEVEL_CACHE.put(stack_key, stacked, stacked.nbytes)
                 drops[lo:hi] = np.take_along_axis(
                     stacked, slots[np.newaxis, np.newaxis, :], axis=0)[0]
                 pair_voltages = np.array([cache.pair.voltage
@@ -1057,17 +1535,9 @@ class _VectorizedEngine:
         # Rebuild the stall mask from the logged recompute windows (scalar
         # logs from the event loops plus array chunks from the kernel paths):
         # +1/-1 boundary counts per row (bincount) and a running sum.
-        stall_rows_parts = list(self.stall_chunk_rows)
-        stall_starts_parts = list(self.stall_chunk_starts)
-        if self.stall_log_rows:
-            stall_rows_parts.append(np.asarray(self.stall_log_rows,
-                                               dtype=np.int64))
-            stall_starts_parts.append(np.asarray(self.stall_log_starts,
-                                                 dtype=np.int64))
-        if stall_rows_parts:
+        rows, starts = self._logged_stall_windows()
+        if rows.size:
             width = n + 1
-            rows = np.concatenate(stall_rows_parts)
-            starts = np.concatenate(stall_starts_parts)
             ends = np.minimum(starts + self.cfg.recompute_cycles, n)
             size = n_rows * width
             boundaries = (np.bincount(rows * width + starts, minlength=size)
@@ -1079,16 +1549,9 @@ class _VectorizedEngine:
         else:
             stall_mask = np.zeros((n_rows, n), dtype=bool)
         energy_stalled = stall_mask.copy()
-        fail_rows_parts = list(self.fail_chunk_rows)
-        fail_cycles_parts = list(self.fail_chunk_cycles)
-        if self.fail_log_rows:
-            fail_rows_parts.append(np.asarray(self.fail_log_rows,
-                                              dtype=np.int64))
-            fail_cycles_parts.append(np.asarray(self.fail_log_cycles,
-                                                dtype=np.int64))
-        if fail_rows_parts:
-            energy_stalled[np.concatenate(fail_rows_parts),
-                           np.concatenate(fail_cycles_parts)] = True
+        fail_rows, fail_cycles = self._logged_failures()
+        if fail_rows.size:
+            energy_stalled[fail_rows, fail_cycles] = True
         stall_sums = stall_mask.sum(axis=1) if n_rows else np.zeros(0)
 
         energy: Dict[int, EnergyBreakdown] = {}
@@ -1122,6 +1585,8 @@ class _VectorizedEngine:
     def run(self) -> SimulationResult:
         self._setup()
         self._run_events()
+        if self.cfg.traces == "none":
+            return self._materialize_scalar()
         return self._materialize()
 
 

@@ -40,6 +40,7 @@ key distinct entries.)
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from itertools import count
@@ -55,6 +56,7 @@ __all__ = [
     "LevelEntry",
     "attach_shared_store",
     "clear_level_cache",
+    "content_fingerprint",
     "detach_shared_store",
     "level_cache_stats",
     "set_level_cache_budget",
@@ -85,6 +87,9 @@ class LevelEntry:
     #: function of the workload the entry is already keyed on.
     merged: Optional[List] = field(default=None, compare=False)
     _fail_lists: Optional[List[List[int]]] = field(default=None, compare=False)
+    _drop_prefix: Optional[np.ndarray] = field(default=None, compare=False)
+    _drop_row_stats: Optional[tuple] = field(default=None, compare=False)
+    _drop_row_order: Optional[np.ndarray] = field(default=None, compare=False)
 
     @property
     def fail_lists(self) -> List[List[int]]:
@@ -97,18 +102,77 @@ class LevelEntry:
             self._fail_lists = lists
         return lists
 
+    @property
+    def drop_prefix(self) -> np.ndarray:
+        """``(members, cycles + 1)`` prefix sums of :attr:`drop_rows`.
+
+        The scalar fast path turns any span's per-row drop *sum* into two
+        gathers (``prefix[:, end] - prefix[:, start]``), so trace-free runs
+        never touch the full drop matrix.  Built lazily per process and
+        memoized on the (shared) entry.
+        """
+        prefix = self._drop_prefix
+        if prefix is None:
+            rows = self.drop_rows
+            prefix = np.zeros((rows.shape[0], rows.shape[1] + 1))
+            np.cumsum(rows, axis=1, out=prefix[:, 1:])
+            prefix.setflags(write=False)
+            self._drop_prefix = prefix
+        return prefix
+
+    @property
+    def drop_row_stats(self) -> tuple:
+        """``(per-row max, per-row argmax)`` of :attr:`drop_rows`.
+
+        The scalar fast path resolves a run's worst drop per row from these:
+        when the level's visited spans cover the argmax cycle the max is
+        exact as-is, otherwise a restricted masked max is taken.  Built
+        lazily per process and memoized on the (shared) entry.
+        """
+        stats = self._drop_row_stats
+        if stats is None:
+            rows = self.drop_rows
+            if rows.size:
+                argmax = rows.argmax(axis=1)
+                peak = rows[np.arange(rows.shape[0]), argmax]
+            else:
+                argmax = np.zeros(rows.shape[0], dtype=np.int64)
+                peak = np.zeros(rows.shape[0])
+            stats = (peak, argmax)
+            self._drop_row_stats = stats
+        return stats
+
+    @property
+    def drop_row_order(self) -> np.ndarray:
+        """Per-row cycle indices sorted by *descending* drop (``int32``).
+
+        The scalar fast path finds a run's restricted worst drop by walking
+        this order until a cycle inside the visited spans appears — a few
+        gathers instead of a masked scan.  Built lazily per process and
+        memoized on the (shared) entry.
+        """
+        order = self._drop_row_order
+        if order is None:
+            order = np.ascontiguousarray(
+                np.argsort(self.drop_rows, axis=1)[:, ::-1]).astype(np.int32)
+            order.setflags(write=False)
+            self._drop_row_order = order
+        return order
+
     def nbytes_estimate(self) -> int:
         """Byte-budget charge for this entry, wherever it was built.
 
-        Candidate bytes count 7x: the arrays themselves (1x) plus the
-        lazily-built derived forms — the merged key stream with its boxed
-        list mirror and the plain ``fail_lists`` — a deliberate overestimate
-        so derived data stays inside the budget.  The engine and the shared
-        store both charge through this one estimator so locally-built and
-        backend-loaded entries weigh the same under LRU eviction.
+        Drop bytes count 3x (the rows plus the lazily-built
+        :attr:`drop_prefix` and :attr:`drop_row_order`) and candidate bytes
+        7x: the arrays themselves (1x) plus the lazily-built derived forms —
+        the merged key stream with its boxed list mirror and the plain
+        ``fail_lists`` — a deliberate overestimate so derived data stays
+        inside the budget.  The engine and the shared store both charge
+        through this one estimator so locally-built and backend-loaded
+        entries weigh the same under LRU eviction.
         """
         cand_bytes = sum(cycles.nbytes for cycles in self.fail_cycles)
-        return int(self.drop_rows.nbytes + 7 * cand_bytes + 512)
+        return int(3 * self.drop_rows.nbytes + 7 * cand_bytes + 512)
 
 
 class ByteBudgetCache:
@@ -223,8 +287,12 @@ class ByteBudgetCache:
 
 
 #: Default budget: comfortably holds the level caches of dozens of
-#: reference-chip runs while bounding long multi-workload sweeps.
-_DEFAULT_BUDGET_BYTES = 256 * 1024 * 1024
+#: reference-chip runs while bounding long multi-workload sweeps.  Raised
+#: from 256 MB when the entries grew their lazily-derived forms (drop
+#: prefix sums, row stats and order for the scalar fast path) — the honest
+#: per-entry estimate roughly doubled, and a budget sized for the old
+#: estimate would thrash on failure-dense level sets.
+_DEFAULT_BUDGET_BYTES = 512 * 1024 * 1024
 
 #: The process-level cache instance shared by every simulation engine run.
 LEVEL_CACHE = ByteBudgetCache(_DEFAULT_BUDGET_BYTES)
@@ -276,23 +344,67 @@ def detach_shared_store() -> None:
 _TOKENS = count()
 
 
+def content_fingerprint(compiled) -> str:
+    """Deterministic digest of everything a chip image's physics depends on.
+
+    Covers the chip geometry and operating point, the task-to-macro
+    assignment and, per task, the loaded weight codes plus every field the
+    activity and candidate-failure physics read (set partition, bits, WDS
+    shift, input-determinedness, post-WDS HR, MACs per wave) — so two
+    *independently built* images with identical content (e.g. a benchmark's
+    ``lru_cache`` QAT compile rebuilt in another process) hash alike and can
+    share cached physics, including through the cross-process
+    :class:`~repro.sim.shared_store.SharedPhysicsStore`.  Content that only
+    matters after simulation (e.g. the raw chip object) is excluded.
+    """
+    chip = compiled.chip_config
+    digest = hashlib.sha256()
+    digest.update(repr((
+        compiled.profile_name, chip.groups, chip.group.macros,
+        chip.macro.banks, chip.macro.rows, chip.macro.bank.weight_bits,
+        chip.nominal_voltage, chip.nominal_frequency,
+        chip.signoff_ir_drop)).encode())
+    for task_id, macro_index in sorted(compiled.mapping.assignment.items()):
+        task = compiled.tasks[task_id]
+        digest.update(repr((
+            task_id, macro_index, task.set_id, task.bits, task.wds_delta,
+            bool(task.input_determined), float(task.hamming_rate),
+            float(task.macs_per_wave), task.codes.shape)).encode())
+        digest.update(np.ascontiguousarray(task.codes).tobytes())
+    return digest.hexdigest()
+
+
 def workload_cache_key(compiled) -> Tuple[str, object]:
     """A stable, hashable identity for a compiled workload's physics.
 
-    Prefers the builder-attached ``cache_key`` (a deterministic fingerprint of
-    the producing :class:`~repro.sweep.spec.WorkloadSpec`); otherwise tags the
-    object with a fresh token on first sight so repeated runs of the *same*
-    compiled object share entries without the ``id()``-reuse hazard.  Objects
-    that cannot be tagged are never shared.
+    Prefers the builder-attached ``cache_key`` (a deterministic fingerprint
+    of the producing :class:`~repro.sweep.spec.WorkloadSpec`); otherwise
+    derives a :func:`content_fingerprint` on first sight and memoizes it on
+    the object — a content-derived identity that the cross-process shared
+    store accepts, so ad-hoc compiled QAT images (benchmark ``lru_cache``
+    compiles, test fixtures) share physics across processes too.  Objects
+    whose content cannot be digested fall back to a process-local token
+    (shared within the process, refused by the store).
     """
     key = getattr(compiled, "cache_key", None)
     if key is not None:
         return ("spec", key)
-    token = getattr(compiled, "_level_cache_token", None)
-    if token is None:
-        token = next(_TOKENS)
-        try:
-            compiled._level_cache_token = token
-        except AttributeError:             # unsettable object: never share
-            return ("unshared", object())
-    return ("token", token)
+    fingerprint = getattr(compiled, "_content_fingerprint", None)
+    if fingerprint is not None:
+        return ("content", fingerprint)
+    try:
+        fingerprint = content_fingerprint(compiled)
+    except (AttributeError, TypeError):    # undigestible content
+        token = getattr(compiled, "_level_cache_token", None)
+        if token is None:
+            token = next(_TOKENS)
+            try:
+                compiled._level_cache_token = token
+            except AttributeError:         # unsettable object: never share
+                return ("unshared", object())
+        return ("token", token)
+    try:
+        compiled._content_fingerprint = fingerprint
+    except AttributeError:
+        pass            # unsettable: still shareable, re-derived per call
+    return ("content", fingerprint)

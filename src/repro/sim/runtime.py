@@ -34,10 +34,14 @@ from .compiler import CompiledWorkload
 from .engine import ENGINES, run_vectorized
 from .results import SimulationResult, assemble_result
 
-__all__ = ["RuntimeConfig", "PIMRuntime", "simulate", "CONTROLLERS", "ENGINES"]
+__all__ = ["RuntimeConfig", "PIMRuntime", "simulate", "CONTROLLERS", "ENGINES",
+           "TRACE_MODES"]
 
 #: Available power-control strategies.
 CONTROLLERS = ("dvfs", "booster_safe", "booster")
+
+#: Result materialization modes (``RuntimeConfig.traces``).
+TRACE_MODES = ("full", "none")
 
 
 @dataclass
@@ -83,6 +87,17 @@ class RuntimeConfig:
     #: one of :data:`~repro.sim.engine.ENGINES` — "vectorized" (default) or
     #: the original "reference" loop kept as the behavioural oracle.
     engine: str = "vectorized"
+    #: result materialization, one of :data:`TRACE_MODES`.  ``"full"``
+    #: (default) materializes every per-cycle trace; ``"none"`` is the
+    #: scalar-record fast path: the vectorized engine skips all trace
+    #: gathers and stall-mask rebuilds and computes the scalar fields
+    #: (failures, stalls, mean/worst drop, the full energy breakdown)
+    #: closed-form per level-stable span — equivalent to the full-trace
+    #: path (discrete fields bit-identical, float reductions to 1e-9 rtol)
+    #: with every trace field ``None``.  Sweeps default to it since records
+    #: are scalar-only.  The reference engine ignores this field (it is the
+    #: behavioural oracle and always materializes traces).
+    traces: str = "full"
 
     def validate(self) -> None:
         if self.controller not in CONTROLLERS:
@@ -93,6 +108,9 @@ class RuntimeConfig:
             raise ValueError("cycles and beta must be positive; recompute_cycles >= 0")
         if self.engine not in ENGINES:
             raise ValueError(f"unknown engine {self.engine!r}; known: {ENGINES}")
+        if self.traces not in TRACE_MODES:
+            raise ValueError(f"unknown traces mode {self.traces!r}; "
+                             f"known: {TRACE_MODES}")
 
 
 class PIMRuntime:

@@ -408,6 +408,20 @@ class SharedPhysicsStore:
         self._log_event("store", digest)
         return True
 
+    def kind_counts(self) -> Dict[str, int]:
+        """Published entry counts by kind (``"level"`` / ``"activity"``).
+
+        Lets benchmarks and tests assert that a specific physics family —
+        e.g. the ``"model"`` builder's compiled-chip activity traces —
+        actually crossed the process boundary, not just the level entries.
+        """
+        self._refresh_index()
+        counts: Dict[str, int] = {}
+        for record in self._index.values():
+            kind = record.get("kind", "unknown")
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
     def stats(self) -> Dict[str, int]:
         self._refresh_index()
         return {

@@ -31,10 +31,12 @@ last checkpoint.
 from __future__ import annotations
 
 import itertools
+import logging
 import multiprocessing
 import os
 import shutil
 import tempfile
+import time
 import warnings
 from contextlib import contextmanager
 from math import ceil
@@ -46,6 +48,10 @@ from .spec import RunSpec, SweepSpec
 
 __all__ = ["SerialExecutor", "PoolExecutor", "SweepRunner", "execute_run",
            "run_sweeps"]
+
+#: Progress/throughput log channel (enable with the standard logging config,
+#: e.g. ``logging.getLogger("repro.sweep").setLevel(logging.INFO)``).
+logger = logging.getLogger("repro.sweep")
 
 
 def execute_run(run: RunSpec) -> RunRecord:
@@ -313,19 +319,32 @@ class SweepRunner:
         stream = imap(execute_run, pending) if imap is not None \
             else iter(self.executor.map(execute_run, pending))
         since_checkpoint = 0
+        completed = 0
+        started = time.perf_counter()
         try:
             for record in stream:
                 result.add(record)
                 since_checkpoint += 1
+                completed += 1
                 if (save_path is not None and checkpoint_every is not None
                         and since_checkpoint >= checkpoint_every):
                     result.save(save_path)
                     since_checkpoint = 0
+                    elapsed = time.perf_counter() - started
+                    logger.info(
+                        "sweep %s: checkpoint at %d/%d runs (%.2f runs/s)",
+                        self.spec.name, completed, len(pending),
+                        completed / elapsed if elapsed > 0 else 0.0)
         finally:
             # Persist whatever completed — the final result on success, the
             # freshest checkpoint on an executor error or interruption.
             if save_path is not None:
                 result.save(save_path)
+        if completed:
+            elapsed = time.perf_counter() - started
+            logger.info("sweep %s: %d runs in %.2fs (%.2f runs/s)",
+                        self.spec.name, completed, elapsed,
+                        completed / elapsed if elapsed > 0 else 0.0)
         result.records = result.sorted_records()
         return result
 

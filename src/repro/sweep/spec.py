@@ -139,6 +139,13 @@ class RunSpec:
     flip_std: float = 0.15
     flip_correlation: float = 0.7
     monitor_noise: float = 0.003
+    #: result materialization (``RuntimeConfig.traces``).  Sweeps default to
+    #: the scalar fast path — records hold only scalar metrics, so the
+    #: trace-free run returns equivalent records (discrete fields
+    #: bit-identical, float reductions to 1e-9 rtol) while skipping all
+    #: trace materialization.  Deliberately *not* part of ``point_key``:
+    #: it changes how results materialize, not what they are.
+    traces: str = "none"
 
     @property
     def point_key(self) -> Tuple[Tuple[str, object], ...]:
@@ -164,7 +171,8 @@ class RunSpec:
             beta=self.beta, recompute_cycles=self.recompute_cycles,
             flip_mean=self.flip_mean, flip_std=self.flip_std,
             flip_correlation=self.flip_correlation,
-            monitor_noise=self.monitor_noise, seed=self.seed)
+            monitor_noise=self.monitor_noise, seed=self.seed,
+            traces=self.traces)
 
 
 @dataclass(frozen=True)
@@ -193,6 +201,12 @@ class SweepSpec:
     #: seed-ensemble size per grid point and the sweep's master seed.
     seeds: int = 1
     master_seed: int = 0
+    #: result materialization for every run (``RuntimeConfig.traces``);
+    #: ``"none"`` (default) is the scalar-record fast path — sweep records
+    #: are scalar-only, so nothing is lost and all trace materialization is
+    #: skipped.  Set ``"full"`` to re-run the slow path (the record
+    #: equivalence between the two is asserted by the benchmark harnesses).
+    traces: str = "none"
     #: seed derivation: "per_point" (default — every run draws an independent
     #: seed from its grid coordinates) or "shared" (common random numbers —
     #: every grid point's k-th ensemble run uses the same seed, so points
@@ -214,6 +228,9 @@ class SweepSpec:
         if self.seed_mode not in ("per_point", "shared"):
             raise ValueError(f"unknown seed_mode {self.seed_mode!r}; "
                              "expected 'per_point' or 'shared'")
+        if self.traces not in ("full", "none"):
+            raise ValueError(f"unknown traces mode {self.traces!r}; "
+                             "expected 'full' or 'none'")
 
     @property
     def n_points(self) -> int:
@@ -246,7 +263,7 @@ class SweepSpec:
                     recompute_cycles=self.recompute_cycles,
                     flip_mean=flip_mean, flip_std=flip_std,
                     flip_correlation=flip_correlation,
-                    monitor_noise=monitor_noise))
+                    monitor_noise=monitor_noise, traces=self.traces))
         return runs
 
     def to_json_dict(self) -> Dict:
@@ -266,6 +283,7 @@ class SweepSpec:
             "seeds": self.seeds,
             "master_seed": self.master_seed,
             "seed_mode": self.seed_mode,
+            "traces": self.traces,
         }
 
     @classmethod
@@ -281,7 +299,8 @@ class SweepSpec:
             flip_correlations=tuple(data["flip_correlations"]),
             monitor_noises=tuple(data["monitor_noises"]),
             seeds=int(data["seeds"]), master_seed=int(data["master_seed"]),
-            seed_mode=data.get("seed_mode", "per_point"))
+            seed_mode=data.get("seed_mode", "per_point"),
+            traces=data.get("traces", "none"))
 
 
 def vars_of(spec: WorkloadSpec) -> Dict:

@@ -246,3 +246,67 @@ class TestBatchedControllerOps:
         transitions = slow.advance_nofail(0, 60)
         assert breaks == transitions
         assert self.snapshot(fast) == self.snapshot(slow)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 5, 11])
+    def test_apply_failures_at_cycles_matches_looped_step(self, table, seed):
+        """Property test: random safe-level failure runs (every inter-failure
+        gap shorter than beta) — one vectorized call reproduces the looped
+        per-cycle reference state exactly, including a-level downgrades."""
+        import numpy as np
+        rng = np.random.default_rng(seed)
+        beta = int(rng.integers(3, 30))
+        batch, looped = self.make_pair(table, beta=beta)
+        # Shift the phase randomly (failure-free steps plus maybe a failure).
+        warm = int(rng.integers(0, 2 * beta))
+        for controller in (batch, looped):
+            for _ in range(warm):
+                controller.step(0, ir_failure=False)
+        # Build a run obeying the no-transition contract.
+        first_gap = batch.cycles_to_next_transition(0)
+        offsets = [int(rng.integers(0, first_gap))]
+        for _ in range(int(rng.integers(0, 30))):
+            offsets.append(offsets[-1] + 1 + int(rng.integers(0, beta)))
+        level, next_gap = batch.apply_failures_at_cycles(0, offsets)
+
+        fails = set(offsets)
+        for cycle in range(offsets[-1] + 1):
+            looped.step(0, ir_failure=cycle in fails)
+        assert self.snapshot(batch) == self.snapshot(looped)
+        assert level == looped.state(0).level
+        assert next_gap == looped.cycles_to_next_transition(0)
+
+    def test_apply_failures_at_cycles_numpy_path_matches_scalar(self, table):
+        """Long runs take the vectorized numpy path; same state machine."""
+        import numpy as np
+        rng = np.random.default_rng(7)
+        beta = 13
+        batch, looped = self.make_pair(table, beta=beta)
+        offsets = [int(rng.integers(0, beta))]
+        for _ in range(199):                     # >= the scalar-path cutoff
+            offsets.append(offsets[-1] + 1 + int(rng.integers(0, beta)))
+        batch.apply_failures_at_cycles(0, np.asarray(offsets))
+        fails = set(offsets)
+        for cycle in range(offsets[-1] + 1):
+            looped.step(0, ir_failure=cycle in fails)
+        assert self.snapshot(batch) == self.snapshot(looped)
+
+    def test_apply_failures_at_cycles_rejects_contract_violations(self, table):
+        controller, _ = self.make_pair(table, beta=5)
+        with pytest.raises(ValueError):
+            controller.apply_failures_at_cycles(0, [3, 3])   # not increasing
+        with pytest.raises(ValueError):
+            controller.apply_failures_at_cycles(0, [-1])     # negative offset
+        with pytest.raises(ValueError):
+            # First failure lands beyond the next scheduled transition.
+            controller.apply_failures_at_cycles(0, [50])
+        with pytest.raises(ValueError):
+            # A beta-long failure-free gap inside the run.
+            controller.apply_failures_at_cycles(0, [1, 8])
+
+    def test_apply_failures_at_cycles_empty_is_noop(self, table):
+        controller, _ = self.make_pair(table, beta=5)
+        before = self.snapshot(controller)
+        level, gap = controller.apply_failures_at_cycles(0, [])
+        assert self.snapshot(controller) == before
+        assert level == controller.state(0).level
+        assert gap == controller.cycles_to_next_transition(0)

@@ -1,0 +1,218 @@
+"""Scalar-record fast path (``RuntimeConfig.traces == "none"``) equivalence.
+
+The trace-free materialization must produce scalar records equivalent to the
+full-trace path — discrete fields (failures, stalls, levels) bit-identical,
+float reductions (energy, mean drop, elapsed time) to 1e-9 rtol, and extremal
+statistics (worst drop, peak Rtog) exactly equal — across all three
+controllers, both operating modes, both sweep seed modes, the stress axes,
+and every engine variant (reference == scan == batched == kernel), including
+workloads whose logical Sets straddle group boundaries (the coupled-group
+heap path).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import PIMRuntime, RuntimeConfig, run_vectorized, simulate
+from repro.sweep import (
+    SerialExecutor,
+    SweepRunner,
+    SweepSpec,
+    WorkloadSpec,
+    build_compiled_workload,
+)
+from repro.sweep.records import METRIC_NAMES
+
+#: Discrete record metrics that must be bit-identical.
+EXACT_METRICS = ("total_failures", "total_stall_cycles")
+
+
+def assert_scalar_equivalent(full, scalar, rtol=1e-9):
+    """Scalar result vs full-trace result: the record-level contract."""
+    assert scalar.chip_drop_trace is None
+    assert len(full.macro_results) == len(scalar.macro_results)
+    for ref, fast in zip(full.macro_results, scalar.macro_results):
+        assert fast.rtog_trace is None and fast.drop_trace is None
+        assert ref.macro_index == fast.macro_index
+        assert ref.failures == fast.failures
+        assert ref.stall_cycles == fast.stall_cycles
+        # Extremal statistics pick existing floats: exactly equal.
+        assert ref.worst_drop == fast.worst_drop
+        assert ref.peak_rtog == fast.peak_rtog
+        assert ref.mean_rtog == fast.mean_rtog
+        assert np.isclose(ref.mean_drop, fast.mean_drop, rtol=rtol, atol=0.0)
+        assert np.isclose(ref.energy.dynamic_energy, fast.energy.dynamic_energy,
+                          rtol=rtol)
+        assert np.isclose(ref.energy.static_energy, fast.energy.static_energy,
+                          rtol=rtol)
+        assert np.isclose(ref.energy.elapsed_time, fast.energy.elapsed_time,
+                          rtol=rtol)
+        assert ref.energy.completed_macs == fast.energy.completed_macs
+    assert len(full.group_results) == len(scalar.group_results)
+    for ref, fast in zip(full.group_results, scalar.group_results):
+        assert fast.level_trace is None
+        assert ref.group_id == fast.group_id
+        assert ref.safe_level == fast.safe_level
+        assert ref.final_level == fast.final_level
+        assert ref.failures == fast.failures
+        assert np.isclose(ref.mean_level, fast.mean_level, rtol=1e-12)
+    for name in METRIC_NAMES:
+        ref_value = getattr(full, name)
+        fast_value = getattr(scalar, name)
+        if name in EXACT_METRICS:
+            assert ref_value == fast_value, name
+        else:
+            assert np.isclose(ref_value, fast_value, rtol=rtol, atol=0.0), name
+
+
+def contained_sets_workload(label="scalar-contained"):
+    """Independent groups only (Sets inside groups): the kernel paths."""
+    return build_compiled_workload(WorkloadSpec(
+        builder="synthetic", groups=6, macros_per_group=2, banks=4, rows=8,
+        operator_rows=16, n_operators=6, code_spread=30.0,
+        mapping="sequential", label=label))
+
+
+def straddling_sets_workload(label="scalar-straddle"):
+    """Two-macro Sets over three-macro groups: the coupled heap path."""
+    return build_compiled_workload(WorkloadSpec(
+        builder="synthetic", groups=6, macros_per_group=3, banks=4, rows=8,
+        operator_rows=16, n_operators=9, code_spread=30.0,
+        mapping="sequential", label=label))
+
+
+class TestScalarEquivalence:
+    @pytest.mark.parametrize("controller", ["dvfs", "booster_safe", "booster"])
+    @pytest.mark.parametrize("mode", ["low_power", "sprint"])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_controllers_modes_seeds(self, controller, mode, seed):
+        compiled = contained_sets_workload()
+        kwargs = dict(cycles=400, controller=controller, mode=mode, seed=seed)
+        full = simulate(compiled, RuntimeConfig(traces="full", **kwargs))
+        scalar = simulate(compiled, RuntimeConfig(traces="none", **kwargs))
+        assert_scalar_equivalent(full, scalar)
+
+    @pytest.mark.parametrize("stress", [
+        dict(beta=4, recompute_cycles=10, flip_mean=0.8, monitor_noise=0.01),
+        dict(beta=10, recompute_cycles=25, flip_mean=0.75,
+             monitor_noise=0.006),
+        dict(recompute_cycles=0, flip_mean=0.8, monitor_noise=0.01),
+        dict(monitor_noise=0.0),
+        dict(flip_std=0.3, flip_correlation=0.9, monitor_noise=0.008),
+    ])
+    def test_stress_axes(self, stress):
+        compiled = contained_sets_workload()
+        kwargs = dict(cycles=500, controller="booster", seed=7, **stress)
+        full = simulate(compiled, RuntimeConfig(traces="full", **kwargs))
+        scalar = simulate(compiled, RuntimeConfig(traces="none", **kwargs))
+        assert_scalar_equivalent(full, scalar)
+
+    @pytest.mark.parametrize("controller", ["dvfs", "booster_safe", "booster"])
+    def test_group_straddling_sets(self, controller):
+        """Coupled groups run the heap scheduler; the scalar materialization
+        consumes its scalar logs identically."""
+        compiled = straddling_sets_workload()
+        kwargs = dict(cycles=500, controller=controller, beta=4,
+                      recompute_cycles=10, flip_mean=0.8, monitor_noise=0.01,
+                      seed=7)
+        full = simulate(compiled, RuntimeConfig(traces="full", **kwargs))
+        scalar = simulate(compiled, RuntimeConfig(traces="none", **kwargs))
+        if controller != "dvfs":                 # the stress must bite
+            assert full.total_failures > 50
+        assert_scalar_equivalent(full, scalar)
+
+    @pytest.mark.parametrize("controller", ["booster_safe", "booster"])
+    def test_engine_variants_agree(self, controller):
+        """reference == scan == batched == kernel on scalar records: every
+        event path feeds the same scalar materialization."""
+        compiled = contained_sets_workload()
+        kwargs = dict(cycles=500, controller=controller, beta=4,
+                      recompute_cycles=10, flip_mean=0.8, monitor_noise=0.01,
+                      seed=7)
+        reference = simulate(compiled, RuntimeConfig(engine="reference",
+                                                     **kwargs))
+        scalar_cfg = RuntimeConfig(traces="none", **kwargs)
+        kernel = run_vectorized(PIMRuntime(compiled, scalar_cfg))
+        batched = run_vectorized(PIMRuntime(compiled, scalar_cfg),
+                                 kernel=False)
+        scan = run_vectorized(PIMRuntime(compiled, scalar_cfg), batched=False)
+        for variant in (kernel, batched, scan):
+            assert_scalar_equivalent(reference, variant)
+
+    def test_reference_engine_ignores_traces(self):
+        """The oracle always materializes traces, whatever the config says."""
+        compiled = contained_sets_workload()
+        result = simulate(compiled, RuntimeConfig(
+            cycles=200, controller="booster", seed=0, engine="reference",
+            traces="none"))
+        assert result.macro_results[0].drop_trace is not None
+
+    def test_unknown_traces_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(traces="some").validate()
+
+
+class TestSweepTraces:
+    def spec(self, traces, seed_mode="per_point"):
+        workload = WorkloadSpec(
+            builder="synthetic", groups=4, macros_per_group=2, banks=4,
+            rows=8, operator_rows=16, n_operators=4, code_spread=30.0,
+            mapping="sequential", label="scalar-sweep")
+        return SweepSpec(name="scalar-sweep", workloads=(workload,),
+                         controllers=("booster", "booster_safe", "dvfs"),
+                         betas=(5, 20), cycles=300, flip_means=(0.8,),
+                         monitor_noises=(0.01,), seeds=2, master_seed=3,
+                         seed_mode=seed_mode, traces=traces)
+
+    def test_sweeps_default_to_scalar_fast_path(self):
+        assert SweepSpec().traces == "none"
+        run = self.spec("none").expand()[0]
+        assert run.traces == "none"
+        assert run.runtime_config().traces == "none"
+
+    @pytest.mark.parametrize("seed_mode", ["per_point", "shared"])
+    def test_records_equivalent_both_seed_modes(self, seed_mode):
+        full = SweepRunner(self.spec("full", seed_mode),
+                           SerialExecutor()).run()
+        scalar = SweepRunner(self.spec("none", seed_mode),
+                             SerialExecutor()).run()
+        assert full.run_ids == scalar.run_ids
+        for ref, fast in zip(full.sorted_records(), scalar.sorted_records()):
+            assert ref.point_key == fast.point_key and ref.seed == fast.seed
+            for name, value in ref.metrics.items():
+                if name in EXACT_METRICS:
+                    assert value == fast.metrics[name], (ref.run_id, name)
+                else:
+                    assert np.isclose(value, fast.metrics[name], rtol=1e-9,
+                                      atol=0.0), (ref.run_id, name)
+
+    def test_traces_survive_json_roundtrip(self):
+        spec = self.spec("full")
+        restored = SweepSpec.from_json_dict(spec.to_json_dict())
+        assert restored.traces == "full"
+        assert restored == spec
+        # Pre-traces result files default to the fast path on load.
+        data = spec.to_json_dict()
+        del data["traces"]
+        assert SweepSpec.from_json_dict(data).traces == "none"
+
+    def test_traces_not_part_of_point_key(self):
+        """Resuming a full-trace sweep under the fast path (or vice versa)
+        is permitted: traces change materialization, not identity."""
+        full_run = self.spec("full").expand()[0]
+        none_run = self.spec("none").expand()[0]
+        assert full_run.point_key == none_run.point_key
+
+    def test_unknown_traces_rejected(self):
+        with pytest.raises(ValueError):
+            self.spec("deep")
+
+    def test_resume_across_trace_modes(self, tmp_path):
+        """A checkpoint written by a full-trace sweep resumes cleanly under
+        the scalar fast path (same seeds, same grid)."""
+        path = str(tmp_path / "sweep.json")
+        full = SweepRunner(self.spec("full"), SerialExecutor())
+        full.run(save_path=path)
+        resumed = SweepRunner(self.spec("none"), SerialExecutor()) \
+            .run(resume_from=path)
+        assert len(resumed.records) == self.spec("none").n_runs

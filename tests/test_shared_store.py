@@ -307,11 +307,40 @@ class TestLevelCacheIntegration:
         for a, b in zip(baseline.macro_results, survived.macro_results):
             assert np.array_equal(a.drop_trace, b.drop_trace)
 
-    def test_adhoc_workloads_never_cross_processes(self, fresh_cache,
-                                                   tmp_path):
-        """Compiled images without a builder fingerprint key by process-local
-        token — the store must refuse them."""
+    def test_adhoc_workloads_share_by_content(self, fresh_cache, tmp_path):
+        """Compiled images without a builder fingerprint derive a
+        content-derived identity the store accepts: their physics publishes,
+        and a content-identical rebuild maps to the same shareable keys."""
+        from repro.sim.level_cache import workload_cache_key
         compiled = build_compiled_workload(store_workload("store-token"))
+        adhoc = type(compiled)(**{
+            f: getattr(compiled, f) for f in compiled.__dataclass_fields__})
+        assert getattr(adhoc, "cache_key", None) is None
+        store = attach_shared_store(str(tmp_path))
+        simulate(adhoc, RuntimeConfig(cycles=200, controller="booster",
+                                      seed=0))
+        assert store.stats()["entries"] > 0
+        assert store.rejected_keys == 0
+        # A second, independently constructed content-identical image hashes
+        # to the same ("content", ...) identity — the cross-process pattern.
+        rebuilt = type(compiled)(**{
+            f: getattr(compiled, f) for f in compiled.__dataclass_fields__})
+        key = workload_cache_key(rebuilt)
+        assert key[0] == "content"
+        assert key == workload_cache_key(adhoc)
+        assert shareable_key(key)
+
+    def test_undigestible_workloads_never_cross_processes(
+            self, fresh_cache, tmp_path, monkeypatch):
+        """When no content digest can be derived the key falls back to a
+        process-local token — the store must refuse it."""
+        from repro.sim import level_cache as level_cache_module
+
+        def refuse(compiled):
+            raise TypeError("undigestible")
+
+        monkeypatch.setattr(level_cache_module, "content_fingerprint", refuse)
+        compiled = build_compiled_workload(store_workload("store-token2"))
         compiled = type(compiled)(**{
             f: getattr(compiled, f) for f in compiled.__dataclass_fields__})
         assert getattr(compiled, "cache_key", None) is None

@@ -205,6 +205,7 @@ class ByteBudgetCache:
         self.misses = 0
         self.backend_hits = 0
         self.rejected = 0
+        self.backend_errors = 0
 
     def get(self, key: Hashable) -> Optional[object]:
         entry = self._entries.get(key)
@@ -216,7 +217,14 @@ class ByteBudgetCache:
         # measurement mode — so an attached backend must not quietly serve
         # warm entries either.
         if self.backend is not None and self.budget_bytes > 0:
-            loaded = self.backend.load(key)
+            # A raising backend degrades to a miss (the engine recomputes);
+            # ``SharedPhysicsStore`` already swallows its own I/O failures,
+            # so this guards third-party duck-typed backends.
+            try:
+                loaded = self.backend.load(key)
+            except Exception:
+                self.backend_errors += 1
+                loaded = None
             if loaded is not None:
                 value, nbytes = loaded
                 self.backend_hits += 1
@@ -249,7 +257,10 @@ class ByteBudgetCache:
     def put(self, key: Hashable, value: object, nbytes: int) -> None:
         self._insert(key, value, nbytes)
         if self.backend is not None and self.budget_bytes > 0:
-            self.backend.store(key, value, nbytes)
+            try:
+                self.backend.store(key, value, nbytes)
+            except Exception:               # see get(): degrade, don't crash
+                self.backend_errors += 1
 
     def set_budget(self, budget_bytes: int) -> int:
         """Change the byte budget, evicting down to it; returns the old one."""
@@ -270,6 +281,7 @@ class ByteBudgetCache:
         self.misses = 0
         self.backend_hits = 0
         self.rejected = 0
+        self.backend_errors = 0
 
     def stats(self) -> Dict[str, int]:
         stats = {
@@ -280,6 +292,7 @@ class ByteBudgetCache:
             "budget_bytes": self.budget_bytes,
             "rejected": self.rejected,
             "backend_hits": self.backend_hits,
+            "backend_errors": self.backend_errors,
         }
         if self.backend is not None:
             stats["backend"] = self.backend.stats()

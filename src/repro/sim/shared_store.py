@@ -42,8 +42,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
+import time
 from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
@@ -56,7 +58,9 @@ try:                                        # POSIX advisory locking
 except ImportError:                         # pragma: no cover - non-POSIX
     fcntl = None
 
-__all__ = ["SharedPhysicsStore", "shareable_key"]
+__all__ = ["SharedPhysicsStore", "StoreLockTimeout", "shareable_key"]
+
+logger = logging.getLogger("repro.sim.shared_store")
 
 _ALIGN = 64
 _FORMAT_VERSION = 1
@@ -85,18 +89,50 @@ def _digest(key: Hashable) -> str:
     return hashlib.sha256(repr(key).encode()).hexdigest()[:40]
 
 
-class _Flock:
-    """Advisory exclusive lock on a file (no-op where flock is unavailable)."""
+class StoreLockTimeout(TimeoutError):
+    """The store's advisory lock could not be acquired within the timeout.
 
-    def __init__(self, path: str) -> None:
+    A ``TimeoutError`` (hence an ``OSError``): a worker that died while
+    holding ``.lock`` releases it with its file descriptors, so a timeout
+    here means a *live* holder is wedged — the store degrades (the entry
+    stays unpublished) rather than blocking the simulation forever.
+    """
+
+
+class _Flock:
+    """Advisory exclusive lock on a file (no-op where flock is unavailable).
+
+    With a ``timeout``, acquisition polls ``LOCK_NB`` and raises
+    :class:`StoreLockTimeout` when the deadline passes instead of blocking
+    indefinitely on a wedged holder.
+    """
+
+    def __init__(self, path: str, timeout: Optional[float] = None) -> None:
         self.path = path
+        self.timeout = timeout
         self._handle = None
 
     def __enter__(self) -> "_Flock":
-        if fcntl is not None:
-            self._handle = open(self.path, "a")
+        if fcntl is None:
+            return self
+        self._handle = open(self.path, "a")
+        if self.timeout is None:
             fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
-        return self
+            return self
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fcntl.flock(self._handle.fileno(),
+                            fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return self
+            except OSError:
+                if time.monotonic() >= deadline:
+                    self._handle.close()
+                    self._handle = None
+                    raise StoreLockTimeout(
+                        f"could not acquire store lock {self.path!r} "
+                        f"within {self.timeout}s")
+                time.sleep(0.01)
 
     def __exit__(self, *exc) -> None:
         if self._handle is not None:
@@ -172,10 +208,22 @@ class SharedPhysicsStore:
     long-lived persistent stores that do not need the audit trail.
     """
 
-    def __init__(self, directory: str, record_events: bool = True) -> None:
+    def __init__(self, directory: str, record_events: bool = True,
+                 lock_timeout: Optional[float] = 10.0) -> None:
         self.directory = directory
         self.record_events = record_events
-        os.makedirs(directory, exist_ok=True)
+        self.lock_timeout = lock_timeout
+        self.degraded = False
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError as error:
+            # Unwritable store root: degrade to the process-local cache —
+            # every load misses and every store fails (counted), the
+            # simulation itself is unaffected.
+            self.degraded = True
+            logger.warning("shared store directory %r unusable (%s); "
+                           "degrading to process-local caching only",
+                           directory, error)
         self._index_path = os.path.join(directory, "index.json")
         self._lock_path = os.path.join(directory, ".lock")
         self._events_path = os.path.join(directory, "stats.jsonl")
@@ -185,11 +233,19 @@ class SharedPhysicsStore:
         #: line per (entry, process) even when an oversized-for-memory entry
         #: is re-loaded on every get.
         self._logged: Dict[str, set] = {"hit": set(), "store": set()}
+        #: digests whose on-disk bytes this process already checksum-verified
+        #: — verification is once per (entry, process), not per load.
+        self._verified: set = set()
         self.loads = 0
         self.load_hits = 0
         self.stores = 0
         self.rejected_keys = 0
         self.stale_rejected = 0
+        self.corrupt_rejected = 0
+        self.load_errors = 0
+        self.store_errors = 0
+        self.event_log_errors = 0
+        self.lock_timeouts = 0
 
     # ------------------------------------------------------------------ #
     # index handling
@@ -229,8 +285,9 @@ class SharedPhysicsStore:
         try:
             with open(self._events_path, "a") as handle:
                 handle.write(line + "\n")
-        except OSError:                     # audit is never worth a crash
-            pass
+        except OSError:                     # audit is never worth a crash —
+            self.event_log_errors += 1      # but a sick log must be visible
+            logged.discard(digest)          # retry the line on the next event
 
     def read_events(self) -> List[Dict]:
         """All logged store/hit events (for cross-worker reuse accounting)."""
@@ -281,13 +338,19 @@ class SharedPhysicsStore:
 
         Best-effort by contract: any I/O failure (store directory removed
         mid-sweep, permissions, ENOSPC on the audit log) degrades to a miss
-        — the engine just recomputes — never to a crashed run.
+        — the engine just recomputes — never to a crashed run.  Swallowed
+        failures are counted in ``stats()["load_errors"]``.
         """
+        if self.degraded:
+            return None
         try:
             return self._load(key)
-        except (OSError, ValueError, KeyError):
-            # OSError: directory/file gone or unreadable; ValueError/KeyError:
-            # a corrupt index record that survived the size check.
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            # OSError: directory/file gone or unreadable; ValueError/KeyError/
+            # TypeError: a corrupt index record that survived the size check
+            # (np.dtype raises TypeError on a garbage dtype string).
+            self.load_errors += 1
+            logger.debug("shared store load failed for %r: %r", key, error)
             return None
 
     def _load(self, key: Hashable) -> Optional[Tuple[object, int]]:
@@ -312,6 +375,16 @@ class SharedPhysicsStore:
             self._index.pop(digest, None)
             self.stale_rejected += 1
             return None
+        checksum = record.get("sha256")
+        if checksum is not None and digest not in self._verified:
+            if hashlib.sha256(mm).hexdigest() != checksum:
+                # Damaged bytes behind an intact size: quarantine the file
+                # (rename for post-mortem) so ``_published`` turns false and
+                # the entry can be re-derived and republished.  Correctness
+                # never depended on the hit — this is a miss, not an error.
+                self._quarantine(digest, path)
+                return None
+            self._verified.add(digest)
         arrays: Dict[str, np.ndarray] = {}
         for spec in record["arrays"]:
             shape = tuple(spec["shape"])
@@ -327,16 +400,44 @@ class SharedPhysicsStore:
         self._log_event("hit", digest)
         return decoded
 
+    def _quarantine(self, digest: str, path: str) -> None:
+        """Take a checksum-failed data file out of service, keeping evidence."""
+        self.corrupt_rejected += 1
+        self._index.pop(digest, None)
+        self._verified.discard(digest)
+        logger.warning("shared store entry %s failed its checksum; "
+                       "quarantining %s for re-derivation", digest, path)
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            try:
+                os.unlink(path)             # rename failed: at least unpublish
+            except OSError:
+                pass
+
     def store(self, key: Hashable, value: object, nbytes: int) -> bool:
         """Publish an entry (idempotent; refuses process-local keys).
 
         Best-effort like :meth:`load`: publication failures (directory gone,
-        ENOSPC, permissions) report ``False`` instead of raising into the
-        simulation — the fleet just loses sharing for that entry.
+        ENOSPC, permissions, a wedged ``.lock`` holder) report ``False``
+        instead of raising into the simulation — the fleet just loses sharing
+        for that entry.  Swallowed failures are counted in
+        ``stats()["store_errors"]`` (lock timeouts additionally in
+        ``stats()["lock_timeouts"]``).
         """
+        if self.degraded:
+            self.store_errors += 1
+            return False
         try:
             return self._store(key, value, nbytes)
-        except OSError:
+        except StoreLockTimeout as error:
+            self.lock_timeouts += 1
+            self.store_errors += 1
+            logger.warning("shared store publish skipped: %s", error)
+            return False
+        except OSError as error:
+            self.store_errors += 1
+            logger.debug("shared store publish failed for %r: %r", key, error)
             return False
 
     def _store(self, key: Hashable, value: object, nbytes: int) -> bool:
@@ -380,16 +481,25 @@ class SharedPhysicsStore:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(blob)
             os.replace(tmp_path, final_path)
-        except OSError:
+        except OSError as error:
+            self.store_errors += 1
+            logger.debug("shared store blob write failed for %s: %r",
+                         digest, error)
             try:
                 os.unlink(tmp_path)
             except OSError:
                 pass
             return False
+        # Chaos-harness hook (no-op unarmed): damage the published bytes the
+        # way a disk fault would, *after* the atomic rename — the checksum
+        # verification on load is what must catch it.
+        from ..sweep.faults import store_fault
+        store_fault(final_path)
 
         record = {"file": file_name, "size": len(blob), "kind": kind,
-                  "meta": meta, "arrays": specs, "pid": os.getpid()}
-        with _Flock(self._lock_path):
+                  "meta": meta, "arrays": specs, "pid": os.getpid(),
+                  "sha256": hashlib.sha256(blob).hexdigest()}
+        with _Flock(self._lock_path, timeout=self.lock_timeout):
             entries = self._read_index()
             entries[digest] = record
             payload = {"version": _FORMAT_VERSION, "entries": entries}
@@ -423,7 +533,8 @@ class SharedPhysicsStore:
         return counts
 
     def stats(self) -> Dict[str, int]:
-        self._refresh_index()
+        if not self.degraded:
+            self._refresh_index()
         return {
             "directory": self.directory,
             "entries": len(self._index),
@@ -432,4 +543,10 @@ class SharedPhysicsStore:
             "stores": self.stores,
             "rejected_keys": self.rejected_keys,
             "stale_rejected": self.stale_rejected,
+            "corrupt_rejected": self.corrupt_rejected,
+            "load_errors": self.load_errors,
+            "store_errors": self.store_errors,
+            "event_log_errors": self.event_log_errors,
+            "lock_timeouts": self.lock_timeouts,
+            "degraded": self.degraded,
         }

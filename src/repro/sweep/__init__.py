@@ -18,6 +18,14 @@ Figs. 19/20 sweep ablation steps.  This package makes those first-class:
 
 Serial and pool execution are bit-for-bit equivalent for the same spec and
 master seed; ``tests/test_sweep.py`` enforces the contract.
+
+Fault tolerance: executors armed with a
+:class:`~repro.sweep.spec.RetryPolicy` (and, for the pool, a per-run
+``run_timeout``) retry transient failures, survive hung runs and dead
+workers by rebuilding the fleet, and quarantine runs that exhaust their
+budget into :attr:`SweepResult.failed_runs` — see
+:mod:`repro.sweep.runner` and the deterministic chaos harness in
+:mod:`repro.sweep.faults`.
 """
 
 from .builders import (
@@ -25,13 +33,38 @@ from .builders import (
     clear_workload_cache,
     register_workload_builder,
 )
-from .records import METRIC_NAMES, MetricStats, PointSummary, RunRecord, SweepResult
+from .faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    arm_faults,
+    disarm_faults,
+    injected_faults,
+)
+from .records import (
+    METRIC_NAMES,
+    FailedRun,
+    MetricStats,
+    PointSummary,
+    RunRecord,
+    SweepResult,
+)
 from .runner import PoolExecutor, SerialExecutor, SweepRunner, execute_run, run_sweeps
-from .spec import RunSpec, SweepSpec, WorkloadSpec, ensemble_seed, run_seed
+from .spec import (
+    RetryPolicy,
+    RunSpec,
+    SweepSpec,
+    WorkloadSpec,
+    ensemble_seed,
+    run_seed,
+)
 
 __all__ = [
     "SweepSpec", "RunSpec", "WorkloadSpec", "run_seed", "ensemble_seed",
     "SweepRunner", "SerialExecutor", "PoolExecutor", "execute_run", "run_sweeps",
-    "SweepResult", "RunRecord", "MetricStats", "PointSummary", "METRIC_NAMES",
+    "SweepResult", "RunRecord", "FailedRun", "MetricStats", "PointSummary",
+    "METRIC_NAMES", "RetryPolicy",
     "register_workload_builder", "build_compiled_workload", "clear_workload_cache",
+    "FaultSpec", "FaultPlan", "InjectedFault",
+    "arm_faults", "disarm_faults", "injected_faults",
 ]

@@ -26,6 +26,18 @@ Checkpointing: the runner consumes records through the executors' streaming
 and — whenever ``save_path`` is set — on any executor error or interruption,
 so long sweeps survive being killed mid-executor-pass and resume from the
 last checkpoint.
+
+Fault tolerance (supervision): both executors accept a
+:class:`~repro.sweep.spec.RetryPolicy`; :class:`PoolExecutor` additionally
+accepts a per-run wall-clock ``run_timeout``.  Passing either arms the
+*supervised* path — run attempts that raise are retried in place, timed-out
+or lost chunks (a hung run, a worker process that died mid-chunk) tear the
+fleet down, requeue only the unfinished runs, and rebuild — and runs that
+exhaust their attempt budget are quarantined as
+:class:`~repro.sweep.records.FailedRun`s in ``SweepResult.failed_runs``
+instead of aborting the sweep.  Without either argument both executors keep
+their historical raise-through behavior (and the pool its zero-overhead
+``Pool.map``/``imap_unordered`` dispatch).
 """
 
 from __future__ import annotations
@@ -38,13 +50,15 @@ import shutil
 import tempfile
 import time
 import warnings
+from collections import deque
 from contextlib import contextmanager
 from math import ceil
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from . import faults
 from .builders import build_compiled_workload
-from .records import RunRecord, SweepResult
-from .spec import RunSpec, SweepSpec
+from .records import FailedRun, RunRecord, SweepResult
+from .spec import RetryPolicy, RunSpec, SweepSpec
 
 __all__ = ["SerialExecutor", "PoolExecutor", "SweepRunner", "execute_run",
            "run_sweeps"]
@@ -52,6 +66,9 @@ __all__ = ["SerialExecutor", "PoolExecutor", "SweepRunner", "execute_run",
 #: Progress/throughput log channel (enable with the standard logging config,
 #: e.g. ``logging.getLogger("repro.sweep").setLevel(logging.INFO)``).
 logger = logging.getLogger("repro.sweep")
+
+#: One executor outcome: a completed record or a quarantined failure.
+RunOutcome = Union[RunRecord, FailedRun]
 
 
 def execute_run(run: RunSpec) -> RunRecord:
@@ -61,29 +78,85 @@ def execute_run(run: RunSpec) -> RunRecord:
     the compiled workload through the per-process cache.
     """
     from ..sim.runtime import PIMRuntime
+    faults.maybe_fail_run(run.run_id)     # chaos-harness hook; no-op unarmed
     compiled = build_compiled_workload(run.workload)
     result = PIMRuntime(compiled, run.runtime_config()).run()
     return RunRecord.from_simulation(run, result)
 
 
+def _attempt_run(fn: Callable[[RunSpec], RunRecord], run: RunSpec,
+                 first_attempt: int, policy: RetryPolicy) -> RunOutcome:
+    """Execute one run under a retry policy, starting at ``first_attempt``.
+
+    Retries exceptions in place (with the policy's backoff) and returns a
+    :class:`FailedRun` when the attempt budget is exhausted.  Shared by the
+    serial executor and the pool workers, so serial and pool sweeps quarantine
+    identically.
+    """
+    attempt = first_attempt
+    while True:
+        delay = policy.delay_before(attempt)
+        if delay > 0:
+            time.sleep(delay)
+        faults.set_current_attempt(attempt)
+        try:
+            return fn(run)
+        except Exception as error:
+            logger.warning("run %s attempt %d/%d failed: %r", run.run_id,
+                           attempt, policy.max_attempts, error)
+            if attempt >= policy.max_attempts:
+                return FailedRun.from_run(run, repr(error), attempts=attempt)
+            attempt += 1
+        finally:
+            faults.set_current_attempt(1)
+
+
 class SerialExecutor:
-    """Run every simulation in the calling process, in spec order."""
+    """Run every simulation in the calling process, in spec order.
+
+    With a :class:`~repro.sweep.spec.RetryPolicy`, failed attempts are
+    retried and exhausted runs yielded as :class:`FailedRun`s — the same
+    quarantine semantics as the supervised pool (a hung run cannot be
+    interrupted in-process, so wall-clock timeouts are pool-only).  Without
+    one, exceptions propagate as they always have.
+    """
+
+    def __init__(self, retry_policy: Optional[RetryPolicy] = None) -> None:
+        self.retry_policy = retry_policy
 
     def map(self, fn: Callable[[RunSpec], RunRecord],
-            runs: Sequence[RunSpec]) -> List[RunRecord]:
-        return [fn(run) for run in runs]
+            runs: Sequence[RunSpec]) -> List[RunOutcome]:
+        if self.retry_policy is None:
+            return [fn(run) for run in runs]
+        return [_attempt_run(fn, run, 1, self.retry_policy) for run in runs]
 
     def imap_unordered(self, fn: Callable[[RunSpec], RunRecord],
-                       runs: Sequence[RunSpec]) -> Iterator[RunRecord]:
+                       runs: Sequence[RunSpec]) -> Iterator[RunOutcome]:
         """Yield records one by one as they complete (spec order here)."""
+        if self.retry_policy is None:
+            for run in runs:
+                yield fn(run)
+            return
         for run in runs:
-            yield fn(run)
+            yield _attempt_run(fn, run, 1, self.retry_policy)
 
 
 def _apply_chunk(args) -> List[RunRecord]:
     """Worker-side chunk evaluation (top-level so it pickles by reference)."""
     fn, chunk = args
     return [fn(run) for run in chunk]
+
+
+def _apply_supervised_chunk(args) -> List[RunOutcome]:
+    """Worker-side supervised chunk: per-run retry loop + quarantine.
+
+    ``items`` carries ``(run, first_attempt)`` pairs — the supervisor bumps
+    ``first_attempt`` when it requeues a run after a timeout or worker death,
+    so the total attempt budget spans pool rebuilds.
+    """
+    fn, items, policy = args
+    return [_attempt_run(fn, run, first_attempt, policy)
+            for run, first_attempt in items]
 
 
 def _attach_store_initializer(directory: str, record_events: bool) -> None:
@@ -133,6 +206,22 @@ class PoolExecutor:
     ``shared_cache_events=False`` turns off the store's per-entry reuse
     audit log (``stats.jsonl``) — recommended for long-lived persistent
     store directories that do not need the cross-worker accounting.
+
+    ``retry_policy`` / ``run_timeout`` arm the *supervised* dispatch path.
+    ``multiprocessing.Pool`` silently loses a chunk when the worker running
+    it dies (the pool respawns the worker but the in-flight task's result
+    never arrives), so supervision is deadline-based: chunks are dispatched
+    lazily (never more in flight than workers, so a dispatched chunk is
+    actually executing) with a wall-clock deadline of ``run_timeout`` seconds
+    per run; an expired chunk — hung run or dead worker alike — tears the
+    fleet down, requeues its runs as singletons with their attempt count
+    bumped, requeues the innocent in-flight chunks unchanged, and rebuilds
+    the pool.  Exceptions raised *inside* a worker are retried in-worker
+    without any teardown.  Runs exhausting ``retry_policy.max_attempts``
+    (default: 3 with ``run_timeout`` alone, since hung runs are usually
+    transient) come back as :class:`~repro.sweep.records.FailedRun`s.
+    Detecting kills/hangs requires ``run_timeout``; ``retry_policy`` alone
+    only supervises raised exceptions.
     """
 
     def __init__(self, processes: Optional[int] = None,
@@ -140,15 +229,25 @@ class PoolExecutor:
                  start_method: Optional[str] = None,
                  prebuild: bool = False,
                  shared_cache_dir: Optional[str] = None,
-                 shared_cache_events: bool = True) -> None:
+                 shared_cache_events: bool = True,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 run_timeout: Optional[float] = None) -> None:
         if processes is not None and processes <= 0:
             raise ValueError("processes must be positive")
+        if run_timeout is not None and run_timeout <= 0:
+            raise ValueError("run_timeout must be positive seconds")
         self.processes = processes
         self.chunksize = chunksize
         self.start_method = start_method
         self.prebuild = prebuild
         self.shared_cache_dir = shared_cache_dir
         self.shared_cache_events = shared_cache_events
+        self.retry_policy = retry_policy
+        self.run_timeout = run_timeout
+
+    @property
+    def supervised(self) -> bool:
+        return self.retry_policy is not None or self.run_timeout is not None
 
     def _plan(self, runs: List[RunSpec]):
         """(context, processes, workload-aligned chunks) for a run list."""
@@ -187,13 +286,11 @@ class PoolExecutor:
                 "on first use", RuntimeWarning, stacklevel=3)
 
     @contextmanager
-    def _pool(self, context, processes: int):
-        """A worker pool with the shared physics store (if any) attached.
+    def _shared_dir(self):
+        """Resolve ``shared_cache_dir`` for one executor pass.
 
-        Resolves ``shared_cache_dir`` for this pass ("auto" creates a
-        tempdir, removed when the pass ends; an explicit path is created if
-        missing and left in place) and installs the worker-side attach
-        initializer.
+        ``"auto"`` creates a tempdir removed when the pass ends; an explicit
+        path is created if missing and left in place.
         """
         shared_dir, created = None, False
         if self.shared_cache_dir == "auto":
@@ -202,21 +299,137 @@ class PoolExecutor:
         elif self.shared_cache_dir is not None:
             os.makedirs(self.shared_cache_dir, exist_ok=True)
             shared_dir = self.shared_cache_dir
-        pool_kwargs = {} if shared_dir is None else {
-            "initializer": _attach_store_initializer,
-            "initargs": (shared_dir, self.shared_cache_events)}
         try:
-            with context.Pool(processes=processes, **pool_kwargs) as pool:
-                yield pool
+            yield shared_dir
         finally:
             if created:
                 shutil.rmtree(shared_dir, ignore_errors=True)
 
+    def _make_pool(self, context, processes: int, shared_dir: Optional[str]):
+        """A worker pool with the shared physics store (if any) attached."""
+        pool_kwargs = {} if shared_dir is None else {
+            "initializer": _attach_store_initializer,
+            "initargs": (shared_dir, self.shared_cache_events)}
+        return context.Pool(processes=processes, **pool_kwargs)
+
+    @contextmanager
+    def _pool(self, context, processes: int):
+        """One-shot pool for the unsupervised dispatch paths."""
+        with self._shared_dir() as shared_dir:
+            pool = self._make_pool(context, processes, shared_dir)
+            try:
+                yield pool
+            finally:
+                pool.terminate()
+                pool.join()
+
+    def _supervised_imap(self, fn: Callable[[RunSpec], RunRecord],
+                         runs: List[RunSpec]) -> Iterator[RunOutcome]:
+        """Supervised streaming dispatch (see class docstring).
+
+        The invariant that makes per-chunk deadlines meaningful: at most
+        ``processes`` chunks are ever in flight, so every dispatched chunk
+        holds a worker and its deadline (``run_timeout`` x chunk length,
+        plus the policy's backoff allowance) bounds real execution, not
+        queue wait.
+        """
+        policy = self.retry_policy or RetryPolicy()
+        context, processes, chunks = self._plan(runs)
+        self._maybe_prebuild(context, runs)
+        with self._shared_dir() as shared_dir:
+            pool = self._make_pool(context, processes, shared_dir)
+            # Each queue entry is one chunk: [(run, first_attempt), ...].
+            queue = deque([(run, 1) for run in chunk] for chunk in chunks)
+            in_flight: List[tuple] = []       # (handle, items, deadline)
+            rebuilds = 0
+            try:
+                while queue or in_flight:
+                    while queue and len(in_flight) < processes:
+                        items = queue.popleft()
+                        handle = pool.apply_async(
+                            _apply_supervised_chunk, ((fn, items, policy),))
+                        deadline = None
+                        if self.run_timeout is not None:
+                            budget = sum(
+                                self.run_timeout * policy.max_attempts
+                                + sum(policy.delay_before(a) for a in
+                                      range(first, policy.max_attempts + 1))
+                                for _, first in items)
+                            deadline = time.monotonic() + budget
+                        in_flight.append((handle, items, deadline))
+                    in_flight[0][0].wait(0.02)
+                    ready, still = [], []
+                    for entry in in_flight:
+                        (ready if entry[0].ready() else still).append(entry)
+                    in_flight = still
+                    requeue_single: List[Tuple[RunSpec, int]] = []
+                    for handle, items, _ in ready:
+                        try:
+                            yield from handle.get()
+                        except Exception as error:
+                            # The chunk call itself failed (e.g. the result
+                            # did not unpickle) — charge every run an attempt.
+                            logger.warning(
+                                "supervised chunk of %d run(s) failed to "
+                                "return: %r", len(items), error)
+                            for run, first in items:
+                                if first >= policy.max_attempts:
+                                    yield FailedRun.from_run(
+                                        run, repr(error), attempts=first)
+                                else:
+                                    requeue_single.append((run, first + 1))
+                    now = time.monotonic()
+                    expired = [e for e in in_flight
+                               if e[2] is not None and now > e[2]]
+                    if expired:
+                        # A hung run or a dead worker: the pool cannot tell
+                        # us which, and a lost chunk would never come back —
+                        # tear the fleet down and requeue what is unfinished.
+                        rebuilds += 1
+                        logger.warning(
+                            "sweep pool: %d chunk(s) exceeded their deadline "
+                            "(hung run or dead worker); rebuilding fleet "
+                            "(rebuild #%d) and requeueing %d in-flight "
+                            "chunk(s)", len(expired), rebuilds, len(in_flight))
+                        pool.terminate()
+                        pool.join()
+                        expired_ids = {id(e) for e in expired}
+                        for entry in in_flight:
+                            _, items, _ = entry
+                            if id(entry) not in expired_ids:
+                                queue.append(items)     # innocent: as-is
+                                continue
+                            for run, first in items:
+                                if first >= policy.max_attempts:
+                                    yield FailedRun.from_run(
+                                        run,
+                                        f"timed out or lost with a dead "
+                                        f"worker after {first} attempt(s) "
+                                        f"(run_timeout={self.run_timeout}s)",
+                                        attempts=first)
+                                else:
+                                    requeue_single.append((run, first + 1))
+                        in_flight = []
+                        pool = self._make_pool(context, processes, shared_dir)
+                    # Expired runs requeue as singletons so one bad run no
+                    # longer drags chunk-mates through every retry.
+                    queue.extend([pair] for pair in requeue_single)
+            finally:
+                pool.terminate()
+                pool.join()
+
     def map(self, fn: Callable[[RunSpec], RunRecord],
-            runs: Sequence[RunSpec]) -> List[RunRecord]:
+            runs: Sequence[RunSpec]) -> List[RunOutcome]:
         runs = list(runs)
         if not runs:
             return []
+        if self.supervised:
+            # Re-establish spec order: supervision completes out of order.
+            index = {run.run_id: i for i, run in enumerate(runs)}
+            out: List[Optional[RunOutcome]] = [None] * len(runs)
+            for outcome in self._supervised_imap(fn, runs):
+                out[index[outcome.run_id]] = outcome
+            return [o for o in out if o is not None]
         context, processes, chunks = self._plan(runs)
         self._maybe_prebuild(context, runs)
         with self._pool(context, processes) as pool:
@@ -225,7 +438,7 @@ class PoolExecutor:
         return [record for chunk_records in nested for record in chunk_records]
 
     def imap_unordered(self, fn: Callable[[RunSpec], RunRecord],
-                       runs: Sequence[RunSpec]) -> Iterator[RunRecord]:
+                       runs: Sequence[RunSpec]) -> Iterator[RunOutcome]:
         """Yield records as worker chunks complete, in completion order.
 
         The streaming counterpart of :meth:`map`:
@@ -237,6 +450,9 @@ class PoolExecutor:
         """
         runs = list(runs)
         if not runs:
+            return
+        if self.supervised:
+            yield from self._supervised_imap(fn, runs)
             return
         context, processes, chunks = self._plan(runs)
         self._maybe_prebuild(context, runs)
@@ -278,6 +494,14 @@ class SweepRunner:
         ``save_path`` is set the records completed so far are saved even if a
         run raises (or the process is interrupted with ``KeyboardInterrupt``),
         so ``resume_from=save_path`` always picks up where execution stopped.
+
+        Robustness: a ``resume_from`` *path* loads through
+        :meth:`SweepResult.load_resumable` — a truncated/corrupt/digest-
+        mismatched checkpoint falls back to its rolling ``.bak`` (or a clean
+        start) with an explicit warning instead of a stack trace.  Runs a
+        supervised executor quarantined (``FailedRun``) land in
+        ``result.failed_runs`` — and a resumed checkpoint's quarantined runs
+        are *retried*, not carried forward.
         """
         if checkpoint_every is not None and checkpoint_every <= 0:
             raise ValueError("checkpoint_every must be a positive record count")
@@ -289,8 +513,13 @@ class SweepRunner:
 
         prior: List[RunRecord] = []
         if resume_from is not None:
-            loaded = SweepResult.load(resume_from) \
+            loaded = SweepResult.load_resumable(resume_from) \
                 if isinstance(resume_from, str) else resume_from
+            if loaded.failed_runs:
+                logger.info(
+                    "sweep %s: retrying %d previously quarantined run(s) "
+                    "from the resumed checkpoint", self.spec.name,
+                    len(loaded.failed_runs))
             for record in loaded.records:
                 expected = by_id.get(record.run_id)
                 if expected is None:
@@ -316,6 +545,17 @@ class SweepRunner:
         # map(); fall back to it — checkpointing then degrades to the
         # end-of-pass (and on-error) saves.
         imap = getattr(self.executor, "imap_unordered", None)
+        if imap is None and checkpoint_every is not None:
+            warnings.warn(
+                f"executor {type(self.executor).__name__} has no "
+                "imap_unordered: records cannot stream, so "
+                f"checkpoint_every={checkpoint_every} degrades to a single "
+                "save after the whole pass completes", RuntimeWarning,
+                stacklevel=2)
+            logger.warning(
+                "sweep %s: executor %s lacks imap_unordered; "
+                "checkpoint_every=%d degrades to end-of-pass saves",
+                self.spec.name, type(self.executor).__name__, checkpoint_every)
         stream = imap(execute_run, pending) if imap is not None \
             else iter(self.executor.map(execute_run, pending))
         since_checkpoint = 0
@@ -323,7 +563,14 @@ class SweepRunner:
         started = time.perf_counter()
         try:
             for record in stream:
-                result.add(record)
+                if isinstance(record, FailedRun):
+                    result.failed_runs.append(record)
+                    logger.warning(
+                        "sweep %s: run %s quarantined after %d attempt(s): %s",
+                        self.spec.name, record.run_id, record.attempts,
+                        record.error)
+                else:
+                    result.add(record)
                 since_checkpoint += 1
                 completed += 1
                 if (save_path is not None and checkpoint_every is not None
@@ -345,6 +592,11 @@ class SweepRunner:
             logger.info("sweep %s: %d runs in %.2fs (%.2f runs/s)",
                         self.spec.name, completed, elapsed,
                         completed / elapsed if elapsed > 0 else 0.0)
+        if result.failed_runs:
+            logger.warning(
+                "sweep %s: completed with %d quarantined run(s): %s",
+                self.spec.name, len(result.failed_runs),
+                ", ".join(f.run_id for f in result.failed_runs))
         result.records = result.sorted_records()
         return result
 
@@ -375,7 +627,10 @@ def run_sweeps(specs: Sequence[SweepSpec],
     records = executor.map(execute_run, all_runs)
     results = {spec.name: SweepResult(spec=spec) for spec in specs}
     for name, record in zip(owner, records):
-        results[name].add(record)
+        if isinstance(record, FailedRun):
+            results[name].failed_runs.append(record)
+        else:
+            results[name].add(record)
     for result in results.values():
         result.records = result.sorted_records()
     return results

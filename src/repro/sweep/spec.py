@@ -33,7 +33,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["WorkloadSpec", "RunSpec", "SweepSpec", "run_seed", "ensemble_seed"]
+__all__ = ["WorkloadSpec", "RunSpec", "SweepSpec", "RetryPolicy",
+           "run_seed", "ensemble_seed"]
 
 
 def run_seed(master_seed: int, point_index: int, seed_index: int) -> int:
@@ -53,6 +54,37 @@ def ensemble_seed(master_seed: int, seed_index: int) -> int:
     """
     sequence = np.random.SeedSequence(master_seed, spawn_key=(seed_index,))
     return int(sequence.generate_state(1, dtype=np.uint32)[0])
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervised executors retry a failing run.
+
+    A run *attempt* fails when :func:`~repro.sweep.runner.execute_run` raises,
+    when it exceeds the executor's per-run wall-clock timeout, or when the
+    worker process executing it dies.  The policy allows ``max_attempts``
+    attempts total; a run that exhausts them is quarantined as a
+    :class:`~repro.sweep.records.FailedRun` instead of aborting the sweep.
+    ``backoff`` seconds (times the number of failures so far, linear) pass
+    before each re-dispatch — a courtesy pause for faults caused by transient
+    resource pressure.
+
+    Frozen and scalar-only so it pickles across the pool boundary like every
+    other spec in this module.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be a positive attempt budget")
+        if self.backoff < 0:
+            raise ValueError("backoff seconds must be non-negative")
+
+    def delay_before(self, attempt: int) -> float:
+        """Seconds to pause before dispatching ``attempt`` (1-based)."""
+        return self.backoff * max(0, attempt - 1)
 
 
 @dataclass(frozen=True)

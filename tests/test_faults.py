@@ -1,0 +1,375 @@
+"""Chaos tests: the fault-injection harness and the fault-tolerance layer.
+
+The load-bearing guarantees:
+
+* injection is deterministic (pure function of salt/fault/target/attempt)
+  and **never active by default**;
+* supervised executors retry transient failures — raised exceptions, killed
+  workers, hung runs — and the recovered sweep's records are *bit-identical*
+  to a fault-free serial baseline;
+* permanent failures are quarantined into ``SweepResult.failed_runs``
+  (carried through checkpoints, excluded from aggregation) instead of
+  aborting the sweep;
+* checkpoint and store corruption is detected by content digests and
+  recovered from (``.bak`` fallback / entry re-derivation), keeping resumes
+  and shared-store sweeps equivalent to undamaged runs.
+
+The headline all-faults-armed equivalence test doubles as the CI ``chaos``
+leg's core; ``REPRO_CHAOS=1`` widens the parametrization.
+"""
+
+import json
+import os
+import warnings
+
+import pytest
+
+from repro.sim.level_cache import clear_level_cache, detach_shared_store
+from repro.sim.shared_store import SharedPhysicsStore
+from repro.sweep import (
+    FailedRun,
+    PoolExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    SweepRunner,
+    SweepResult,
+    SweepSpec,
+    WorkloadSpec,
+)
+from repro.sweep import faults
+from repro.sweep.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    injected_faults,
+    maybe_fail_run,
+)
+
+CHAOS_EXTENDED = bool(os.environ.get("REPRO_CHAOS"))
+
+#: Fast synthetic workload on a tiny chip: builds in milliseconds, no QAT.
+TINY = WorkloadSpec(builder="synthetic", groups=2, macros_per_group=2, banks=4,
+                    rows=8, n_operators=4, label="tiny")
+
+
+def tiny_spec(**overrides) -> SweepSpec:
+    defaults = dict(name="t", workloads=(TINY,), controllers=("booster",),
+                    betas=(10, 50), cycles=120, seeds=2, master_seed=7)
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+def records_as_dicts(result: SweepResult):
+    return [r.to_json_dict() for r in result.sorted_records()]
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    """No fault plan (programmatic or env-cached) leaks across tests."""
+    faults.disarm_faults()
+    yield
+    faults.disarm_faults()
+
+
+@pytest.fixture
+def baseline():
+    """Fault-free serial records of the default tiny spec."""
+    return SweepRunner(tiny_spec(), SerialExecutor()).run()
+
+
+# --------------------------------------------------------------------- #
+# the registry itself
+# --------------------------------------------------------------------- #
+class TestFaultRegistry:
+    def test_never_active_by_default(self):
+        assert active_plan() is None
+        maybe_fail_run("t/p0000/s000")          # must be a no-op
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="explode")
+        with pytest.raises(ValueError):
+            FaultSpec(kind="raise", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="raise", times=0)
+
+    def test_raise_fires_on_match_only(self):
+        with injected_faults(FaultSpec(kind="raise", match="p0001")):
+            maybe_fail_run("t/p0000/s000")      # no match: silent
+            with pytest.raises(InjectedFault):
+                maybe_fail_run("t/p0001/s000")
+
+    def test_times_bounds_by_attempt_number(self):
+        """A ``times=1`` fault fires on attempt 1 and spares every retry —
+        stateless in the attempt, so it survives worker death."""
+        with injected_faults(FaultSpec(kind="raise", times=1)):
+            with pytest.raises(InjectedFault):
+                maybe_fail_run("t/p0000/s000")
+            faults.set_current_attempt(2)
+            try:
+                maybe_fail_run("t/p0000/s000")  # retry: clean
+            finally:
+                faults.set_current_attempt(1)
+            with pytest.raises(InjectedFault):
+                maybe_fail_run("t/p0000/s000")  # attempt 1 again: fires again
+
+    def test_probability_thinning_is_deterministic(self):
+        fault = FaultSpec(kind="raise", probability=0.5)
+        plan_a = FaultPlan([fault], salt=1)
+        targets = [f"t/p{i:04d}/s000" for i in range(400)]
+        picked_a = [t for t in targets if plan_a._selects(fault, t)]
+        assert picked_a == [t for t in targets if plan_a._selects(fault, t)]
+        assert 0.3 < len(picked_a) / len(targets) < 0.7
+        picked_b = [t for t in targets
+                    if FaultPlan([fault], salt=2)._selects(fault, t)]
+        assert picked_a != picked_b             # the salt reshuffles selection
+
+    def test_env_arming_and_json_roundtrip(self, monkeypatch):
+        plan = FaultPlan([FaultSpec(kind="raise", match="p0002", times=2)],
+                         salt=5)
+        monkeypatch.setenv("REPRO_FAULTS", plan.to_json())
+        monkeypatch.setattr(faults, "_env_plan", faults._UNSET)
+        armed = active_plan()
+        assert armed is not None
+        assert armed.salt == 5 and armed.faults == plan.faults
+
+    def test_checkpoint_fault_is_counter_gated(self, tmp_path):
+        path = str(tmp_path / "f.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"x" * 100)
+        with injected_faults(FaultSpec(kind="checkpoint_truncate", times=1)):
+            faults.checkpoint_fault(path)
+            assert os.path.getsize(path) == 50
+            faults.checkpoint_fault(path)       # budget spent: no-op
+            assert os.path.getsize(path) == 50
+
+
+# --------------------------------------------------------------------- #
+# retry and quarantine
+# --------------------------------------------------------------------- #
+class TestSerialRetryQuarantine:
+    def test_transient_raise_retried_bit_identical(self, baseline):
+        executor = SerialExecutor(retry_policy=RetryPolicy(max_attempts=3))
+        with injected_faults(FaultSpec(kind="raise", match="p0001/s000",
+                                       times=1)):
+            result = SweepRunner(tiny_spec(), executor).run()
+        assert not result.failed_runs
+        assert records_as_dicts(result) == records_as_dicts(baseline)
+
+    def test_permanent_raise_quarantined_not_fatal(self, baseline):
+        executor = SerialExecutor(retry_policy=RetryPolicy(max_attempts=2))
+        with injected_faults(FaultSpec(kind="raise", match="p0001/s000",
+                                       times=99)):
+            result = SweepRunner(tiny_spec(), executor).run()
+        assert [f.run_id for f in result.failed_runs] == ["t/p0001/s000"]
+        assert result.failed_runs[0].attempts == 2
+        assert "InjectedFault" in result.failed_runs[0].error
+        assert len(result.records) == len(baseline.records) - 1
+        # Aggregation runs over what completed; the damaged point has n-1.
+        by_point = {s.point_index: s.n_seeds for s in result.aggregate()}
+        assert by_point == {0: 2, 1: 1}
+
+    def test_no_policy_keeps_raise_through_semantics(self):
+        with injected_faults(FaultSpec(kind="raise", match="p0000/s000")):
+            with pytest.raises(InjectedFault):
+                SweepRunner(tiny_spec(), SerialExecutor()).run()
+
+    def test_failed_runs_survive_checkpoints_and_resume_retries_them(
+            self, tmp_path, baseline):
+        path = str(tmp_path / "q.json")
+        executor = SerialExecutor(retry_policy=RetryPolicy(max_attempts=1))
+        with injected_faults(FaultSpec(kind="raise", match="p0000/s001",
+                                       times=99)):
+            first = SweepRunner(tiny_spec(), executor).run(save_path=path)
+        assert len(first.failed_runs) == 1
+        assert len(SweepResult.load(path).failed_runs) == 1
+        # Resume with the fault gone: the quarantined run is retried, not
+        # carried forward, and the merged result matches the fault-free one.
+        resumed = SweepRunner(tiny_spec(), executor).run(resume_from=path)
+        assert not resumed.failed_runs
+        assert records_as_dicts(resumed) == records_as_dicts(baseline)
+
+
+POLICY = RetryPolicy(max_attempts=2)
+
+
+class TestSupervisedPool:
+    def test_supervised_fault_free_bit_identical(self, baseline):
+        executor = PoolExecutor(processes=2, chunksize=1,
+                                retry_policy=RetryPolicy(max_attempts=3),
+                                run_timeout=60.0)
+        result = SweepRunner(tiny_spec(), executor).run()
+        assert not result.failed_runs
+        assert records_as_dicts(result) == records_as_dicts(baseline)
+
+    def test_worker_kill_recovered_bit_identical(self, baseline):
+        """An injected ``os._exit`` mid-run silently loses the in-flight pool
+        task; the deadline watchdog must rebuild the fleet and requeue."""
+        executor = PoolExecutor(processes=2, chunksize=1,
+                                retry_policy=POLICY, run_timeout=0.75)
+        with injected_faults(FaultSpec(kind="kill", match="p0000/s001",
+                                       times=1)):
+            result = SweepRunner(tiny_spec(), executor).run()
+        assert not result.failed_runs
+        assert records_as_dicts(result) == records_as_dicts(baseline)
+
+    def test_hung_run_recovered_bit_identical(self, baseline):
+        executor = PoolExecutor(processes=2, chunksize=1,
+                                retry_policy=POLICY, run_timeout=0.75)
+        with injected_faults(FaultSpec(kind="hang", match="p0001/s001",
+                                       times=1, hang_seconds=60.0)):
+            result = SweepRunner(tiny_spec(), executor).run()
+        assert not result.failed_runs
+        assert records_as_dicts(result) == records_as_dicts(baseline)
+
+    def test_permanent_kill_quarantined(self, baseline):
+        executor = PoolExecutor(processes=2, chunksize=1,
+                                retry_policy=POLICY, run_timeout=0.75)
+        with injected_faults(FaultSpec(kind="kill", match="p0001/s000",
+                                       times=99)):
+            result = SweepRunner(tiny_spec(), executor).run()
+        assert [f.run_id for f in result.failed_runs] == ["t/p0001/s000"]
+        assert "timed out or lost" in result.failed_runs[0].error
+        assert len(result.records) == len(baseline.records) - 1
+
+    def test_supervised_map_keeps_spec_order(self, baseline):
+        """``run_sweeps`` zips records positionally, so the supervised map
+        must return one outcome per run in expansion order."""
+        from repro.sweep import execute_run
+        executor = PoolExecutor(processes=2, chunksize=1,
+                                retry_policy=POLICY, run_timeout=60.0)
+        runs = tiny_spec().expand()
+        outcomes = executor.map(execute_run, runs)
+        assert [o.run_id for o in outcomes] == [r.run_id for r in runs]
+
+
+# --------------------------------------------------------------------- #
+# the headline acceptance test: everything armed at once
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("salt", [0] + ([1, 2] if CHAOS_EXTENDED else []))
+def test_chaos_equivalence_all_faults_armed(tmp_path, salt):
+    """Worker kill + hung run + transient raise + checkpoint corruption +
+    store byte-flips, all at once: the supervised pool sweep completes via
+    retry/recovery and its records are bit-identical to a fault-free serial
+    baseline."""
+    clear_level_cache()
+    detach_shared_store()
+    spec = tiny_spec(seeds=2)
+    baseline = SweepRunner(spec, SerialExecutor()).run()
+    clear_level_cache()
+
+    path = str(tmp_path / "chaos.json")
+    store_dir = str(tmp_path / "store")
+    executor = PoolExecutor(processes=2, chunksize=1,
+                            retry_policy=RetryPolicy(max_attempts=2),
+                            run_timeout=0.9,
+                            shared_cache_dir=store_dir)
+    plan = [
+        FaultSpec(kind="kill", match="p0000/s000", times=1),
+        FaultSpec(kind="hang", match="p0001/s001", times=1, hang_seconds=60.0),
+        FaultSpec(kind="raise", match="p0000/s001", times=1),
+        FaultSpec(kind="checkpoint_corrupt", times=1),
+        FaultSpec(kind="store_flip", times=1),
+    ]
+    try:
+        with injected_faults(*plan, salt=salt), warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = SweepRunner(spec, executor).run(
+                save_path=path, checkpoint_every=1)
+    finally:
+        clear_level_cache()
+        detach_shared_store()
+
+    assert not result.failed_runs
+    assert records_as_dicts(result) == records_as_dicts(baseline)
+    # The store survived the byte-flips: corruption was quarantined, not
+    # served (post-mortem evidence or a republished clean entry remains).
+    store = SharedPhysicsStore(store_dir)
+    assert store.stats()["entries"] >= 0      # index still parses
+    # The final checkpoint (or its rolling .bak) resumes to the same sweep.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        resumed = SweepRunner(spec, SerialExecutor()).run(resume_from=path)
+    assert records_as_dicts(resumed) == records_as_dicts(baseline)
+
+
+# --------------------------------------------------------------------- #
+# checkpoint integrity
+# --------------------------------------------------------------------- #
+class TestCheckpointIntegrity:
+    def test_save_writes_digest_and_load_verifies(self, tmp_path, baseline):
+        path = str(tmp_path / "r.json")
+        baseline.save(path)
+        payload = json.load(open(path))
+        assert payload["integrity"]["algorithm"] == "sha256"
+        assert records_as_dicts(SweepResult.load(path)) \
+            == records_as_dicts(baseline)
+
+    def test_flipped_byte_fails_digest(self, tmp_path, baseline):
+        path = str(tmp_path / "r.json")
+        baseline.save(path)
+        raw = open(path, "rb").read()
+        # Flip a metrics digit without breaking the JSON syntax.
+        target = raw.replace(b'"seed_index": 0', b'"seed_index": 9', 1)
+        assert target != raw
+        open(path, "wb").write(target)
+        with pytest.raises(ValueError, match="digest mismatch"):
+            SweepResult.load(path)
+
+    def test_bak_rotation_keeps_last_good(self, tmp_path, baseline):
+        path = str(tmp_path / "r.json")
+        baseline.save(path)
+        baseline.save(path)
+        assert os.path.exists(path + ".bak")
+        assert records_as_dicts(SweepResult.load(path + ".bak")) \
+            == records_as_dicts(baseline)
+
+    def test_load_resumable_fallback_chain(self, tmp_path, baseline):
+        path = str(tmp_path / "r.json")
+        baseline.save(path)
+        baseline.save(path)                    # rotate a good .bak in place
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            recovered = SweepResult.load_resumable(path)
+        assert records_as_dicts(recovered) == records_as_dicts(baseline)
+        # Both damaged: explicit clean start, not a stack trace.
+        with open(path + ".bak", "r+b") as handle:
+            handle.truncate(10)
+        with pytest.warns(RuntimeWarning) as caught:
+            assert SweepResult.load_resumable(path).records == []
+        assert any("clean start" in str(w.message) for w in caught)
+
+    def test_load_resumable_missing_is_callers_error(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SweepResult.load_resumable(str(tmp_path / "nope.json"))
+
+    def test_pre_integrity_checkpoints_still_load(self, tmp_path, baseline):
+        path = str(tmp_path / "r.json")
+        baseline.save(path)
+        payload = json.load(open(path))
+        del payload["integrity"]
+        json.dump(payload, open(path, "w"))
+        assert records_as_dicts(SweepResult.load(path)) \
+            == records_as_dicts(baseline)
+
+
+# --------------------------------------------------------------------- #
+# satellite: map-only fallback must be loud about checkpoints
+# --------------------------------------------------------------------- #
+class MapOnlyExecutor:
+    def map(self, fn, runs):
+        return [fn(run) for run in runs]
+
+
+def test_map_only_executor_warns_when_checkpointing_degrades(tmp_path):
+    spec = tiny_spec()
+    path = str(tmp_path / "maponly.json")
+    with pytest.warns(RuntimeWarning, match="imap_unordered"):
+        SweepRunner(spec, MapOnlyExecutor()).run(
+            save_path=path, checkpoint_every=1)
+    # Without checkpoint_every there is nothing to degrade: no warning.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        SweepRunner(spec, MapOnlyExecutor()).run(save_path=path)

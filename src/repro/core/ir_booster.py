@@ -249,6 +249,18 @@ class IRBoosterController:
         state.safe_counter = beta
         return steps, state.level, beta + 1
 
+    def advance_steady_transitions(self, group_id: int, count: int) -> None:
+        """Apply ``count`` consecutive steady no-op transitions in bulk.
+
+        Valid only in the post-transition steady state — safe counter at
+        ``beta`` (where every call lands it) with the a-level at its own
+        ``level_below`` clamp — where each transition takes the else branch
+        (lines 19-23) and changes nothing but the level-up count: the level
+        stays put and every gap is ``beta + 1``.  Bit-identical to calling
+        :meth:`advance_to_transition` ``count`` times.
+        """
+        self._groups[group_id].level_ups += count
+
     def advance_and_fail(self, group_id: int,
                          steps: int) -> Tuple[List[Tuple[int, int]], int, int]:
         """Advance ``steps`` failure-free cycles, then apply one IRFailure step.

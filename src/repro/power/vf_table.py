@@ -68,6 +68,11 @@ class VFTable:
             level: [self._solve_pair(level, f) for f in self.frequencies]
             for level in self.levels
         }
+        # Neighbor lookups are pure functions of the (immutable) level
+        # ladder and sit on the Algorithm-2 transition hot path — one
+        # memoized entry per distinct queried level.
+        self._below_memo: Dict[int, int] = {}
+        self._above_memo: Dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # electrical model
@@ -117,13 +122,23 @@ class VFTable:
 
     def level_below(self, level: int) -> int:
         """The next lower (safer-performance, more aggressive) level, clamped."""
-        lower = [lvl for lvl in self.levels if lvl < level and lvl != 100]
-        return max(lower) if lower else min(l for l in self.levels if l != 100)
+        hit = self._below_memo.get(level)
+        if hit is None:
+            lower = [lvl for lvl in self.levels if lvl < level and lvl != 100]
+            hit = max(lower) if lower \
+                else min(l for l in self.levels if l != 100)
+            self._below_memo[level] = hit
+        return hit
 
     def level_above(self, level: int) -> int:
         """The next higher (more conservative) level, clamped below 100."""
-        upper = [lvl for lvl in self.levels if level < lvl < 100]
-        return min(upper) if upper else max(l for l in self.levels if l != 100)
+        hit = self._above_memo.get(level)
+        if hit is None:
+            upper = [lvl for lvl in self.levels if level < lvl < 100]
+            hit = min(upper) if upper \
+                else max(l for l in self.levels if l != 100)
+            self._above_memo[level] = hit
+        return hit
 
     def select_pair(self, level: int, mode: str = "sprint") -> VFPair:
         """Pick the pair within a level's subset according to the operating mode.

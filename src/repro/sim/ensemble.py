@@ -1,0 +1,304 @@
+"""Batch-of-runs ensemble engine: one pass resolves a whole grid point.
+
+A sweep grid point is simulated many times — once per seed of its ensemble,
+or once per beta of a shared-seed grid — and every one of those runs repeats
+work that is identical or near-identical across the batch: compiling nothing
+new, but regenerating AR(1) flip streams, re-deriving per-(group, level)
+Eq.-2 physics, rebuilding controller/monitor state, and walking the event
+kernels one run at a time.  :func:`run_ensemble` executes all members of one
+grid point together:
+
+* **activity** — every member's per-macro flip streams are generated in a
+  single :func:`~repro.workloads.generator.flip_factor_matrix` call over the
+  concatenated seed list.  The AR(1) recurrence is sequential in *cycles*
+  but embarrassingly parallel in *rows*, so batching members into one
+  ``lfilter`` call amortizes the dominant cold-run cost; row ``i`` still
+  consumes exactly the per-seed RNG stream a lone run would, so traces stay
+  bit-identical.  Members sharing a seed (a beta grid) share one generation.
+* **physics** — the candidate streams each member's event walk will
+  consume are built up front and pinned in the engine's private memo (so
+  the batch is immune to shared-cache eviction pressure), and built
+  *directly*: for independent groups one full-matrix monitor compare per
+  (group, level) plus one transposed ``nonzero`` per Set yields the packed
+  key streams already in merge order
+  (:meth:`~repro.sim.engine._VectorizedEngine._prebuild_streams`),
+  bit-identical to the per-run merge path.  Set-coupled groups go through
+  the full per-run cache derivation (the heap scheduler bisects per-row
+  cycle lists).  A ``booster`` member's boost-ladder levels are not
+  prebuilt at all — the span kernel binds them thousands of times but
+  consumes only a handful of candidates per bind, so their streams
+  materialize lazily over expanding cycle windows
+  (:class:`~repro.sim.engine._LazyLevelStreams`), one shared window per
+  group extending every Set's stream in lockstep; a stepping member's
+  distinct initial level derives physics only and windows the same way.
+* **events** — members whose level never changes (``dvfs``,
+  ``booster_safe``) resolve each group through the *runs-axis* timeline
+  kernels (:func:`~repro.sim.kernels.select_failures_runs`, re-armed via
+  :func:`~repro.sim.kernels.resume_frontiers_runs`): one call selects every
+  member's failure timeline for a Set over stacked candidate streams.
+  ``booster`` members keep their per-member span kernel (Algorithm-2 state
+  is inherently sequential per run) but run group-major so each group's
+  shared structures stay hot.  Set-coupled groups fall back to the
+  per-member heap scheduler unchanged.
+
+Equivalence contract: for every member, the returned
+:class:`~repro.sim.results.SimulationResult` is *bit-identical in every
+discrete field* (failures, stalls, level breaks, candidate selections) to a
+lone ``PIMRuntime(compiled, cfg).run()`` with the same config, and float
+reductions (energy, drop statistics) agree to 1e-9 rtol — enforced by the
+oracle-chain differential tests (``tests/test_sim_engine.py``) and asserted
+again inside the ensemble benchmark run.
+
+Members may differ in ``seed``, ``beta``, ``controller``, ``mode``,
+``monitor_noise``, ``recompute_cycles`` and ``traces``; they must share the
+activity-stacking axes (``cycles`` and the flip statistics) and the
+compiled workload.  The sweep runner groups eligible
+:class:`~repro.sweep.spec.RunSpec`s into
+:class:`~repro.sweep.spec.EnsembleSpec` work units per ``point_key`` family
+(see :mod:`repro.sweep.runner`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..workloads.generator import flip_factor_matrix
+from .compiler import CompiledWorkload
+from .engine import _VectorizedEngine
+from .kernels import (
+    EXHAUSTED_KEY,
+    frontier_key,
+    resume_frontiers_runs,
+    select_failures_runs,
+)
+from .level_cache import LEVEL_CACHE
+from .results import SimulationResult
+from .runtime import PIMRuntime, RuntimeConfig
+
+__all__ = ["run_ensemble", "ENSEMBLE_SHARED_FIELDS"]
+
+#: ``RuntimeConfig`` fields every ensemble member must share — the axes the
+#: batched activity generation stacks over.  Everything else (seed, beta,
+#: controller, mode, monitor noise, recompute window, traces) may vary.
+ENSEMBLE_SHARED_FIELDS = ("cycles", "flip_mean", "flip_std",
+                          "flip_correlation", "input_determined_hr")
+
+
+def run_ensemble(compiled: CompiledWorkload,
+                 configs: List[RuntimeConfig], *,
+                 table=None, ir_model=None,
+                 energy_model=None) -> List[SimulationResult]:
+    """Simulate every config of one grid point in a single batched pass.
+
+    Returns one :class:`SimulationResult` per config, in order, each
+    bit-identical (discrete fields; energy to 1e-9 rtol) to a lone
+    ``PIMRuntime(compiled, cfg).run()``.  All configs must use the
+    vectorized engine and agree on :data:`ENSEMBLE_SHARED_FIELDS`.
+    """
+    if not configs:
+        return []
+    base = configs[0]
+    for cfg in configs:
+        cfg.validate()
+        if cfg.engine != "vectorized":
+            raise ValueError(
+                "run_ensemble requires engine='vectorized' members; "
+                f"got {cfg.engine!r} (run reference members individually)")
+        for name in ENSEMBLE_SHARED_FIELDS:
+            if getattr(cfg, name) != getattr(base, name):
+                raise ValueError(
+                    f"ensemble members must share {name!r}: "
+                    f"{getattr(cfg, name)!r} != {getattr(base, name)!r}")
+
+    runtimes = [PIMRuntime(compiled, cfg, table=table, ir_model=ir_model,
+                           energy_model=energy_model) for cfg in configs]
+    engines = [_VectorizedEngine(rt) for rt in runtimes]
+    for engine in engines:
+        engine._setup_structure()
+        # Stepping members consume ladder levels (every level outside the
+        # prebuilt initial/safe pair) through lazily-windowed candidate
+        # streams: the batch holds 8+ members' state at once, and deriving
+        # full-horizon candidate lists for rarely-dwelled levels is both
+        # the bulk of the ladder's compute and of the batch's peak memory.
+        engine.lazy_ladder = engine.stepping
+    _batch_activity(engines)
+    _prebuild_physics(engines)
+    for engine in engines:
+        engine._bind_caches()
+    _run_events_batch(engines)
+    return [engine.materialize() for engine in engines]
+
+
+# ---------------------------------------------------------------------- #
+# batched setup
+# ---------------------------------------------------------------------- #
+def _batch_activity(engines: List[_VectorizedEngine]) -> None:
+    """Generate every member's activity traces in one flip-matrix call.
+
+    Distinct activity keys (distinct seeds, typically) are concatenated
+    into one seed list; members sharing a key (a shared-seed beta grid)
+    share one generation and one cache entry.  Trace-free members'
+    activity prefix sums and row stats are then built once per distinct
+    key so the scalar materialization of the whole batch shares them.
+    """
+    pending: Dict[tuple, _VectorizedEngine] = {}
+    for engine in engines:
+        if engine._activity is None and engine._activity_key not in pending:
+            pending[engine._activity_key] = engine
+    if pending:
+        owners = list(pending.values())
+        seeds: List[int] = []
+        blocks: List[Tuple[_VectorizedEngine, List[int], List[float],
+                           int, int]] = []
+        for engine in owners:
+            macro_indices, member_seeds, hrs = \
+                engine.runtime._activity_inputs()
+            lo = len(seeds)
+            seeds.extend(member_seeds)
+            blocks.append((engine, macro_indices, hrs, lo, len(seeds)))
+        cfg = owners[0].cfg
+        flips = flip_factor_matrix(
+            seeds, cfg.cycles, mean=cfg.flip_mean, std=cfg.flip_std,
+            correlation=cfg.flip_correlation)
+        for engine, macro_indices, hrs, lo, hi in blocks:
+            block = flips[lo:hi]
+            activity: Dict[int, np.ndarray] = {}
+            for i, (macro_index, hr) in enumerate(zip(macro_indices, hrs)):
+                trace = np.clip(hr * block[i], 0.0, 1.0)
+                trace.setflags(write=False)
+                activity[macro_index] = trace
+            LEVEL_CACHE.put(
+                engine._activity_key, activity,
+                sum(trace.nbytes for trace in activity.values()))
+            engine._activity = activity
+    # Members that shared a pending key (or raced a warm cache) bind now.
+    for engine in engines:
+        if engine._activity is None:
+            engine._activity = LEVEL_CACHE.get(engine._activity_key)
+    # One prefix/stats build per distinct key serves every trace-free
+    # member sharing it (the scalar fast path's span aggregates).
+    built = set()
+    for engine in engines:
+        if engine.cfg.traces != "none":
+            continue
+        key = engine._activity_key[1:]
+        if key in built:
+            continue
+        built.add(key)
+        engine._activity_prefix()
+        engine._activity_stats()
+
+
+def _prebuild_levels(engine: _VectorizedEngine, gid: int) -> List[int]:
+    """The levels a member is certain to visit for ``gid``: the initial
+    level, plus the safe level for stepping (``booster``) members — the
+    level every IRFailure lands on."""
+    levels = [engine.level[gid]]
+    if engine.stepping:
+        safe = engine.controller.state(gid).safe_level
+        if safe not in levels:
+            levels.append(safe)
+    return levels
+
+
+def _prebuild_physics(engines: List[_VectorizedEngine]) -> None:
+    """Derive every member's certain-to-visit level entries up front.
+
+    Independent groups — the ones the timeline kernels resolve — get their
+    merged candidate streams built *directly* (``_prebuild_streams``: one
+    threshold compare and one transposed ``nonzero`` per Set, keys landing
+    pre-sorted), skipping the per-row candidate split and the
+    concatenate-and-sort merge the lazy per-run derivation pays; the keys
+    are bit-identical by construction.  Coupled groups keep the full
+    ``_cache`` derivation — the heap scheduler bisects per-row candidate
+    lists.  Every entry lands in the engine's private memo, so the event
+    kernels never pay a first-sight derivation mid-walk and the batch is
+    immune to shared-cache eviction pressure.  (An earlier revision stacked
+    member activity rows into one batched ``drop_array`` call per
+    ``(group, V-f pair)``; the op is elementwise and memory-bound, so the
+    stacking bought nothing while its transient copies dominated the
+    batch's allocator traffic.)
+    """
+    for engine in engines:
+        coupled = set(engine.coupled_groups)
+        for gid in engine.groups:
+            levels = _prebuild_levels(engine, gid)
+            for j, level in enumerate(levels):
+                if gid in coupled:
+                    engine._cache(gid, level)
+                elif engine.lazy_ladder and j == 0 and len(levels) > 1:
+                    # A stepping member's distinct initial level is consumed
+                    # only until each Set's first failure (the group then
+                    # lives on the safe level and the boost ladder, never
+                    # returning): physics for materialization here, streams
+                    # windowed on first demand.
+                    engine._physics_cache(gid, level)
+                else:
+                    engine._prebuild_streams(gid, level)
+
+
+# ---------------------------------------------------------------------- #
+# batched events
+# ---------------------------------------------------------------------- #
+def _run_group_kernel_runs(members: List[_VectorizedEngine],
+                           gid: int) -> None:
+    """Runs-axis counterpart of ``_run_group_kernel`` for one group.
+
+    Every member's timeline for each Set is resolved in one
+    :func:`select_failures_runs` call over the stacked candidate streams;
+    :func:`resume_frontiers_runs` pre-peeks the batch so exhausted members
+    skip selection.  Per-member decoding goes through the engine's own
+    ``_apply_set_selection``, so logs, counts and stall bounds are
+    bit-identical to the per-run kernel path.
+    """
+    first = members[0]
+    set_arrays = first._group_sets(gid)
+    shift = first.row_shift
+    last_cycles = [-1] * len(members)
+    for s, set_rows in enumerate(set_arrays):
+        streams = [engine._merged(gid, engine.cur_cache[gid])[s]
+                   for engine in members]
+        frontiers = [frontier_key(engine.scan_from[gid], -1, shift)
+                     for engine in members]
+        next_keys, _ = resume_frontiers_runs(streams, frontiers)
+        live = [i for i, key in enumerate(next_keys) if key < EXHAUSTED_KEY]
+        if not live:
+            continue
+        outs, _ = select_failures_runs(
+            [streams[i] for i in live],
+            [members[i].n for i in live],
+            [members[i].cfg.recompute_cycles for i in live],
+            [frontiers[i] for i in live])
+        for i, out in zip(live, outs):
+            f = members[i]._apply_set_selection(set_rows, out)
+            if f > last_cycles[i]:
+                last_cycles[i] = f
+    for i, engine in enumerate(members):
+        if last_cycles[i] >= 0:
+            engine.scan_from[gid] = last_cycles[i] + 1
+
+
+def _run_events_batch(engines: List[_VectorizedEngine]) -> None:
+    """Event processing for the whole batch (dispatch mirrors
+    ``_VectorizedEngine._run_events`` per member)."""
+    flat = [engine for engine in engines if not engine.stepping]
+    stepping = [engine for engine in engines if engine.stepping]
+    if flat:
+        for gid in flat[0].independent_groups:
+            _run_group_kernel_runs(flat, gid)
+        for engine in flat:
+            if engine.coupled_groups:
+                engine._run_events_heap(engine.coupled_groups)
+    if stepping:
+        # Group-major: each group's shared Set/merge structures stay hot
+        # across the per-member span kernels.
+        for gid in stepping[0].independent_groups:
+            for engine in stepping:
+                engine._run_group_span_kernel(gid)
+        for engine in stepping:
+            if engine.coupled_groups:
+                engine._run_events_heap(engine.coupled_groups)
+    for engine in engines:
+        engine._finish_events()

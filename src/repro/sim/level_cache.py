@@ -81,7 +81,13 @@ class LevelEntry:
 
     pair: VFPair
     drop_rows: np.ndarray           #: (members, cycles) Eq.-2 drop at this pair
-    fail_cycles: List[np.ndarray]   #: per member, sorted candidate cycle indices
+    #: per member, sorted candidate cycle indices — or ``None`` for a
+    #: *physics-only* entry (drop matrix and its derived statistics, no
+    #: candidate pipeline).  The ensemble engine materializes levels whose
+    #: candidates were consumed through windowed streams from such entries;
+    #: ``_VectorizedEngine._cache`` upgrades one in place on the first run
+    #: that needs the candidate streams.
+    fail_cycles: Optional[List[np.ndarray]]
     #: lazily-built per-Set merged candidate streams (kernel hot path); keyed
     #: implicitly by the owning group's Set partition, which is a pure
     #: function of the workload the entry is already keyed on.
@@ -98,6 +104,9 @@ class LevelEntry:
         event hot paths).  Converted on first use and memoized."""
         lists = self._fail_lists
         if lists is None:
+            if self.fail_cycles is None:
+                raise ValueError(
+                    "physics-only LevelEntry has no candidate cycles")
             lists = [cycles.tolist() for cycles in self.fail_cycles]
             self._fail_lists = lists
         return lists
@@ -171,7 +180,8 @@ class LevelEntry:
         through this one estimator so locally-built and backend-loaded
         entries weigh the same under LRU eviction.
         """
-        cand_bytes = sum(cycles.nbytes for cycles in self.fail_cycles)
+        cand_bytes = sum(cycles.nbytes for cycles in self.fail_cycles) \
+            if self.fail_cycles is not None else 0
         return int(3 * self.drop_rows.nbytes + 7 * cand_bytes + 512)
 
 
@@ -234,6 +244,16 @@ class ByteBudgetCache:
                 return value
         self.misses += 1
         return None
+
+    def peek(self, key: Hashable) -> Optional[object]:
+        """In-memory lookup with no side effects.
+
+        Does not touch the hit/miss counters, the LRU order or the backend —
+        the ensemble engine's batch prebuild uses this to decide which
+        members still need physics derived without perturbing stats or
+        paying a backend round-trip per probe.
+        """
+        return self._entries.get(key)
 
     def _insert(self, key: Hashable, value: object, nbytes: int,
                 count_rejection: bool = True) -> None:

@@ -49,19 +49,32 @@ from .records import (
     RunRecord,
     SweepResult,
 )
-from .runner import PoolExecutor, SerialExecutor, SweepRunner, execute_run, run_sweeps
+from .runner import (
+    PoolExecutor,
+    SerialExecutor,
+    SweepRunner,
+    execute_ensemble,
+    execute_run,
+    execute_work,
+    run_sweeps,
+)
 from .spec import (
+    EnsembleSpec,
     RetryPolicy,
     RunSpec,
     SweepSpec,
     WorkloadSpec,
+    batch_key,
     ensemble_seed,
+    group_into_ensembles,
     run_seed,
 )
 
 __all__ = [
     "SweepSpec", "RunSpec", "WorkloadSpec", "run_seed", "ensemble_seed",
+    "EnsembleSpec", "batch_key", "group_into_ensembles",
     "SweepRunner", "SerialExecutor", "PoolExecutor", "execute_run", "run_sweeps",
+    "execute_ensemble", "execute_work",
     "SweepResult", "RunRecord", "FailedRun", "MetricStats", "PointSummary",
     "METRIC_NAMES", "RetryPolicy",
     "register_workload_builder", "build_compiled_workload", "clear_workload_cache",

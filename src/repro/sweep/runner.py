@@ -58,10 +58,11 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Un
 from . import faults
 from .builders import build_compiled_workload
 from .records import FailedRun, RunRecord, SweepResult
-from .spec import RetryPolicy, RunSpec, SweepSpec
+from .spec import EnsembleSpec, RetryPolicy, RunSpec, SweepSpec, \
+    group_into_ensembles
 
-__all__ = ["SerialExecutor", "PoolExecutor", "SweepRunner", "execute_run",
-           "run_sweeps"]
+__all__ = ["SerialExecutor", "PoolExecutor", "SweepRunner",
+           "execute_ensemble", "execute_run", "execute_work", "run_sweeps"]
 
 #: Progress/throughput log channel (enable with the standard logging config,
 #: e.g. ``logging.getLogger("repro.sweep").setLevel(logging.INFO)``).
@@ -69,6 +70,19 @@ logger = logging.getLogger("repro.sweep")
 
 #: One executor outcome: a completed record or a quarantined failure.
 RunOutcome = Union[RunRecord, FailedRun]
+
+#: One executor work unit: a single run or a batched ensemble of runs.
+WorkItem = Union[RunSpec, EnsembleSpec]
+
+
+def _member_runs(item: WorkItem) -> List[RunSpec]:
+    """The individual runs behind a work item (one for a plain run)."""
+    return list(item.runs) if isinstance(item, EnsembleSpec) else [item]
+
+
+def _as_outcomes(result) -> List[RunOutcome]:
+    """Normalize a work-item result: one outcome, or an ensemble's list."""
+    return result if isinstance(result, list) else [result]
 
 
 def execute_run(run: RunSpec) -> RunRecord:
@@ -84,15 +98,86 @@ def execute_run(run: RunSpec) -> RunRecord:
     return RunRecord.from_simulation(run, result)
 
 
-def _attempt_run(fn: Callable[[RunSpec], RunRecord], run: RunSpec,
-                 first_attempt: int, policy: RetryPolicy) -> RunOutcome:
-    """Execute one run under a retry policy, starting at ``first_attempt``.
+def execute_ensemble(ensemble: EnsembleSpec,
+                     policy: Optional[RetryPolicy] = None,
+                     first_attempt: int = 1) -> List[RunOutcome]:
+    """Simulate one batched ensemble; one outcome per member run, in order.
+
+    The batch path (:func:`repro.sim.ensemble.run_ensemble`) amortizes
+    activity generation and physics derivation across the members and is
+    bit-identical to per-run execution, so records are interchangeable with
+    :func:`execute_run`'s.  Supervision stays *per member*: each member's
+    chaos hook fires under its own ``run_id`` before the batch (fault firing
+    is a pure function of ``(plan, run_id, attempt)``, so the probe matches
+    what :func:`execute_run` would see), and members whose hook fires — or
+    every member, if the batch itself raises — fall back to per-run
+    execution: retried and quarantined under ``policy`` when one is given,
+    raising through otherwise (the unsupervised serial semantics).
+    """
+    from ..sim.ensemble import run_ensemble
+    runs = list(ensemble.runs)
+    healthy: List[RunSpec] = []
+    fallback: List[RunSpec] = []
+    faults.set_current_attempt(first_attempt)
+    try:
+        for run in runs:
+            try:
+                faults.maybe_fail_run(run.run_id)
+            except Exception:
+                fallback.append(run)
+            else:
+                healthy.append(run)
+    finally:
+        faults.set_current_attempt(1)
+    outcomes: Dict[str, RunOutcome] = {}
+    if healthy:
+        try:
+            compiled = build_compiled_workload(healthy[0].workload)
+            results = run_ensemble(
+                compiled, [run.runtime_config() for run in healthy])
+        except Exception as error:
+            logger.warning(
+                "ensemble %s: batched execution failed (%r); falling back "
+                "to per-run execution for its %d member(s)",
+                ensemble.run_id, error, len(healthy))
+            fallback.extend(healthy)
+        else:
+            for run, result in zip(healthy, results):
+                outcomes[run.run_id] = RunRecord.from_simulation(run, result)
+    for run in fallback:
+        if policy is None:
+            outcomes[run.run_id] = execute_run(run)
+        else:
+            outcomes[run.run_id] = _attempt_run(
+                execute_run, run, first_attempt, policy)
+    return [outcomes[run.run_id] for run in runs]
+
+
+def execute_work(item: WorkItem) -> Union[RunRecord, List[RunOutcome]]:
+    """Executor work dispatch: a plain run, or a batched ensemble of runs.
+
+    Module-level (picklable by reference) so the pool executors can map it;
+    consumers flatten the per-ensemble outcome lists back into run records.
+    """
+    if isinstance(item, EnsembleSpec):
+        return execute_ensemble(item)
+    return execute_run(item)
+
+
+def _attempt_run(fn: Callable[[RunSpec], RunRecord], run: WorkItem,
+                 first_attempt: int,
+                 policy: RetryPolicy) -> Union[RunOutcome, List[RunOutcome]]:
+    """Execute one work item under a retry policy, from ``first_attempt``.
 
     Retries exceptions in place (with the policy's backoff) and returns a
     :class:`FailedRun` when the attempt budget is exhausted.  Shared by the
     serial executor and the pool workers, so serial and pool sweeps quarantine
-    identically.
+    identically.  An :class:`EnsembleSpec` delegates to
+    :func:`execute_ensemble`, which applies the same retry/quarantine
+    semantics per *member* and returns a list of outcomes.
     """
+    if isinstance(run, EnsembleSpec):
+        return execute_ensemble(run, policy=policy, first_attempt=first_attempt)
     attempt = first_attempt
     while True:
         delay = policy.delay_before(attempt)
@@ -125,20 +210,21 @@ class SerialExecutor:
         self.retry_policy = retry_policy
 
     def map(self, fn: Callable[[RunSpec], RunRecord],
-            runs: Sequence[RunSpec]) -> List[RunOutcome]:
-        if self.retry_policy is None:
-            return [fn(run) for run in runs]
-        return [_attempt_run(fn, run, 1, self.retry_policy) for run in runs]
+            runs: Sequence[WorkItem]) -> List[RunOutcome]:
+        return list(self.imap_unordered(fn, runs))
 
     def imap_unordered(self, fn: Callable[[RunSpec], RunRecord],
-                       runs: Sequence[RunSpec]) -> Iterator[RunOutcome]:
-        """Yield records one by one as they complete (spec order here)."""
+                       runs: Sequence[WorkItem]) -> Iterator[RunOutcome]:
+        """Yield records one by one as they complete (spec order here).
+
+        Ensemble work items flatten into their per-member outcomes in place.
+        """
         if self.retry_policy is None:
             for run in runs:
-                yield fn(run)
+                yield from _as_outcomes(fn(run))
             return
         for run in runs:
-            yield _attempt_run(fn, run, 1, self.retry_policy)
+            yield from _as_outcomes(_attempt_run(fn, run, 1, self.retry_policy))
 
 
 def _apply_chunk(args) -> List[RunRecord]:
@@ -249,8 +335,8 @@ class PoolExecutor:
     def supervised(self) -> bool:
         return self.retry_policy is not None or self.run_timeout is not None
 
-    def _plan(self, runs: List[RunSpec]):
-        """(context, processes, workload-aligned chunks) for a run list."""
+    def _plan(self, runs: List[WorkItem]):
+        """(context, processes, workload-aligned chunks) for a work list."""
         processes = self.processes or (os.cpu_count() or 1)
         processes = min(processes, len(runs))
         chunksize = self.chunksize or max(1, ceil(len(runs) / (4 * processes)))
@@ -324,7 +410,7 @@ class PoolExecutor:
                 pool.join()
 
     def _supervised_imap(self, fn: Callable[[RunSpec], RunRecord],
-                         runs: List[RunSpec]) -> Iterator[RunOutcome]:
+                         runs: List[WorkItem]) -> Iterator[RunOutcome]:
         """Supervised streaming dispatch (see class docstring).
 
         The invariant that makes per-chunk deadlines meaningful: at most
@@ -350,11 +436,15 @@ class PoolExecutor:
                             _apply_supervised_chunk, ((fn, items, policy),))
                         deadline = None
                         if self.run_timeout is not None:
+                            # An ensemble item is one dispatch but n_runs
+                            # simulations, so its deadline scales with the
+                            # member count (getattr: plain runs count as 1).
                             budget = sum(
-                                self.run_timeout * policy.max_attempts
-                                + sum(policy.delay_before(a) for a in
-                                      range(first, policy.max_attempts + 1))
-                                for _, first in items)
+                                (self.run_timeout * policy.max_attempts
+                                 + sum(policy.delay_before(a) for a in
+                                       range(first, policy.max_attempts + 1)))
+                                * getattr(item, "n_runs", 1)
+                                for item, first in items)
                             deadline = time.monotonic() + budget
                         in_flight.append((handle, items, deadline))
                     in_flight[0][0].wait(0.02)
@@ -365,19 +455,23 @@ class PoolExecutor:
                     requeue_single: List[Tuple[RunSpec, int]] = []
                     for handle, items, _ in ready:
                         try:
-                            yield from handle.get()
+                            chunk_results = handle.get()
                         except Exception as error:
                             # The chunk call itself failed (e.g. the result
                             # did not unpickle) — charge every run an attempt.
                             logger.warning(
-                                "supervised chunk of %d run(s) failed to "
+                                "supervised chunk of %d item(s) failed to "
                                 "return: %r", len(items), error)
-                            for run, first in items:
-                                if first >= policy.max_attempts:
-                                    yield FailedRun.from_run(
-                                        run, repr(error), attempts=first)
-                                else:
-                                    requeue_single.append((run, first + 1))
+                            for item, first in items:
+                                for run in _member_runs(item):
+                                    if first >= policy.max_attempts:
+                                        yield FailedRun.from_run(
+                                            run, repr(error), attempts=first)
+                                    else:
+                                        requeue_single.append((run, first + 1))
+                        else:
+                            for item_result in chunk_results:
+                                yield from _as_outcomes(item_result)
                     now = time.monotonic()
                     expired = [e for e in in_flight
                                if e[2] is not None and now > e[2]]
@@ -399,16 +493,21 @@ class PoolExecutor:
                             if id(entry) not in expired_ids:
                                 queue.append(items)     # innocent: as-is
                                 continue
-                            for run, first in items:
-                                if first >= policy.max_attempts:
-                                    yield FailedRun.from_run(
-                                        run,
-                                        f"timed out or lost with a dead "
-                                        f"worker after {first} attempt(s) "
-                                        f"(run_timeout={self.run_timeout}s)",
-                                        attempts=first)
-                                else:
-                                    requeue_single.append((run, first + 1))
+                            # Expired ensembles expand into their member
+                            # runs: each member requeues (or quarantines)
+                            # individually, like the singleton requeue below.
+                            for item, first in items:
+                                for run in _member_runs(item):
+                                    if first >= policy.max_attempts:
+                                        yield FailedRun.from_run(
+                                            run,
+                                            f"timed out or lost with a dead "
+                                            f"worker after {first} attempt(s) "
+                                            f"(run_timeout="
+                                            f"{self.run_timeout}s)",
+                                            attempts=first)
+                                    else:
+                                        requeue_single.append((run, first + 1))
                         in_flight = []
                         pool = self._make_pool(context, processes, shared_dir)
                     # Expired runs requeue as singletons so one bad run no
@@ -419,26 +518,31 @@ class PoolExecutor:
                 pool.join()
 
     def map(self, fn: Callable[[RunSpec], RunRecord],
-            runs: Sequence[RunSpec]) -> List[RunOutcome]:
+            runs: Sequence[WorkItem]) -> List[RunOutcome]:
         runs = list(runs)
         if not runs:
             return []
         if self.supervised:
             # Re-establish spec order: supervision completes out of order.
-            index = {run.run_id: i for i, run in enumerate(runs)}
-            out: List[Optional[RunOutcome]] = [None] * len(runs)
+            # Outcomes are per member run (ensembles flatten in the stream),
+            # so index by member id and group each item's outcomes in place.
+            index = {run.run_id: slot for slot, item in enumerate(runs)
+                     for run in _member_runs(item)}
+            out: List[List[RunOutcome]] = [[] for _ in runs]
             for outcome in self._supervised_imap(fn, runs):
-                out[index[outcome.run_id]] = outcome
-            return [o for o in out if o is not None]
+                out[index[outcome.run_id]].append(outcome)
+            return [record for slot in out for record in slot]
         context, processes, chunks = self._plan(runs)
         self._maybe_prebuild(context, runs)
         with self._pool(context, processes) as pool:
             nested = pool.map(_apply_chunk, [(fn, chunk) for chunk in chunks],
                               chunksize=1)
-        return [record for chunk_records in nested for record in chunk_records]
+        return [record for chunk_records in nested
+                for item_result in chunk_records
+                for record in _as_outcomes(item_result)]
 
     def imap_unordered(self, fn: Callable[[RunSpec], RunRecord],
-                       runs: Sequence[RunSpec]) -> Iterator[RunOutcome]:
+                       runs: Sequence[WorkItem]) -> Iterator[RunOutcome]:
         """Yield records as worker chunks complete, in completion order.
 
         The streaming counterpart of :meth:`map`:
@@ -460,18 +564,32 @@ class PoolExecutor:
             for chunk_records in pool.imap_unordered(
                     _apply_chunk, [(fn, chunk) for chunk in chunks],
                     chunksize=1):
-                yield from chunk_records
+                for item_result in chunk_records:
+                    yield from _as_outcomes(item_result)
 
 
 Executor = Union[SerialExecutor, PoolExecutor]
 
 
 class SweepRunner:
-    """Expands a :class:`SweepSpec` and drives an executor over its runs."""
+    """Expands a :class:`SweepSpec` and drives an executor over its runs.
 
-    def __init__(self, spec: SweepSpec, executor: Optional[Executor] = None) -> None:
+    ``ensembles`` switches the executor work unit from single runs to
+    :class:`~repro.sweep.spec.EnsembleSpec` batches: pending runs sharing a
+    grid point's physics (same workload, horizon and flip statistics — see
+    :func:`~repro.sweep.spec.batch_key`) execute through the batched
+    ensemble engine, which amortizes activity generation and physics
+    derivation across members while producing records bit-identical to
+    per-run execution.  ``True`` caps batches at 16 members; an integer sets
+    the cap.  Resume, checkpointing, retry and quarantine semantics are
+    unchanged and stay per member run.
+    """
+
+    def __init__(self, spec: SweepSpec, executor: Optional[Executor] = None,
+                 ensembles: Union[bool, int] = False) -> None:
         self.spec = spec
         self.executor = executor or SerialExecutor()
+        self.ensembles = ensembles
 
     def run(self, resume_from: Union[None, str, SweepResult] = None,
             save_path: Optional[str] = None,
@@ -556,32 +674,42 @@ class SweepRunner:
                 "sweep %s: executor %s lacks imap_unordered; "
                 "checkpoint_every=%d degrades to end-of-pass saves",
                 self.spec.name, type(self.executor).__name__, checkpoint_every)
-        stream = imap(execute_run, pending) if imap is not None \
-            else iter(self.executor.map(execute_run, pending))
+        work_fn: Callable = execute_run
+        pending_items: Sequence[WorkItem] = pending
+        if self.ensembles and pending:
+            cap = 16 if self.ensembles is True else int(self.ensembles)
+            pending_items = group_into_ensembles(pending, max_members=cap)
+            work_fn = execute_work
+        stream = imap(work_fn, pending_items) if imap is not None \
+            else iter(self.executor.map(work_fn, pending_items))
         since_checkpoint = 0
         completed = 0
         started = time.perf_counter()
         try:
-            for record in stream:
-                if isinstance(record, FailedRun):
-                    result.failed_runs.append(record)
-                    logger.warning(
-                        "sweep %s: run %s quarantined after %d attempt(s): %s",
-                        self.spec.name, record.run_id, record.attempts,
-                        record.error)
-                else:
-                    result.add(record)
-                since_checkpoint += 1
-                completed += 1
-                if (save_path is not None and checkpoint_every is not None
-                        and since_checkpoint >= checkpoint_every):
-                    result.save(save_path)
-                    since_checkpoint = 0
-                    elapsed = time.perf_counter() - started
-                    logger.info(
-                        "sweep %s: checkpoint at %d/%d runs (%.2f runs/s)",
-                        self.spec.name, completed, len(pending),
-                        completed / elapsed if elapsed > 0 else 0.0)
+            for outcome in stream:
+                # Our executors yield flat per-run outcomes; _as_outcomes
+                # also absorbs a custom executor passing ensemble result
+                # lists through unflattened.
+                for record in _as_outcomes(outcome):
+                    if isinstance(record, FailedRun):
+                        result.failed_runs.append(record)
+                        logger.warning(
+                            "sweep %s: run %s quarantined after %d "
+                            "attempt(s): %s", self.spec.name, record.run_id,
+                            record.attempts, record.error)
+                    else:
+                        result.add(record)
+                    since_checkpoint += 1
+                    completed += 1
+                    if (save_path is not None and checkpoint_every is not None
+                            and since_checkpoint >= checkpoint_every):
+                        result.save(save_path)
+                        since_checkpoint = 0
+                        elapsed = time.perf_counter() - started
+                        logger.info(
+                            "sweep %s: checkpoint at %d/%d runs (%.2f runs/s)",
+                            self.spec.name, completed, len(pending),
+                            completed / elapsed if elapsed > 0 else 0.0)
         finally:
             # Persist whatever completed — the final result on success, the
             # freshest checkpoint on an executor error or interruption.

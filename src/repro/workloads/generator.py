@@ -25,8 +25,8 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 from scipy.signal import lfilter
 
-__all__ = ["flip_factor_sequence", "flip_factor_matrix", "ActivationStreamGenerator",
-           "dataset_activation_stats"]
+__all__ = ["flip_factor_sequence", "flip_factor_matrix", "clear_flip_cache",
+           "ActivationStreamGenerator", "dataset_activation_stats"]
 
 
 def flip_factor_sequence(cycles: int, mean: float = 0.6, std: float = 0.15,
@@ -98,6 +98,16 @@ def flip_factor_matrix(seeds: Sequence[int], cycles: int, mean: float = 0.6,
             _, evicted = _FLIP_MATRIX_CACHE.popitem(last=False)
             total -= evicted.nbytes
     return values
+
+
+def clear_flip_cache() -> None:
+    """Drop every memoized flip matrix.
+
+    Cold-path measurement helper: benchmarks that model first-sight sweep
+    runs (each run a fresh seed) clear this memo alongside the level cache
+    so the timed region includes activity generation.
+    """
+    _FLIP_MATRIX_CACHE.clear()
 
 
 def dataset_activation_stats(inputs: np.ndarray) -> Tuple[float, float]:

@@ -2,18 +2,17 @@
 
 Two layers: direct unit tests of the greedy min-gap selection
 (:mod:`repro.sim.kernels`) against a brute-force model of the reference
-semantics, and randomized end-to-end property tests asserting kernel ==
-pre-kernel batched == pre-batching scan == reference oracle, bit for bit, on
-failure-dense workloads across all controllers — including multi-macro Sets
-and group-straddling Sets (which route around the kernels through the heap
-scheduler, and must keep agreeing when both paths mix in one run).
+semantics, and randomized end-to-end property tests over the shared corpus
+(``tests.helpers``) asserting the full oracle chain — reference == scan ==
+batched == kernel == ensemble, bit for bit — on failure-dense workloads
+across all controllers, including multi-macro Sets and group-straddling Sets
+(which route around the kernels through the heap scheduler, and must keep
+agreeing when both paths mix in one run).
 """
 
 import numpy as np
 import pytest
 
-from repro.sim import PIMRuntime, RuntimeConfig, clear_level_cache, simulate
-from repro.sim.engine import run_vectorized
 from repro.sim.kernels import (
     KERNEL_NAMES,
     active_kernel,
@@ -22,9 +21,15 @@ from repro.sim.kernels import (
     select_failures,
     set_kernel,
 )
-from repro.sweep import WorkloadSpec, build_compiled_workload
+from repro.sweep import build_compiled_workload
 
-from tests.test_sim_engine import assert_results_equivalent
+from tests.helpers import (
+    assert_oracle_chain,
+    corpus_scenarios,
+    random_runtime_kwargs,
+    random_workload_spec,
+    synthetic_spec,
+)
 
 SHIFT = 4                                  # test streams use rows < 16
 
@@ -172,27 +177,16 @@ class TestKernelGate:
 # ---------------------------------------------------------------------- #
 def quadrangulate(compiled, **kwargs):
     """reference == scan == batched-no-kernel == batched-kernel, bit for bit."""
-    clear_level_cache()
-    reference = simulate(compiled, RuntimeConfig(engine="reference", **kwargs))
-    config = RuntimeConfig(**kwargs)
-    scan = run_vectorized(PIMRuntime(compiled, config), batched=False)
-    pre_kernel = run_vectorized(PIMRuntime(compiled, config), kernel=False)
-    kernel = run_vectorized(PIMRuntime(compiled, config), kernel=True)
-    assert_results_equivalent(reference, scan)
-    assert_results_equivalent(reference, pre_kernel)
-    assert_results_equivalent(reference, kernel)
-    return reference
+    return assert_oracle_chain(compiled,
+                               variants=("scan", "batched", "kernel"),
+                               **kwargs)
 
 
 class TestKernelEngineEquivalence:
     """Randomized failure-dense triangulation across every engine path."""
 
     def synthetic(self, label, **overrides):
-        params = dict(builder="synthetic", groups=6, macros_per_group=4,
-                      banks=4, rows=8, operator_rows=16, n_operators=12,
-                      code_spread=30.0, mapping="sequential", label=label)
-        params.update(overrides)
-        return build_compiled_workload(WorkloadSpec(**params))
+        return build_compiled_workload(synthetic_spec(label, **overrides))
 
     @pytest.mark.parametrize("controller", ["dvfs", "booster_safe", "booster"])
     @pytest.mark.parametrize("seed", [0, 5])
@@ -241,21 +235,21 @@ class TestKernelEngineEquivalence:
 
     @pytest.mark.parametrize("seed", range(6))
     def test_randomized_stress_grid(self, seed):
-        """Random stress points: geometry and knobs drawn per seed."""
+        """Random stress points: geometry and knobs drawn from the shared
+        corpus distribution (coupling regime cycles with the seed)."""
         rng = np.random.default_rng(100 + seed)
-        compiled = self.synthetic(
-            f"kernel-rand-{seed}",
-            groups=int(rng.integers(3, 8)),
-            macros_per_group=int(rng.integers(2, 5)),
-            operator_rows=int(rng.choice([8, 16, 32])),
-            n_operators=int(rng.integers(4, 14)),
-            mapping=str(rng.choice(["sequential", "hr_aware"])))
-        quadrangulate(
-            compiled,
-            cycles=int(rng.integers(200, 600)),
-            controller=str(rng.choice(["dvfs", "booster_safe", "booster"])),
-            beta=int(rng.integers(3, 30)),
-            recompute_cycles=int(rng.integers(0, 15)),
-            flip_mean=float(rng.uniform(0.6, 0.9)),
-            monitor_noise=float(rng.uniform(0.0, 0.025)),
-            seed=int(rng.integers(0, 1000)))
+        coupling = ("contained", "mixed", "straddling")[seed % 3]
+        compiled = build_compiled_workload(random_workload_spec(
+            f"kernel-rand-{seed}", rng, coupling=coupling))
+        quadrangulate(compiled, **random_runtime_kwargs(rng))
+
+
+class TestOracleChainCorpus:
+    """The unified differential test: every engine variant — reference,
+    scan, batched, kernel and the batched ensemble — over the one seeded
+    scenario corpus (geometry x controller x mode x stress x coupling)."""
+
+    @pytest.mark.parametrize("scenario", corpus_scenarios(),
+                             ids=lambda s: s.label)
+    def test_five_engine_variants_agree(self, scenario):
+        assert_oracle_chain(scenario.compiled(), **scenario.kwargs)

@@ -4,8 +4,9 @@ The trace-free materialization must produce scalar records equivalent to the
 full-trace path — discrete fields (failures, stalls, levels) bit-identical,
 float reductions (energy, mean drop, elapsed time) to 1e-9 rtol, and extremal
 statistics (worst drop, peak Rtog) exactly equal — across all three
-controllers, both operating modes, both sweep seed modes, the stress axes,
-and every engine variant (reference == scan == batched == kernel), including
+controllers, both operating modes, both sweep seed modes, the shared-corpus
+stress axes, and every engine variant (reference == scan == batched ==
+kernel == ensemble), including
 workloads whose logical Sets straddle group boundaries (the coupled-group
 heap path).
 """
@@ -13,7 +14,7 @@ heap path).
 import numpy as np
 import pytest
 
-from repro.sim import PIMRuntime, RuntimeConfig, run_vectorized, simulate
+from repro.sim import RuntimeConfig, simulate
 from repro.sweep import (
     SerialExecutor,
     SweepRunner,
@@ -21,64 +22,26 @@ from repro.sweep import (
     WorkloadSpec,
     build_compiled_workload,
 )
-from repro.sweep.records import METRIC_NAMES
 
-#: Discrete record metrics that must be bit-identical.
-EXACT_METRICS = ("total_failures", "total_stall_cycles")
-
-
-def assert_scalar_equivalent(full, scalar, rtol=1e-9):
-    """Scalar result vs full-trace result: the record-level contract."""
-    assert scalar.chip_drop_trace is None
-    assert len(full.macro_results) == len(scalar.macro_results)
-    for ref, fast in zip(full.macro_results, scalar.macro_results):
-        assert fast.rtog_trace is None and fast.drop_trace is None
-        assert ref.macro_index == fast.macro_index
-        assert ref.failures == fast.failures
-        assert ref.stall_cycles == fast.stall_cycles
-        # Extremal statistics pick existing floats: exactly equal.
-        assert ref.worst_drop == fast.worst_drop
-        assert ref.peak_rtog == fast.peak_rtog
-        assert ref.mean_rtog == fast.mean_rtog
-        assert np.isclose(ref.mean_drop, fast.mean_drop, rtol=rtol, atol=0.0)
-        assert np.isclose(ref.energy.dynamic_energy, fast.energy.dynamic_energy,
-                          rtol=rtol)
-        assert np.isclose(ref.energy.static_energy, fast.energy.static_energy,
-                          rtol=rtol)
-        assert np.isclose(ref.energy.elapsed_time, fast.energy.elapsed_time,
-                          rtol=rtol)
-        assert ref.energy.completed_macs == fast.energy.completed_macs
-    assert len(full.group_results) == len(scalar.group_results)
-    for ref, fast in zip(full.group_results, scalar.group_results):
-        assert fast.level_trace is None
-        assert ref.group_id == fast.group_id
-        assert ref.safe_level == fast.safe_level
-        assert ref.final_level == fast.final_level
-        assert ref.failures == fast.failures
-        assert np.isclose(ref.mean_level, fast.mean_level, rtol=1e-12)
-    for name in METRIC_NAMES:
-        ref_value = getattr(full, name)
-        fast_value = getattr(scalar, name)
-        if name in EXACT_METRICS:
-            assert ref_value == fast_value, name
-        else:
-            assert np.isclose(ref_value, fast_value, rtol=rtol, atol=0.0), name
+from tests.helpers import (
+    EXACT_METRICS,
+    STRESS_AXES,
+    assert_scalar_equivalent,
+    contained_sets_spec,
+    corpus_scenarios,
+    run_engine_variant,
+    straddling_sets_spec,
+)
 
 
 def contained_sets_workload(label="scalar-contained"):
     """Independent groups only (Sets inside groups): the kernel paths."""
-    return build_compiled_workload(WorkloadSpec(
-        builder="synthetic", groups=6, macros_per_group=2, banks=4, rows=8,
-        operator_rows=16, n_operators=6, code_spread=30.0,
-        mapping="sequential", label=label))
+    return build_compiled_workload(contained_sets_spec(label))
 
 
 def straddling_sets_workload(label="scalar-straddle"):
     """Two-macro Sets over three-macro groups: the coupled heap path."""
-    return build_compiled_workload(WorkloadSpec(
-        builder="synthetic", groups=6, macros_per_group=3, banks=4, rows=8,
-        operator_rows=16, n_operators=9, code_spread=30.0,
-        mapping="sequential", label=label))
+    return build_compiled_workload(straddling_sets_spec(label))
 
 
 class TestScalarEquivalence:
@@ -92,14 +55,7 @@ class TestScalarEquivalence:
         scalar = simulate(compiled, RuntimeConfig(traces="none", **kwargs))
         assert_scalar_equivalent(full, scalar)
 
-    @pytest.mark.parametrize("stress", [
-        dict(beta=4, recompute_cycles=10, flip_mean=0.8, monitor_noise=0.01),
-        dict(beta=10, recompute_cycles=25, flip_mean=0.75,
-             monitor_noise=0.006),
-        dict(recompute_cycles=0, flip_mean=0.8, monitor_noise=0.01),
-        dict(monitor_noise=0.0),
-        dict(flip_std=0.3, flip_correlation=0.9, monitor_noise=0.008),
-    ])
+    @pytest.mark.parametrize("stress", STRESS_AXES)
     def test_stress_axes(self, stress):
         compiled = contained_sets_workload()
         kwargs = dict(cycles=500, controller="booster", seed=7, **stress)
@@ -123,21 +79,30 @@ class TestScalarEquivalence:
 
     @pytest.mark.parametrize("controller", ["booster_safe", "booster"])
     def test_engine_variants_agree(self, controller):
-        """reference == scan == batched == kernel on scalar records: every
-        event path feeds the same scalar materialization."""
+        """reference == scan == batched == kernel == ensemble on scalar
+        records: every event path feeds the same scalar materialization."""
         compiled = contained_sets_workload()
         kwargs = dict(cycles=500, controller=controller, beta=4,
                       recompute_cycles=10, flip_mean=0.8, monitor_noise=0.01,
                       seed=7)
-        reference = simulate(compiled, RuntimeConfig(engine="reference",
-                                                     **kwargs))
-        scalar_cfg = RuntimeConfig(traces="none", **kwargs)
-        kernel = run_vectorized(PIMRuntime(compiled, scalar_cfg))
-        batched = run_vectorized(PIMRuntime(compiled, scalar_cfg),
-                                 kernel=False)
-        scan = run_vectorized(PIMRuntime(compiled, scalar_cfg), batched=False)
-        for variant in (kernel, batched, scan):
-            assert_scalar_equivalent(reference, variant)
+        reference = run_engine_variant(compiled, "reference", **kwargs)
+        for variant in ("scan", "batched", "kernel", "ensemble"):
+            result = run_engine_variant(compiled, variant, traces="none",
+                                        **kwargs)
+            assert_scalar_equivalent(reference, result)
+
+    @pytest.mark.parametrize("scenario", corpus_scenarios()[:3],
+                             ids=lambda s: s.label)
+    def test_scalar_corpus_scenarios(self, scenario):
+        """Corpus draws through the scalar fast path: the kernel and the
+        batched ensemble must both match the full-trace reference."""
+        compiled = scenario.compiled()
+        reference = run_engine_variant(compiled, "reference",
+                                       **scenario.kwargs)
+        for variant in ("kernel", "ensemble"):
+            result = run_engine_variant(compiled, variant, traces="none",
+                                        **scenario.kwargs)
+            assert_scalar_equivalent(reference, result)
 
     def test_reference_engine_ignores_traces(self):
         """The oracle always materializes traces, whatever the config says."""

@@ -31,33 +31,12 @@ from repro.sweep import WorkloadSpec, build_compiled_workload
 from repro.workloads import flip_factor_matrix, flip_factor_sequence
 from repro.workloads.profiles import WorkloadProfile
 
-from tests.helpers import make_operator
-
-
-def assert_results_equivalent(reference, vectorized):
-    """Exact equality on discrete outcomes, tight allclose on energy."""
-    assert len(reference.macro_results) == len(vectorized.macro_results)
-    for ref, vec in zip(reference.macro_results, vectorized.macro_results):
-        assert ref.macro_index == vec.macro_index
-        assert ref.failures == vec.failures
-        assert ref.stall_cycles == vec.stall_cycles
-        assert np.array_equal(ref.rtog_trace, vec.rtog_trace)
-        assert np.array_equal(ref.drop_trace, vec.drop_trace)
-        assert np.isclose(ref.energy.dynamic_energy, vec.energy.dynamic_energy,
-                          rtol=1e-9)
-        assert np.isclose(ref.energy.static_energy, vec.energy.static_energy,
-                          rtol=1e-9)
-        assert np.isclose(ref.energy.elapsed_time, vec.energy.elapsed_time,
-                          rtol=1e-9)
-        assert ref.energy.completed_macs == pytest.approx(vec.energy.completed_macs)
-    assert len(reference.group_results) == len(vectorized.group_results)
-    for ref, vec in zip(reference.group_results, vectorized.group_results):
-        assert ref.group_id == vec.group_id
-        assert ref.safe_level == vec.safe_level
-        assert ref.final_level == vec.final_level
-        assert ref.failures == vec.failures
-        assert np.array_equal(ref.level_trace, vec.level_trace)
-    assert np.array_equal(reference.chip_drop_trace, vectorized.chip_drop_trace)
+from tests.helpers import (
+    FAILURE_DENSE_STRESS,
+    assert_results_equivalent,
+    make_operator,
+    synthetic_spec,
+)
 
 
 @pytest.fixture(scope="module")
@@ -153,8 +132,7 @@ class TestFailureDenseEquivalence:
     independent-group (batched per-group runs) and coupled-group (heap
     scheduler) code paths."""
 
-    STRESS = dict(controller="booster", beta=4, recompute_cycles=10,
-                  flip_mean=0.8, monitor_noise=0.01, seed=7)
+    STRESS = FAILURE_DENSE_STRESS
 
     def triangulate(self, compiled, table=None, **kwargs):
         reference = simulate(compiled, RuntimeConfig(engine="reference", **kwargs),
@@ -186,11 +164,7 @@ class TestFailureDenseEquivalence:
     def test_independent_groups_take_batched_path(self):
         """Group-contained Sets (sequential mapping, even tiling): every group
         is processed by the batched per-group runner."""
-        spec = WorkloadSpec(builder="synthetic", groups=6, macros_per_group=4,
-                            banks=4, rows=8, operator_rows=16, n_operators=12,
-                            code_spread=30.0, mapping="sequential",
-                            label="engine-independent")
-        compiled = build_compiled_workload(spec)
+        compiled = build_compiled_workload(synthetic_spec("engine-independent"))
         kwargs = dict(cycles=700, **self.STRESS)
         independent, coupled = coupling_of(compiled, RuntimeConfig(**kwargs))
         assert coupled == 0 and independent > 0
@@ -200,11 +174,9 @@ class TestFailureDenseEquivalence:
     def test_straddling_sets_take_heap_path(self):
         """Two-macro Sets over three-macro groups straddle group boundaries,
         forcing the coupled-group heap scheduler (cross-group stalls)."""
-        spec = WorkloadSpec(builder="synthetic", groups=6, macros_per_group=3,
-                            banks=4, rows=8, operator_rows=16, n_operators=9,
-                            code_spread=30.0, mapping="sequential",
-                            label="engine-straddle")
-        compiled = build_compiled_workload(spec)
+        compiled = build_compiled_workload(
+            synthetic_spec("engine-straddle", macros_per_group=3,
+                           n_operators=9))
         kwargs = dict(cycles=700, **self.STRESS)
         independent, coupled = coupling_of(compiled, RuntimeConfig(**kwargs))
         assert coupled > 0
@@ -215,11 +187,9 @@ class TestFailureDenseEquivalence:
     def test_mixed_independent_and_coupled(self):
         """hr_aware mapping scatters Sets: some groups couple, and the run
         mixes both event paths in one simulation."""
-        spec = WorkloadSpec(builder="synthetic", groups=8, macros_per_group=4,
-                            banks=4, rows=8, operator_rows=16, n_operators=14,
-                            code_spread=30.0, mapping="hr_aware",
-                            label="engine-mixed")
-        compiled = build_compiled_workload(spec)
+        compiled = build_compiled_workload(
+            synthetic_spec("engine-mixed", groups=8, n_operators=14,
+                           mapping="hr_aware"))
         kwargs = dict(cycles=600, **self.STRESS)
         self.triangulate(compiled, **kwargs)
 
@@ -238,10 +208,9 @@ class TestLevelCacheSharing:
     everything the physics depends on."""
 
     def make_compiled(self, label="cache-w"):
-        spec = WorkloadSpec(builder="synthetic", groups=4, macros_per_group=2,
-                            banks=4, rows=8, operator_rows=16, n_operators=4,
-                            code_spread=30.0, mapping="sequential", label=label)
-        return build_compiled_workload(spec)
+        return build_compiled_workload(
+            synthetic_spec(label, groups=4, macros_per_group=2,
+                           n_operators=4))
 
     def run_once(self, compiled, **kwargs):
         return simulate(compiled, RuntimeConfig(**kwargs))

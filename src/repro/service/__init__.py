@@ -1,0 +1,42 @@
+"""Sweep-as-a-service: a crash-safe daemon over the sweep machinery.
+
+The package turns :mod:`repro.sweep` from a library call into a resident
+service: clients submit :class:`~repro.sweep.spec.SweepSpec` jobs over a
+thin REST API, a supervised executor fleet (with its shared physics store)
+stays warm across jobs, and a durable write-ahead journal makes the whole
+thing ``kill -9``-proof — a restarted daemon replays the journal, re-admits
+interrupted jobs, and resumes them from their sweep checkpoints to results
+bit-identical to an uninterrupted run.
+
+Modules:
+
+* :mod:`~repro.service.journal` — fsync'd, per-line-checksummed JSONL WAL
+  with torn-tail recovery and compaction;
+* :mod:`~repro.service.registry` — the journal-backed job state machine
+  (idempotent submission, restart re-admission);
+* :mod:`~repro.service.daemon` — :class:`SweepService`: bounded admission
+  queue, resident fleet, scheduler, graceful drain, health;
+* :mod:`~repro.service.api` — transport-neutral router + stdlib HTTP server;
+* :mod:`~repro.service.client` — HTTP and in-process clients.
+"""
+
+from .api import ServiceAPI, ServiceHTTPServer, serve_forever
+from .client import InProcessClient, ServiceClient, ServiceError
+from .daemon import (
+    Backpressure,
+    ResidentFleet,
+    ServiceUnavailable,
+    SweepService,
+    install_signal_handlers,
+)
+from .journal import JobJournal, JournalError, JournalEvent
+from .registry import JOB_STATES, TERMINAL_STATES, Job, JobRegistry, JobStateError
+
+__all__ = [
+    "SweepService", "ResidentFleet", "Backpressure", "ServiceUnavailable",
+    "install_signal_handlers",
+    "ServiceAPI", "ServiceHTTPServer", "serve_forever",
+    "ServiceClient", "InProcessClient", "ServiceError",
+    "JobJournal", "JournalEvent", "JournalError",
+    "Job", "JobRegistry", "JobStateError", "JOB_STATES", "TERMINAL_STATES",
+]

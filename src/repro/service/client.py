@@ -1,0 +1,143 @@
+"""Clients for the sweep service: HTTP (urllib) and in-process.
+
+Both speak the same surface, so a test (or notebook) can swap
+:class:`InProcessClient` — which calls :class:`~repro.service.api.ServiceAPI`
+directly, no sockets — for :class:`ServiceClient` without changing a line.
+
+Error contract: non-2xx responses raise :class:`ServiceError` carrying the
+status code, the decoded payload, and (for 429s) the service's
+``retry_after`` hint.  :meth:`submit` can absorb backpressure itself with
+``wait_on_backpressure=True``, sleeping the hinted interval and retrying.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Union
+
+from ..sweep.spec import SweepSpec
+from .api import ServiceAPI
+
+__all__ = ["InProcessClient", "ServiceClient", "ServiceError"]
+
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response."""
+
+    def __init__(self, status: int, payload: Dict) -> None:
+        super().__init__(
+            f"service returned {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+        self.retry_after = float(payload.get("retry_after", 0.0) or 0.0)
+
+
+class _ClientCore:
+    """Shared verbs over an abstract ``_request`` transport."""
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None) -> Dict:
+        raise NotImplementedError
+
+    def submit(self, spec: Union[SweepSpec, Dict],
+               job_key: Optional[str] = None,
+               options: Optional[Dict] = None,
+               wait_on_backpressure: bool = False,
+               max_wait: float = 60.0) -> Dict:
+        """Submit a sweep; returns the job status (``created`` flags dedup).
+
+        ``wait_on_backpressure=True`` turns 429s into polite waiting: sleep
+        the service's ``retry_after`` hint and resubmit, up to ``max_wait``
+        seconds in total.
+        """
+        if isinstance(spec, SweepSpec):
+            spec = spec.to_json_dict()
+        body = {"spec": spec}
+        if job_key is not None:
+            body["job_key"] = job_key
+        if options is not None:
+            body["options"] = options
+        deadline = time.monotonic() + max_wait
+        while True:
+            try:
+                return self._request("POST", "/jobs", body)
+            except ServiceError as error:
+                if not (wait_on_backpressure and error.status == 429):
+                    raise
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(min(max(error.retry_after, 0.05),
+                               max(deadline - time.monotonic(), 0.0) or 0.05))
+
+    def status(self, job_id: str) -> Dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def result(self, job_id: str, include_records: bool = True) -> Dict:
+        suffix = "" if include_records else "?records=0"
+        return self._request("GET", f"/jobs/{job_id}/result{suffix}")
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def health(self) -> Dict:
+        return self._request("GET", "/health")
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.05) -> Dict:
+        """Poll until ``job_id`` is terminal; returns its final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in _TERMINAL:
+                return status
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout}s")
+            time.sleep(poll)
+
+
+class ServiceClient(_ClientCore):
+    """Thin stdlib-``urllib`` client for a running :mod:`repro.service` daemon."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None) -> Dict:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as error:
+            try:
+                payload = json.loads(error.read() or b"{}")
+            except ValueError:
+                payload = {"error": str(error)}
+            raise ServiceError(error.code, payload) from None
+
+
+class InProcessClient(_ClientCore):
+    """Same client surface, wired straight into a ``ServiceAPI`` (no HTTP)."""
+
+    def __init__(self, api: ServiceAPI) -> None:
+        self.api = api
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None) -> Dict:
+        status, payload, _headers = self.api.handle(method, path, body)
+        if status >= 400:
+            raise ServiceError(status, payload)
+        return payload

@@ -1,0 +1,463 @@
+"""The sweep daemon: a crash-safe, long-running multi-job sweep service.
+
+:class:`SweepService` accepts :class:`~repro.sweep.spec.SweepSpec` jobs,
+schedules them one at a time onto a *resident* executor fleet (the fleet —
+and its attached :class:`~repro.sim.shared_store.SharedPhysicsStore` — lives
+for the daemon's lifetime, so physics derived for one client's job is reused
+by every later job), and journals every lifecycle transition to the durable
+write-ahead :class:`~repro.service.journal.JobJournal`.
+
+The robustness contract, end to end:
+
+* **Crash safety** — ``kill -9`` the daemon at any instant, restart it over
+  the same data directory, and every admitted job completes with records
+  bit-identical to an uninterrupted run: the journal replays the job table,
+  interrupted jobs are re-admitted, and each resumes from its last durable
+  PR-6 checkpoint (deterministic seeds make re-running the tail harmless).
+* **Admission control** — the job queue is bounded; a full queue rejects new
+  work with :class:`Backpressure` (HTTP 429 + ``retry_after``) instead of
+  accepting unbounded liabilities.
+* **Idempotent submission** — a client-supplied ``job_key`` makes resubmits
+  (retries after a lost response, duplicate users asking the same question)
+  attach to the existing job instead of recomputing.
+* **Cancellation** — a queued job cancels instantly; a running job drains
+  cleanly (in-flight work checkpoints, the fleet tears down, the partial
+  result stays resumable).
+* **Graceful shutdown** — ``shutdown()`` (wire it to SIGTERM via
+  :func:`install_signal_handlers`) stops admitting, drains the running job
+  to a checkpoint, journals a clean stop, and exits; queued jobs re-admit on
+  the next start.
+* **Health** — :meth:`SweepService.health` reports fleet liveness, queue
+  depth, journal and store counters for monitoring.
+
+On-disk layout (everything under one ``data_dir``)::
+
+    data_dir/
+      journal.jsonl            the write-ahead job journal
+      store/                   persistent shared physics store
+      jobs/<job_id>/checkpoint.json   per-job sweep checkpoints (+ .bak)
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..sweep import faults
+from ..sweep.records import SweepResult
+from ..sweep.runner import PoolExecutor, SerialExecutor, SweepRunner
+from ..sweep.spec import RetryPolicy, SweepSpec
+from .journal import JobJournal
+from .registry import Job, JobRegistry, TERMINAL_STATES
+
+__all__ = ["Backpressure", "ResidentFleet", "ServiceUnavailable",
+           "SweepService", "install_signal_handlers"]
+
+logger = logging.getLogger("repro.service")
+
+Executor = Union[SerialExecutor, PoolExecutor]
+
+
+class Backpressure(RuntimeError):
+    """The job queue is full — retry after ``retry_after`` seconds (429)."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(
+            f"job queue is full; retry after {retry_after:.1f}s")
+        self.retry_after = retry_after
+
+
+class ServiceUnavailable(RuntimeError):
+    """The daemon is shutting down and no longer admits work (503)."""
+
+
+class ResidentFleet:
+    """The daemon's long-lived executor plus its shared physics store.
+
+    Unlike a per-sweep executor pass, the fleet persists across jobs: the
+    store directory is attached once (parent process included, so even a
+    serial fleet reuses physics across jobs *and* daemon restarts), and the
+    executor object is reused for every job the scheduler runs.  Heartbeats
+    come from the runner's streaming progress callback — a fleet that stops
+    beating while a job is active is wedged, and the health endpoint says so.
+    """
+
+    def __init__(self, executor: Executor, store_dir: Optional[str]) -> None:
+        self.executor = executor
+        self.store_dir = store_dir
+        self.store = None
+        self._beat_lock = threading.Lock()
+        self._beat: Tuple[Optional[str], float] = (None, 0.0)
+
+    def start(self) -> None:
+        if self.store_dir is not None:
+            from ..sim.level_cache import attach_shared_store
+            self.store = attach_shared_store(self.store_dir,
+                                             record_events=False)
+
+    def stop(self) -> None:
+        if self.store is not None:
+            from ..sim.level_cache import detach_shared_store
+            detach_shared_store()
+            self.store = None
+
+    def beat(self, job_id: str) -> None:
+        with self._beat_lock:
+            self._beat = (job_id, time.monotonic())
+
+    def liveness(self) -> Dict:
+        with self._beat_lock:
+            job_id, ts = self._beat
+        supervised = getattr(self.executor, "supervised",
+                             getattr(self.executor, "retry_policy", None)
+                             is not None)
+        return {
+            "executor": type(self.executor).__name__,
+            "supervised": bool(supervised),
+            "processes": getattr(self.executor, "processes", None) or 1,
+            "last_progress_job": job_id,
+            "last_progress_age_s": (round(time.monotonic() - ts, 3)
+                                    if job_id is not None else None),
+            "store_attached": self.store is not None,
+        }
+
+
+class SweepService:
+    """The daemon: journal + registry + bounded queue + resident fleet.
+
+    Jobs execute one at a time on the fleet (the fleet itself parallelizes
+    *runs* across its workers; serializing jobs keeps the physics store and
+    CPU contention predictable).  All public methods are thread-safe — the
+    HTTP transport calls them from handler threads.
+    """
+
+    def __init__(self, data_dir: str,
+                 executor: Optional[Executor] = None,
+                 processes: Optional[int] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 run_timeout: Optional[float] = None,
+                 max_queue: int = 8,
+                 checkpoint_every: int = 4,
+                 compact_bytes: int = 1 << 20,
+                 attach_store: bool = True) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must admit at least one job")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be a positive "
+                             "record count")
+        self.data_dir = data_dir
+        os.makedirs(data_dir, exist_ok=True)
+        self.max_queue = max_queue
+        self.checkpoint_every = checkpoint_every
+        self.compact_bytes = compact_bytes
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, backoff=0.05, jitter="decorrelated",
+            max_backoff=5.0)
+
+        store_dir = os.path.join(data_dir, "store") if attach_store else None
+        if executor is None:
+            if processes is not None and processes > 1:
+                executor = PoolExecutor(
+                    processes=processes, retry_policy=self.retry_policy,
+                    run_timeout=run_timeout, shared_cache_dir=store_dir,
+                    shared_cache_events=False)
+            else:
+                executor = SerialExecutor(retry_policy=self.retry_policy)
+        self.fleet = ResidentFleet(executor, store_dir)
+
+        self.journal = JobJournal(os.path.join(data_dir, "journal.jsonl"))
+        self.registry = JobRegistry.open(self.journal)
+
+        self._queue: deque = deque()
+        self._lock = threading.RLock()
+        self._draining = threading.Event()
+        self._wake = threading.Event()
+        self._active: Optional[str] = None
+        self._durations: deque = deque(maxlen=8)
+        self._scheduler: Optional[threading.Thread] = None
+        self._started_ts: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "SweepService":
+        """Recover, re-admit interrupted jobs, and start scheduling."""
+        if self._scheduler is not None:
+            raise RuntimeError("service already started")
+        self.registry.maybe_compact(self.compact_bytes)
+        self.fleet.start()
+        self.journal.append("service_start",
+                            pid=os.getpid(), data_dir=self.data_dir)
+        interrupted = self.registry.recover_interrupted()
+        with self._lock:
+            for job in interrupted:
+                self._queue.append(job.job_id)
+        if interrupted:
+            logger.warning("service: recovered %d interrupted job(s): %s",
+                           len(interrupted),
+                           ", ".join(j.job_id for j in interrupted))
+        self._started_ts = time.monotonic()
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="sweep-service-scheduler",
+            daemon=True)
+        self._scheduler.start()
+        return self
+
+    def shutdown(self, timeout: Optional[float] = None) -> None:
+        """Graceful stop: drain, checkpoint, journal, release the fleet.
+
+        Safe to call more than once.  The running job (if any) drains at its
+        next record boundary and stays ``running`` in the journal — the next
+        :meth:`start` re-admits it and resumes from its checkpoint.
+        """
+        self._draining.set()
+        self._wake.set()
+        faults.service_fault("daemon:drain")
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler.join(timeout=timeout)
+        self.journal.append("service_stop", pid=os.getpid())
+        self.fleet.stop()
+        self.journal.close()
+        self._scheduler = None
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    # ------------------------------------------------------------------ #
+    # client surface
+    # ------------------------------------------------------------------ #
+    def submit(self, spec_dict: Dict, job_key: Optional[str] = None,
+               options: Optional[Dict] = None) -> Tuple[Job, bool]:
+        """Admit a sweep job; returns ``(job, created)``.
+
+        Raises :class:`Backpressure` when the queue is full (duplicate
+        ``job_key`` submissions are exempt — attaching to existing work
+        costs nothing) and :class:`ServiceUnavailable` while draining.
+        The spec is validated by round-tripping it through
+        :class:`~repro.sweep.spec.SweepSpec` before anything is journaled.
+        """
+        spec = SweepSpec.from_json_dict(spec_dict)   # validates; raises early
+        with self._lock:
+            existing = (self.registry.find_by_key(job_key)
+                        if job_key is not None else None)
+            if existing is None:
+                if self._draining.is_set():
+                    raise ServiceUnavailable(
+                        "service is draining; resubmit after restart")
+                if len(self._queue) >= self.max_queue:
+                    raise Backpressure(self._retry_after())
+            job, created = self.registry.submit(
+                spec.to_json_dict(), job_key=job_key, options=options,
+                total_runs=spec.n_runs)
+            if created:
+                self.registry.transition("admit", job.job_id)
+                self._queue.append(job.job_id)
+                self._wake.set()
+            return job, created
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job: instantly when queued, by draining when running."""
+        with self._lock:
+            job = self.registry.get(job_id)
+            if job.state in TERMINAL_STATES:
+                return job
+            self.registry.transition("cancel_request", job_id)
+            if job.state in ("submitted", "admitted"):
+                # Not started: terminal immediately; the scheduler skips it.
+                return self.registry.transition("cancelled", job_id)
+            return job    # running: the runner's should_stop drains it
+
+    def status(self, job_id: str) -> Dict:
+        return self.registry.get(job_id).public_status()
+
+    def jobs(self) -> List[Dict]:
+        return [job.public_status() for job in self.registry.list_jobs()]
+
+    def result(self, job_id: str, include_records: bool = True) -> Dict:
+        """The result payload of a terminal job (records + aggregates).
+
+        Raises ``KeyError`` for unknown jobs and :class:`JobNotDone` —
+        well, ``RuntimeError`` — for jobs that have not reached a terminal
+        state (the API maps it to 409).
+        """
+        job = self.registry.get(job_id)
+        if job.state not in TERMINAL_STATES:
+            raise RuntimeError(
+                f"job {job_id} is {job.state}; results exist only for "
+                f"terminal states {TERMINAL_STATES}")
+        path = self.checkpoint_path(job_id)
+        if not os.path.exists(path) and not os.path.exists(f"{path}.bak"):
+            result = SweepResult()
+        else:
+            result = SweepResult.load_resumable(path)
+        payload = result.summary_payload(include_records=include_records)
+        payload.update(job.public_status())
+        return payload
+
+    def health(self) -> Dict:
+        """Liveness + load + durability counters, for monitors and tests."""
+        journal_stats = vars(self.journal.stats).copy()
+        journal_stats["size_bytes"] = self.journal.size_bytes()
+        store = self.fleet.store
+        with self._lock:
+            queue_depth = len(self._queue)
+            active = self._active
+        return {
+            "status": "draining" if self._draining.is_set() else "ok",
+            "uptime_s": (round(time.monotonic() - self._started_ts, 3)
+                         if self._started_ts is not None else None),
+            "queue_depth": queue_depth,
+            "max_queue": self.max_queue,
+            "active_job": active,
+            "jobs": self.registry.counts(),
+            "fleet": self.fleet.liveness(),
+            "scheduler_alive": (self._scheduler is not None
+                                and self._scheduler.is_alive()),
+            "journal": journal_stats,
+            "store": store.stats() if store is not None else None,
+        }
+
+    def checkpoint_path(self, job_id: str) -> str:
+        return os.path.join(self.data_dir, "jobs", job_id, "checkpoint.json")
+
+    def wait_for(self, job_id: str, timeout: float = 60.0,
+                 poll: float = 0.02) -> Dict:
+        """Block until ``job_id`` reaches a terminal state (testing/demo aid)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout}s")
+            time.sleep(poll)
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+    def _retry_after(self) -> float:
+        """Backpressure hint: queue depth times the recent mean job time."""
+        mean = (sum(self._durations) / len(self._durations)
+                if self._durations else 1.0)
+        with self._lock:
+            waiting = len(self._queue) + (1 if self._active else 0)
+        return round(max(0.1, mean * max(1, waiting)), 3)
+
+    def _scheduler_loop(self) -> None:
+        while not self._draining.is_set():
+            with self._lock:
+                job_id = self._queue.popleft() if self._queue else None
+            if job_id is None:
+                self._wake.wait(0.05)
+                self._wake.clear()
+                continue
+            job = self.registry.get(job_id)
+            if job.state in TERMINAL_STATES:     # cancelled while queued
+                continue
+            started = time.monotonic()
+            self._active = job_id
+            try:
+                self._run_job(job)
+            except Exception:                    # pragma: no cover - defensive
+                logger.exception("service: job %s crashed the scheduler "
+                                 "iteration; job stays journaled for "
+                                 "recovery", job_id)
+            finally:
+                self._active = None
+                self._durations.append(time.monotonic() - started)
+
+    def _run_job(self, job: Job) -> None:
+        """Execute one admitted job through the PR-6 sweep machinery."""
+        job_id = job.job_id
+        path = self.checkpoint_path(job_id)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        self.registry.transition("running", job_id)
+        options = job.options or {}
+        resume = path if (os.path.exists(path)
+                          or os.path.exists(f"{path}.bak")) else None
+
+        def on_progress(progress) -> None:
+            self.fleet.beat(job_id)
+            if progress.checkpointed:
+                # The checkpoint file is durable at this point; the kill
+                # site between it and the journal commit is the acceptance
+                # criterion's "between checkpoint and journal commit".
+                faults.service_fault(f"daemon:post_checkpoint:{job_id}")
+                self.registry.transition(
+                    "checkpoint", job_id, records_done=progress.records,
+                    failed_runs=progress.failed)
+
+        def should_stop() -> bool:
+            return (self.registry.get(job_id).cancel_requested
+                    or self._draining.is_set())
+
+        try:
+            # Spec parsing sits inside the try: a journaled spec that no
+            # longer round-trips (schema drift across versions, say) must
+            # land the job in `failed`, not wedge it in `running`.
+            spec = SweepSpec.from_json_dict(job.spec)
+            runner = SweepRunner(spec, self.fleet.executor,
+                                 ensembles=options.get("ensembles", False))
+            result = runner.run(
+                resume_from=resume, save_path=path,
+                checkpoint_every=options.get("checkpoint_every",
+                                             self.checkpoint_every),
+                progress=on_progress, should_stop=should_stop)
+        except Exception as error:
+            logger.exception("service: job %s failed", job_id)
+            self.registry.transition("failed", job_id, error=repr(error))
+            return
+        finished = (len(result.records) + len(result.failed_runs)
+                    >= job.total_runs)
+        if self.registry.get(job_id).cancel_requested and not finished:
+            self.registry.transition("cancelled", job_id)
+            logger.info("service: job %s cancelled after draining (%d/%d "
+                        "records checkpointed)", job_id, len(result.records),
+                        job.total_runs)
+            return
+        if not finished:
+            # Drained by shutdown: stay `running` in the journal so the next
+            # start re-admits and resumes; record the final checkpoint depth.
+            self.registry.transition(
+                "checkpoint", job_id, records_done=len(result.records),
+                failed_runs=len(result.failed_runs))
+            logger.info("service: job %s drained at %d/%d records for "
+                        "shutdown", job_id, len(result.records),
+                        job.total_runs)
+            return
+        faults.service_fault(f"daemon:pre_commit:{job_id}")
+        self.registry.transition(
+            "done", job_id, records_done=len(result.records),
+            failed_runs=len(result.failed_runs))
+        logger.info("service: job %s done (%d records, %d quarantined)",
+                    job_id, len(result.records), len(result.failed_runs))
+
+
+def install_signal_handlers(service: SweepService,
+                            signals: Tuple[int, ...] = (signal.SIGTERM,
+                                                        signal.SIGINT),
+                            on_shutdown: Optional[Callable[[], None]] = None,
+                            ) -> None:
+    """Wire SIGTERM/SIGINT to a graceful drain (call from the main thread).
+
+    The handler only *requests* the drain (signal handlers must not block);
+    the foreground loop — e.g. :func:`repro.service.api.serve_forever` —
+    notices ``service.draining`` and performs the actual shutdown.
+    """
+    def _handler(signum, frame):              # pragma: no cover - signal path
+        logger.warning("service: received signal %d; draining", signum)
+        service._draining.set()
+        service._wake.set()
+        if on_shutdown is not None:
+            on_shutdown()
+
+    for signum in signals:
+        signal.signal(signum, _handler)

@@ -50,8 +50,10 @@ from .records import (
     SweepResult,
 )
 from .runner import (
+    ExecutorStats,
     PoolExecutor,
     SerialExecutor,
+    SweepProgress,
     SweepRunner,
     execute_ensemble,
     execute_run,
@@ -74,7 +76,7 @@ __all__ = [
     "SweepSpec", "RunSpec", "WorkloadSpec", "run_seed", "ensemble_seed",
     "EnsembleSpec", "batch_key", "group_into_ensembles",
     "SweepRunner", "SerialExecutor", "PoolExecutor", "execute_run", "run_sweeps",
-    "execute_ensemble", "execute_work",
+    "execute_ensemble", "execute_work", "ExecutorStats", "SweepProgress",
     "SweepResult", "RunRecord", "FailedRun", "MetricStats", "PointSummary",
     "METRIC_NAMES", "RetryPolicy",
     "register_workload_builder", "build_compiled_workload", "clear_workload_cache",

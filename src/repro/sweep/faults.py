@@ -29,6 +29,20 @@ interrupted process would:
 * ``"store_flip"`` — flip one byte in a just-published
   :class:`~repro.sim.shared_store.SharedPhysicsStore` ``.bin`` entry.
 
+Service faults fire inside the sweep daemon (:mod:`repro.service`), modelling
+a crash of the *long-running process itself*:
+
+* ``"daemon_kill"`` — ``os._exit(KILL_EXIT_CODE)`` at a named service site
+  (targets look like ``"registry:done:j000001"`` or ``"drain"`` — see
+  :func:`service_fault`'s call sites), i.e. a ``kill -9`` of the daemon
+  between a journal append and the work it describes;
+* ``"journal_torn"`` — tear the journal line just appended (truncate it
+  mid-line) **and** kill the process: a torn write is what a crash leaves
+  behind, so the two are inseparable — a daemon that kept running after one
+  would corrupt its own journal mid-file, which real torn writes cannot do.
+  Targets look like ``"<path>#<event>:<job_id>"``, so ``match`` can select
+  the journal event to tear.
+
 Determinism contract
 --------------------
 Whether a run fault fires is a pure function of ``(plan salt, fault, run_id,
@@ -79,7 +93,9 @@ __all__ = [
     "current_attempt",
     "disarm_faults",
     "injected_faults",
+    "journal_fault",
     "maybe_fail_run",
+    "service_fault",
     "set_current_attempt",
     "store_fault",
 ]
@@ -89,7 +105,9 @@ KILL_EXIT_CODE = 23
 
 _RUN_KINDS = ("raise", "kill", "hang")
 _CHECKPOINT_KINDS = ("checkpoint_truncate", "checkpoint_corrupt")
-_FILE_KINDS = _CHECKPOINT_KINDS + ("store_flip",)
+_SERVICE_KINDS = ("daemon_kill",)
+_FILE_KINDS = _CHECKPOINT_KINDS + ("store_flip", "journal_torn") \
+    + _SERVICE_KINDS
 _ENV_VAR = "REPRO_FAULTS"
 
 
@@ -296,3 +314,38 @@ def store_fault(path: str) -> None:
         return
     if plan.fire_file_faults(("store_flip",), path):
         _flip_byte(path)
+
+
+def service_fault(site: str) -> None:
+    """Daemon-crash injection site (called at named points in the service).
+
+    ``site`` is the match target — e.g. ``"registry:done:j000001"`` right
+    after the journal append of a job's ``done`` transition, or ``"drain"``
+    as a graceful shutdown starts draining.  Counter-gated per process like
+    the file faults (moot for a kill, meaningful if more service kinds grow).
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    for fault in plan.fire_file_faults(_SERVICE_KINDS, site):
+        if fault.kind == "daemon_kill":
+            os._exit(KILL_EXIT_CODE)
+
+
+def journal_fault(path: str, line_length: int, event_tag: str = "") -> None:
+    """Journal torn-write site (called between a line's write and its fsync).
+
+    The match target is ``f"{path}#{event_tag}"`` so a plan can tear the
+    append of one specific journal event.  Firing truncates the just-written
+    line roughly in half — the prefix a crashed ``write(2)`` can leave
+    behind — and then kills the process (see the module docstring: a torn
+    write without a crash would be self-inflicted mid-file corruption).
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.fire_file_faults(("journal_torn",), f"{path}#{event_tag}"):
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(max(size - line_length // 2 - 1, 0))
+        os._exit(KILL_EXIT_CODE)

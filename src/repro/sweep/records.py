@@ -240,6 +240,39 @@ class SweepResult:
                 n_seeds=len(records), stats=stats))
         return summaries
 
+    def summary_payload(self, bootstrap_resamples: int = 200,
+                        include_records: bool = True) -> Dict:
+        """JSON-safe digest of the sweep: aggregates plus (optionally) records.
+
+        The sweep service's result endpoint serves this — a client gets the
+        per-point mean/std/CI table without re-deriving it, and can skip the
+        (much larger) record list with ``include_records=False``.  Everything
+        is plain lists/dicts/floats, so ``json.dumps`` works directly.
+        """
+        payload: Dict = {
+            "n_records": len(self.records),
+            "n_failed": len(self.failed_runs),
+            "failed_runs": [f.to_json_dict() for f in self.failed_runs],
+            "points": [
+                {
+                    "point_index": s.point_index,
+                    "point_key": [[axis, value] for axis, value in s.point_key],
+                    "n_seeds": s.n_seeds,
+                    "metrics": {
+                        name: {"mean": st.mean, "std": st.std,
+                               "ci_low": st.ci_low, "ci_high": st.ci_high,
+                               "n": st.n}
+                        for name, st in s.stats.items()
+                    },
+                }
+                for s in self.aggregate(bootstrap_resamples=bootstrap_resamples)
+            ],
+        }
+        if include_records:
+            payload["records"] = [r.to_json_dict()
+                                  for r in self.sorted_records()]
+        return payload
+
     def select(self, summaries: Optional[Sequence[PointSummary]] = None,
                **axes) -> List[PointSummary]:
         """Summaries whose point key matches every given ``axis=value``."""

@@ -52,6 +52,7 @@ import time
 import warnings
 from collections import deque
 from contextlib import contextmanager
+from dataclasses import dataclass
 from math import ceil
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -61,8 +62,9 @@ from .records import FailedRun, RunRecord, SweepResult
 from .spec import EnsembleSpec, RetryPolicy, RunSpec, SweepSpec, \
     group_into_ensembles
 
-__all__ = ["SerialExecutor", "PoolExecutor", "SweepRunner",
-           "execute_ensemble", "execute_run", "execute_work", "run_sweeps"]
+__all__ = ["ExecutorStats", "SerialExecutor", "PoolExecutor", "SweepProgress",
+           "SweepRunner", "execute_ensemble", "execute_run", "execute_work",
+           "run_sweeps"]
 
 #: Progress/throughput log channel (enable with the standard logging config,
 #: e.g. ``logging.getLogger("repro.sweep").setLevel(logging.INFO)``).
@@ -78,6 +80,36 @@ WorkItem = Union[RunSpec, EnsembleSpec]
 def _member_runs(item: WorkItem) -> List[RunSpec]:
     """The individual runs behind a work item (one for a plain run)."""
     return list(item.runs) if isinstance(item, EnsembleSpec) else [item]
+
+
+@dataclass
+class ExecutorStats:
+    """Supervision counters of one executor pass (reset per pass).
+
+    ``retries`` counts in-process retry attempts the executor itself could
+    observe (every serial retry; for the pool, only parent-side re-dispatches
+    — a worker's in-worker retries happen across the process boundary).
+    ``requeues`` counts runs re-dispatched after a deadline expiry or a chunk
+    failure, ``rebuilds`` counts fleet teardowns.  Surfaced in the runner's
+    checkpoint progress lines and the service's job heartbeats, so a long
+    sweep reports degradation while it happens instead of at the post-mortem.
+    """
+
+    retries: int = 0
+    requeues: int = 0
+    rebuilds: int = 0
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One streaming progress snapshot (see :meth:`SweepRunner.run`)."""
+
+    completed: int          #: outcomes consumed this pass (records + failed)
+    total: int              #: pending work this pass (after resume skipping)
+    records: int            #: records in the merged result so far
+    failed: int             #: quarantined runs in the merged result so far
+    runs_per_s: float       #: this pass's completion throughput
+    checkpointed: bool      #: True when this outcome triggered a checkpoint
 
 
 def _as_outcomes(result) -> List[RunOutcome]:
@@ -165,22 +197,27 @@ def execute_work(item: WorkItem) -> Union[RunRecord, List[RunOutcome]]:
 
 
 def _attempt_run(fn: Callable[[RunSpec], RunRecord], run: WorkItem,
-                 first_attempt: int,
-                 policy: RetryPolicy) -> Union[RunOutcome, List[RunOutcome]]:
+                 first_attempt: int, policy: RetryPolicy,
+                 on_retry: Optional[Callable[[], None]] = None,
+                 ) -> Union[RunOutcome, List[RunOutcome]]:
     """Execute one work item under a retry policy, from ``first_attempt``.
 
-    Retries exceptions in place (with the policy's backoff) and returns a
-    :class:`FailedRun` when the attempt budget is exhausted.  Shared by the
-    serial executor and the pool workers, so serial and pool sweeps quarantine
-    identically.  An :class:`EnsembleSpec` delegates to
-    :func:`execute_ensemble`, which applies the same retry/quarantine
-    semantics per *member* and returns a list of outcomes.
+    Retries exceptions in place (with the policy's backoff, jittered per
+    ``run_id`` when the policy says so) and returns a :class:`FailedRun` when
+    the attempt budget is exhausted.  Shared by the serial executor and the
+    pool workers, so serial and pool sweeps quarantine identically.  An
+    :class:`EnsembleSpec` delegates to :func:`execute_ensemble`, which applies
+    the same retry/quarantine semantics per *member* and returns a list of
+    outcomes.  ``on_retry`` (when observable — serial execution) is called
+    once per re-attempt so the executor's stats can count them.
     """
     if isinstance(run, EnsembleSpec):
         return execute_ensemble(run, policy=policy, first_attempt=first_attempt)
     attempt = first_attempt
     while True:
-        delay = policy.delay_before(attempt)
+        if attempt > first_attempt and on_retry is not None:
+            on_retry()
+        delay = policy.delay_before(attempt, run.run_id)
         if delay > 0:
             time.sleep(delay)
         faults.set_current_attempt(attempt)
@@ -208,6 +245,8 @@ class SerialExecutor:
 
     def __init__(self, retry_policy: Optional[RetryPolicy] = None) -> None:
         self.retry_policy = retry_policy
+        #: supervision counters of the most recent pass (see ExecutorStats).
+        self.stats = ExecutorStats()
 
     def map(self, fn: Callable[[RunSpec], RunRecord],
             runs: Sequence[WorkItem]) -> List[RunOutcome]:
@@ -219,12 +258,18 @@ class SerialExecutor:
 
         Ensemble work items flatten into their per-member outcomes in place.
         """
+        self.stats = ExecutorStats()
         if self.retry_policy is None:
             for run in runs:
                 yield from _as_outcomes(fn(run))
             return
+
+        def count_retry() -> None:
+            self.stats.retries += 1
+
         for run in runs:
-            yield from _as_outcomes(_attempt_run(fn, run, 1, self.retry_policy))
+            yield from _as_outcomes(_attempt_run(fn, run, 1, self.retry_policy,
+                                                 on_retry=count_retry))
 
 
 def _apply_chunk(args) -> List[RunRecord]:
@@ -330,6 +375,10 @@ class PoolExecutor:
         self.shared_cache_events = shared_cache_events
         self.retry_policy = retry_policy
         self.run_timeout = run_timeout
+        #: supervision counters of the most recent pass.  Parent-side only:
+        #: ``requeues`` and ``rebuilds`` are exact; in-worker retries are
+        #: invisible across the process boundary and count 0 here.
+        self.stats = ExecutorStats()
 
     @property
     def supervised(self) -> bool:
@@ -420,6 +469,7 @@ class PoolExecutor:
         queue wait.
         """
         policy = self.retry_policy or RetryPolicy()
+        self.stats = ExecutorStats()
         context, processes, chunks = self._plan(runs)
         self._maybe_prebuild(context, runs)
         with self._shared_dir() as shared_dir:
@@ -439,9 +489,11 @@ class PoolExecutor:
                             # An ensemble item is one dispatch but n_runs
                             # simulations, so its deadline scales with the
                             # member count (getattr: plain runs count as 1).
+                            # Backoff allowance uses the policy's worst case
+                            # (jittered delays vary per run).
                             budget = sum(
                                 (self.run_timeout * policy.max_attempts
-                                 + sum(policy.delay_before(a) for a in
+                                 + sum(policy.max_delay_before(a) for a in
                                        range(first, policy.max_attempts + 1)))
                                 * getattr(item, "n_runs", 1)
                                 for item, first in items)
@@ -480,6 +532,7 @@ class PoolExecutor:
                         # us which, and a lost chunk would never come back —
                         # tear the fleet down and requeue what is unfinished.
                         rebuilds += 1
+                        self.stats.rebuilds = rebuilds
                         logger.warning(
                             "sweep pool: %d chunk(s) exceeded their deadline "
                             "(hung run or dead worker); rebuilding fleet "
@@ -512,6 +565,7 @@ class PoolExecutor:
                         pool = self._make_pool(context, processes, shared_dir)
                     # Expired runs requeue as singletons so one bad run no
                     # longer drags chunk-mates through every retry.
+                    self.stats.requeues += len(requeue_single)
                     queue.extend([pair] for pair in requeue_single)
             finally:
                 pool.terminate()
@@ -593,7 +647,9 @@ class SweepRunner:
 
     def run(self, resume_from: Union[None, str, SweepResult] = None,
             save_path: Optional[str] = None,
-            checkpoint_every: Optional[int] = None) -> SweepResult:
+            checkpoint_every: Optional[int] = None,
+            progress: Optional[Callable[[SweepProgress], None]] = None,
+            should_stop: Optional[Callable[[], bool]] = None) -> SweepResult:
         """Execute all (remaining) runs and return the merged result.
 
         ``resume_from`` supplies records of a previous partial execution (a
@@ -619,7 +675,19 @@ class SweepRunner:
         start) with an explicit warning instead of a stack trace.  Runs a
         supervised executor quarantined (``FailedRun``) land in
         ``result.failed_runs`` — and a resumed checkpoint's quarantined runs
-        are *retried*, not carried forward.
+        are *retried*, not carried forward (under whatever :class:`RetryPolicy`
+        *this* execution's executor carries — a fresh budget, so runs
+        exhausted under an old policy get their new chances).
+
+        Streaming hooks (the service layer's attachment points):
+        ``progress`` is called with a :class:`SweepProgress` snapshot after
+        every consumed outcome — *after* any checkpoint save it triggered, so
+        a callback observing ``checkpointed=True`` can rely on the file being
+        durable.  ``should_stop`` is polled after each outcome; returning
+        True drains the sweep cleanly — the executor stream is closed (its
+        fleet torn down), everything completed so far is saved to
+        ``save_path``, and the partial result returns.  Resuming it later
+        completes the sweep bit-identically.
         """
         if checkpoint_every is not None and checkpoint_every <= 0:
             raise ValueError("checkpoint_every must be a positive record count")
@@ -684,6 +752,7 @@ class SweepRunner:
             else iter(self.executor.map(work_fn, pending_items))
         since_checkpoint = 0
         completed = 0
+        stopped = False
         started = time.perf_counter()
         try:
             for outcome in stream:
@@ -701,16 +770,42 @@ class SweepRunner:
                         result.add(record)
                     since_checkpoint += 1
                     completed += 1
-                    if (save_path is not None and checkpoint_every is not None
-                            and since_checkpoint >= checkpoint_every):
+                    elapsed = time.perf_counter() - started
+                    rate = completed / elapsed if elapsed > 0 else 0.0
+                    checkpointed = (
+                        save_path is not None and checkpoint_every is not None
+                        and since_checkpoint >= checkpoint_every)
+                    if checkpointed:
                         result.save(save_path)
                         since_checkpoint = 0
-                        elapsed = time.perf_counter() - started
+                        stats = getattr(self.executor, "stats", None) \
+                            or ExecutorStats()
                         logger.info(
-                            "sweep %s: checkpoint at %d/%d runs (%.2f runs/s)",
-                            self.spec.name, completed, len(pending),
-                            completed / elapsed if elapsed > 0 else 0.0)
+                            "sweep %s: checkpoint at %d/%d runs (%.2f runs/s, "
+                            "%d failed, %d retried, %d requeued, %d fleet "
+                            "rebuild(s))", self.spec.name, completed,
+                            len(pending), rate, len(result.failed_runs),
+                            stats.retries, stats.requeues, stats.rebuilds)
+                    if progress is not None:
+                        progress(SweepProgress(
+                            completed=completed, total=len(pending),
+                            records=len(result.records),
+                            failed=len(result.failed_runs),
+                            runs_per_s=rate, checkpointed=checkpointed))
+                if should_stop is not None and should_stop():
+                    stopped = True
+                    logger.info(
+                        "sweep %s: stop requested — draining at %d/%d runs",
+                        self.spec.name, completed, len(pending))
+                    break
         finally:
+            if stopped:
+                # Drain deterministically: closing the executor stream tears
+                # its fleet down (GeneratorExit reaches the pool's finally)
+                # instead of leaving that to garbage collection.
+                close = getattr(stream, "close", None)
+                if close is not None:
+                    close()
             # Persist whatever completed — the final result on success, the
             # freshest checkpoint on an executor error or interruption.
             if save_path is not None:

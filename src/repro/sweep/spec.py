@@ -27,6 +27,7 @@ bit-for-bit.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Tuple
@@ -56,6 +57,17 @@ def ensemble_seed(master_seed: int, seed_index: int) -> int:
     return int(sequence.generate_state(1, dtype=np.uint32)[0])
 
 
+def _jitter_unit(salt: int, token: str, attempt: int) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` for backoff jitter.
+
+    A pure function of ``(salt, token, attempt)`` — no RNG state, so a
+    retried run computes the same delay in whichever process (or pool
+    rebuild) dispatches it, and tests can pin exact delays.
+    """
+    digest = hashlib.sha256(f"{salt}|{token}|{attempt}".encode())
+    return int.from_bytes(digest.digest()[:8], "big") / 2 ** 64
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """How the supervised executors retry a failing run.
@@ -69,22 +81,66 @@ class RetryPolicy:
     before each re-dispatch — a courtesy pause for faults caused by transient
     resource pressure.
 
+    ``jitter="decorrelated"`` spreads those pauses so a fleet of workers that
+    all failed on the same shared-store hiccup does not retry in lockstep
+    (and hiccup again): each retry's delay follows the decorrelated-jitter
+    recurrence ``d(a) = min(max_backoff, uniform(backoff, 3 * d(a-1)))``,
+    with the uniforms drawn deterministically from ``(jitter_salt, run_id,
+    attempt)`` — per-run-decorrelated but bit-reproducible, so chaos tests
+    stay exact.  The default ``"none"`` keeps the historical linear ramp.
+
     Frozen and scalar-only so it pickles across the pool boundary like every
     other spec in this module.
     """
 
     max_attempts: int = 3
     backoff: float = 0.0
+    #: "none" (linear ``backoff * (attempt - 1)`` ramp) or "decorrelated".
+    jitter: str = "none"
+    #: upper clamp of any single jittered delay, in seconds.
+    max_backoff: float = 30.0
+    #: reshuffles the deterministic jitter draws (like a fault-plan salt).
+    jitter_salt: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be a positive attempt budget")
         if self.backoff < 0:
             raise ValueError("backoff seconds must be non-negative")
+        if self.jitter not in ("none", "decorrelated"):
+            raise ValueError(f"unknown jitter mode {self.jitter!r}; "
+                             "expected 'none' or 'decorrelated'")
+        if self.max_backoff <= 0:
+            raise ValueError("max_backoff must be positive seconds")
 
-    def delay_before(self, attempt: int) -> float:
-        """Seconds to pause before dispatching ``attempt`` (1-based)."""
-        return self.backoff * max(0, attempt - 1)
+    def delay_before(self, attempt: int, token: str = "") -> float:
+        """Seconds to pause before dispatching ``attempt`` (1-based).
+
+        ``token`` decorrelates jittered delays across runs (executors pass
+        the ``run_id``); it is ignored under ``jitter="none"``.
+        """
+        if attempt <= 1 or self.backoff == 0:
+            return 0.0
+        if self.jitter == "none":
+            return self.backoff * (attempt - 1)
+        delay = self.backoff
+        for a in range(2, attempt + 1):
+            u = _jitter_unit(self.jitter_salt, token, a)
+            delay = min(self.max_backoff,
+                        self.backoff + u * (3.0 * delay - self.backoff))
+        return delay
+
+    def max_delay_before(self, attempt: int) -> float:
+        """Upper bound of :meth:`delay_before` over every token.
+
+        The supervised pool budgets chunk deadlines before it knows which
+        jittered delays will actually be drawn, so it must assume the worst.
+        """
+        if attempt <= 1 or self.backoff == 0:
+            return 0.0
+        if self.jitter == "none":
+            return self.backoff * (attempt - 1)
+        return min(self.max_backoff, self.backoff * 3.0 ** (attempt - 1))
 
 
 @dataclass(frozen=True)

@@ -19,6 +19,7 @@ leg's core; ``REPRO_CHAOS=1`` widens the parametrization.
 """
 
 import json
+import logging
 import os
 import warnings
 
@@ -373,3 +374,61 @@ def test_map_only_executor_warns_when_checkpointing_degrades(tmp_path):
     with warnings.catch_warnings():
         warnings.simplefilter("error")
         SweepRunner(spec, MapOnlyExecutor()).run(save_path=path)
+
+
+# --------------------------------------------------------------------- #
+# retry budgets across resume + supervision telemetry
+# --------------------------------------------------------------------- #
+class TestRetryBudgetsAndTelemetry:
+    def test_resume_retries_exhausted_runs_under_new_policy(
+            self, tmp_path, baseline):
+        """A new RetryPolicy on resume grants quarantined runs a fresh budget.
+
+        The fault fires on attempts 1-2; the first pass allows only 2, so
+        the run exhausts and quarantines.  Resuming under ``max_attempts=3``
+        (with jittered backoff, for good measure) retries it from attempt 1
+        — attempt 3 clears the fault — and the merged result is bit-identical
+        to the fault-free baseline.
+        """
+        path = str(tmp_path / "q.json")
+        with injected_faults(FaultSpec(kind="raise", match="p0000/s001",
+                                       times=2)):
+            tight = SerialExecutor(retry_policy=RetryPolicy(max_attempts=2))
+            first = SweepRunner(tiny_spec(), tight).run(save_path=path)
+            assert [f.run_id for f in first.failed_runs] == ["t/p0000/s001"]
+            assert first.failed_runs[0].attempts == 2
+            assert tight.stats.retries == 1
+
+            generous = SerialExecutor(retry_policy=RetryPolicy(
+                max_attempts=3, backoff=0.001, jitter="decorrelated",
+                jitter_salt=11))
+            resumed = SweepRunner(tiny_spec(), generous).run(resume_from=path)
+        assert not resumed.failed_runs
+        assert generous.stats.retries == 2
+        assert records_as_dicts(resumed) == records_as_dicts(baseline)
+
+    def test_checkpoint_log_reports_retry_totals(self, tmp_path, caplog):
+        path = str(tmp_path / "c.json")
+        executor = SerialExecutor(retry_policy=RetryPolicy(max_attempts=3))
+        with injected_faults(FaultSpec(kind="raise", match="p0000/s000",
+                                       times=1)):
+            with caplog.at_level(logging.INFO, logger="repro.sweep"):
+                SweepRunner(tiny_spec(), executor).run(save_path=path,
+                                                       checkpoint_every=1)
+        lines = [r.message for r in caplog.records
+                 if "checkpoint at" in r.message]
+        assert lines
+        assert "0 failed, 1 retried" in lines[-1]
+
+    def test_checkpoint_log_reports_failure_totals(self, tmp_path, caplog):
+        path = str(tmp_path / "c.json")
+        executor = SerialExecutor(retry_policy=RetryPolicy(max_attempts=1))
+        with injected_faults(FaultSpec(kind="raise", match="p0000/s000",
+                                       times=9)):
+            with caplog.at_level(logging.INFO, logger="repro.sweep"):
+                SweepRunner(tiny_spec(), executor).run(save_path=path,
+                                                       checkpoint_every=1)
+        lines = [r.message for r in caplog.records
+                 if "checkpoint at" in r.message]
+        assert lines
+        assert "1 failed, 0 retried" in lines[-1]

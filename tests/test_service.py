@@ -1,0 +1,698 @@
+"""Tests for the crash-safe sweep service (:mod:`repro.service`).
+
+The load-bearing guarantees:
+
+* the job journal is a real WAL: fsync'd appends, per-line digests, torn
+  tails dropped and truncated, mid-file corruption quarantined — and replay
+  reconstructs the registry through the same apply path live execution uses;
+* ``kill -9`` at the nastiest instants (between a durable checkpoint and its
+  journal commit, mid-journal-append torn writes, after the ``done`` append
+  but before the in-memory apply) + restart yields records **bit-identical**
+  to an uninterrupted run — exercised in real subprocesses, since the faults
+  ``os._exit`` the daemon;
+* submission is idempotent (job keys dedupe across restarts), admission is
+  bounded (429-style backpressure with a retry-after hint), cancellation and
+  graceful shutdown drain cleanly to resumable checkpoints;
+* the REST surface speaks the same contract over HTTP and in-process.
+
+Chaos-extended cases (more kill sites, submit storms over HTTP) run when
+``REPRO_CHAOS=1`` — CI's chaos job sets it.
+"""
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    Backpressure,
+    InProcessClient,
+    JobJournal,
+    JobRegistry,
+    JobStateError,
+    ServiceAPI,
+    ServiceClient,
+    ServiceError,
+    ServiceHTTPServer,
+    ServiceUnavailable,
+    SweepService,
+)
+from repro.sweep import (
+    FaultSpec,
+    SerialExecutor,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    WorkloadSpec,
+)
+from repro.sweep import faults
+from repro.sweep.faults import KILL_EXIT_CODE
+from repro.sweep.spec import RetryPolicy
+
+CHAOS_EXTENDED = bool(os.environ.get("REPRO_CHAOS"))
+
+#: Fast synthetic workload on a tiny chip: builds in milliseconds, no QAT.
+TINY = WorkloadSpec(builder="synthetic", groups=2, macros_per_group=2, banks=4,
+                    rows=8, n_operators=4, label="tiny")
+
+
+def tiny_spec(**overrides) -> SweepSpec:
+    defaults = dict(name="t", workloads=(TINY,), controllers=("booster",),
+                    betas=(10, 50), cycles=120, seeds=2, master_seed=7)
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+def wide_spec(**overrides) -> SweepSpec:
+    """A 16-run sweep: wide enough to catch mid-flight (cancel/drain/kill)."""
+    return tiny_spec(betas=(10, 30, 50, 70), seeds=4, **overrides)
+
+
+def records_as_dicts(result: SweepResult):
+    return [r.to_json_dict() for r in result.sorted_records()]
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    faults.disarm_faults()
+    yield
+    faults.disarm_faults()
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return SweepRunner(tiny_spec(), SerialExecutor()).run()
+
+
+@pytest.fixture(scope="module")
+def wide_baseline():
+    return SweepRunner(wide_spec(), SerialExecutor()).run()
+
+
+def service_records(data_dir: str, job_id: str) -> SweepResult:
+    return SweepResult.load_resumable(
+        os.path.join(data_dir, "jobs", job_id, "checkpoint.json"))
+
+
+# --------------------------------------------------------------------- #
+# journal
+# --------------------------------------------------------------------- #
+class TestJobJournal:
+    def test_append_replay_roundtrip(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = JobJournal(path)
+        journal.append("submit", "j1", total_runs=4)
+        journal.append("running", "j1")
+        journal.append("done", "j1", records_done=4)
+        journal.close()
+
+        events = JobJournal(path).replay()
+        assert [e.event for e in events] == ["submit", "running", "done"]
+        assert [e.seq for e in events] == [1, 2, 3]
+        assert events[0].data["total_runs"] == 4
+
+    def test_every_line_carries_a_valid_digest(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = JobJournal(path)
+        journal.append("submit", "j1")
+        journal.close()
+        payload = json.loads(open(path).read())
+        assert len(payload.pop("sha256")) == 64
+
+    def test_torn_tail_dropped_and_truncated(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = JobJournal(path)
+        journal.append("submit", "j1")
+        journal.append("running", "j1")
+        journal.close()
+        # Tear the final line mid-write, the way a crash does.
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 10)
+
+        reopened = JobJournal(path)
+        events = reopened.replay()
+        assert [e.event for e in events] == ["submit"]
+        assert reopened.stats.torn_tail_dropped == 1
+        # The append cursor continues from the last good line: seq 2 again.
+        entry = reopened.append("running", "j1")
+        assert entry.seq == 2
+        reopened.close()
+        assert [e.event for e in JobJournal(path).replay()] == \
+            ["submit", "running"]
+
+    def test_digest_damage_at_tail_is_a_torn_tail(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = JobJournal(path)
+        journal.append("submit", "j1")
+        journal.append("running", "j1")
+        journal.close()
+        with open(path, "rb") as handle:
+            lines = handle.readlines()
+        lines[-1] = lines[-1].replace(b'"event":"running"',
+                                      b'"event":"runninh"')
+        with open(path, "wb") as handle:
+            handle.writelines(lines)
+
+        reopened = JobJournal(path)
+        assert [e.event for e in reopened.replay()] == ["submit"]
+        assert reopened.stats.torn_tail_dropped == 1
+        reopened.close()
+
+    def test_midfile_corruption_quarantines(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = JobJournal(path)
+        for event in ("submit", "running", "checkpoint", "done"):
+            journal.append(event, "j1")
+        journal.close()
+        with open(path, "rb") as handle:
+            lines = handle.readlines()
+        lines[1] = b'{"garbage": true}\n'
+        with open(path, "wb") as handle:
+            handle.writelines(lines)
+
+        reopened = JobJournal(path)
+        with pytest.warns(RuntimeWarning, match="corrupt beyond its tail"):
+            events = reopened.replay()
+        # Only the prefix before the damage is trustworthy.
+        assert [e.event for e in events] == ["submit"]
+        assert reopened.stats.corrupt_lines == 1
+        assert os.path.exists(path + ".corrupt")
+        reopened.close()
+        # The rewritten journal is intact and appendable.
+        final = JobJournal(path)
+        assert [e.event for e in final.replay()] == ["submit"]
+        final.append("running", "j1")
+        final.close()
+
+    def test_seq_gap_is_damage(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = JobJournal(path)
+        for event in ("submit", "running", "done"):
+            journal.append(event, "j1")
+        journal.close()
+        with open(path, "rb") as handle:
+            lines = handle.readlines()
+        with open(path, "wb") as handle:
+            handle.writelines([lines[0], lines[2]])     # drop seq 2
+
+        reopened = JobJournal(path)
+        assert [e.event for e in reopened.replay()] == ["submit"]
+        reopened.close()
+
+    def test_compaction_preserves_seq_monotonicity(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = JobJournal(path)
+        for event in ("submit", "running", "done"):
+            journal.append(event, "j1")
+        journal.compact([{"job_id": "j1", "state": "done"}])
+        entry = journal.append("submit", "j2")
+        journal.close()
+        events = JobJournal(path).replay()
+        assert [e.event for e in events] == ["snapshot", "submit"]
+        assert events[0].seq == 4 and entry.seq == 5
+
+    def test_torn_write_fault_site_is_covered(self, tmp_path):
+        """The journal_torn chaos fault tears the just-appended line.
+
+        The kill half (``os._exit``) can only run in a subprocess — the
+        daemon chaos tests below cover it; here we prove the injection
+        site sits between write and fsync by checking the fault fires at
+        all (via a subprocess in TestDaemonChaos).
+        """
+        path = str(tmp_path / "j.jsonl")
+        journal = JobJournal(path)
+        journal.append("submit", "j1")
+        journal.close()
+        # No plan armed: the site is a no-op and the line is intact.
+        assert len(JobJournal(path).replay()) == 1
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+class TestJobRegistry:
+    def open_registry(self, tmp_path) -> JobRegistry:
+        return JobRegistry.open(JobJournal(str(tmp_path / "j.jsonl")))
+
+    def test_lifecycle_happy_path(self, tmp_path):
+        registry = self.open_registry(tmp_path)
+        job, created = registry.submit({"name": "s"}, total_runs=4)
+        assert created and job.state == "submitted"
+        registry.transition("admit", job.job_id)
+        registry.transition("running", job.job_id)
+        registry.transition("checkpoint", job.job_id, records_done=2,
+                            failed_runs=0)
+        final = registry.transition("done", job.job_id, records_done=4,
+                                    failed_runs=0)
+        assert final.state == "done" and final.records_done == 4
+        assert final.checkpoints == 1
+
+    def test_illegal_transitions_rejected(self, tmp_path):
+        registry = self.open_registry(tmp_path)
+        job, _ = registry.submit({"name": "s"})
+        with pytest.raises(JobStateError):
+            registry.transition("done", job.job_id)      # not running yet
+        with pytest.raises(JobStateError):
+            registry.transition("nonsense", job.job_id)
+        with pytest.raises(KeyError):
+            registry.transition("admit", "j999999")
+
+    def test_replay_reconstructs_identical_state(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        registry = JobRegistry.open(JobJournal(path))
+        job, _ = registry.submit({"name": "s"}, job_key="k", total_runs=4)
+        registry.transition("admit", job.job_id)
+        registry.transition("running", job.job_id)
+        registry.transition("checkpoint", job.job_id, records_done=2,
+                            failed_runs=1)
+        registry.journal.close()
+
+        replayed = JobRegistry.open(JobJournal(path))
+        original = registry.get(job.job_id).to_dict()
+        restored = replayed.get(job.job_id).to_dict()
+        # updated_ts is wall-clock at apply time; everything else matches.
+        original.pop("updated_ts"), restored.pop("updated_ts")
+        assert restored == original
+        assert replayed.find_by_key("k").job_id == job.job_id
+
+    def test_idempotent_submit_and_spec_conflict(self, tmp_path):
+        registry = self.open_registry(tmp_path)
+        first, created = registry.submit({"name": "a"}, job_key="k")
+        again, attached = registry.submit({"name": "a"}, job_key="k")
+        assert created and not attached
+        assert again.job_id == first.job_id
+        with pytest.raises(JobStateError, match="different spec"):
+            registry.submit({"name": "b"}, job_key="k")
+
+    def test_recover_interrupted_readmits_and_counts(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        registry = JobRegistry.open(JobJournal(path))
+        running, _ = registry.submit({"name": "a"}, job_key="a")
+        registry.transition("admit", running.job_id)
+        registry.transition("running", running.job_id)
+        finished, _ = registry.submit({"name": "b"}, job_key="b")
+        registry.transition("admit", finished.job_id)
+        registry.transition("running", finished.job_id)
+        registry.transition("done", finished.job_id)
+        registry.journal.close()
+
+        replayed = JobRegistry.open(JobJournal(path))
+        interrupted = replayed.recover_interrupted()
+        assert [j.job_id for j in interrupted] == [running.job_id]
+        recovered = replayed.get(running.job_id)
+        assert recovered.state == "admitted" and recovered.recoveries == 1
+        assert replayed.get(finished.job_id).state == "done"
+
+    def test_compaction_roundtrip_and_id_monotonicity(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        registry = JobRegistry.open(JobJournal(path))
+        for key in ("a", "b"):
+            job, _ = registry.submit({"name": key}, job_key=key)
+            registry.transition("admit", job.job_id)
+        assert registry.maybe_compact(max_bytes=1)
+        assert not registry.maybe_compact(max_bytes=1 << 30)
+        registry.journal.close()
+
+        replayed = JobRegistry.open(JobJournal(path))
+        assert {j.job_key for j in replayed.list_jobs()} == {"a", "b"}
+        assert [j.state for j in replayed.list_jobs()] == \
+            ["admitted", "admitted"]
+        # Fresh ids continue after the compacted ones: no reuse.
+        newer, _ = replayed.submit({"name": "c"}, job_key="c")
+        assert newer.job_id == "j000003"
+
+
+# --------------------------------------------------------------------- #
+# service core (in-process)
+# --------------------------------------------------------------------- #
+class TestServiceLifecycle:
+    def test_submit_run_result_roundtrip(self, tmp_path, baseline):
+        service = SweepService(str(tmp_path), checkpoint_every=2).start()
+        try:
+            client = InProcessClient(ServiceAPI(service))
+            job = client.submit(tiny_spec(), job_key="k1")
+            assert job["created"] and job["state"] == "admitted"
+            final = client.wait(job["job_id"])
+            assert final["state"] == "done"
+            assert final["records_done"] == tiny_spec().n_runs
+            assert final["checkpoints"] >= 2
+            payload = client.result(job["job_id"])
+            assert payload["n_records"] == tiny_spec().n_runs
+            assert [r["run_id"] for r in payload["records"]] == \
+                [r["run_id"] for r in records_as_dicts(baseline)]
+            slim = client.result(job["job_id"], include_records=False)
+            assert "records" not in slim and slim["points"]
+            # Bit-identical to the library path.
+            stored = service_records(str(tmp_path), job["job_id"])
+            assert records_as_dicts(stored) == records_as_dicts(baseline)
+        finally:
+            service.shutdown(timeout=30)
+
+    def test_duplicate_job_key_attaches(self, tmp_path):
+        service = SweepService(str(tmp_path)).start()
+        try:
+            client = InProcessClient(ServiceAPI(service))
+            first = client.submit(tiny_spec(), job_key="dup")
+            again = client.submit(tiny_spec(), job_key="dup")
+            assert first["created"] and not again["created"]
+            assert again["job_id"] == first["job_id"]
+            client.wait(first["job_id"])
+            # Attaching after completion serves the existing result too.
+            late = client.submit(tiny_spec(), job_key="dup")
+            assert not late["created"] and late["state"] == "done"
+        finally:
+            service.shutdown(timeout=30)
+
+    def test_conflicting_spec_for_key_is_409(self, tmp_path):
+        # Scheduler intentionally not started: pure admission-layer test.
+        service = SweepService(str(tmp_path))
+        client = InProcessClient(ServiceAPI(service))
+        client.submit(tiny_spec(), job_key="k")
+        with pytest.raises(ServiceError) as info:
+            client.submit(tiny_spec(master_seed=8), job_key="k")
+        assert info.value.status == 409
+        service.journal.close()
+
+    def test_backpressure_rejects_with_retry_after(self, tmp_path):
+        service = SweepService(str(tmp_path), max_queue=2)   # not started
+        client = InProcessClient(ServiceAPI(service))
+        client.submit(tiny_spec(), job_key="a")
+        client.submit(tiny_spec(), job_key="b")
+        with pytest.raises(ServiceError) as info:
+            client.submit(tiny_spec(), job_key="c")
+        assert info.value.status == 429
+        assert info.value.retry_after > 0
+        # A duplicate of admitted work is exempt: attaching costs nothing.
+        attached = client.submit(tiny_spec(), job_key="a")
+        assert not attached["created"]
+        service.journal.close()
+
+    def test_submit_storm_admits_exactly_the_queue_bound(self, tmp_path):
+        service = SweepService(str(tmp_path), max_queue=3)   # not started
+        spec = tiny_spec().to_json_dict()
+        outcomes = []
+
+        def storm(index: int) -> None:
+            try:
+                _, created = service.submit(spec, job_key=f"k{index}")
+                outcomes.append(("admitted", created))
+            except Backpressure as error:
+                outcomes.append(("rejected", error.retry_after))
+
+        threads = [threading.Thread(target=storm, args=(i,))
+                   for i in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        admitted = [o for o in outcomes if o[0] == "admitted"]
+        rejected = [o for o in outcomes if o[0] == "rejected"]
+        assert len(admitted) == 3 and len(rejected) == 9
+        assert all(hint > 0 for _, hint in rejected)
+        service.journal.close()
+        # The storm's journal replays to a consistent registry.
+        replayed = JobRegistry.open(
+            JobJournal(str(tmp_path / "journal.jsonl")))
+        assert len(replayed.list_jobs()) == 3
+        assert all(j.state == "admitted" for j in replayed.list_jobs())
+
+    def test_cancel_queued_job_is_instant(self, tmp_path):
+        service = SweepService(str(tmp_path), max_queue=4)   # not started
+        client = InProcessClient(ServiceAPI(service))
+        job = client.submit(tiny_spec(), job_key="q")
+        cancelled = client.cancel(job["job_id"])
+        assert cancelled["state"] == "cancelled"
+        service.journal.close()
+
+    def test_cancel_running_job_drains_cleanly(self, tmp_path):
+        service = SweepService(str(tmp_path), checkpoint_every=1).start()
+        try:
+            client = InProcessClient(ServiceAPI(service))
+            job = client.submit(wide_spec(), job_key="c")
+            deadline = time.monotonic() + 60
+            while client.status(job["job_id"])["records_done"] < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            client.cancel(job["job_id"])
+            final = client.wait(job["job_id"])
+            assert final["state"] == "cancelled"
+            assert final["cancel_requested"]
+            assert 1 <= final["records_done"] < wide_spec().n_runs
+            # The partial work is checkpointed, not lost.
+            partial = service_records(str(tmp_path), job["job_id"])
+            assert len(partial.records) == final["records_done"]
+        finally:
+            service.shutdown(timeout=30)
+
+    def test_result_before_terminal_is_409(self, tmp_path):
+        service = SweepService(str(tmp_path), max_queue=4)   # not started
+        client = InProcessClient(ServiceAPI(service))
+        job = client.submit(tiny_spec(), job_key="r")
+        with pytest.raises(ServiceError) as info:
+            client.result(job["job_id"])
+        assert info.value.status == 409
+        service.journal.close()
+
+    def test_draining_service_is_503(self, tmp_path):
+        service = SweepService(str(tmp_path))
+        service._draining.set()
+        client = InProcessClient(ServiceAPI(service))
+        with pytest.raises(ServiceError) as info:
+            client.submit(tiny_spec(), job_key="late")
+        assert info.value.status == 503
+        service.journal.close()
+
+    def test_health_reports_fleet_queue_and_store(self, tmp_path):
+        service = SweepService(str(tmp_path)).start()
+        try:
+            health = InProcessClient(ServiceAPI(service)).health()
+            assert health["status"] == "ok"
+            assert health["scheduler_alive"]
+            assert health["queue_depth"] == 0
+            assert health["fleet"]["executor"] == "SerialExecutor"
+            assert health["fleet"]["supervised"]
+            assert health["fleet"]["store_attached"]
+            assert health["store"]["entries"] >= 0
+            assert health["journal"]["appended"] >= 1
+            assert set(health["jobs"]) == {"submitted", "admitted", "running",
+                                           "done", "failed", "cancelled"}
+        finally:
+            service.shutdown(timeout=30)
+
+    def test_graceful_shutdown_drains_and_restart_completes(
+            self, tmp_path, wide_baseline):
+        service = SweepService(str(tmp_path), checkpoint_every=1).start()
+        job_id = None
+        try:
+            job, _ = service.submit(wide_spec().to_json_dict(), job_key="g")
+            job_id = job.job_id
+            deadline = time.monotonic() + 60
+            while service.status(job_id)["records_done"] < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+        finally:
+            service.shutdown(timeout=60)
+        drained = service.status(job_id)
+        assert drained["state"] == "running"          # journaled mid-flight
+        assert drained["records_done"] >= 1
+
+        resumed = SweepService(str(tmp_path), checkpoint_every=4).start()
+        try:
+            final = resumed.wait_for(job_id, timeout=120)
+            assert final["state"] == "done"
+            assert final["recoveries"] == 1
+            stored = service_records(str(tmp_path), job_id)
+            assert records_as_dicts(stored) == records_as_dicts(wide_baseline)
+        finally:
+            resumed.shutdown(timeout=30)
+
+    def test_failing_spec_lands_in_failed(self, tmp_path):
+        service = SweepService(str(tmp_path)).start()
+        try:
+            spec = tiny_spec().to_json_dict()
+            spec["seeds"] = 0       # no longer round-trips through SweepSpec
+            # Bypass submit-time validation to hit the execution error path
+            # (models a journaled spec from an older, looser schema).
+            job, _ = service.registry.submit(spec, job_key="bad",
+                                             total_runs=4)
+            service.registry.transition("admit", job.job_id)
+            with service._lock:
+                service._queue.append(job.job_id)
+            service._wake.set()
+            final = service.wait_for(job.job_id, timeout=60)
+            assert final["state"] == "failed"
+            assert final["error"]
+        finally:
+            service.shutdown(timeout=30)
+
+
+# --------------------------------------------------------------------- #
+# HTTP transport
+# --------------------------------------------------------------------- #
+class TestHTTPTransport:
+    def test_rest_roundtrip(self, tmp_path, baseline):
+        service = SweepService(str(tmp_path), checkpoint_every=2).start()
+        http = ServiceHTTPServer(service).start()
+        try:
+            client = ServiceClient(http.url)
+            job = client.submit(tiny_spec(), job_key="h")
+            assert job["created"]
+            again = client.submit(tiny_spec(), job_key="h")
+            assert not again["created"]
+            final = client.wait(job["job_id"])
+            assert final["state"] == "done"
+            payload = client.result(job["job_id"], include_records=False)
+            assert payload["n_records"] == tiny_spec().n_runs
+            assert "records" not in payload
+            assert client.health()["status"] == "ok"
+            assert any(j["job_id"] == job["job_id"] for j in client.jobs())
+        finally:
+            http.stop()
+            service.shutdown(timeout=30)
+
+    def test_http_error_contract(self, tmp_path):
+        service = SweepService(str(tmp_path), max_queue=1)   # not started
+        http = ServiceHTTPServer(service).start()
+        try:
+            client = ServiceClient(http.url)
+            with pytest.raises(ServiceError) as info:
+                client.status("j999999")
+            assert info.value.status == 404
+            with pytest.raises(ServiceError) as info:
+                client._request("POST", "/jobs", {"not_spec": 1})
+            assert info.value.status == 400
+            client.submit(tiny_spec(), job_key="only")
+            with pytest.raises(ServiceError) as info:
+                client.submit(tiny_spec(master_seed=9), job_key="other")
+            assert info.value.status == 429
+            assert info.value.retry_after > 0
+        finally:
+            http.stop()
+            service.journal.close()
+
+
+# --------------------------------------------------------------------- #
+# daemon chaos: kill -9 + restart => bit-identical records
+# --------------------------------------------------------------------- #
+def _daemon_once(data_dir, spec_dict, fault_dicts, job_key):
+    """Child-process body: run one daemon pass over ``data_dir``.
+
+    Arms the given fault plan (disarming anything inherited first), submits
+    — or, after a restart, attaches to — the job, waits for it, and shuts
+    down gracefully.  An armed ``daemon_kill``/``journal_torn`` fault
+    ``os._exit(KILL_EXIT_CODE)``s somewhere in the middle, which is the
+    point.
+    """
+    faults.disarm_faults()
+    if fault_dicts:
+        faults.arm_faults(*[FaultSpec(**f) for f in fault_dicts])
+    service = SweepService(data_dir, checkpoint_every=1,
+                           attach_store=False).start()
+    job, _created = service.submit(spec_dict, job_key=job_key)
+    service.wait_for(job.job_id, timeout=120)
+    service.shutdown(timeout=60)
+    os._exit(0)
+
+
+def run_daemon_once(data_dir: str, spec: SweepSpec, fault_dicts=(),
+                    job_key: str = "chaos") -> int:
+    context = multiprocessing.get_context("fork")
+    child = context.Process(
+        target=_daemon_once,
+        args=(data_dir, spec.to_json_dict(), list(fault_dicts), job_key))
+    child.start()
+    child.join(timeout=180)
+    if child.is_alive():                      # pragma: no cover - deadline
+        child.kill()
+        child.join()
+        pytest.fail("daemon child did not exit within the deadline")
+    return child.exitcode
+
+
+KILL_SITES = [
+    # The acceptance-criterion site: the sweep checkpoint is durable on disk
+    # but its journal commit never happened.
+    pytest.param({"kind": "daemon_kill", "match": "daemon:post_checkpoint"},
+                 id="between-checkpoint-and-journal-commit"),
+    # Torn write in the middle of a journal append (a checkpoint event).
+    pytest.param({"kind": "journal_torn", "match": "#checkpoint"},
+                 id="mid-journal-append-torn"),
+    # The done event hit the journal but the crash beat the in-memory apply.
+    pytest.param({"kind": "daemon_kill", "match": "registry:done"},
+                 id="after-done-append",
+                 marks=pytest.mark.skipif(not CHAOS_EXTENDED,
+                                          reason="REPRO_CHAOS=1 only")),
+    # The done append itself tears.
+    pytest.param({"kind": "journal_torn", "match": "#done"},
+                 id="done-append-torn",
+                 marks=pytest.mark.skipif(not CHAOS_EXTENDED,
+                                          reason="REPRO_CHAOS=1 only")),
+    # Kill between the submit append and its apply.
+    pytest.param({"kind": "daemon_kill", "match": "registry:submit"},
+                 id="mid-submit",
+                 marks=pytest.mark.skipif(not CHAOS_EXTENDED,
+                                          reason="REPRO_CHAOS=1 only")),
+    # Kill as the graceful drain starts.
+    pytest.param({"kind": "daemon_kill", "match": "daemon:drain"},
+                 id="mid-drain",
+                 marks=pytest.mark.skipif(not CHAOS_EXTENDED,
+                                          reason="REPRO_CHAOS=1 only")),
+]
+
+
+class TestDaemonChaos:
+    @pytest.mark.parametrize("fault", KILL_SITES)
+    def test_kill_restart_is_bit_identical(self, tmp_path, baseline, fault):
+        data_dir = str(tmp_path / "svc")
+        spec = tiny_spec()
+        first = run_daemon_once(data_dir, spec, [fault])
+        assert first == KILL_EXIT_CODE, \
+            f"fault {fault} never fired (exit {first})"
+        # Restart over the same data dir, no faults: recovery must finish
+        # the job and the records must match an uninterrupted serial run.
+        second = run_daemon_once(data_dir, spec, [])
+        assert second == 0
+
+        registry = JobRegistry.open(
+            JobJournal(os.path.join(data_dir, "journal.jsonl")))
+        job = registry.find_by_key("chaos")
+        assert job is not None and job.state == "done"
+        stored = service_records(data_dir, job.job_id)
+        assert records_as_dicts(stored) == records_as_dicts(baseline)
+        assert len({r.run_id for r in stored.records}) == spec.n_runs
+
+    def test_recovery_is_attributed_in_job_status(self, tmp_path):
+        data_dir = str(tmp_path / "svc")
+        spec = tiny_spec()
+        fault = {"kind": "daemon_kill", "match": "daemon:post_checkpoint"}
+        assert run_daemon_once(data_dir, spec, [fault]) == KILL_EXIT_CODE
+        assert run_daemon_once(data_dir, spec, []) == 0
+        registry = JobRegistry.open(
+            JobJournal(os.path.join(data_dir, "journal.jsonl")))
+        job = registry.find_by_key("chaos")
+        # The restart re-admitted the interrupted job exactly once, and the
+        # idempotent resubmission in the second child attached instead of
+        # creating a twin.
+        assert job.recoveries == 1
+        assert len(registry.list_jobs()) == 1
+
+    @pytest.mark.skipif(not CHAOS_EXTENDED, reason="REPRO_CHAOS=1 only")
+    def test_double_kill_then_recovery(self, tmp_path, baseline):
+        """Two crashes at different sites back to back still converge."""
+        data_dir = str(tmp_path / "svc")
+        spec = tiny_spec()
+        first = {"kind": "daemon_kill", "match": "daemon:post_checkpoint"}
+        torn = {"kind": "journal_torn", "match": "#checkpoint"}
+        assert run_daemon_once(data_dir, spec, [first]) == KILL_EXIT_CODE
+        assert run_daemon_once(data_dir, spec, [torn]) == KILL_EXIT_CODE
+        assert run_daemon_once(data_dir, spec, []) == 0
+        registry = JobRegistry.open(
+            JobJournal(os.path.join(data_dir, "journal.jsonl")))
+        job = registry.find_by_key("chaos")
+        assert job.state == "done" and job.recoveries == 2
+        stored = service_records(data_dir, job.job_id)
+        assert records_as_dicts(stored) == records_as_dicts(baseline)

@@ -20,6 +20,7 @@ from repro.sim import CompiledWorkload
 from repro.sweep import (
     METRIC_NAMES,
     PoolExecutor,
+    RetryPolicy,
     SerialExecutor,
     SweepRunner,
     SweepSpec,
@@ -445,3 +446,93 @@ def test_map_only_executor_still_works(tmp_path):
     serial = SweepRunner(spec, SerialExecutor()).run()
     assert records_as_dicts(legacy) == records_as_dicts(serial)
     assert len(SweepResult.load(path).records) == spec.n_runs
+
+
+# --------------------------------------------------------------------- #
+# retry backoff jitter
+# --------------------------------------------------------------------- #
+class TestRetryBackoffJitter:
+    def test_first_attempt_and_zero_backoff_never_wait(self):
+        policy = RetryPolicy(backoff=1.0, jitter="decorrelated")
+        assert policy.delay_before(1, "t/p0000/s000") == 0.0
+        assert RetryPolicy(jitter="decorrelated").delay_before(5, "x") == 0.0
+
+    def test_linear_ramp_is_the_default_and_unchanged(self):
+        policy = RetryPolicy(backoff=0.5)
+        assert policy.delay_before(2) == 0.5
+        assert policy.delay_before(4) == 1.5
+        assert policy.max_delay_before(4) == 1.5
+
+    def test_decorrelated_is_deterministic_and_salted(self):
+        policy = RetryPolicy(backoff=0.2, jitter="decorrelated",
+                             jitter_salt=3)
+        delay = policy.delay_before(3, "t/p0001/s000")
+        assert delay == policy.delay_before(3, "t/p0001/s000")
+        salted = RetryPolicy(backoff=0.2, jitter="decorrelated",
+                             jitter_salt=4)
+        assert salted.delay_before(3, "t/p0001/s000") != delay
+
+    def test_decorrelated_decorrelates_across_runs(self):
+        policy = RetryPolicy(backoff=0.2, jitter="decorrelated")
+        delays = {policy.delay_before(2, f"t/p{i:04d}/s000")
+                  for i in range(8)}
+        assert len(delays) == 8      # no retry lockstep across the fleet
+
+    def test_decorrelated_is_bounded(self):
+        policy = RetryPolicy(backoff=0.2, jitter="decorrelated",
+                             max_backoff=1.0)
+        for attempt in range(2, 8):
+            for token in ("a", "b", "c"):
+                delay = policy.delay_before(attempt, token)
+                assert policy.backoff <= delay <= policy.max_backoff
+                assert delay <= policy.max_delay_before(attempt)
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter="full")
+        with pytest.raises(ValueError):
+            RetryPolicy(max_backoff=0.0)
+
+
+# --------------------------------------------------------------------- #
+# streaming progress + cooperative stop (the service layer's hooks)
+# --------------------------------------------------------------------- #
+class TestProgressStreaming:
+    def test_progress_snapshots_stream_per_record(self, tmp_path):
+        path = str(tmp_path / "p.json")
+        snapshots = []
+        result = SweepRunner(tiny_spec(), SerialExecutor()).run(
+            save_path=path, checkpoint_every=2, progress=snapshots.append)
+        assert [s.completed for s in snapshots] == [1, 2, 3, 4]
+        assert all(s.total == 4 and s.failed == 0 for s in snapshots)
+        assert [s.checkpointed for s in snapshots] == \
+            [False, True, False, True]
+        assert snapshots[-1].records == len(result.records) == 4
+        assert all(s.runs_per_s >= 0 for s in snapshots)
+
+    def test_checkpointed_flag_means_the_file_is_durable(self, tmp_path):
+        path = str(tmp_path / "p.json")
+        seen = []
+
+        def probe(progress):
+            if progress.checkpointed:
+                seen.append(len(SweepResult.load(path).records))
+
+        SweepRunner(tiny_spec(), SerialExecutor()).run(
+            save_path=path, checkpoint_every=1, progress=probe)
+        assert seen == [1, 2, 3, 4]
+
+    def test_should_stop_drains_and_resume_completes(self, tmp_path):
+        path = str(tmp_path / "p.json")
+        fresh = SweepRunner(tiny_spec(), SerialExecutor()).run()
+        completed = []
+        partial = SweepRunner(tiny_spec(), SerialExecutor()).run(
+            save_path=path, checkpoint_every=1,
+            progress=lambda s: completed.append(s.completed),
+            should_stop=lambda: len(completed) >= 2)
+        assert len(partial.records) == 2
+        assert len(SweepResult.load(path).records) == 2
+        resumed = SweepRunner(tiny_spec(), SerialExecutor()).run(
+            resume_from=path)
+        assert [r.to_json_dict() for r in resumed.sorted_records()] == \
+            [r.to_json_dict() for r in fresh.sorted_records()]

@@ -8,9 +8,11 @@ The demo walks the whole robustness story of :mod:`repro.service`:
 2. ``kill -9`` the daemon at the nastiest instant — between a durable sweep
    checkpoint and its journal commit — via the deterministic fault registry;
 3. restart the daemon over the same data directory: the journal replays, the
-   interrupted job is re-admitted and resumed from its checkpoint, and the
-   final records are **bit-identical** to an uninterrupted serial run;
-4. along the way, exercise backpressure (bounded admission queue), the
+   interrupted job is re-admitted and resumed from its sharded record store
+   to records **bit-identical** to an uninterrupted serial run;
+4. run the store audit doctor (``python -m repro.store.audit``) over the
+   job's record store and assert it is durable-clean;
+5. along the way, exercise backpressure (bounded admission queue), the
    health endpoint, and graceful shutdown.
 
 Run with:  python examples/sweep_service_demo.py
@@ -31,6 +33,7 @@ from repro.service import (
     ServiceAPI,
     SweepService,
 )
+from repro.store.audit import main as audit_main
 from repro.sweep import (
     FaultSpec,
     SerialExecutor,
@@ -123,14 +126,17 @@ def main() -> int:
               f"checkpoints={job.checkpoints}, recoveries={job.recoveries}")
         assert job.state == "done" and job.recoveries == 1
 
-        stored = SweepResult.load_resumable(
-            os.path.join(data_dir, "jobs", job.job_id, "checkpoint.json"))
+        store_dir = os.path.join(data_dir, "jobs", job.job_id, "records")
+        stored = SweepResult.load_resumable(store_dir)
         identical = ([r.to_json_dict() for r in stored.sorted_records()]
                      == [r.to_json_dict() for r in baseline.sorted_records()])
         print(f"  records bit-identical to uninterrupted serial run: "
               f"{identical}")
         assert identical
         journal.close()
+
+        print("== store audit doctor ==")
+        assert audit_main([store_dir]) == 0, "record store failed its audit"
 
         print("== admission control ==")
         assert show_backpressure(os.path.join(tmp, "storm")) == 1

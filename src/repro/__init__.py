@@ -13,17 +13,19 @@ Package layout
 * :mod:`repro.power`     — V-f tables, PDN solver, IR-drop model, monitors, energy.
 * :mod:`repro.sim`       — compiler and cycle-level runtime.
 * :mod:`repro.sweep`     — parallel multi-seed parameter sweeps over the runtime.
+* :mod:`repro.store`     — durable sharded record stores for sweep results.
 * :mod:`repro.workloads` — operator profiles and synthetic input streams.
 * :mod:`repro.analysis`  — statistics and report formatting.
 """
 
 __version__ = "1.1.0"
 
-from . import analysis, core, models, nn, pim, power, quant, sim, sweep, workloads
+from . import analysis, core, models, nn, pim, power, quant, sim, store, \
+    sweep, workloads
 from .core import AIMConfig, AIMOutcome, AIMPipeline
 
 __all__ = [
-    "core", "nn", "models", "quant", "pim", "power", "sim", "sweep",
+    "core", "nn", "models", "quant", "pim", "power", "sim", "store", "sweep",
     "workloads", "analysis",
     "AIMPipeline", "AIMConfig", "AIMOutcome",
     "__version__",

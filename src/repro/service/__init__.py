@@ -15,7 +15,9 @@ Modules:
 * :mod:`~repro.service.registry` — the journal-backed job state machine
   (idempotent submission, restart re-admission);
 * :mod:`~repro.service.daemon` — :class:`SweepService`: bounded admission
-  queue, resident fleet, scheduler, graceful drain, health;
+  queue, resident fleet, scheduler, graceful drain, health; per-job results
+  persist in sharded record stores (:mod:`repro.store`) with legacy
+  single-JSON checkpoints migrated on first resume;
 * :mod:`~repro.service.api` — transport-neutral router + stdlib HTTP server;
 * :mod:`~repro.service.client` — HTTP and in-process clients.
 """

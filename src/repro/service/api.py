@@ -17,8 +17,12 @@ Endpoints::
     GET  /jobs/{id}           one job's status                  -> 404 unknown
     GET  /jobs/{id}/result    terminal job's records+aggregates -> 409 not done
                               (``?records=0`` elides the record list)
+    GET  /jobs/{id}/records   page records off the job's record store
+                              (``?offset=N&limit=M``; any job state — a
+                              running job's durable records page out live)
     POST /jobs/{id}/cancel    request cancellation
-    GET  /health              fleet liveness, queue depth, journal/store stats
+    GET  /health              fleet liveness, queue depth, journal/store
+                              stats, record-store damage rollup
 """
 
 from __future__ import annotations
@@ -92,6 +96,11 @@ class ServiceAPI:
                 return (200,
                         self.service.result(job_id, include_records=include),
                         {})
+            if action == "records" and method == "GET":
+                offset = int(query.get("offset", ["0"])[0])
+                limit = int(query.get("limit", ["256"])[0])
+                return (200, self.service.records(job_id, offset=offset,
+                                                  limit=limit), {})
             if action == "cancel" and method == "POST":
                 return 200, self.service.cancel(job_id).public_status(), {}
         return 404, {"error": f"no route for {method} /{'/'.join(parts)}"}, {}

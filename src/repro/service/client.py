@@ -84,6 +84,13 @@ class _ClientCore:
         suffix = "" if include_records else "?records=0"
         return self._request("GET", f"/jobs/{job_id}/result{suffix}")
 
+    def records(self, job_id: str, offset: int = 0,
+                limit: int = 256) -> Dict:
+        """Page records off the job's durable record store (any job state)."""
+        return self._request(
+            "GET", f"/jobs/{job_id}/records?offset={int(offset)}"
+                   f"&limit={int(limit)}")
+
     def cancel(self, job_id: str) -> Dict:
         return self._request("POST", f"/jobs/{job_id}/cancel")
 

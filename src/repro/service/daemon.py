@@ -35,7 +35,17 @@ On-disk layout (everything under one ``data_dir``)::
     data_dir/
       journal.jsonl            the write-ahead job journal
       store/                   persistent shared physics store
-      jobs/<job_id>/checkpoint.json   per-job sweep checkpoints (+ .bak)
+      jobs/<job_id>/records/   per-job sharded record store (see repro.store)
+      jobs/<job_id>/checkpoint.json   legacy single-JSON checkpoints (+ .bak);
+                                      still readable — a job resumed over one
+                                      migrates into the sharded store
+
+Per-job persistence goes through :class:`repro.store.ShardedRecordStore`:
+records append as they complete and checkpoints are fsync-batched flushes,
+so checkpoint cost stays flat as jobs grow.  A data directory created by an
+older daemon (``checkpoint.json`` only) recovers seamlessly — the first
+resume seeds the sharded store from the legacy checkpoint and continues
+shard-incrementally, bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -292,25 +302,96 @@ class SweepService:
             raise RuntimeError(
                 f"job {job_id} is {job.state}; results exist only for "
                 f"terminal states {TERMINAL_STATES}")
-        path = self.checkpoint_path(job_id)
-        if not os.path.exists(path) and not os.path.exists(f"{path}.bak"):
-            result = SweepResult()
-        else:
-            result = SweepResult.load_resumable(path)
+        result = self._load_job_result(job_id)
         payload = result.summary_payload(include_records=include_records)
         payload.update(job.public_status())
         return payload
 
+    def records(self, job_id: str, offset: int = 0,
+                limit: int = 256) -> Dict:
+        """A page of a job's records, straight off its record store.
+
+        Unlike :meth:`result`, this works for *any* job state — a running
+        job's durable records page out while it executes (the scan is
+        non-mutating, so it cannot disturb the writer) — and never
+        materializes aggregates, so it stays cheap for huge sweeps.
+        """
+        job = self.registry.get(job_id)            # KeyError for unknown ids
+        offset = max(0, int(offset))
+        limit = max(1, min(int(limit), 4096))
+        store_dir = self.store_path(job_id)
+        legacy = self.checkpoint_path(job_id)
+        if os.path.isdir(store_dir):
+            from ..store import scan_store
+            report = scan_store(store_dir)
+            records, failed = report.records, report.failed
+        elif os.path.exists(legacy) or os.path.exists(f"{legacy}.bak"):
+            loaded = SweepResult.load_resumable(legacy)
+            records, failed = loaded.sorted_records(), loaded.failed_runs
+        else:
+            records, failed = [], []
+        page = records[offset:offset + limit]
+        return {
+            "job_id": job_id, "state": job.state,
+            "total_records": len(records), "total_failed": len(failed),
+            "offset": offset, "limit": limit, "count": len(page),
+            "records": [record.to_json_dict() for record in page],
+        }
+
+    def _load_job_result(self, job_id: str) -> SweepResult:
+        """A job's merged result from whichever persistence it has.
+
+        The sharded store is authoritative when present (it holds everything
+        a migrated legacy checkpoint held, plus whatever ran since); the
+        legacy single-JSON checkpoint covers pre-store data directories.
+        """
+        store_dir = self.store_path(job_id)
+        legacy = self.checkpoint_path(job_id)
+        if os.path.isdir(store_dir):
+            return SweepResult.load_resumable(store_dir)
+        if os.path.exists(legacy) or os.path.exists(f"{legacy}.bak"):
+            return SweepResult.load_resumable(legacy)
+        return SweepResult()
+
+    #: per-job record-store damage/repair counters rolled up into health.
+    _STORE_DAMAGE_KEYS = ("torn_tail_dropped", "corrupt_lines_dropped",
+                          "shards_quarantined", "manifest_rebuilds")
+
     def health(self) -> Dict:
-        """Liveness + load + durability counters, for monitors and tests."""
+        """Liveness + load + durability counters, for monitors and tests.
+
+        ``degraded`` aggregates every self-healing subsystem: the shared
+        physics store's error counters, the journal's recovery counters, and
+        the per-job record stores' damage counters — a daemon that survived
+        corruption keeps serving, but monitors can see it happened.
+        """
         journal_stats = vars(self.journal.stats).copy()
         journal_stats["size_bytes"] = self.journal.size_bytes()
         store = self.fleet.store
+        physics_stats = store.stats() if store is not None else None
         with self._lock:
             queue_depth = len(self._queue)
             active = self._active
+        record_stores: Dict = {"jobs_with_stats": 0, "compactions": 0}
+        record_stores.update({key: 0 for key in self._STORE_DAMAGE_KEYS})
+        for job in self.registry.list_jobs():
+            if not job.store_stats:
+                continue
+            record_stores["jobs_with_stats"] += 1
+            for key in (*self._STORE_DAMAGE_KEYS, "compactions"):
+                record_stores[key] += int(job.store_stats.get(key, 0))
+        degraded = bool(
+            (physics_stats is not None
+             and (physics_stats.get("degraded")
+                  or physics_stats.get("load_errors")
+                  or physics_stats.get("store_errors")
+                  or physics_stats.get("corrupt_rejected")))
+            or journal_stats.get("torn_tail_dropped")
+            or journal_stats.get("corrupt_lines")
+            or any(record_stores[key] for key in self._STORE_DAMAGE_KEYS))
         return {
             "status": "draining" if self._draining.is_set() else "ok",
+            "degraded": degraded,
             "uptime_s": (round(time.monotonic() - self._started_ts, 3)
                          if self._started_ts is not None else None),
             "queue_depth": queue_depth,
@@ -321,11 +402,16 @@ class SweepService:
             "scheduler_alive": (self._scheduler is not None
                                 and self._scheduler.is_alive()),
             "journal": journal_stats,
-            "store": store.stats() if store is not None else None,
+            "store": physics_stats,
+            "record_stores": record_stores,
         }
 
     def checkpoint_path(self, job_id: str) -> str:
         return os.path.join(self.data_dir, "jobs", job_id, "checkpoint.json")
+
+    def store_path(self, job_id: str) -> str:
+        """The job's sharded record-store directory (see :mod:`repro.store`)."""
+        return os.path.join(self.data_dir, "jobs", job_id, "records")
 
     def wait_for(self, job_id: str, timeout: float = 60.0,
                  poll: float = 0.02) -> Dict:
@@ -375,25 +461,40 @@ class SweepService:
                 self._durations.append(time.monotonic() - started)
 
     def _run_job(self, job: Job) -> None:
-        """Execute one admitted job through the PR-6 sweep machinery."""
+        """Execute one admitted job through the sweep machinery.
+
+        Persistence is the per-job sharded record store; a legacy
+        ``checkpoint.json`` left by an older daemon becomes the migration
+        seed on the first resume (the runner appends its records to the
+        store once, then continues shard-incrementally).
+        """
         job_id = job.job_id
-        path = self.checkpoint_path(job_id)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
+        legacy = self.checkpoint_path(job_id)
+        store_dir = self.store_path(job_id)
+        os.makedirs(os.path.dirname(store_dir), exist_ok=True)
         self.registry.transition("running", job_id)
         options = job.options or {}
-        resume = path if (os.path.exists(path)
-                          or os.path.exists(f"{path}.bak")) else None
+        resume = legacy if (os.path.exists(legacy)
+                            or os.path.exists(f"{legacy}.bak")) else None
+        job_store = None
+
+        def store_counters() -> Dict:
+            if job_store is None:
+                return {}
+            return {key: value for key, value in job_store.stats().items()
+                    if key != "kind"}
 
         def on_progress(progress) -> None:
             self.fleet.beat(job_id)
             if progress.checkpointed:
-                # The checkpoint file is durable at this point; the kill
-                # site between it and the journal commit is the acceptance
+                # The store flush is durable at this point; the kill site
+                # between it and the journal commit is the acceptance
                 # criterion's "between checkpoint and journal commit".
                 faults.service_fault(f"daemon:post_checkpoint:{job_id}")
                 self.registry.transition(
                     "checkpoint", job_id, records_done=progress.records,
-                    failed_runs=progress.failed)
+                    failed_runs=progress.failed,
+                    store_counters=store_counters())
 
         def should_stop() -> bool:
             return (self.registry.get(job_id).cancel_requested
@@ -402,12 +503,16 @@ class SweepService:
         try:
             # Spec parsing sits inside the try: a journaled spec that no
             # longer round-trips (schema drift across versions, say) must
-            # land the job in `failed`, not wedge it in `running`.
+            # land the job in `failed`, not wedge it in `running`.  So does
+            # the store open — an unrecoverably damaged store directory
+            # fails the job visibly instead of wedging the scheduler.
             spec = SweepSpec.from_json_dict(job.spec)
+            from ..store import ShardedRecordStore
+            job_store = ShardedRecordStore(store_dir, spec=spec)
             runner = SweepRunner(spec, self.fleet.executor,
                                  ensembles=options.get("ensembles", False))
             result = runner.run(
-                resume_from=resume, save_path=path,
+                resume_from=resume, store=job_store,
                 checkpoint_every=options.get("checkpoint_every",
                                              self.checkpoint_every),
                 progress=on_progress, should_stop=should_stop)
@@ -415,6 +520,9 @@ class SweepService:
             logger.exception("service: job %s failed", job_id)
             self.registry.transition("failed", job_id, error=repr(error))
             return
+        finally:
+            if job_store is not None:
+                job_store.close()
         finished = (len(result.records) + len(result.failed_runs)
                     >= job.total_runs)
         if self.registry.get(job_id).cancel_requested and not finished:
@@ -428,7 +536,8 @@ class SweepService:
             # start re-admits and resumes; record the final checkpoint depth.
             self.registry.transition(
                 "checkpoint", job_id, records_done=len(result.records),
-                failed_runs=len(result.failed_runs))
+                failed_runs=len(result.failed_runs),
+                store_counters=store_counters())
             logger.info("service: job %s drained at %d/%d records for "
                         "shutdown", job_id, len(result.records),
                         job.total_runs)
@@ -436,7 +545,8 @@ class SweepService:
         faults.service_fault(f"daemon:pre_commit:{job_id}")
         self.registry.transition(
             "done", job_id, records_done=len(result.records),
-            failed_runs=len(result.failed_runs))
+            failed_runs=len(result.failed_runs),
+            store_counters=store_counters())
         logger.info("service: job %s done (%d records, %d quarantined)",
                     job_id, len(result.records), len(result.failed_runs))
 

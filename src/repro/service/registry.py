@@ -96,6 +96,9 @@ class Job:
     recoveries: int = 0
     error: str = ""
     cancel_requested: bool = False
+    #: the job's record-store counters at its last checkpoint/done event —
+    #: durability and damage-recovery visibility per job (see repro.store).
+    store_stats: Dict = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
         return {
@@ -106,6 +109,7 @@ class Job:
             "failed_runs": self.failed_runs, "checkpoints": self.checkpoints,
             "recoveries": self.recoveries, "error": self.error,
             "cancel_requested": self.cancel_requested,
+            "store_stats": self.store_stats,
         }
 
     @classmethod
@@ -123,6 +127,7 @@ class Job:
             "recoveries": self.recoveries, "error": self.error,
             "cancel_requested": self.cancel_requested,
             "created_ts": self.created_ts, "updated_ts": self.updated_ts,
+            "store_stats": self.store_stats,
         }
 
 
@@ -268,6 +273,8 @@ class JobRegistry:
         if event == "checkpoint":
             job.records_done = int(data.get("records_done", job.records_done))
             job.failed_runs = int(data.get("failed_runs", job.failed_runs))
+            if data.get("store_counters"):
+                job.store_stats = dict(data["store_counters"])
             job.checkpoints += 1
             return
         if event == "cancel_request":
@@ -280,6 +287,8 @@ class JobRegistry:
         if event == "done":
             job.records_done = int(data.get("records_done", job.records_done))
             job.failed_runs = int(data.get("failed_runs", job.failed_runs))
+            if data.get("store_counters"):
+                job.store_stats = dict(data["store_counters"])
         landing = _LANDS_IN.get(event)
         if landing is not None:
             job.state = landing

@@ -1,0 +1,112 @@
+"""The legacy single-JSON record store: bit-compatible with pre-store files.
+
+Before :mod:`repro.store`, a sweep's checkpoint was one atomic JSON blob
+written by :meth:`~repro.sweep.records.SweepResult.save` — sha256 content
+digest, temp-file + fsync + ``os.replace``, ``.bak`` rotation.  This adapter
+keeps that format (and its fault-injection hook) available behind the
+:class:`~repro.store.base.RecordStore` contract: every :meth:`flush` rewrites
+the whole blob through the very same ``SweepResult.save`` code path, so files
+it produces are byte-for-byte what the old runner wrote and every existing
+checkpoint keeps loading.
+
+The cost profile is the old one too — O(total records) per flush — which is
+the point: this backend exists for compatibility and as the benchmark
+baseline the sharded store is measured against, not for new deployments.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, Optional, Set
+
+from ..sweep.records import FailedRun, RunRecord, SweepResult
+from ..sweep.spec import SweepSpec
+from .base import RecordStore, StoreError
+
+__all__ = ["LegacyJSONRecordStore"]
+
+
+class LegacyJSONRecordStore(RecordStore):
+    """Whole-blob JSON persistence behind the record-store contract.
+
+    The store keeps an in-memory :class:`SweepResult` mirror and serializes
+    it on every flush.  It starts *empty* — matching the old runner, which
+    overwrote ``save_path`` with the merged result rather than appending —
+    so resuming callers must :meth:`seed_from` the prior records explicitly
+    (the runner does).  ``load_existing=True`` instead adopts the file's
+    current content, for standalone read-modify-write use.
+    """
+
+    kind = "legacy"
+
+    def __init__(self, path: str, spec: Optional[SweepSpec] = None,
+                 load_existing: bool = False) -> None:
+        self.path = path
+        self.spec = spec
+        self._result = SweepResult(spec=spec)
+        self._sealed = False
+        self._flushes = 0
+        self._dirty = False
+        if load_existing and (os.path.exists(path)
+                              or os.path.exists(f"{path}.bak")):
+            loaded = SweepResult.load_resumable(path)
+            self._result = SweepResult(spec=spec or loaded.spec,
+                                       records=list(loaded.records),
+                                       failed_runs=list(loaded.failed_runs))
+            if spec is None:
+                self.spec = loaded.spec
+
+    def append(self, record: RunRecord) -> None:
+        if self._sealed:
+            raise StoreError("store is sealed; the sweep is complete")
+        self._result.add(record)
+        self._dirty = True
+
+    def append_failed(self, failed: FailedRun) -> None:
+        if self._sealed:
+            raise StoreError("store is sealed; the sweep is complete")
+        self._result.failed_runs.append(failed)
+        self._dirty = True
+
+    def flush(self) -> None:
+        """Rewrite the whole blob (the historical checkpoint save, exactly)."""
+        self._result.save(self.path)
+        self._flushes += 1
+        self._dirty = False
+
+    def seal(self) -> None:
+        # Flush only unsaved appends: the runner's end-of-pass flush already
+        # wrote the final state, and an extra save would rotate `.bak` again.
+        if self._dirty:
+            self.flush()
+        self._sealed = True
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def iter_records(self) -> Iterator[RunRecord]:
+        by_id = {record.run_id: record for record in self._result.records}
+        yield from sorted(by_id.values(),
+                          key=lambda r: (r.point_index, r.seed_index))
+
+    def iter_failed(self) -> Iterator[FailedRun]:
+        recorded = {record.run_id for record in self._result.records}
+        by_id = {failed.run_id: failed
+                 for failed in self._result.failed_runs
+                 if failed.run_id not in recorded}
+        yield from sorted(by_id.values(),
+                          key=lambda f: (f.point_index, f.seed_index))
+
+    def run_ids(self) -> Set[str]:
+        return {record.run_id for record in self._result.records}
+
+    def stats(self) -> Dict:
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            size = 0
+        return {"kind": self.kind, "records": len(self.run_ids()),
+                "failed": sum(1 for _ in self.iter_failed()),
+                "sealed": self._sealed, "flushes": self._flushes,
+                "size_bytes": size}

@@ -1,0 +1,71 @@
+"""The in-memory record store: plain lists, no durability.
+
+The reference implementation of the :class:`~repro.store.base.RecordStore`
+contract — what the other backends must behave like once fsyncs and recovery
+are stripped away — and the backend for unit tests and dry runs where writing
+anything to disk is unwanted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..sweep.records import FailedRun, RunRecord
+from ..sweep.spec import SweepSpec
+from .base import RecordStore, StoreError
+
+__all__ = ["MemoryRecordStore"]
+
+
+class MemoryRecordStore(RecordStore):
+    """Records and failures in lists; ``flush`` is a no-op."""
+
+    kind = "memory"
+
+    def __init__(self, spec: Optional[SweepSpec] = None) -> None:
+        self.spec = spec
+        self._records: List[RunRecord] = []
+        self._failed: List[FailedRun] = []
+        self._sealed = False
+        self._flushes = 0
+
+    def append(self, record: RunRecord) -> None:
+        if self._sealed:
+            raise StoreError("store is sealed; the sweep is complete")
+        self._records.append(record)
+
+    def append_failed(self, failed: FailedRun) -> None:
+        if self._sealed:
+            raise StoreError("store is sealed; the sweep is complete")
+        self._failed.append(failed)
+
+    def flush(self) -> None:
+        self._flushes += 1
+
+    def seal(self) -> None:
+        self._sealed = True
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def iter_records(self) -> Iterator[RunRecord]:
+        # Last-wins dedup, then canonical order — the shared read contract.
+        by_id = {record.run_id: record for record in self._records}
+        yield from sorted(by_id.values(),
+                          key=lambda r: (r.point_index, r.seed_index))
+
+    def iter_failed(self) -> Iterator[FailedRun]:
+        recorded = {record.run_id for record in self._records}
+        by_id = {failed.run_id: failed for failed in self._failed
+                 if failed.run_id not in recorded}
+        yield from sorted(by_id.values(),
+                          key=lambda f: (f.point_index, f.seed_index))
+
+    def run_ids(self) -> Set[str]:
+        return {record.run_id for record in self._records}
+
+    def stats(self) -> Dict:
+        return {"kind": self.kind, "records": len(set(self.run_ids())),
+                "failed": sum(1 for _ in self.iter_failed()),
+                "sealed": self._sealed, "flushes": self._flushes}

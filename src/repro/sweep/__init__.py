@@ -48,6 +48,7 @@ from .records import (
     PointSummary,
     RunRecord,
     SweepResult,
+    bound_traceback,
 )
 from .runner import (
     ExecutorStats,
@@ -78,7 +79,7 @@ __all__ = [
     "SweepRunner", "SerialExecutor", "PoolExecutor", "execute_run", "run_sweeps",
     "execute_ensemble", "execute_work", "ExecutorStats", "SweepProgress",
     "SweepResult", "RunRecord", "FailedRun", "MetricStats", "PointSummary",
-    "METRIC_NAMES", "RetryPolicy",
+    "METRIC_NAMES", "RetryPolicy", "bound_traceback",
     "register_workload_builder", "build_compiled_workload", "clear_workload_cache",
     "FaultSpec", "FaultPlan", "InjectedFault",
     "arm_faults", "disarm_faults", "injected_faults",

@@ -29,6 +29,19 @@ interrupted process would:
 * ``"store_flip"`` — flip one byte in a just-published
   :class:`~repro.sim.shared_store.SharedPhysicsStore` ``.bin`` entry.
 
+Record-store faults damage a :class:`~repro.store.ShardedRecordStore` the
+three ways an append-only shard directory can rot:
+
+* ``"shard_torn"`` — tear the shard line just appended (truncate it mid-line)
+  **and** kill the process, exactly like ``"journal_torn"``: torn writes are
+  crash artifacts, so the kill is part of the fault.  Targets look like
+  ``"<shard path>#record:<run_id>"`` (or ``#failed:<run_id>``);
+* ``"shard_corrupt"`` — flip one mid-file byte of the current shard after a
+  flush, *without* killing: latent disk damage the store must quarantine on
+  its next open, not crash on;
+* ``"manifest_lost"`` — unlink the store manifest right after it was
+  rewritten: the store must self-heal by rebuilding it from the shards.
+
 Service faults fire inside the sweep daemon (:mod:`repro.service`), modelling
 a crash of the *long-running process itself*:
 
@@ -94,9 +107,12 @@ __all__ = [
     "disarm_faults",
     "injected_faults",
     "journal_fault",
+    "manifest_fault",
     "maybe_fail_run",
     "service_fault",
     "set_current_attempt",
+    "shard_corrupt_fault",
+    "shard_fault",
     "store_fault",
 ]
 
@@ -106,8 +122,9 @@ KILL_EXIT_CODE = 23
 _RUN_KINDS = ("raise", "kill", "hang")
 _CHECKPOINT_KINDS = ("checkpoint_truncate", "checkpoint_corrupt")
 _SERVICE_KINDS = ("daemon_kill",)
+_STORE_KINDS = ("shard_torn", "shard_corrupt", "manifest_lost")
 _FILE_KINDS = _CHECKPOINT_KINDS + ("store_flip", "journal_torn") \
-    + _SERVICE_KINDS
+    + _STORE_KINDS + _SERVICE_KINDS
 _ENV_VAR = "REPRO_FAULTS"
 
 
@@ -349,3 +366,57 @@ def journal_fault(path: str, line_length: int, event_tag: str = "") -> None:
         with open(path, "r+b") as handle:
             handle.truncate(max(size - line_length // 2 - 1, 0))
         os._exit(KILL_EXIT_CODE)
+
+
+def shard_fault(path: str, line_length: int, tag: str = "") -> None:
+    """Record-shard torn-write site (between a line's write and its fsync).
+
+    The :class:`~repro.store.ShardedRecordStore` analogue of
+    :func:`journal_fault`, with the same rationale: a torn write is what a
+    crash leaves behind, so firing truncates the just-appended shard line
+    roughly in half and kills the process.  The match target is
+    ``f"{path}#{tag}"`` where ``tag`` is ``"record:<run_id>"`` or
+    ``"failed:<run_id>"``, so a plan can tear the append of one specific
+    record.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.fire_file_faults(("shard_torn",), f"{path}#{tag}"):
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(max(size - line_length // 2 - 1, 0))
+        os._exit(KILL_EXIT_CODE)
+
+
+def shard_corrupt_fault(path: str) -> None:
+    """Latent shard-corruption site (called after a shard flush lands).
+
+    Unlike ``shard_torn`` this models *disk* damage, not a crash: one
+    mid-file byte of the flushed shard is flipped and the process keeps
+    running.  The store's next open must detect the digest mismatch and
+    quarantine the shard (keeping its intact lines) rather than crash.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.fire_file_faults(("shard_corrupt",), path):
+        _flip_byte(path)
+
+
+def manifest_fault(path: str) -> None:
+    """Manifest-loss site (called after a store manifest rewrite lands).
+
+    Unlinks the freshly written manifest — the failure mode where the
+    directory survives but its index does not.  The store must self-heal by
+    rebuilding the manifest from the shard files on its next open (the
+    shards, not the manifest, are the source of truth).
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.fire_file_faults(("manifest_lost",), path):
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass

@@ -30,7 +30,7 @@ from . import faults
 from .spec import RunSpec, SweepSpec
 
 __all__ = ["RunRecord", "FailedRun", "MetricStats", "PointSummary",
-           "SweepResult", "METRIC_NAMES"]
+           "SweepResult", "METRIC_NAMES", "bound_traceback"]
 
 logger = logging.getLogger("repro.sweep")
 
@@ -85,6 +85,33 @@ class RunRecord:
                    metrics={k: float(v) for k, v in data["metrics"].items()})
 
 
+#: Bounds on the traceback tail a :class:`FailedRun` carries.
+TRACEBACK_TAIL_LINES = 20
+TRACEBACK_TAIL_CHARS = 4000
+
+
+def bound_traceback(text: str, max_lines: int = TRACEBACK_TAIL_LINES,
+                    max_chars: int = TRACEBACK_TAIL_CHARS) -> str:
+    """The *tail* of a traceback, bounded for persistence.
+
+    The last frames are the diagnostic ones (the raise site and its callers),
+    so the tail is kept and the head dropped.  Bounded twice — by line count
+    and by characters — so one pathological frame (a giant repr in a message)
+    cannot bloat every checkpoint that carries the failure.
+    """
+    text = (text or "").rstrip()
+    if not text:
+        return ""
+    lines = text.splitlines()
+    if len(lines) > max_lines:
+        kept = lines[-max_lines:]
+        kept.insert(0, f"... ({len(lines) - max_lines} leading lines dropped)")
+        text = "\n".join(kept)
+    if len(text) > max_chars:
+        text = "... (truncated)\n" + text[-max_chars:]
+    return text
+
+
 @dataclass(frozen=True)
 class FailedRun:
     """A run quarantined after exhausting its retry budget.
@@ -93,7 +120,9 @@ class FailedRun:
     sweep with permanent failures still completes, reports *which* runs are
     missing, and aggregates over the records it does have — instead of dying
     on the first bad run.  ``error`` is the final attempt's failure rendered
-    as text (exception repr, or a timeout/worker-death description).
+    as text (exception repr, or a timeout/worker-death description);
+    ``traceback`` is the final attempt's bounded traceback tail (empty when
+    none was capturable — e.g. the worker process died).
     """
 
     run_id: str
@@ -101,22 +130,27 @@ class FailedRun:
     seed_index: int
     error: str
     attempts: int
+    traceback: str = ""
 
     @classmethod
-    def from_run(cls, run: RunSpec, error: str, attempts: int) -> "FailedRun":
+    def from_run(cls, run: RunSpec, error: str, attempts: int,
+                 traceback: str = "") -> "FailedRun":
         return cls(run_id=run.run_id, point_index=run.point_index,
-                   seed_index=run.seed_index, error=error, attempts=attempts)
+                   seed_index=run.seed_index, error=error, attempts=attempts,
+                   traceback=bound_traceback(traceback))
 
     def to_json_dict(self) -> Dict:
         return {"run_id": self.run_id, "point_index": self.point_index,
                 "seed_index": self.seed_index, "error": self.error,
-                "attempts": self.attempts}
+                "attempts": self.attempts, "traceback": self.traceback}
 
     @classmethod
     def from_json_dict(cls, data: Dict) -> "FailedRun":
+        # `.get` keeps pre-traceback checkpoints loading unchanged.
         return cls(run_id=data["run_id"], point_index=int(data["point_index"]),
                    seed_index=int(data["seed_index"]), error=data["error"],
-                   attempts=int(data["attempts"]))
+                   attempts=int(data["attempts"]),
+                   traceback=data.get("traceback", ""))
 
 
 @dataclass(frozen=True)
@@ -361,11 +395,25 @@ class SweepResult:
     def load_resumable(cls, path: str) -> "SweepResult":
         """Load ``path`` for resuming, degrading gracefully on damage.
 
-        Fallback chain: the checkpoint itself → its rolling ``<path>.bak``
-        → an empty result (clean start), warning at each step down.  Only
-        when neither file exists at all does this raise ``FileNotFoundError``
-        — that is a caller error (a bad path), not a damaged checkpoint.
+        ``path`` may also be a sharded record-store *directory* (see
+        :mod:`repro.store`): opening it runs the store's recovery — torn
+        tails truncated, corrupt shards quarantined, manifest rebuilt — and
+        returns whatever survives, which is the store's own degraded-mode
+        chain.
+
+        For a single-JSON checkpoint the fallback chain is: the checkpoint
+        itself → its rolling ``<path>.bak`` → an empty result (clean start),
+        warning at each step down.  Only when the path names nothing at all
+        does this raise ``FileNotFoundError`` — that is a caller error (a
+        bad path), not a damaged checkpoint.
         """
+        if os.path.isdir(path):
+            from ..store.sharded import ShardedRecordStore  # noqa: cyclic
+            store = ShardedRecordStore(path)
+            try:
+                return store.to_result()
+            finally:
+                store.close()
         backup = f"{path}.bak"
         if not os.path.exists(path) and not os.path.exists(backup):
             raise FileNotFoundError(path)

@@ -25,7 +25,10 @@ Checkpointing: the runner consumes records through the executors' streaming
 ``checkpoint_every`` completed records (atomic temp-file + ``os.replace``)
 and — whenever ``save_path`` is set — on any executor error or interruption,
 so long sweeps survive being killed mid-executor-pass and resume from the
-last checkpoint.
+last checkpoint.  Passing ``store`` instead (see :mod:`repro.store`) makes
+persistence *record-incremental*: outcomes append to a durable record store
+as they complete, checkpoints become fsync-batched flushes whose cost does
+not grow with sweep size, and a completed pass seals the store.
 
 Fault tolerance (supervision): both executors accept a
 :class:`~repro.sweep.spec.RetryPolicy`; :class:`PoolExecutor` additionally
@@ -49,12 +52,17 @@ import os
 import shutil
 import tempfile
 import time
+import traceback as traceback_module
 import warnings
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
 from math import ceil
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Iterator, List, \
+    Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:                             # pragma: no cover - typing only
+    from ..store.base import RecordStore as RecordStoreLike
 
 from . import faults
 from .builders import build_compiled_workload
@@ -227,7 +235,11 @@ def _attempt_run(fn: Callable[[RunSpec], RunRecord], run: WorkItem,
             logger.warning("run %s attempt %d/%d failed: %r", run.run_id,
                            attempt, policy.max_attempts, error)
             if attempt >= policy.max_attempts:
-                return FailedRun.from_run(run, repr(error), attempts=attempt)
+                # The final attempt's traceback rides along (bounded tail)
+                # so quarantined runs stay diagnosable from the checkpoint.
+                return FailedRun.from_run(
+                    run, repr(error), attempts=attempt,
+                    traceback=traceback_module.format_exc())
             attempt += 1
         finally:
             faults.set_current_attempt(1)
@@ -514,11 +526,13 @@ class PoolExecutor:
                             logger.warning(
                                 "supervised chunk of %d item(s) failed to "
                                 "return: %r", len(items), error)
+                            chunk_traceback = traceback_module.format_exc()
                             for item, first in items:
                                 for run in _member_runs(item):
                                     if first >= policy.max_attempts:
                                         yield FailedRun.from_run(
-                                            run, repr(error), attempts=first)
+                                            run, repr(error), attempts=first,
+                                            traceback=chunk_traceback)
                                     else:
                                         requeue_single.append((run, first + 1))
                         else:
@@ -645,57 +659,116 @@ class SweepRunner:
         self.executor = executor or SerialExecutor()
         self.ensembles = ensembles
 
+    def _validated_prior(self, records: Iterable[RunRecord],
+                         by_id: Dict[str, RunSpec]) -> List[RunRecord]:
+        """Resumed records that belong to this spec, derivation-checked.
+
+        A record whose stored seed or grid point disagrees with this spec's
+        derivation (a different ``master_seed``, or an edited grid reusing
+        the same sweep name) raises rather than silently mixing ensembles;
+        records of runs the spec no longer contains are dropped.
+        """
+        prior: List[RunRecord] = []
+        for record in records:
+            expected = by_id.get(record.run_id)
+            if expected is None:
+                continue
+            if record.seed != expected.seed:
+                raise ValueError(
+                    f"resumed record {record.run_id!r} was produced with "
+                    f"seed {record.seed}, but this spec derives "
+                    f"{expected.seed} — refusing to mix ensembles")
+            if record.point_key != expected.point_key:
+                raise ValueError(
+                    f"resumed record {record.run_id!r} was produced at "
+                    f"grid point {dict(record.point_key)}, but this spec "
+                    f"places it at {dict(expected.point_key)} — the grid "
+                    f"changed; refusing to mix sweeps")
+            prior.append(record)
+        return prior
+
     def run(self, resume_from: Union[None, str, SweepResult] = None,
             save_path: Optional[str] = None,
             checkpoint_every: Optional[int] = None,
             progress: Optional[Callable[[SweepProgress], None]] = None,
-            should_stop: Optional[Callable[[], bool]] = None) -> SweepResult:
+            should_stop: Optional[Callable[[], bool]] = None,
+            store: Union[None, str, "RecordStoreLike"] = None) -> SweepResult:
         """Execute all (remaining) runs and return the merged result.
 
         ``resume_from`` supplies records of a previous partial execution (a
-        JSON path or an in-memory result); records whose ``run_id`` belongs to
-        this spec are kept and their runs skipped.  A resumed record whose
-        stored seed or grid point disagrees with this spec's derivation (a
-        different ``master_seed``, or an edited grid reusing the same sweep
-        name) raises rather than silently mixing ensembles.
-        ``save_path`` persists the merged result as JSON afterwards.
+        JSON path, a sharded store directory, or an in-memory result);
+        records whose ``run_id`` belongs to this spec are kept and their runs
+        skipped.  A resumed record whose stored seed or grid point disagrees
+        with this spec's derivation (a different ``master_seed``, or an
+        edited grid reusing the same sweep name) raises rather than silently
+        mixing ensembles.  ``save_path`` persists the merged result as a
+        single JSON blob afterwards.
 
-        Checkpointing: records stream from the executor
+        Persistence through a record store: ``store`` (a
+        :class:`~repro.store.base.RecordStore`, a directory path for the
+        sharded backend, ``":memory:"``, or a ``*.json`` path for the legacy
+        blob — see :func:`repro.store.open_store`) switches checkpointing
+        from whole-blob rewrites to *record-incremental* appends: every
+        outcome appends as it completes, ``checkpoint_every=k`` flushes
+        (fsync + manifest) every ``k`` outcomes, and a full pass seals the
+        store.  A non-empty store resumes implicitly (no ``resume_from``
+        needed); pairing it with an explicit ``resume_from`` *seeds* the
+        store from that source first — the legacy→sharded migration path, in
+        which the old checkpoint's records are appended once and execution
+        continues shard-incrementally.  ``store`` and ``save_path`` are
+        mutually exclusive — one persistence authority per pass.
+
+        Checkpointing (legacy path): records stream from the executor
         (``imap_unordered``), and with ``checkpoint_every=k`` every ``k``
         completed records trigger an atomic save to ``save_path`` — a long
         sweep killed mid-executor-pass resumes from the last checkpoint
         instead of restarting.  Independent of ``checkpoint_every``, when
-        ``save_path`` is set the records completed so far are saved even if a
-        run raises (or the process is interrupted with ``KeyboardInterrupt``),
-        so ``resume_from=save_path`` always picks up where execution stopped.
+        ``save_path`` (or ``store``) is set the records completed so far are
+        persisted even if a run raises (or the process is interrupted with
+        ``KeyboardInterrupt``), so resuming always picks up where execution
+        stopped.
 
         Robustness: a ``resume_from`` *path* loads through
         :meth:`SweepResult.load_resumable` — a truncated/corrupt/digest-
         mismatched checkpoint falls back to its rolling ``.bak`` (or a clean
-        start) with an explicit warning instead of a stack trace.  Runs a
-        supervised executor quarantined (``FailedRun``) land in
-        ``result.failed_runs`` — and a resumed checkpoint's quarantined runs
-        are *retried*, not carried forward (under whatever :class:`RetryPolicy`
-        *this* execution's executor carries — a fresh budget, so runs
-        exhausted under an old policy get their new chances).
+        start) with an explicit warning instead of a stack trace, and a store
+        directory runs shard recovery (torn tails truncated, corrupt shards
+        quarantined).  Runs a supervised executor quarantined (``FailedRun``)
+        land in ``result.failed_runs`` — and a resumed checkpoint's
+        quarantined runs are *retried*, not carried forward (under whatever
+        :class:`RetryPolicy` *this* execution's executor carries — a fresh
+        budget, so runs exhausted under an old policy get their new chances).
 
         Streaming hooks (the service layer's attachment points):
         ``progress`` is called with a :class:`SweepProgress` snapshot after
-        every consumed outcome — *after* any checkpoint save it triggered, so
-        a callback observing ``checkpointed=True`` can rely on the file being
-        durable.  ``should_stop`` is polled after each outcome; returning
-        True drains the sweep cleanly — the executor stream is closed (its
-        fleet torn down), everything completed so far is saved to
-        ``save_path``, and the partial result returns.  Resuming it later
+        every consumed outcome — *after* any checkpoint save/flush it
+        triggered, so a callback observing ``checkpointed=True`` can rely on
+        the records being durable.  ``should_stop`` is polled after each
+        outcome; returning True drains the sweep cleanly — the executor
+        stream is closed (its fleet torn down), everything completed so far
+        is persisted, and the partial result returns.  Resuming it later
         completes the sweep bit-identically.
         """
         if checkpoint_every is not None and checkpoint_every <= 0:
             raise ValueError("checkpoint_every must be a positive record count")
-        if checkpoint_every is not None and save_path is None:
-            raise ValueError("checkpoint_every requires save_path — there is "
-                             "nowhere to write the checkpoints")
+        if checkpoint_every is not None and save_path is None \
+                and store is None:
+            raise ValueError("checkpoint_every requires save_path or store — "
+                             "there is nowhere to write the checkpoints")
+        if store is not None and save_path is not None:
+            raise ValueError(
+                "pass either save_path (legacy single-JSON persistence) or "
+                "store (record-store persistence), not both — one "
+                "persistence authority per pass")
         runs = self.spec.expand()
         by_id = {run.run_id: run for run in runs}
+
+        record_store = None
+        store_opened_here = False
+        if store is not None:
+            from ..store import RecordStore, open_store  # lazy: import cycle
+            store_opened_here = not isinstance(store, RecordStore)
+            record_store = open_store(store, spec=self.spec)
 
         prior: List[RunRecord] = []
         if resume_from is not None:
@@ -706,22 +779,20 @@ class SweepRunner:
                     "sweep %s: retrying %d previously quarantined run(s) "
                     "from the resumed checkpoint", self.spec.name,
                     len(loaded.failed_runs))
-            for record in loaded.records:
-                expected = by_id.get(record.run_id)
-                if expected is None:
-                    continue
-                if record.seed != expected.seed:
-                    raise ValueError(
-                        f"resumed record {record.run_id!r} was produced with "
-                        f"seed {record.seed}, but this spec derives "
-                        f"{expected.seed} — refusing to mix ensembles")
-                if record.point_key != expected.point_key:
-                    raise ValueError(
-                        f"resumed record {record.run_id!r} was produced at "
-                        f"grid point {dict(record.point_key)}, but this spec "
-                        f"places it at {dict(expected.point_key)} — the grid "
-                        f"changed; refusing to mix sweeps")
-                prior.append(record)
+            prior = self._validated_prior(loaded.records, by_id)
+        if record_store is not None:
+            if prior:
+                seeded = record_store.seed_from(prior)
+                if seeded:
+                    record_store.flush()
+                    logger.info(
+                        "sweep %s: seeded %d record(s) from %s into the %s "
+                        "store (migration resume)", self.spec.name, seeded,
+                        resume_from if isinstance(resume_from, str)
+                        else "the in-memory result", record_store.kind)
+            # The store is the persistence authority: what it holds (its own
+            # prior content plus anything just seeded) is the resume set.
+            prior = self._validated_prior(record_store.iter_records(), by_id)
 
         done = {record.run_id for record in prior}
         pending = [run for run in runs if run.run_id not in done]
@@ -762,21 +833,29 @@ class SweepRunner:
                 for record in _as_outcomes(outcome):
                     if isinstance(record, FailedRun):
                         result.failed_runs.append(record)
+                        if record_store is not None:
+                            record_store.append_failed(record)
                         logger.warning(
                             "sweep %s: run %s quarantined after %d "
                             "attempt(s): %s", self.spec.name, record.run_id,
                             record.attempts, record.error)
                     else:
                         result.add(record)
+                        if record_store is not None:
+                            record_store.append(record)
                     since_checkpoint += 1
                     completed += 1
                     elapsed = time.perf_counter() - started
                     rate = completed / elapsed if elapsed > 0 else 0.0
                     checkpointed = (
-                        save_path is not None and checkpoint_every is not None
+                        (save_path is not None or record_store is not None)
+                        and checkpoint_every is not None
                         and since_checkpoint >= checkpoint_every)
                     if checkpointed:
-                        result.save(save_path)
+                        if save_path is not None:
+                            result.save(save_path)
+                        if record_store is not None:
+                            record_store.flush()
                         since_checkpoint = 0
                         stats = getattr(self.executor, "stats", None) \
                             or ExecutorStats()
@@ -810,6 +889,16 @@ class SweepRunner:
             # freshest checkpoint on an executor error or interruption.
             if save_path is not None:
                 result.save(save_path)
+            if record_store is not None:
+                try:
+                    record_store.flush()
+                    if not stopped and len(result.records) == len(runs):
+                        # Every run of the spec has a record: the sweep is
+                        # complete, and the seal rejects stray late appends.
+                        record_store.seal()
+                finally:
+                    if store_opened_here:
+                        record_store.close()
         if completed:
             elapsed = time.perf_counter() - started
             logger.info("sweep %s: %d runs in %.2fs (%.2f runs/s)",

@@ -1,0 +1,837 @@
+"""Tests for the durable sharded record store (:mod:`repro.store`).
+
+The load-bearing guarantees:
+
+* every backend honours the same contract — append/iter round-trips, a
+  later record supersedes an earlier failure for the same run, sealed
+  stores refuse writes — so the runner can treat persistence as a plug;
+* the legacy adapter stays **bit-compatible** with the single-JSON
+  checkpoint format (``SweepResult.save`` digests and ``.bak`` rotation
+  included), so old result files keep working unchanged;
+* the sharded store is a real append-only log: per-line sha256 digests,
+  torn tails truncated, mid-shard corruption quarantined to ``.corrupt``
+  with every intact line kept (before *and* after the damage), lost
+  manifests rebuilt from the shards;
+* ``kill -9`` at the nastiest instants — mid-append, between fsync and
+  manifest, inside the shard write itself — loses **no acknowledged
+  record**, and a resumed sweep is bit-identical to an uninterrupted
+  serial run, including resume from a legacy single-JSON checkpoint;
+* the audit doctor diagnoses without mutating and repairs through the
+  same recovery path a writable open uses.
+
+Chaos-extended cases run when ``REPRO_CHAOS=1`` — CI's chaos job sets it.
+"""
+
+import json
+import math
+import multiprocessing
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    LegacyJSONRecordStore,
+    MemoryRecordStore,
+    RecordStore,
+    ShardedRecordStore,
+    StoreError,
+    audit_store,
+    open_store,
+    scan_store,
+)
+from repro.store.audit import main as audit_main
+from repro.store.sharded import MANIFEST_NAME
+from repro.sweep import (
+    METRIC_NAMES,
+    FailedRun,
+    FaultSpec,
+    MetricStats,
+    RunRecord,
+    SerialExecutor,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    WorkloadSpec,
+    bound_traceback,
+)
+from repro.sweep import faults
+from repro.sweep.faults import KILL_EXIT_CODE
+from repro.sweep.records import _bootstrap_ci
+
+CHAOS_EXTENDED = bool(os.environ.get("REPRO_CHAOS"))
+
+TINY = WorkloadSpec(builder="synthetic", groups=2, macros_per_group=2, banks=4,
+                    rows=8, n_operators=4, label="tiny")
+
+
+def tiny_spec(**overrides) -> SweepSpec:
+    defaults = dict(name="t", workloads=(TINY,), controllers=("booster",),
+                    betas=(10, 50), cycles=120, seeds=2, master_seed=7)
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+def records_as_dicts(result_or_records):
+    if isinstance(result_or_records, SweepResult):
+        return [r.to_json_dict() for r in result_or_records.sorted_records()]
+    return [r.to_json_dict() for r in result_or_records]
+
+
+def make_record(point_index: int, seed_index: int, **metric_overrides):
+    metrics = {name: float(point_index * 100 + seed_index)
+               for name in METRIC_NAMES}
+    metrics.update(metric_overrides)
+    return RunRecord(
+        run_id=f"t/p{point_index:04d}/s{seed_index:03d}",
+        point_index=point_index, seed_index=seed_index,
+        seed=1000 + point_index * 10 + seed_index,
+        point_key=(("workload", "tiny"), ("beta", point_index)),
+        metrics=metrics)
+
+
+def make_failed(point_index: int, seed_index: int, traceback: str = ""):
+    return FailedRun(
+        run_id=f"t/p{point_index:04d}/s{seed_index:03d}",
+        point_index=point_index, seed_index=seed_index,
+        error="InjectedFault('boom')", attempts=3, traceback=traceback)
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    faults.disarm_faults()
+    yield
+    faults.disarm_faults()
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return SweepRunner(tiny_spec(), SerialExecutor()).run()
+
+
+# --------------------------------------------------------------------- #
+# backend contract: every store behaves the same
+# --------------------------------------------------------------------- #
+BACKENDS = [
+    pytest.param(lambda tmp: MemoryRecordStore(), id="memory"),
+    pytest.param(lambda tmp: LegacyJSONRecordStore(str(tmp / "r.json")),
+                 id="legacy"),
+    pytest.param(lambda tmp: ShardedRecordStore(str(tmp / "store")),
+                 id="sharded"),
+]
+
+
+class TestStoreContract:
+    @pytest.mark.parametrize("factory", BACKENDS)
+    def test_append_iter_roundtrip_sorted(self, tmp_path, factory):
+        store = factory(tmp_path)
+        try:
+            for point, seed in [(1, 1), (0, 0), (1, 0), (0, 1)]:
+                store.append(make_record(point, seed))
+            store.flush()
+            got = list(store.iter_records())
+            assert [(r.point_index, r.seed_index) for r in got] \
+                == [(0, 0), (0, 1), (1, 0), (1, 1)]
+            assert records_as_dicts(got) == records_as_dicts(
+                sorted((make_record(p, s) for p, s in
+                        [(0, 0), (0, 1), (1, 0), (1, 1)]),
+                       key=lambda r: (r.point_index, r.seed_index)))
+            assert store.run_ids() == {r.run_id for r in got}
+        finally:
+            store.close()
+
+    @pytest.mark.parametrize("factory", BACKENDS)
+    def test_record_supersedes_failure(self, tmp_path, factory):
+        store = factory(tmp_path)
+        try:
+            store.append_failed(make_failed(0, 0))
+            store.append(make_record(0, 1))
+            assert [f.run_id for f in store.iter_failed()] == ["t/p0000/s000"]
+            # A retry later in the pass succeeds: the failure disappears.
+            store.append(make_record(0, 0))
+            store.flush()
+            assert list(store.iter_failed()) == []
+            assert store.run_ids() == {"t/p0000/s000", "t/p0000/s001"}
+            stats = store.stats()
+            assert stats["records"] == 2 and stats["failed"] == 0
+        finally:
+            store.close()
+
+    @pytest.mark.parametrize("factory", BACKENDS)
+    def test_seal_refuses_further_writes(self, tmp_path, factory):
+        store = factory(tmp_path)
+        try:
+            store.append(make_record(0, 0))
+            assert not store.sealed
+            store.seal()
+            assert store.sealed
+            with pytest.raises(StoreError, match="sealed"):
+                store.append(make_record(0, 1))
+            with pytest.raises(StoreError, match="sealed"):
+                store.append_failed(make_failed(0, 1))
+        finally:
+            store.close()
+
+    @pytest.mark.parametrize("factory", BACKENDS)
+    def test_seed_from_and_to_result(self, tmp_path, factory):
+        store = factory(tmp_path)
+        try:
+            seeded = store.seed_from([make_record(0, 0), make_record(0, 1)])
+            assert seeded == 2
+            result = store.to_result()
+            assert isinstance(result, SweepResult)
+            assert records_as_dicts(result) == records_as_dicts(
+                [make_record(0, 0), make_record(0, 1)])
+        finally:
+            store.close()
+
+    def test_open_store_factory_mapping(self, tmp_path):
+        memory = open_store(":memory:")
+        assert isinstance(memory, MemoryRecordStore)
+        legacy = open_store(str(tmp_path / "out.json"))
+        assert isinstance(legacy, LegacyJSONRecordStore)
+        legacy.close()
+        sharded = open_store(str(tmp_path / "storedir"))
+        assert isinstance(sharded, ShardedRecordStore)
+        sharded.close()
+        # An existing RecordStore instance passes through untouched.
+        assert open_store(memory) is memory
+        assert isinstance(memory, RecordStore)
+
+    def test_open_store_existing_legacy_file_without_extension(self, tmp_path):
+        """A pre-existing single-JSON file routes to the legacy adapter even
+        without a ``.json`` suffix — old checkpoints had arbitrary names."""
+        path = str(tmp_path / "checkpoint")
+        SweepResult(spec=tiny_spec()).save(path)
+        store = open_store(path)
+        try:
+            assert isinstance(store, LegacyJSONRecordStore)
+        finally:
+            store.close()
+
+
+# --------------------------------------------------------------------- #
+# legacy adapter: bit-compatible with SweepResult.save
+# --------------------------------------------------------------------- #
+class TestLegacyBitCompat:
+    def test_flush_writes_loadable_digested_checkpoint(self, tmp_path):
+        path = str(tmp_path / "r.json")
+        store = LegacyJSONRecordStore(path, spec=tiny_spec())
+        records = [make_record(0, 0), make_record(0, 1)]
+        for record in records:
+            store.append(record)
+        store.flush()
+        store.close()
+        loaded = SweepResult.load(path)       # digest-verifying load
+        assert records_as_dicts(loaded) == records_as_dicts(records)
+
+        # Byte-identical to what SweepResult.save writes directly.
+        direct = str(tmp_path / "direct.json")
+        mirror = SweepResult(spec=tiny_spec(), records=list(records))
+        mirror.save(direct)
+        assert open(path, "rb").read() == open(direct, "rb").read()
+
+    def test_flush_rotates_bak_like_save(self, tmp_path):
+        path = str(tmp_path / "r.json")
+        store = LegacyJSONRecordStore(path)
+        store.append(make_record(0, 0))
+        store.flush()
+        store.append(make_record(0, 1))
+        store.flush()
+        store.close()
+        assert os.path.exists(path + ".bak")
+        assert len(SweepResult.load(path + ".bak").records) == 1
+        assert len(SweepResult.load(path).records) == 2
+
+    def test_load_existing_adopts_prior_records(self, tmp_path):
+        path = str(tmp_path / "r.json")
+        prior = SweepResult(spec=tiny_spec(), records=[make_record(0, 0)])
+        prior.save(path)
+        store = LegacyJSONRecordStore(path, load_existing=True)
+        try:
+            assert store.run_ids() == {"t/p0000/s000"}
+            store.append(make_record(0, 1))
+            store.flush()
+        finally:
+            store.close()
+        assert len(SweepResult.load(path).records) == 2
+
+
+# --------------------------------------------------------------------- #
+# sharded mechanics: rolling, byte-fidelity, compaction
+# --------------------------------------------------------------------- #
+class TestShardedMechanics:
+    def test_rolls_shards_and_reopens_with_seq_continuity(self, tmp_path):
+        directory = str(tmp_path / "store")
+        store = ShardedRecordStore(directory, records_per_shard=3)
+        for seed in range(5):
+            store.append(make_record(0, seed))
+        store.flush()
+        assert store.stats()["shards"] >= 2
+        store.close()
+
+        reopened = ShardedRecordStore(directory, records_per_shard=3)
+        try:
+            assert len(list(reopened.iter_records())) == 5
+            # Appends after reopen must not collide with recovered seqs:
+            # a re-append of s000 supersedes, new records extend.
+            reopened.append(make_record(0, 0))
+            reopened.append(make_record(0, 5))
+            reopened.flush()
+            assert len(list(reopened.iter_records())) == 6
+            assert reopened.stats()["records"] == 6
+        finally:
+            reopened.close()
+        assert scan_store(directory).clean
+
+    def test_records_roundtrip_byte_identical(self, tmp_path):
+        """Stored records re-serialize to the same bytes they went in as —
+        metric insertion order included (the legacy blob preserved it)."""
+        directory = str(tmp_path / "store")
+        record = make_record(2, 1)
+        store = ShardedRecordStore(directory)
+        store.append(record)
+        store.flush()
+        store.close()
+        reopened = ShardedRecordStore(directory)
+        try:
+            got = list(reopened.iter_records())
+        finally:
+            reopened.close()
+        assert json.dumps([r.to_json_dict() for r in got]) \
+            == json.dumps([record.to_json_dict()])
+
+    def test_non_finite_metrics_survive_shards(self, tmp_path):
+        directory = str(tmp_path / "store")
+        weird = make_record(0, 0, worst_ir_drop=float("nan"),
+                            effective_tops=float("inf"))
+        nasty = {name: -float("inf") for name in METRIC_NAMES}
+        store = ShardedRecordStore(directory)
+        store.append(weird)
+        store.append(RunRecord(run_id="t/p0000/s001", point_index=0,
+                               seed_index=1, seed=3,
+                               point_key=(("beta", 10),), metrics=nasty))
+        store.flush()
+        store.close()
+        reopened = ShardedRecordStore(directory)
+        try:
+            first, second = list(reopened.iter_records())
+        finally:
+            reopened.close()
+        assert math.isnan(first.metrics["worst_ir_drop"])
+        assert first.metrics["effective_tops"] == float("inf")
+        assert all(v == -float("inf") for v in second.metrics.values())
+        assert scan_store(directory).clean
+
+    def test_compact_drops_superseded_lines(self, tmp_path):
+        directory = str(tmp_path / "store")
+        store = ShardedRecordStore(directory, records_per_shard=2)
+        store.append_failed(make_failed(0, 0))
+        for _ in range(3):                    # 3 superseding rewrites
+            store.append(make_record(0, 0))
+        store.append(make_record(0, 1))
+        store.flush()
+        before = scan_store(directory)
+        assert before.superseded_lines > 0
+        dropped = store.compact()
+        assert dropped > 0
+        assert store.stats()["compactions"] == 1
+        assert records_as_dicts(list(store.iter_records())) \
+            == records_as_dicts([make_record(0, 0), make_record(0, 1)])
+        store.close()
+        after = scan_store(directory)
+        assert after.clean
+        assert records_as_dicts(after.records) \
+            == records_as_dicts([make_record(0, 0), make_record(0, 1)])
+
+    def test_auto_compaction_runs_in_background(self, tmp_path):
+        directory = str(tmp_path / "store")
+        store = ShardedRecordStore(directory, records_per_shard=2,
+                                   auto_compact_shards=2)
+        for seed in range(8):
+            store.append(make_record(0, seed % 3))   # plenty superseded
+        store.flush()
+        store.close()                         # close joins the compactor
+        reopened = ShardedRecordStore(directory)
+        try:
+            assert reopened.stats()["records"] == 3
+        finally:
+            reopened.close()
+        assert scan_store(directory).clean
+
+    def test_spec_mismatch_refuses_to_mix_sweeps(self, tmp_path):
+        directory = str(tmp_path / "store")
+        store = ShardedRecordStore(directory, spec=tiny_spec())
+        store.append(make_record(0, 0))
+        store.flush()
+        store.close()
+        with pytest.raises(StoreError, match="different sweep"):
+            ShardedRecordStore(directory, spec=tiny_spec(master_seed=99))
+
+
+# --------------------------------------------------------------------- #
+# sharded recovery: torn tails, corruption, lost manifests
+# --------------------------------------------------------------------- #
+def _populated_store(directory: str, n: int = 4,
+                     records_per_shard: int = 4096) -> None:
+    store = ShardedRecordStore(directory, records_per_shard=records_per_shard)
+    for seed in range(n):
+        store.append(make_record(0, seed))
+    store.flush()
+    store.close()
+
+
+def _single_shard(directory: str) -> str:
+    shards = sorted(os.listdir(os.path.join(directory, "shards")))
+    assert len(shards) == 1
+    return os.path.join(directory, "shards", shards[0])
+
+
+class TestShardedRecovery:
+    def test_torn_tail_truncated_acknowledged_records_kept(self, tmp_path):
+        directory = str(tmp_path / "store")
+        _populated_store(directory, n=4)
+        shard = _single_shard(directory)
+        with open(shard, "r+b") as handle:   # tear the last line mid-write
+            handle.truncate(os.path.getsize(shard) - 7)
+        store = ShardedRecordStore(directory)
+        try:
+            assert store.stats()["torn_tail_dropped"] == 1
+            got = list(store.iter_records())
+            assert records_as_dicts(got) \
+                == records_as_dicts([make_record(0, s) for s in range(3)])
+            # The store keeps accepting appends after the heal.
+            store.append(make_record(0, 3))
+            store.flush()
+        finally:
+            store.close()
+        report = scan_store(directory)
+        assert report.clean and len(report.records) == 4
+
+    def test_mid_shard_corruption_quarantined_intact_lines_kept(
+            self, tmp_path):
+        directory = str(tmp_path / "store")
+        _populated_store(directory, n=5)
+        shard = _single_shard(directory)
+        raw = open(shard, "rb").read()
+        lines = raw.splitlines(keepends=True)
+        # Damage line 1 of 5: lines 0 and 2-4 — before AND after the
+        # damage — must both survive recovery.
+        lines[1] = lines[1][:10] + b"\x00" + lines[1][11:]
+        open(shard, "wb").write(b"".join(lines))
+
+        with pytest.warns(RuntimeWarning, match="quarantining"):
+            store = ShardedRecordStore(directory)
+        try:
+            stats = store.stats()
+            assert stats["shards_quarantined"] == 1
+            assert stats["corrupt_lines_dropped"] == 1
+            survivors = [r.seed_index for r in store.iter_records()]
+            assert survivors == [0, 2, 3, 4]
+        finally:
+            store.close()
+        assert os.path.exists(shard + ".corrupt")
+        report = scan_store(directory)
+        assert report.clean and report.quarantined_files == 1
+
+    def test_lost_manifest_rebuilt_from_shards(self, tmp_path):
+        directory = str(tmp_path / "store")
+        _populated_store(directory, n=3)
+        os.unlink(os.path.join(directory, MANIFEST_NAME))
+        store = ShardedRecordStore(directory)
+        try:
+            assert store.stats()["manifest_rebuilds"] == 1
+            assert len(list(store.iter_records())) == 3
+        finally:
+            store.close()
+        assert os.path.exists(os.path.join(directory, MANIFEST_NAME))
+        assert scan_store(directory).clean
+
+    def test_scan_store_diagnoses_without_mutating(self, tmp_path):
+        directory = str(tmp_path / "store")
+        _populated_store(directory, n=3)
+        shard = _single_shard(directory)
+        with open(shard, "r+b") as handle:
+            handle.truncate(os.path.getsize(shard) - 5)
+        before = open(shard, "rb").read()
+        report = scan_store(directory)
+        assert not report.clean
+        assert any("torn tail" in problem for problem in report.problems)
+        assert len(report.records) == 2       # intact lines still served
+        assert open(shard, "rb").read() == before     # nothing touched
+
+
+# --------------------------------------------------------------------- #
+# audit doctor CLI
+# --------------------------------------------------------------------- #
+class TestAuditCLI:
+    def test_clean_store_exits_zero(self, tmp_path, capsys):
+        directory = str(tmp_path / "store")
+        _populated_store(directory, n=2)
+        assert audit_main([directory]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_damaged_store_exits_one_and_repair_heals(self, tmp_path, capsys):
+        directory = str(tmp_path / "store")
+        _populated_store(directory, n=3)
+        shard = _single_shard(directory)
+        with open(shard, "r+b") as handle:
+            handle.truncate(os.path.getsize(shard) - 5)
+        assert audit_main([directory]) == 1   # diagnose only: still damaged
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert audit_main(["--repair", "--compact", directory]) == 0
+        capsys.readouterr()
+        assert audit_main([directory]) == 0   # now durable-clean
+        assert scan_store(directory).clean
+
+    def test_json_output_is_machine_readable(self, tmp_path, capsys):
+        directory = str(tmp_path / "store")
+        _populated_store(directory, n=2)
+        assert audit_main(["--json", directory]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["scan"]["records"] == 2
+
+    def test_audit_store_reports_repair_actions(self, tmp_path):
+        directory = str(tmp_path / "store")
+        _populated_store(directory, n=3)
+        os.unlink(os.path.join(directory, MANIFEST_NAME))
+        report = audit_store(directory, repair=True)
+        assert report["scan"]["clean"] is False       # as found
+        assert report["repair"]["manifest_rebuilds"] == 1
+        assert report["rescan"]["clean"] is True
+        assert report["clean"] is True        # the verdict is post-repair
+
+
+# --------------------------------------------------------------------- #
+# runner integration: the store as persistence authority
+# --------------------------------------------------------------------- #
+class TestRunnerStoreIntegration:
+    def test_full_run_through_store_is_bit_identical(self, tmp_path,
+                                                     baseline):
+        directory = str(tmp_path / "store")
+        result = SweepRunner(tiny_spec(), SerialExecutor()).run(
+            store=directory, checkpoint_every=1)
+        assert json.dumps(records_as_dicts(result)) \
+            == json.dumps(records_as_dicts(baseline))
+        store = ShardedRecordStore(directory)
+        try:
+            assert store.sealed
+            assert json.dumps(records_as_dicts(list(store.iter_records()))) \
+                == json.dumps(records_as_dicts(baseline))
+        finally:
+            store.close()
+        assert scan_store(directory).clean
+
+    def test_interrupt_and_implicit_resume_is_bit_identical(self, tmp_path,
+                                                            baseline):
+        directory = str(tmp_path / "store")
+        spec = tiny_spec()
+        seen = []
+        partial = SweepRunner(spec, SerialExecutor()).run(
+            store=directory, checkpoint_every=1,
+            should_stop=lambda: len(seen) >= 2,
+            progress=lambda p: seen.append(p))
+        assert 0 < len(partial.records) < spec.n_runs
+
+        resumed = SweepRunner(spec, SerialExecutor()).run(
+            store=directory, checkpoint_every=1)
+        assert json.dumps(records_as_dicts(resumed)) \
+            == json.dumps(records_as_dicts(baseline))
+        def aggregate_rows(result):
+            return [(s.point_index, st.mean, st.std, st.ci_low, st.ci_high)
+                    for s in result.aggregate()
+                    for st in [s.stats["worst_ir_drop"]]]
+        assert json.dumps(aggregate_rows(resumed)) \
+            == json.dumps(aggregate_rows(baseline))
+
+    def test_legacy_checkpoint_migrates_into_store(self, tmp_path, baseline):
+        legacy = str(tmp_path / "legacy.json")
+        directory = str(tmp_path / "store")
+        spec = tiny_spec()
+        seen = []
+        SweepRunner(spec, SerialExecutor()).run(
+            save_path=legacy, checkpoint_every=1,
+            should_stop=lambda: len(seen) >= 2,
+            progress=lambda p: seen.append(p))
+        assert os.path.exists(legacy)
+
+        migrated = SweepRunner(spec, SerialExecutor()).run(
+            resume_from=legacy, store=directory, checkpoint_every=1)
+        assert json.dumps(records_as_dicts(migrated)) \
+            == json.dumps(records_as_dicts(baseline))
+        # The store is now the authority: it holds everything and is sealed.
+        stored = SweepResult.load_resumable(directory)
+        assert json.dumps(records_as_dicts(stored)) \
+            == json.dumps(records_as_dicts(baseline))
+        assert scan_store(directory).sealed
+
+    def test_store_and_save_path_are_mutually_exclusive(self, tmp_path):
+        runner = SweepRunner(tiny_spec(), SerialExecutor())
+        with pytest.raises(ValueError, match="one persistence authority"):
+            runner.run(store=str(tmp_path / "store"),
+                       save_path=str(tmp_path / "r.json"))
+
+    def test_checkpoint_every_requires_a_destination(self):
+        runner = SweepRunner(tiny_spec(), SerialExecutor())
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            runner.run(checkpoint_every=1)
+
+
+# --------------------------------------------------------------------- #
+# chaos: kill -9 at the store's named fault sites
+# --------------------------------------------------------------------- #
+def _sweep_once(store_dir, spec_dict, fault_dicts, resume_from=None):
+    """Child-process body: one sweep pass persisting through the store."""
+    faults.disarm_faults()
+    if fault_dicts:
+        faults.arm_faults(*[FaultSpec(**f) for f in fault_dicts])
+    spec = SweepSpec.from_json_dict(spec_dict)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        SweepRunner(spec, SerialExecutor()).run(
+            store=store_dir, checkpoint_every=1, resume_from=resume_from)
+    os._exit(0)
+
+
+def run_sweep_once(store_dir: str, spec: SweepSpec, fault_dicts=(),
+                   resume_from=None) -> int:
+    context = multiprocessing.get_context("fork")
+    child = context.Process(
+        target=_sweep_once,
+        args=(store_dir, spec.to_json_dict(), list(fault_dicts), resume_from))
+    child.start()
+    child.join(timeout=180)
+    if child.is_alive():                      # pragma: no cover - deadline
+        child.kill()
+        child.join()
+        pytest.fail("sweep child did not exit within the deadline")
+    return child.exitcode
+
+
+#: (fault, run_ids whose flush() returned before the kill — the
+#: *acknowledged* records that must survive the crash verbatim).
+ACKED_FIRST_TWO = ("t/p0000/s000", "t/p0000/s001")
+STORE_KILL_SITES = [
+    # Kill *before* the third record's append: the two acknowledged
+    # (flushed) records must survive verbatim.
+    pytest.param({"kind": "daemon_kill",
+                  "match": "recordstore:append:t/p0001/s000"},
+                 ACKED_FIRST_TWO, id="before-append"),
+    # Torn write inside the shard append itself, then kill.
+    pytest.param({"kind": "shard_torn", "match": "#record:t/p0001/s000"},
+                 ACKED_FIRST_TWO, id="mid-shard-write-torn"),
+    # Kill inside the first flush, between the fsync and the manifest
+    # rewrite: nothing was acknowledged yet, but recovery must still work.
+    pytest.param({"kind": "daemon_kill", "match": "recordstore:flush"},
+                 (), id="after-fsync-before-manifest"),
+    # Kill right after a manifest replace (fires at the very first one —
+    # the open itself — so this is a crash before any record).
+    pytest.param({"kind": "daemon_kill", "match": "recordstore:manifest"},
+                 (), id="after-manifest",
+                 marks=pytest.mark.skipif(not CHAOS_EXTENDED,
+                                          reason="REPRO_CHAOS=1 only")),
+]
+
+
+class TestStoreChaos:
+    @pytest.mark.parametrize("fault,acked", STORE_KILL_SITES)
+    def test_kill_resume_is_bit_identical(self, tmp_path, baseline, fault,
+                                          acked):
+        directory = str(tmp_path / "store")
+        spec = tiny_spec()
+        first = run_sweep_once(directory, spec, [fault])
+        assert first == KILL_EXIT_CODE, \
+            f"fault {fault} never fired (exit {first})"
+
+        # No acknowledged record lost: everything the killed pass flushed
+        # is still there, byte-identical to the uninterrupted baseline.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            survivor = ShardedRecordStore(directory)
+        try:
+            surviving = {r.run_id: r.to_json_dict()
+                         for r in survivor.iter_records()}
+        finally:
+            survivor.close()
+        by_id = {r.run_id: r.to_json_dict()
+                 for r in baseline.sorted_records()}
+        assert set(acked) <= set(surviving)
+        for run_id, payload in surviving.items():
+            assert json.dumps(payload) == json.dumps(by_id[run_id])
+
+        # Restart with no faults: recovery + resume completes the sweep.
+        assert run_sweep_once(directory, spec, []) == 0
+        stored = SweepResult.load_resumable(directory)
+        assert json.dumps(records_as_dicts(stored)) \
+            == json.dumps(records_as_dicts(baseline))
+        assert scan_store(directory).sealed
+        report = audit_store(directory)
+        assert report["clean"], report
+
+    def test_latent_shard_corruption_heals_on_resume(self, tmp_path,
+                                                     baseline):
+        """``shard_corrupt`` models disk damage, not a crash: the pass is
+        interrupted, a byte flips, and the next open quarantines the shard
+        and re-runs only what the corruption ate."""
+        directory = str(tmp_path / "store")
+        spec = tiny_spec()
+        seen = []
+        faults.arm_faults(FaultSpec(kind="shard_corrupt", match="shard-"))
+        try:
+            SweepRunner(spec, SerialExecutor()).run(
+                store=directory, checkpoint_every=1,
+                should_stop=lambda: len(seen) >= 2,
+                progress=lambda p: seen.append(p))
+        finally:
+            faults.disarm_faults()
+
+        with pytest.warns(RuntimeWarning, match="quarantining"):
+            resumed = SweepRunner(spec, SerialExecutor()).run(
+                store=directory, checkpoint_every=1)
+        assert json.dumps(records_as_dicts(resumed)) \
+            == json.dumps(records_as_dicts(baseline))
+        report = scan_store(directory)
+        assert report.clean and report.quarantined_files == 1
+
+    def test_lost_manifest_heals_on_resume(self, tmp_path, baseline):
+        directory = str(tmp_path / "store")
+        spec = tiny_spec()
+        seen = []
+        # `times=100` vaporizes *every* manifest write of the pass, so the
+        # interrupted store is guaranteed to end without its index.
+        faults.arm_faults(FaultSpec(kind="manifest_lost",
+                                    match=MANIFEST_NAME, times=100))
+        try:
+            SweepRunner(spec, SerialExecutor()).run(
+                store=directory, checkpoint_every=1,
+                should_stop=lambda: len(seen) >= 2,
+                progress=lambda p: seen.append(p))
+        finally:
+            faults.disarm_faults()
+        assert not os.path.exists(os.path.join(directory, MANIFEST_NAME))
+
+        resumed = SweepRunner(spec, SerialExecutor()).run(
+            store=directory, checkpoint_every=1)
+        assert json.dumps(records_as_dicts(resumed)) \
+            == json.dumps(records_as_dicts(baseline))
+        assert os.path.exists(os.path.join(directory, MANIFEST_NAME))
+        report = scan_store(directory)
+        assert report.clean and report.sealed
+        assert len(report.records) == spec.n_runs
+
+    def test_kill_during_legacy_migration_then_resume(self, tmp_path,
+                                                      baseline):
+        """A crash halfway through migrating a legacy checkpoint into the
+        store restarts cleanly: the migration re-seeds (seq dedup absorbs
+        the duplicates) and the finished sweep matches the baseline."""
+        legacy = str(tmp_path / "legacy.json")
+        directory = str(tmp_path / "store")
+        spec = tiny_spec()
+        seen = []
+        SweepRunner(spec, SerialExecutor()).run(
+            save_path=legacy, checkpoint_every=1,
+            should_stop=lambda: len(seen) >= 2,
+            progress=lambda p: seen.append(p))
+
+        # The second migrated append dies mid-seed.
+        fault = {"kind": "daemon_kill",
+                 "match": "recordstore:append:t/p0000/s001"}
+        assert run_sweep_once(directory, spec, [fault],
+                              resume_from=legacy) == KILL_EXIT_CODE
+        assert run_sweep_once(directory, spec, [],
+                              resume_from=legacy) == 0
+        stored = SweepResult.load_resumable(directory)
+        assert json.dumps(records_as_dicts(stored)) \
+            == json.dumps(records_as_dicts(baseline))
+        assert audit_store(directory)["clean"]
+
+    @pytest.mark.skipif(not CHAOS_EXTENDED, reason="REPRO_CHAOS=1 only")
+    def test_double_kill_then_resume(self, tmp_path, baseline):
+        directory = str(tmp_path / "store")
+        spec = tiny_spec()
+        torn = {"kind": "shard_torn", "match": "#record:t/p0000/s001"}
+        flush = {"kind": "daemon_kill", "match": "recordstore:flush"}
+        assert run_sweep_once(directory, spec, [torn]) == KILL_EXIT_CODE
+        assert run_sweep_once(directory, spec, [flush]) == KILL_EXIT_CODE
+        assert run_sweep_once(directory, spec, []) == 0
+        stored = SweepResult.load_resumable(directory)
+        assert json.dumps(records_as_dicts(stored)) \
+            == json.dumps(records_as_dicts(baseline))
+
+
+# --------------------------------------------------------------------- #
+# satellite: record serialization edge cases
+# --------------------------------------------------------------------- #
+class TestRecordSerialization:
+    def test_run_record_roundtrip_with_non_finite_metrics(self):
+        record = make_record(0, 0, worst_ir_drop=float("nan"),
+                             effective_tops=float("inf"),
+                             total_energy=-float("inf"))
+        wire = json.loads(json.dumps(record.to_json_dict()))
+        back = RunRecord.from_json_dict(wire)
+        assert math.isnan(back.metrics["worst_ir_drop"])
+        assert back.metrics["effective_tops"] == float("inf")
+        assert back.metrics["total_energy"] == -float("inf")
+        assert back.run_id == record.run_id
+        assert back.point_key == record.point_key
+
+    def test_failed_run_roundtrip_keeps_bounded_traceback(self):
+        trace = "\n".join(f"frame {i}" for i in range(50))
+        failed = FailedRun.from_run(
+            type("Run", (), {"run_id": "t/p0000/s000", "point_index": 0,
+                             "seed_index": 0})(),
+            error="boom", attempts=2, traceback=trace)
+        assert failed.traceback.startswith("... (30 leading lines dropped)")
+        assert failed.traceback.endswith("frame 49")
+        back = FailedRun.from_json_dict(
+            json.loads(json.dumps(failed.to_json_dict())))
+        assert back == failed
+
+    def test_failed_run_pre_traceback_payloads_still_load(self):
+        payload = make_failed(0, 0).to_json_dict()
+        del payload["traceback"]
+        assert FailedRun.from_json_dict(payload).traceback == ""
+
+    def test_metric_stats_roundtrip_with_non_finite_values(self):
+        stats = MetricStats(mean=float("nan"), std=float("inf"),
+                            ci_low=-float("inf"), ci_high=float("nan"), n=3)
+        wire = json.loads(json.dumps({
+            "mean": stats.mean, "std": stats.std, "ci_low": stats.ci_low,
+            "ci_high": stats.ci_high, "n": stats.n}))
+        back = MetricStats(**wire)
+        assert math.isnan(back.mean) and back.std == float("inf")
+        assert back.ci_low == -float("inf") and math.isnan(back.ci_high)
+        assert back.n == 3
+
+    def test_bound_traceback_char_cap_and_empty(self):
+        assert bound_traceback("") == ""
+        assert bound_traceback(None) == ""
+        giant = "x" * 10000
+        bounded = bound_traceback(giant, max_lines=5, max_chars=100)
+        assert bounded.startswith("... (truncated)\n")
+        assert len(bounded) <= 100 + len("... (truncated)\n")
+
+
+class TestBootstrapDegenerates:
+    def test_empty_values(self):
+        rng = np.random.default_rng(0)
+        assert _bootstrap_ci(np.array([]), rng, 50, 0.95) == (0.0, 0.0)
+
+    def test_single_value(self):
+        rng = np.random.default_rng(0)
+        assert _bootstrap_ci(np.array([3.5]), rng, 50, 0.95) == (3.5, 3.5)
+
+    def test_identical_values_collapse(self):
+        rng = np.random.default_rng(0)
+        low, high = _bootstrap_ci(np.array([2.0] * 8), rng, 50, 0.95)
+        assert low == high == 2.0
+
+    def test_non_finite_values_propagate_without_crashing(self):
+        rng = np.random.default_rng(0)
+        low, high = _bootstrap_ci(np.array([1.0, float("nan")]), rng, 50,
+                                  0.95)
+        assert math.isnan(low) or math.isnan(high) \
+            or (low <= 1.0 <= high)

@@ -2,16 +2,18 @@
 
 The demo walks the whole robustness story of :mod:`repro.service`:
 
-1. start a sweep daemon over a data directory and submit a beta-sweep job
-   through the REST client (idempotently — resubmitting the same job key
-   attaches instead of recomputing);
+1. start a sweep daemon over a data directory and submit *two* beta-sweep
+   jobs through the REST client (idempotently — resubmitting the same job
+   key attaches instead of recomputing); the fair-share scheduler
+   interleaves their work units onto one resident fleet;
 2. ``kill -9`` the daemon at the nastiest instant — between a durable sweep
    checkpoint and its journal commit — via the deterministic fault registry;
-3. restart the daemon over the same data directory: the journal replays, the
-   interrupted job is re-admitted and resumed from its sharded record store
-   to records **bit-identical** to an uninterrupted serial run;
-4. run the store audit doctor (``python -m repro.store.audit``) over the
-   job's record store and assert it is durable-clean;
+3. restart the daemon over the same data directory: the lease left by the
+   dead holder is taken over immediately, the journal replays, both
+   interrupted jobs are re-admitted and resumed from their own sharded
+   record stores to records **bit-identical** to uninterrupted serial runs;
+4. run the store audit doctor (``python -m repro.store.audit``) over every
+   per-job record store and assert each is durable-clean;
 5. along the way, exercise backpressure (bounded admission queue), the
    health endpoint, and graceful shutdown.
 
@@ -49,7 +51,12 @@ TINY = WorkloadSpec(builder="synthetic", groups=2, macros_per_group=2,
 SPEC = SweepSpec(name="service-demo", workloads=(TINY,),
                  controllers=("booster",), betas=(10, 50), cycles=120,
                  seeds=2, master_seed=7)
+SPEC_B = SweepSpec(name="service-demo-b", workloads=(TINY,),
+                   controllers=("booster",), betas=(20, 70), cycles=120,
+                   seeds=2, master_seed=11)
 JOB_KEY = "beta-window-demo"
+#: Both jobs run *concurrently* on the shared fleet, fair-share interleaved.
+JOBS = ((JOB_KEY, SPEC), ("beta-window-demo-b", SPEC_B))
 
 
 def daemon_pass(data_dir: str, kill_between_checkpoint_and_commit: bool):
@@ -60,10 +67,14 @@ def daemon_pass(data_dir: str, kill_between_checkpoint_and_commit: bool):
                                     match="daemon:post_checkpoint"))
     service = SweepService(data_dir, checkpoint_every=1,
                            attach_store=False).start()
-    job, created = service.submit(SPEC.to_json_dict(), job_key=JOB_KEY)
-    print(f"  submitted {job.job_id} (created={created}, "
-          f"state={job.state}, recoveries={job.recoveries})")
-    service.wait_for(job.job_id, timeout=120)
+    job_ids = []
+    for job_key, spec in JOBS:
+        job, created = service.submit(spec.to_json_dict(), job_key=job_key)
+        print(f"  submitted {job.job_id} (created={created}, "
+              f"state={job.state}, recoveries={job.recoveries})")
+        job_ids.append(job.job_id)
+    for job_id in job_ids:
+        service.wait_for(job_id, timeout=120)
     service.shutdown(timeout=60)
     os._exit(0)
 
@@ -102,7 +113,8 @@ def show_backpressure(data_dir: str) -> int:
 
 def main() -> int:
     smoke = "--smoke" in sys.argv
-    baseline = SweepRunner(SPEC, SerialExecutor()).run()
+    baselines = {job_key: SweepRunner(spec, SerialExecutor()).run()
+                 for job_key, spec in JOBS}
 
     with tempfile.TemporaryDirectory() as tmp:
         data_dir = os.path.join(tmp, "svc")
@@ -120,23 +132,31 @@ def main() -> int:
 
         journal = JobJournal(os.path.join(data_dir, "journal.jsonl"))
         registry = JobRegistry.open(journal)
-        job = registry.find_by_key(JOB_KEY)
-        print(f"  {job.job_id}: state={job.state}, "
-              f"records={job.records_done}/{job.total_runs}, "
-              f"checkpoints={job.checkpoints}, recoveries={job.recoveries}")
-        assert job.state == "done" and job.recoveries == 1
+        store_dirs = []
+        for job_key, spec in JOBS:
+            job = registry.find_by_key(job_key)
+            print(f"  {job.job_id}: state={job.state}, "
+                  f"records={job.records_done}/{job.total_runs}, "
+                  f"checkpoints={job.checkpoints}, "
+                  f"recoveries={job.recoveries}")
+            assert job.state == "done" and job.recoveries == 1
 
-        store_dir = os.path.join(data_dir, "jobs", job.job_id, "records")
-        stored = SweepResult.load_resumable(store_dir)
-        identical = ([r.to_json_dict() for r in stored.sorted_records()]
-                     == [r.to_json_dict() for r in baseline.sorted_records()])
-        print(f"  records bit-identical to uninterrupted serial run: "
-              f"{identical}")
-        assert identical
+            store_dir = os.path.join(data_dir, "jobs", job.job_id, "records")
+            store_dirs.append(store_dir)
+            stored = SweepResult.load_resumable(store_dir)
+            expected = baselines[job_key]
+            identical = (
+                [r.to_json_dict() for r in stored.sorted_records()]
+                == [r.to_json_dict() for r in expected.sorted_records()])
+            print(f"  records bit-identical to uninterrupted serial run: "
+                  f"{identical}")
+            assert identical
         journal.close()
 
-        print("== store audit doctor ==")
-        assert audit_main([store_dir]) == 0, "record store failed its audit"
+        print("== store audit doctor (every per-job store) ==")
+        for store_dir in store_dirs:
+            assert audit_main([store_dir]) == 0, \
+                f"record store {store_dir} failed its audit"
 
         print("== admission control ==")
         assert show_backpressure(os.path.join(tmp, "storm")) == 1

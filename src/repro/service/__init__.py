@@ -13,10 +13,14 @@ Modules:
 * :mod:`~repro.service.journal` — fsync'd, per-line-checksummed JSONL WAL
   with torn-tail recovery and compaction;
 * :mod:`~repro.service.registry` — the journal-backed job state machine
-  (idempotent submission, restart re-admission);
+  (idempotent submission, restart re-admission, circuit-breaker
+  ``suspended`` quarantine with an explicit resume);
+* :mod:`~repro.service.lease` — single-writer state-dir ownership via a
+  heartbeat lease file (stale-lease takeover, stolen-lease fencing);
 * :mod:`~repro.service.daemon` — :class:`SweepService`: bounded admission
-  queue, resident fleet, scheduler, graceful drain, health; per-job results
-  persist in sharded record stores (:mod:`repro.store`) with legacy
+  queue, resident fleet, fair-share multi-job scheduler with per-job fault
+  isolation, graceful drain, disk-exhaustion degraded mode, health; per-job
+  results persist in sharded record stores (:mod:`repro.store`) with legacy
   single-JSON checkpoints migrated on first resume;
 * :mod:`~repro.service.api` — transport-neutral router + stdlib HTTP server;
 * :mod:`~repro.service.client` — HTTP and in-process clients.
@@ -32,11 +36,13 @@ from .daemon import (
     install_signal_handlers,
 )
 from .journal import JobJournal, JournalError, JournalEvent
+from .lease import LeaseHeld, StateDirLease
 from .registry import JOB_STATES, TERMINAL_STATES, Job, JobRegistry, JobStateError
 
 __all__ = [
     "SweepService", "ResidentFleet", "Backpressure", "ServiceUnavailable",
     "install_signal_handlers",
+    "StateDirLease", "LeaseHeld",
     "ServiceAPI", "ServiceHTTPServer", "serve_forever",
     "ServiceClient", "InProcessClient", "ServiceError",
     "JobJournal", "JournalEvent", "JournalError",

@@ -19,10 +19,16 @@ Endpoints::
                               (``?records=0`` elides the record list)
     GET  /jobs/{id}/records   page records off the job's record store
                               (``?offset=N&limit=M``; any job state — a
-                              running job's durable records page out live)
+                              running job's durable records page out live;
+                              ``?wait_seq=N[&wait_timeout=S]`` long-polls
+                              until more than N records exist or the job
+                              comes to rest)
     POST /jobs/{id}/cancel    request cancellation
-    GET  /health              fleet liveness, queue depth, journal/store
-                              stats, record-store damage rollup
+    POST /jobs/{id}/resume    lift a suspended (circuit-broken) job back
+                              into the queue           -> 409 not suspended
+    GET  /health              fleet liveness, queue depth, active jobs,
+                              lease state, degraded-mode reason rollup,
+                              journal/store stats, record-store damage
 """
 
 from __future__ import annotations
@@ -99,10 +105,16 @@ class ServiceAPI:
             if action == "records" and method == "GET":
                 offset = int(query.get("offset", ["0"])[0])
                 limit = int(query.get("limit", ["256"])[0])
-                return (200, self.service.records(job_id, offset=offset,
-                                                  limit=limit), {})
+                wait_seq_raw = query.get("wait_seq", [None])[0]
+                wait_seq = None if wait_seq_raw is None else int(wait_seq_raw)
+                wait_timeout = float(query.get("wait_timeout", ["10"])[0])
+                return (200, self.service.records(
+                    job_id, offset=offset, limit=limit, wait_seq=wait_seq,
+                    wait_timeout=wait_timeout), {})
             if action == "cancel" and method == "POST":
                 return 200, self.service.cancel(job_id).public_status(), {}
+            if action == "resume" and method == "POST":
+                return 200, self.service.resume(job_id).public_status(), {}
         return 404, {"error": f"no route for {method} /{'/'.join(parts)}"}, {}
 
     def _submit(self, body: Dict) -> Response:

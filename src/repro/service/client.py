@@ -41,7 +41,8 @@ class _ClientCore:
     """Shared verbs over an abstract ``_request`` transport."""
 
     def _request(self, method: str, path: str,
-                 body: Optional[Dict] = None) -> Dict:
+                 body: Optional[Dict] = None,
+                 timeout: Optional[float] = None) -> Dict:
         raise NotImplementedError
 
     def submit(self, spec: Union[SweepSpec, Dict],
@@ -84,15 +85,31 @@ class _ClientCore:
         suffix = "" if include_records else "?records=0"
         return self._request("GET", f"/jobs/{job_id}/result{suffix}")
 
-    def records(self, job_id: str, offset: int = 0,
-                limit: int = 256) -> Dict:
-        """Page records off the job's durable record store (any job state)."""
-        return self._request(
-            "GET", f"/jobs/{job_id}/records?offset={int(offset)}"
-                   f"&limit={int(limit)}")
+    def records(self, job_id: str, offset: int = 0, limit: int = 256,
+                wait_seq: Optional[int] = None,
+                wait_timeout: float = 10.0) -> Dict:
+        """Page records off the job's durable record store (any job state).
+
+        ``wait_seq=n`` long-polls: the service holds the request until the
+        store has *more* than ``n`` records, the job comes to rest (terminal
+        or suspended — see the response's ``resting``), or ``wait_timeout``
+        seconds pass.  Stream a live job by feeding each response's ``seq``
+        back in as the next ``wait_seq``.
+        """
+        path = (f"/jobs/{job_id}/records?offset={int(offset)}"
+                f"&limit={int(limit)}")
+        if wait_seq is None:
+            return self._request("GET", path)
+        path += f"&wait_seq={int(wait_seq)}&wait_timeout={float(wait_timeout)}"
+        # The HTTP read deadline must outlive the service-side hold.
+        return self._request("GET", path, timeout=float(wait_timeout) + 30.0)
 
     def cancel(self, job_id: str) -> Dict:
         return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def resume(self, job_id: str) -> Dict:
+        """Lift a suspended (circuit-broken) job back into the queue."""
+        return self._request("POST", f"/jobs/{job_id}/resume")
 
     def health(self) -> Dict:
         return self._request("GET", "/health")
@@ -119,14 +136,17 @@ class ServiceClient(_ClientCore):
         self.timeout = timeout
 
     def _request(self, method: str, path: str,
-                 body: Optional[Dict] = None) -> Dict:
+                 body: Optional[Dict] = None,
+                 timeout: Optional[float] = None) -> Dict:
         data = json.dumps(body).encode() if body is not None else None
         request = urllib.request.Request(
             self.base_url + path, data=data, method=method,
             headers={"Content-Type": "application/json"})
         try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
+            with urllib.request.urlopen(
+                    request,
+                    timeout=self.timeout if timeout is None else timeout
+                    ) as response:
                 return json.loads(response.read() or b"{}")
         except urllib.error.HTTPError as error:
             try:
@@ -143,7 +163,8 @@ class InProcessClient(_ClientCore):
         self.api = api
 
     def _request(self, method: str, path: str,
-                 body: Optional[Dict] = None) -> Dict:
+                 body: Optional[Dict] = None,
+                 timeout: Optional[float] = None) -> Dict:
         status, payload, _headers = self.api.handle(method, path, body)
         if status >= 400:
             raise ServiceError(status, payload)

@@ -1,11 +1,19 @@
-"""The sweep daemon: a crash-safe, long-running multi-job sweep service.
+"""The sweep daemon: a crash-safe, fault-isolated multi-job sweep service.
 
-:class:`SweepService` accepts :class:`~repro.sweep.spec.SweepSpec` jobs,
-schedules them one at a time onto a *resident* executor fleet (the fleet —
-and its attached :class:`~repro.sim.shared_store.SharedPhysicsStore` — lives
-for the daemon's lifetime, so physics derived for one client's job is reused
-by every later job), and journals every lifecycle transition to the durable
-write-ahead :class:`~repro.service.journal.JobJournal`.
+:class:`SweepService` accepts :class:`~repro.sweep.spec.SweepSpec` jobs and
+schedules up to ``max_concurrent`` of them *concurrently* onto one resident
+executor fleet (the fleet — and its attached
+:class:`~repro.sim.shared_store.SharedPhysicsStore` — lives for the daemon's
+lifetime, so physics derived for one client's job is reused by every later
+job).  Every lifecycle transition is journaled to the durable write-ahead
+:class:`~repro.service.journal.JobJournal`.
+
+Scheduling is round-based fair share: each round takes up to
+``fair_share_quantum`` work units from every active job, executes the mixed
+slice as one executor pass, and routes each outcome back to its owning job's
+:class:`~repro.sweep.runner.SweepPass` — so per-job progress, checkpointing
+and record stores stay fully independent while the fleet interleaves work
+from all of them.
 
 The robustness contract, end to end:
 
@@ -13,26 +21,43 @@ The robustness contract, end to end:
   the same data directory, and every admitted job completes with records
   bit-identical to an uninterrupted run: the journal replays the job table,
   interrupted jobs are re-admitted, and each resumes from its last durable
-  PR-6 checkpoint (deterministic seeds make re-running the tail harmless).
+  checkpoint (deterministic seeds make re-running the tail harmless).
+* **Fault isolation (circuit breaker)** — a *poison* job whose runs
+  repeatedly kill or hang workers tears the shared fleet down for everyone.
+  Each fleet rebuild is attributed to the job(s) whose runs' deadlines
+  expired; a job charged with ``breaker_budget`` rebuilds is quarantined to
+  the ``suspended`` registry state (its partial records stay durable and
+  resumable) while healthy jobs keep executing.  ``resume()`` lifts the
+  quarantine explicitly; a suspended job stays suspended across restarts.
+* **Single writer (lease)** — the state dir is fenced by a heartbeat lease
+  (:class:`~repro.service.lease.StateDirLease`): a second daemon refuses to
+  start over a live lease, a ``kill -9``'d holder is taken over immediately
+  (same host) or after the TTL (foreign host), and a daemon that observes
+  its lease stolen fences its journal writes and drains.
+* **Disk exhaustion** — ``ENOSPC`` on the journal or a record store is a
+  degraded mode, not a crash: writes buffer in memory, ``/health`` reports
+  ``degraded`` with a reason rollup, admission returns 503, and the backlog
+  drains automatically once space returns.
 * **Admission control** — the job queue is bounded; a full queue rejects new
   work with :class:`Backpressure` (HTTP 429 + ``retry_after``) instead of
   accepting unbounded liabilities.
 * **Idempotent submission** — a client-supplied ``job_key`` makes resubmits
   (retries after a lost response, duplicate users asking the same question)
   attach to the existing job instead of recomputing.
-* **Cancellation** — a queued job cancels instantly; a running job drains
-  cleanly (in-flight work checkpoints, the fleet tears down, the partial
-  result stays resumable).
+* **Cancellation** — a queued or suspended job cancels instantly; a running
+  job drains cleanly (in-flight work checkpoints, the partial result stays
+  resumable).
 * **Graceful shutdown** — ``shutdown()`` (wire it to SIGTERM via
-  :func:`install_signal_handlers`) stops admitting, drains the running job
-  to a checkpoint, journals a clean stop, and exits; queued jobs re-admit on
-  the next start.
+  :func:`install_signal_handlers`) stops admitting, drains every running job
+  to a checkpoint, journals a clean stop, and releases the lease; queued
+  jobs re-admit on the next start.
 * **Health** — :meth:`SweepService.health` reports fleet liveness, queue
-  depth, journal and store counters for monitoring.
+  depth, active jobs, lease state, journal and store counters.
 
 On-disk layout (everything under one ``data_dir``)::
 
     data_dir/
+      LEASE.json               single-writer ownership (repro.service.lease)
       journal.jsonl            the write-ahead job journal
       store/                   persistent shared physics store
       jobs/<job_id>/records/   per-job sharded record store (see repro.store)
@@ -60,13 +85,16 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..sweep import faults
 from ..sweep.records import SweepResult
-from ..sweep.runner import PoolExecutor, SerialExecutor, SweepRunner
+from ..sweep.runner import (PoolExecutor, SerialExecutor, SweepPass,
+                            SweepRunner, _as_outcomes, _member_runs,
+                            execute_work)
 from ..sweep.spec import RetryPolicy, SweepSpec
 from .journal import JobJournal
+from .lease import LeaseHeld, StateDirLease
 from .registry import Job, JobRegistry, TERMINAL_STATES
 
-__all__ = ["Backpressure", "ResidentFleet", "ServiceUnavailable",
-           "SweepService", "install_signal_handlers"]
+__all__ = ["Backpressure", "LeaseHeld", "ResidentFleet", "ServiceUnavailable",
+           "StateDirLease", "SweepService", "install_signal_handlers"]
 
 logger = logging.getLogger("repro.service")
 
@@ -83,7 +111,8 @@ class Backpressure(RuntimeError):
 
 
 class ServiceUnavailable(RuntimeError):
-    """The daemon is shutting down and no longer admits work (503)."""
+    """The daemon cannot admit work right now (503): draining, fenced by a
+    stolen lease, or degraded by a full disk."""
 
 
 class ResidentFleet:
@@ -92,9 +121,9 @@ class ResidentFleet:
     Unlike a per-sweep executor pass, the fleet persists across jobs: the
     store directory is attached once (parent process included, so even a
     serial fleet reuses physics across jobs *and* daemon restarts), and the
-    executor object is reused for every job the scheduler runs.  Heartbeats
-    come from the runner's streaming progress callback — a fleet that stops
-    beating while a job is active is wedged, and the health endpoint says so.
+    executor object is reused for every scheduler round.  Heartbeats come
+    from the per-job progress callbacks — a fleet that stops beating while
+    jobs are active is wedged, and the health endpoint says so.
     """
 
     def __init__(self, executor: Executor, store_dir: Optional[str]) -> None:
@@ -137,13 +166,49 @@ class ResidentFleet:
         }
 
 
+class _ActiveJob:
+    """Scheduler-side state for one job currently sharing the fleet."""
+
+    def __init__(self, job: Job, sweep_pass: SweepPass, pending_items,
+                 store) -> None:
+        self.job_id = job.job_id
+        self.total_runs = job.total_runs
+        self.sweep_pass = sweep_pass
+        self.pending: deque = deque(pending_items)
+        self.store = store
+        self.strikes = 0              #: fleet rebuilds attributed to this job
+        self.cancelled = False        #: cancel observed mid-round
+        self.started = time.monotonic()
+
+    @property
+    def finished(self) -> bool:
+        """Every run has an outcome (a record or a quarantined failure)."""
+        result = self.sweep_pass.result
+        return (result is not None and not self.pending
+                and len(result.records) + len(result.failed_runs)
+                >= self.total_runs)
+
+    def store_counters(self) -> Dict:
+        if self.store is None:
+            return {}
+        return {key: value for key, value in self.store.stats().items()
+                if key != "kind"}
+
+    def close_store(self) -> None:
+        if self.store is not None:
+            self.store.close()
+            self.store = None
+
+
 class SweepService:
     """The daemon: journal + registry + bounded queue + resident fleet.
 
-    Jobs execute one at a time on the fleet (the fleet itself parallelizes
-    *runs* across its workers; serializing jobs keeps the physics store and
-    CPU contention predictable).  All public methods are thread-safe — the
-    HTTP transport calls them from handler threads.
+    Up to ``max_concurrent`` jobs execute concurrently, interleaved onto the
+    fleet in fair-share rounds of ``fair_share_quantum`` work units per job.
+    Fault isolation between them is the point: each job has its own record
+    store, checkpoint cadence and circuit breaker, so one job's poison runs
+    or full disk cannot take its neighbours down.  All public methods are
+    thread-safe — the HTTP transport calls them from handler threads.
     """
 
     def __init__(self, data_dir: str,
@@ -154,17 +219,35 @@ class SweepService:
                  max_queue: int = 8,
                  checkpoint_every: int = 4,
                  compact_bytes: int = 1 << 20,
-                 attach_store: bool = True) -> None:
+                 attach_store: bool = True,
+                 max_concurrent: int = 4,
+                 fair_share_quantum: int = 4,
+                 breaker_budget: int = 2,
+                 lease_ttl: float = 2.0,
+                 lease_wait: float = 0.0) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must admit at least one job")
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be a positive "
                              "record count")
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must schedule at least one job")
+        if fair_share_quantum < 1:
+            raise ValueError("fair_share_quantum must take at least one "
+                             "work unit per job per round")
+        if breaker_budget < 1:
+            raise ValueError("breaker_budget must allow at least one "
+                             "fleet rebuild before tripping")
         self.data_dir = data_dir
         os.makedirs(data_dir, exist_ok=True)
         self.max_queue = max_queue
         self.checkpoint_every = checkpoint_every
         self.compact_bytes = compact_bytes
+        self.max_concurrent = max_concurrent
+        self.fair_share_quantum = fair_share_quantum
+        self.breaker_budget = breaker_budget
+        self.lease_ttl = lease_ttl
+        self.lease_wait = lease_wait
         self.retry_policy = retry_policy or RetryPolicy(
             max_attempts=3, backoff=0.05, jitter="decorrelated",
             max_backoff=5.0)
@@ -187,18 +270,30 @@ class SweepService:
         self._lock = threading.RLock()
         self._draining = threading.Event()
         self._wake = threading.Event()
-        self._active: Optional[str] = None
+        self._active_jobs: Dict[str, _ActiveJob] = {}
         self._durations: deque = deque(maxlen=8)
         self._scheduler: Optional[threading.Thread] = None
         self._started_ts: Optional[float] = None
+        self._lease: Optional[StateDirLease] = None
+        self._lease_lost = threading.Event()
+        self._records_cond = threading.Condition()
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
     def start(self) -> "SweepService":
-        """Recover, re-admit interrupted jobs, and start scheduling."""
+        """Acquire the lease, recover, re-admit interrupted jobs, schedule.
+
+        Raises :class:`~repro.service.lease.LeaseHeld` when another live
+        daemon owns the state dir — refusing to double-run it is the whole
+        point of the lease.
+        """
         if self._scheduler is not None:
             raise RuntimeError("service already started")
+        if self._lease is None:
+            self._lease = StateDirLease(self.data_dir, ttl=self.lease_ttl,
+                                        on_lost=self._on_lease_lost)
+        self._lease.acquire(wait=self.lease_wait)
         self.registry.maybe_compact(self.compact_bytes)
         self.fleet.start()
         self.journal.append("service_start",
@@ -219,11 +314,11 @@ class SweepService:
         return self
 
     def shutdown(self, timeout: Optional[float] = None) -> None:
-        """Graceful stop: drain, checkpoint, journal, release the fleet.
+        """Graceful stop: drain, checkpoint, journal, release fleet + lease.
 
-        Safe to call more than once.  The running job (if any) drains at its
-        next record boundary and stays ``running`` in the journal — the next
-        :meth:`start` re-admits it and resumes from its checkpoint.
+        Safe to call more than once.  Running jobs (if any) drain at their
+        next round boundary and stay ``running`` in the journal — the next
+        :meth:`start` re-admits them and resumes from their checkpoints.
         """
         self._draining.set()
         self._wake.set()
@@ -231,14 +326,32 @@ class SweepService:
         scheduler = self._scheduler
         if scheduler is not None:
             scheduler.join(timeout=timeout)
-        self.journal.append("service_stop", pid=os.getpid())
+        if not self._lease_lost.is_set():
+            # Fenced when the lease was stolen: the thief owns the journal
+            # now, and our stop event would interleave with its appends.
+            self.journal.append("service_stop", pid=os.getpid())
         self.fleet.stop()
         self.journal.close()
+        if self._lease is not None:
+            self._lease.release()
+            self._lease = None
         self._scheduler = None
 
     @property
     def draining(self) -> bool:
         return self._draining.is_set()
+
+    def _on_lease_lost(self, record: Dict) -> None:
+        logger.error("service: state-dir lease lost to %r — fencing the "
+                     "journal and draining", record.get("owner"))
+        self._lease_lost.set()
+        self._draining.set()
+        self._wake.set()
+        self._notify_records()
+
+    def _notify_records(self) -> None:
+        with self._records_cond:
+            self._records_cond.notify_all()
 
     # ------------------------------------------------------------------ #
     # client surface
@@ -249,8 +362,10 @@ class SweepService:
 
         Raises :class:`Backpressure` when the queue is full (duplicate
         ``job_key`` submissions are exempt — attaching to existing work
-        costs nothing) and :class:`ServiceUnavailable` while draining.
-        The spec is validated by round-tripping it through
+        costs nothing) and :class:`ServiceUnavailable` while draining,
+        fenced by a stolen lease, or disk-degraded — a full disk must not
+        be handed new durability obligations it cannot meet.  The spec is
+        validated by round-tripping it through
         :class:`~repro.sweep.spec.SweepSpec` before anything is journaled.
         """
         spec = SweepSpec.from_json_dict(spec_dict)   # validates; raises early
@@ -261,6 +376,16 @@ class SweepService:
                 if self._draining.is_set():
                     raise ServiceUnavailable(
                         "service is draining; resubmit after restart")
+                # Probe the backlog before judging: admission must resume by
+                # itself the moment space returns, not wait for the next
+                # scheduler append to happen to drain it.
+                self.journal.flush_pending()
+                disk_reasons = self._disk_degraded_reasons()
+                if disk_reasons:
+                    raise ServiceUnavailable(
+                        "service is degraded (disk full: "
+                        f"{', '.join(disk_reasons)}); retry after space "
+                        "is freed")
                 if len(self._queue) >= self.max_queue:
                     raise Backpressure(self._retry_after())
             job, created = self.registry.submit(
@@ -273,16 +398,37 @@ class SweepService:
             return job, created
 
     def cancel(self, job_id: str) -> Job:
-        """Cancel a job: instantly when queued, by draining when running."""
+        """Cancel a job: instantly when queued or suspended, by draining
+        at the next outcome boundary when running."""
         with self._lock:
             job = self.registry.get(job_id)
             if job.state in TERMINAL_STATES:
                 return job
             self.registry.transition("cancel_request", job_id)
-            if job.state in ("submitted", "admitted"):
-                # Not started: terminal immediately; the scheduler skips it.
-                return self.registry.transition("cancelled", job_id)
-            return job    # running: the runner's should_stop drains it
+            if job.state in ("submitted", "admitted", "suspended"):
+                # Not on the fleet: terminal immediately; the scheduler
+                # skips it if it is still queued.
+                job = self.registry.transition("cancelled", job_id)
+                self._notify_records()
+                return job
+            return job    # running: the scheduler drains it mid-round
+
+    def resume(self, job_id: str) -> Job:
+        """Lift a suspended (circuit-broken) job back into the queue.
+
+        The quarantine is sticky by design — a poison job must not sneak
+        back onto the fleet via crash recovery — so resumption is this
+        explicit operator action.  Raises
+        :class:`~repro.service.registry.JobStateError` (HTTP 409) unless
+        the job is actually suspended.
+        """
+        with self._lock:
+            job = self.registry.transition("resume", job_id)
+            self._queue.append(job_id)
+            self._wake.set()
+        logger.info("service: job %s resumed from suspension", job_id)
+        self._notify_records()
+        return job
 
     def status(self, job_id: str) -> Dict:
         return self.registry.get(job_id).public_status()
@@ -307,36 +453,63 @@ class SweepService:
         payload.update(job.public_status())
         return payload
 
-    def records(self, job_id: str, offset: int = 0,
-                limit: int = 256) -> Dict:
+    def records(self, job_id: str, offset: int = 0, limit: int = 256,
+                wait_seq: Optional[int] = None,
+                wait_timeout: float = 10.0) -> Dict:
         """A page of a job's records, straight off its record store.
 
         Unlike :meth:`result`, this works for *any* job state — a running
         job's durable records page out while it executes (the scan is
         non-mutating, so it cannot disturb the writer) — and never
         materializes aggregates, so it stays cheap for huge sweeps.
+
+        Long-polling: ``wait_seq=n`` blocks (up to ``wait_timeout``
+        seconds, capped at 60) until the store holds *more* than ``n``
+        records, or the job comes to rest (terminal or suspended) —
+        whichever is first.  A client streams a job live by passing the
+        ``seq`` of its previous response, paying one request per batch of
+        records instead of one per poll interval.
         """
-        job = self.registry.get(job_id)            # KeyError for unknown ids
+        self.registry.get(job_id)                  # KeyError for unknown ids
         offset = max(0, int(offset))
         limit = max(1, min(int(limit), 4096))
+        deadline = None
+        if wait_seq is not None:
+            wait_seq = max(0, int(wait_seq))
+            deadline = time.monotonic() + max(0.0, min(float(wait_timeout),
+                                                       60.0))
+        while True:
+            records, failed = self._scan_job_records(job_id)
+            job = self.registry.get(job_id)
+            resting = (job.state in TERMINAL_STATES
+                       or job.state == "suspended")
+            if deadline is None or len(records) > wait_seq or resting \
+                    or time.monotonic() >= deadline:
+                break
+            remaining = deadline - time.monotonic()
+            with self._records_cond:
+                self._records_cond.wait(
+                    timeout=min(0.25, max(0.01, remaining)))
+        page = records[offset:offset + limit]
+        return {
+            "job_id": job_id, "state": job.state, "resting": resting,
+            "seq": len(records),
+            "total_records": len(records), "total_failed": len(failed),
+            "offset": offset, "limit": limit, "count": len(page),
+            "records": [record.to_json_dict() for record in page],
+        }
+
+    def _scan_job_records(self, job_id: str) -> Tuple[List, List]:
         store_dir = self.store_path(job_id)
         legacy = self.checkpoint_path(job_id)
         if os.path.isdir(store_dir):
             from ..store import scan_store
             report = scan_store(store_dir)
-            records, failed = report.records, report.failed
-        elif os.path.exists(legacy) or os.path.exists(f"{legacy}.bak"):
+            return report.records, report.failed
+        if os.path.exists(legacy) or os.path.exists(f"{legacy}.bak"):
             loaded = SweepResult.load_resumable(legacy)
-            records, failed = loaded.sorted_records(), loaded.failed_runs
-        else:
-            records, failed = [], []
-        page = records[offset:offset + limit]
-        return {
-            "job_id": job_id, "state": job.state,
-            "total_records": len(records), "total_failed": len(failed),
-            "offset": offset, "limit": limit, "count": len(page),
-            "records": [record.to_json_dict() for record in page],
-        }
+            return loaded.sorted_records(), loaded.failed_runs
+        return [], []
 
     def _load_job_result(self, job_id: str) -> SweepResult:
         """A job's merged result from whichever persistence it has.
@@ -357,21 +530,39 @@ class SweepService:
     _STORE_DAMAGE_KEYS = ("torn_tail_dropped", "corrupt_lines_dropped",
                           "shards_quarantined", "manifest_rebuilds")
 
+    def _disk_degraded_reasons(self) -> List[str]:
+        """Subsystems currently buffering writes because the disk is full."""
+        reasons = []
+        if self.journal.disk_degraded():
+            reasons.append(
+                f"journal ({self.journal.pending_lines()} buffered line(s))")
+        with self._lock:
+            entries = list(self._active_jobs.items())
+        for job_id, entry in entries:
+            store = entry.store
+            if store is not None and store.disk_degraded():
+                reasons.append(f"record store {job_id}")
+        return reasons
+
     def health(self) -> Dict:
         """Liveness + load + durability counters, for monitors and tests.
 
         ``degraded`` aggregates every self-healing subsystem: the shared
-        physics store's error counters, the journal's recovery counters, and
-        the per-job record stores' damage counters — a daemon that survived
-        corruption keeps serving, but monitors can see it happened.
+        physics store's error counters, the journal's recovery counters,
+        the per-job record stores' damage counters, disk-full write
+        buffering, and a stolen lease — a daemon that survived any of them
+        keeps serving, but monitors can see it happened.
+        ``degraded_reasons`` names the live conditions (a stolen lease, a
+        full disk) as opposed to the historical counters.
         """
         journal_stats = vars(self.journal.stats).copy()
         journal_stats["size_bytes"] = self.journal.size_bytes()
+        journal_stats["pending_lines"] = self.journal.pending_lines()
         store = self.fleet.store
         physics_stats = store.stats() if store is not None else None
         with self._lock:
             queue_depth = len(self._queue)
-            active = self._active
+            active_ids = sorted(self._active_jobs)
         record_stores: Dict = {"jobs_with_stats": 0, "compactions": 0}
         record_stores.update({key: 0 for key in self._STORE_DAMAGE_KEYS})
         for job in self.registry.list_jobs():
@@ -380,27 +571,41 @@ class SweepService:
             record_stores["jobs_with_stats"] += 1
             for key in (*self._STORE_DAMAGE_KEYS, "compactions"):
                 record_stores[key] += int(job.store_stats.get(key, 0))
+        reasons = []
+        if self._lease_lost.is_set():
+            reasons.append("lease_stolen")
+        reasons.extend(f"disk_full: {what}"
+                       for what in self._disk_degraded_reasons())
         degraded = bool(
-            (physics_stats is not None
-             and (physics_stats.get("degraded")
-                  or physics_stats.get("load_errors")
-                  or physics_stats.get("store_errors")
-                  or physics_stats.get("corrupt_rejected")))
+            reasons
+            or (physics_stats is not None
+                and (physics_stats.get("degraded")
+                     or physics_stats.get("load_errors")
+                     or physics_stats.get("store_errors")
+                     or physics_stats.get("corrupt_rejected")))
             or journal_stats.get("torn_tail_dropped")
             or journal_stats.get("corrupt_lines")
+            or journal_stats.get("disk_full_errors")
             or any(record_stores[key] for key in self._STORE_DAMAGE_KEYS))
+        lease = self._lease
         return {
             "status": "draining" if self._draining.is_set() else "ok",
             "degraded": degraded,
+            "degraded_reasons": reasons,
             "uptime_s": (round(time.monotonic() - self._started_ts, 3)
                          if self._started_ts is not None else None),
             "queue_depth": queue_depth,
             "max_queue": self.max_queue,
-            "active_job": active,
+            "active_job": active_ids[0] if active_ids else None,
+            "active_jobs": active_ids,
+            "max_concurrent": self.max_concurrent,
             "jobs": self.registry.counts(),
             "fleet": self.fleet.liveness(),
             "scheduler_alive": (self._scheduler is not None
                                 and self._scheduler.is_alive()),
+            "lease": (None if lease is None else
+                      {"owner": lease.owner, "lost": lease.lost,
+                       "takeovers": lease.takeovers, "ttl": lease.ttl}),
             "journal": journal_stats,
             "store": physics_stats,
             "record_stores": record_stores,
@@ -414,12 +619,17 @@ class SweepService:
         return os.path.join(self.data_dir, "jobs", job_id, "records")
 
     def wait_for(self, job_id: str, timeout: float = 60.0,
-                 poll: float = 0.02) -> Dict:
-        """Block until ``job_id`` reaches a terminal state (testing/demo aid)."""
+                 poll: float = 0.02,
+                 states: Optional[Tuple[str, ...]] = None) -> Dict:
+        """Block until ``job_id`` reaches one of ``states`` (default: any
+        terminal state) — a testing/demo aid.  Pass
+        ``states=("suspended", *TERMINAL_STATES)`` to also return when the
+        circuit breaker quarantines the job."""
+        states = TERMINAL_STATES if states is None else states
         deadline = time.monotonic() + timeout
         while True:
             status = self.status(job_id)
-            if status["state"] in TERMINAL_STATES:
+            if status["state"] in states:
                 return status
             if time.monotonic() > deadline:
                 raise TimeoutError(
@@ -434,39 +644,61 @@ class SweepService:
         mean = (sum(self._durations) / len(self._durations)
                 if self._durations else 1.0)
         with self._lock:
-            waiting = len(self._queue) + (1 if self._active else 0)
+            waiting = len(self._queue) + len(self._active_jobs)
         return round(max(0.1, mean * max(1, waiting)), 3)
 
     def _scheduler_loop(self) -> None:
-        while not self._draining.is_set():
+        try:
+            while not self._draining.is_set():
+                self._admit_waiting()
+                with self._lock:
+                    idle = not self._active_jobs
+                if idle:
+                    self._wake.wait(0.05)
+                    self._wake.clear()
+                    continue
+                try:
+                    self._run_round()
+                except Exception:        # pragma: no cover - defensive
+                    logger.exception(
+                        "service: scheduler round crashed; active jobs stay "
+                        "journaled for recovery")
+                    time.sleep(0.05)
+        finally:
+            self._drain_all()
+
+    def _admit_waiting(self) -> None:
+        """Move queued jobs into the active set up to ``max_concurrent``."""
+        while True:
             with self._lock:
-                job_id = self._queue.popleft() if self._queue else None
-            if job_id is None:
-                self._wake.wait(0.05)
-                self._wake.clear()
-                continue
+                if len(self._active_jobs) >= self.max_concurrent \
+                        or not self._queue:
+                    return
+                job_id = self._queue.popleft()
+                if job_id in self._active_jobs:
+                    continue             # duplicate queue entry
             job = self.registry.get(job_id)
-            if job.state in TERMINAL_STATES:     # cancelled while queued
+            if job.state != "admitted":
+                # Cancelled or re-suspended while queued, or a duplicate
+                # entry for a job that already ran (recovery re-queues what
+                # a pre-start submit already queued).
                 continue
-            started = time.monotonic()
-            self._active = job_id
             try:
-                self._run_job(job)
-            except Exception:                    # pragma: no cover - defensive
-                logger.exception("service: job %s crashed the scheduler "
-                                 "iteration; job stays journaled for "
-                                 "recovery", job_id)
-            finally:
-                self._active = None
-                self._durations.append(time.monotonic() - started)
+                entry = self._activate(job)
+            except Exception:            # pragma: no cover - defensive
+                logger.exception("service: job %s failed to activate; it "
+                                 "stays journaled for recovery", job_id)
+                continue
+            if entry is not None:
+                with self._lock:
+                    self._active_jobs[job_id] = entry
 
-    def _run_job(self, job: Job) -> None:
-        """Execute one admitted job through the sweep machinery.
+    def _activate(self, job: Job) -> Optional[_ActiveJob]:
+        """Open one admitted job's persistence and plan its pending work.
 
-        Persistence is the per-job sharded record store; a legacy
-        ``checkpoint.json`` left by an older daemon becomes the migration
-        seed on the first resume (the runner appends its records to the
-        store once, then continues shard-incrementally).
+        A legacy ``checkpoint.json`` left by an older daemon becomes the
+        migration seed on the first resume (its records are appended to the
+        sharded store once, then execution continues shard-incrementally).
         """
         job_id = job.job_id
         legacy = self.checkpoint_path(job_id)
@@ -477,29 +709,6 @@ class SweepService:
         resume = legacy if (os.path.exists(legacy)
                             or os.path.exists(f"{legacy}.bak")) else None
         job_store = None
-
-        def store_counters() -> Dict:
-            if job_store is None:
-                return {}
-            return {key: value for key, value in job_store.stats().items()
-                    if key != "kind"}
-
-        def on_progress(progress) -> None:
-            self.fleet.beat(job_id)
-            if progress.checkpointed:
-                # The store flush is durable at this point; the kill site
-                # between it and the journal commit is the acceptance
-                # criterion's "between checkpoint and journal commit".
-                faults.service_fault(f"daemon:post_checkpoint:{job_id}")
-                self.registry.transition(
-                    "checkpoint", job_id, records_done=progress.records,
-                    failed_runs=progress.failed,
-                    store_counters=store_counters())
-
-        def should_stop() -> bool:
-            return (self.registry.get(job_id).cancel_requested
-                    or self._draining.is_set())
-
         try:
             # Spec parsing sits inside the try: a journaled spec that no
             # longer round-trips (schema drift across versions, say) must
@@ -511,44 +720,284 @@ class SweepService:
             job_store = ShardedRecordStore(store_dir, spec=spec)
             runner = SweepRunner(spec, self.fleet.executor,
                                  ensembles=options.get("ensembles", False))
-            result = runner.run(
-                resume_from=resume, store=job_store,
+            sweep_pass = SweepPass(
+                runner, resume_from=resume, store=job_store,
                 checkpoint_every=options.get("checkpoint_every",
-                                             self.checkpoint_every),
-                progress=on_progress, should_stop=should_stop)
+                                             self.checkpoint_every))
+            pending_items = sweep_pass.prepare()
         except Exception as error:
             logger.exception("service: job %s failed", job_id)
-            self.registry.transition("failed", job_id, error=repr(error))
-            return
-        finally:
             if job_store is not None:
                 job_store.close()
-        finished = (len(result.records) + len(result.failed_runs)
-                    >= job.total_runs)
-        if self.registry.get(job_id).cancel_requested and not finished:
-            self.registry.transition("cancelled", job_id)
-            logger.info("service: job %s cancelled after draining (%d/%d "
-                        "records checkpointed)", job_id, len(result.records),
-                        job.total_runs)
+            self.registry.transition("failed", job_id, error=repr(error))
+            self._notify_records()
+            return None
+        entry = _ActiveJob(job, sweep_pass, pending_items, job_store)
+
+        def on_progress(progress, job_id=job_id, entry=entry) -> None:
+            self.fleet.beat(job_id)
+            if progress.checkpointed:
+                # The store flush is durable at this point; the kill site
+                # between it and the journal commit is the acceptance
+                # criterion's "between checkpoint and journal commit".
+                faults.service_fault(f"daemon:post_checkpoint:{job_id}")
+                self.registry.transition(
+                    "checkpoint", job_id, records_done=progress.records,
+                    failed_runs=progress.failed,
+                    store_counters=entry.store_counters())
+
+        sweep_pass.progress = on_progress
+        return entry
+
+    def _run_round(self) -> None:
+        """One fair-share round: slice, execute, route, judge.
+
+        Takes up to ``fair_share_quantum`` work units from every active job
+        (round-robin), executes the mixed slice as a single executor pass,
+        routes each outcome to its owning job's :class:`SweepPass`, then
+        settles the round: breakers charged from the pass's fleet-rebuild
+        attribution, cancelled jobs drained, complete jobs committed.
+        """
+        with self._lock:
+            round_ids = list(self._active_jobs)
+        # Cancel sweep first: a job cancelled while between rounds drains
+        # without costing it another slice.
+        for job_id in round_ids:
+            if self.registry.get(job_id).cancel_requested:
+                self._cancel_job(job_id)
+        slice_items: List = []
+        owners: Dict[str, str] = {}
+        with self._lock:
+            round_ids = list(self._active_jobs)
+        for job_id in round_ids:
+            entry = self._active_jobs.get(job_id)
+            if entry is None:
+                continue
+            taken = 0
+            while entry.pending and taken < self.fair_share_quantum:
+                item = entry.pending[0]
+                ids = [run.run_id for run in _member_runs(item)]
+                if any(rid in owners for rid in ids):
+                    # Two jobs sharing a run id (same spec name) cannot fly
+                    # in one slice — ownership would be ambiguous.  Defer
+                    # this job's remainder a round.
+                    break
+                entry.pending.popleft()
+                slice_items.append(item)
+                owners.update((rid, job_id) for rid in ids)
+                taken += 1
+        if not slice_items:
+            for job_id in round_ids:
+                entry = self._active_jobs.get(job_id)
+                if entry is not None and not entry.pending:
+                    self._finish_job(job_id)
             return
-        if not finished:
-            # Drained by shutdown: stay `running` in the journal so the next
-            # start re-admits and resumes; record the final checkpoint depth.
+        executor = self.fleet.executor
+        imap = getattr(executor, "imap_unordered", None)
+        stream = imap(execute_work, slice_items) if imap is not None \
+            else iter(executor.map(execute_work, slice_items))
+        interrupted = False
+        try:
+            for outcome in stream:
+                for record in _as_outcomes(outcome):
+                    owner = owners.get(record.run_id)
+                    entry = (self._active_jobs.get(owner)
+                             if owner is not None else None)
+                    if entry is None or entry.cancelled:
+                        continue
+                    if self.registry.get(owner).cancel_requested:
+                        # Stop folding this job's outcomes right here: its
+                        # durable records freeze at the cancel point, like
+                        # the old per-outcome drain.
+                        entry.cancelled = True
+                        continue
+                    try:
+                        entry.sweep_pass.consume(record)
+                    except Exception as error:
+                        logger.exception(
+                            "service: job %s failed consuming run %s",
+                            owner, record.run_id)
+                        self._fail_job(owner, error)
+                        continue
+                    self._notify_records()
+                if self._draining.is_set():
+                    interrupted = True
+                    break
+        finally:
+            if interrupted:
+                close = getattr(stream, "close", None)
+                if close is not None:
+                    close()
+        self._charge_breakers(owners)
+        for job_id in round_ids:
+            entry = self._active_jobs.get(job_id)
+            if entry is None:
+                continue
+            if entry.cancelled \
+                    or self.registry.get(job_id).cancel_requested:
+                self._cancel_job(job_id)
+            elif entry.strikes >= self.breaker_budget \
+                    and not entry.finished:
+                self._suspend_job(job_id)
+            elif not interrupted and entry.finished:
+                self._finish_job(job_id)
+
+    def _charge_breakers(self, owners: Dict[str, str]) -> None:
+        """Attribute the pass's fleet rebuilds to the jobs that caused them.
+
+        ``ExecutorStats.rebuild_victims`` lists, per teardown, the run ids
+        whose deadlines expired (the suspects — innocent in-flight runs are
+        requeued but not listed).  Each teardown charges one strike to every
+        distinct owning job; ``breaker_budget`` strikes trip the breaker.
+        """
+        stats = getattr(self.fleet.executor, "stats", None)
+        for victim_ids in list(getattr(stats, "rebuild_victims", []) or []):
+            culprits = {owners[rid] for rid in victim_ids if rid in owners}
+            for job_id in culprits:
+                entry = self._active_jobs.get(job_id)
+                if entry is None:
+                    continue
+                entry.strikes += 1
+                logger.warning(
+                    "service: job %s charged with a fleet rebuild "
+                    "(strike %d/%d)", job_id, entry.strikes,
+                    self.breaker_budget)
+
+    def _pop_active(self, job_id: str) -> Optional[_ActiveJob]:
+        with self._lock:
+            entry = self._active_jobs.pop(job_id, None)
+        if entry is not None:
+            self._durations.append(time.monotonic() - entry.started)
+        return entry
+
+    def _settle_store(self, entry: _ActiveJob, stopped: bool) -> Dict:
+        """Finalize a departing job's persistence; returns store counters."""
+        try:
+            entry.sweep_pass.finalize(stopped=stopped)
+        finally:
+            counters = entry.store_counters()
+            entry.close_store()
+        return counters
+
+    def _finish_job(self, job_id: str) -> None:
+        """Commit one complete job: flush, seal, journal ``done``."""
+        entry = self._pop_active(job_id)
+        if entry is None:
+            return
+        try:
+            counters = self._settle_store(entry, stopped=False)
+        except Exception as error:
+            # A full disk at the finish line must not fail the job: its
+            # outcomes are re-runnable.  Requeue; the store backlog drains
+            # once space returns and the next finish seals cleanly.
+            logger.warning(
+                "service: job %s could not finalize (%r); requeued to retry "
+                "after the disk recovers", job_id, error)
             self.registry.transition(
-                "checkpoint", job_id, records_done=len(result.records),
-                failed_runs=len(result.failed_runs),
-                store_counters=store_counters())
-            logger.info("service: job %s drained at %d/%d records for "
-                        "shutdown", job_id, len(result.records),
-                        job.total_runs)
+                "checkpoint", job_id,
+                records_done=len(entry.sweep_pass.result.records),
+                failed_runs=len(entry.sweep_pass.result.failed_runs))
+            with self._lock:
+                self._queue.append(job_id)
             return
+        result = entry.sweep_pass.summarize()
         faults.service_fault(f"daemon:pre_commit:{job_id}")
         self.registry.transition(
             "done", job_id, records_done=len(result.records),
             failed_runs=len(result.failed_runs),
-            store_counters=store_counters())
+            store_counters=counters)
         logger.info("service: job %s done (%d records, %d quarantined)",
                     job_id, len(result.records), len(result.failed_runs))
+        self._notify_records()
+
+    def _cancel_job(self, job_id: str) -> None:
+        entry = self._pop_active(job_id)
+        if entry is None:
+            return
+        result = entry.sweep_pass.result
+        if entry.finished:
+            # The work beat the cancellation: commit it rather than discard
+            # a complete, durable result.
+            counters = self._settle_store(entry, stopped=False)
+            self.registry.transition(
+                "done", job_id, records_done=len(result.records),
+                failed_runs=len(result.failed_runs), store_counters=counters)
+            self._notify_records()
+            return
+        self._settle_store(entry, stopped=True)
+        self.registry.transition("cancelled", job_id)
+        logger.info("service: job %s cancelled after draining (%d/%d "
+                    "records checkpointed)", job_id, len(result.records),
+                    entry.total_runs)
+        self._notify_records()
+
+    def _suspend_job(self, job_id: str) -> None:
+        """Quarantine a poison job; its partial records stay resumable."""
+        entry = self._pop_active(job_id)
+        if entry is None:
+            return
+        counters = self._settle_store(entry, stopped=True)
+        result = entry.sweep_pass.result
+        reason = (f"circuit breaker: {entry.strikes} fleet rebuild(s) "
+                  f"attributed to this job (budget {self.breaker_budget})")
+        self.registry.transition(
+            "suspend", job_id, reason=reason,
+            records_done=len(result.records),
+            failed_runs=len(result.failed_runs),
+            store_counters=counters)
+        logger.warning(
+            "service: job %s suspended — %s; %d/%d records stay durable "
+            "and resumable", job_id, reason, len(result.records),
+            entry.total_runs)
+        self._notify_records()
+
+    def _fail_job(self, job_id: str, error: Exception) -> None:
+        entry = self._pop_active(job_id)
+        if entry is not None:
+            try:
+                self._settle_store(entry, stopped=True)
+            except Exception:            # pragma: no cover - best effort
+                logger.exception(
+                    "service: job %s store finalize failed during failure "
+                    "handling", job_id)
+        self.registry.transition("failed", job_id, error=repr(error))
+        self._notify_records()
+
+    def _drain_all(self) -> None:
+        """Shutdown path: checkpoint every active job, leave it ``running``.
+
+        The next :meth:`start` re-admits drained jobs and resumes them from
+        their durable stores.  When the lease was stolen the journal is
+        fenced — stores still flush (they are per-job files the thief has
+        not touched yet), but no transitions are appended.
+        """
+        fenced = self._lease_lost.is_set()
+        with self._lock:
+            job_ids = list(self._active_jobs)
+        for job_id in job_ids:
+            entry = self._pop_active(job_id)
+            if entry is None:
+                continue
+            try:
+                counters = self._settle_store(entry, stopped=True)
+            except Exception:            # pragma: no cover - best effort
+                logger.exception("service: job %s store flush failed during "
+                                 "drain", job_id)
+                continue
+            if fenced:
+                continue
+            result = entry.sweep_pass.result
+            if self.registry.get(job_id).cancel_requested:
+                self.registry.transition("cancelled", job_id)
+                continue
+            self.registry.transition(
+                "checkpoint", job_id, records_done=len(result.records),
+                failed_runs=len(result.failed_runs),
+                store_counters=counters)
+            logger.info("service: job %s drained at %d/%d records for "
+                        "shutdown", job_id, len(result.records),
+                        entry.total_runs)
+        self._notify_records()
 
 
 def install_signal_handlers(service: SweepService,

@@ -43,10 +43,25 @@ rewrites it as one ``snapshot`` line per live job (atomic temp-file +
 ``fsync`` + ``os.replace``, like every other durable write in this repo),
 preserving the ``seq`` counter so replay ordering stays monotonic across
 compactions.
+
+Disk exhaustion
+---------------
+``ENOSPC`` is an operations event, not a programming error, so it must not
+crash the daemon: an append that hits it truncates any partial line back to
+the last durable boundary and buffers the rendered line in memory instead
+(:attr:`JournalStats.disk_full_errors` counts the hits,
+:meth:`disk_degraded` reports the mode).  Every later append first retries
+the backlog in FIFO order — ``seq`` stays monotonic on disk — so durability
+resumes automatically the moment space returns.  The window's risk is
+bounded and crash-shaped: dying with a non-empty backlog loses a *suffix*
+of transitions, which replay already treats as "the work re-runs" — exactly
+the contract a kill -9 between append and apply has always had.  Any other
+``OSError`` still raises :class:`JournalError`.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import logging
@@ -54,8 +69,9 @@ import os
 import threading
 import time
 import warnings
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from ..sweep import faults
 
@@ -106,6 +122,7 @@ class JournalStats:
     corrupt_lines: int = 0
     compactions: int = 0
     fsyncs: int = 0
+    disk_full_errors: int = 0
 
 
 class JobJournal:
@@ -123,6 +140,8 @@ class JobJournal:
         self._lock = threading.Lock()
         self._seq = 0
         self._handle = None
+        #: rendered-but-not-yet-durable lines deferred by ENOSPC (FIFO).
+        self._pending: Deque[Tuple[bytes, str, Optional[str]]] = deque()
         os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
 
     # ------------------------------------------------------------------ #
@@ -241,28 +260,105 @@ class JobJournal:
     # ------------------------------------------------------------------ #
     def append(self, event: str, job_id: Optional[str] = None,
                **data) -> JournalEvent:
-        """Durably append one event; returns it once it is on disk."""
+        """Append one event — durably, or buffered when the disk is full.
+
+        Returns once the line is on disk, *or* — on ``ENOSPC`` — once it is
+        queued in the in-memory backlog behind every earlier deferred line
+        (see the module doc's *Disk exhaustion* section).  Callers can
+        observe the degraded mode via :meth:`disk_degraded`.
+        """
         with self._lock:
             self._seq += 1
             entry = JournalEvent(seq=self._seq, ts=time.time(), event=event,
                                  job_id=job_id, data=data)
             line = self._render(entry)
-            handle = self._append_handle()
-            try:
-                handle.write(line)
-                handle.flush()
-                # Chaos site: a crash between write and fsync is exactly a
-                # torn write.  The fault tears the line and kills the process.
-                faults.journal_fault(self.path, len(line),
-                                     f"{event}:{job_id or ''}")
-                if self.fsync:
-                    os.fsync(handle.fileno())
-                    self.stats.fsyncs += 1
-            except OSError as error:
-                raise JournalError(
-                    f"journal {self.path!r} append failed: {error}") from error
+            self._drain_pending_locked()
+            if self._pending:
+                # Still blocked: keep FIFO order, queue behind the backlog.
+                self._pending.append((line, event, job_id))
+            else:
+                try:
+                    self._write_line_locked(line, event, job_id)
+                except OSError as error:
+                    if error.errno != errno.ENOSPC:
+                        raise JournalError(
+                            f"journal {self.path!r} append failed: "
+                            f"{error}") from error
+                    self.stats.disk_full_errors += 1
+                    self._pending.append((line, event, job_id))
+                    logger.warning(
+                        "journal %s: disk full on append of %r; buffering "
+                        "(%d line(s) pending)", self.path, event,
+                        len(self._pending))
             self.stats.appended += 1
             return entry
+
+    def _write_line_locked(self, line: bytes, event: str,
+                           job_id: Optional[str]) -> None:
+        """One durable line write; on failure no partial line stays on disk."""
+        faults.disk_full_fault(self.path, f"journal:{event}")
+        start = self.size_bytes()
+        handle = self._append_handle()
+        try:
+            handle.write(line)
+            handle.flush()
+            # Chaos site: a crash between write and fsync is exactly a
+            # torn write.  The fault tears the line and kills the process.
+            faults.journal_fault(self.path, len(line),
+                                 f"{event}:{job_id or ''}")
+            if self.fsync:
+                os.fsync(handle.fileno())
+                self.stats.fsyncs += 1
+        except OSError:
+            self._truncate_back(start)
+            raise
+
+    def _truncate_back(self, offset: int) -> None:
+        """Drop a possibly-partial write so retries start on a clean boundary.
+
+        Truncation *releases* space, so it succeeds on a full disk; a failure
+        here is swallowed because replay's torn-tail handling covers exactly
+        this shape of damage anyway.
+        """
+        try:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            if os.path.exists(self.path) \
+                    and os.path.getsize(self.path) > offset:
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(offset)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        except OSError:                       # pragma: no cover - best effort
+            pass
+
+    def _drain_pending_locked(self) -> None:
+        while self._pending:
+            line, event, job_id = self._pending[0]
+            try:
+                self._write_line_locked(line, event, job_id)
+            except OSError as error:
+                if error.errno != errno.ENOSPC:
+                    raise JournalError(
+                        f"journal {self.path!r} backlog flush failed: "
+                        f"{error}") from error
+                self.stats.disk_full_errors += 1
+                return
+            self._pending.popleft()
+
+    def flush_pending(self) -> int:
+        """Retry the ENOSPC backlog now; returns the lines still deferred."""
+        with self._lock:
+            self._drain_pending_locked()
+            return len(self._pending)
+
+    def disk_degraded(self) -> bool:
+        """True while deferred appends are waiting for disk space."""
+        return bool(self._pending)
+
+    def pending_lines(self) -> int:
+        return len(self._pending)
 
     @staticmethod
     def _render(entry: JournalEvent) -> bytes:
@@ -301,6 +397,9 @@ class JobJournal:
                     seq=self._seq, ts=time.time(), event="snapshot",
                     job_id=data.get("job_id"), data=data))
             self._rewrite(events)
+            # The snapshots describe state *after* every buffered transition
+            # applied, so an ENOSPC backlog is superseded by the rewrite.
+            self._pending.clear()
             self.stats.compactions += 1
             logger.info("journal %s: compacted to %d snapshot line(s)",
                         self.path, len(events))
@@ -331,6 +430,10 @@ class JobJournal:
 
     def close(self) -> None:
         with self._lock:
+            try:
+                self._drain_pending_locked()
+            except JournalError:              # pragma: no cover - best effort
+                pass
             if self._handle is not None:
                 self._handle.close()
                 self._handle = None

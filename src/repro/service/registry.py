@@ -4,11 +4,21 @@ Lifecycle::
 
     submitted --> admitted --> running --> done
                       ^           |   \\-> failed
-                      |           |   \\-> cancelled
+                      ^           |   \\-> cancelled
+                      |           |   \\-> suspended --(resume)--> admitted
                       |           v
                       +---- (daemon restart re-admits)    [checkpoint events
                                                            repeat while
                                                            running]
+
+``suspended`` is the poison-job quarantine: the scheduler's per-job circuit
+breaker parks a job whose runs keep killing or hanging workers (a budget of
+fleet rebuilds attributable to that job), with the reason carried on the
+``suspend`` event.  Unlike the other non-terminal states it is *sticky
+across restarts* — ``recover_interrupted`` deliberately leaves suspended
+jobs alone, because re-running a poison job on every daemon start would
+defeat the quarantine.  A client-driven ``resume`` re-admits it (recovery
+counter untouched: nothing crashed), and ``cancel`` works from suspension.
 
 ``checkpointed`` is a journaled *event*, not a resting state: it marks "the
 records completed so far are durably on disk" while the job stays ``running``.
@@ -42,8 +52,8 @@ __all__ = ["Job", "JobRegistry", "JobStateError", "JOB_STATES",
 logger = logging.getLogger("repro.service")
 
 #: Every resting state a job can occupy.
-JOB_STATES = ("submitted", "admitted", "running", "done", "failed",
-              "cancelled")
+JOB_STATES = ("submitted", "admitted", "running", "suspended", "done",
+              "failed", "cancelled")
 #: States a job never leaves.
 TERMINAL_STATES = ("done", "failed", "cancelled")
 
@@ -54,8 +64,10 @@ _ALLOWED_FROM = {
     "checkpoint": ("running",),
     "done": ("running",),
     "failed": ("running", "admitted"),
-    "cancel_request": ("submitted", "admitted", "running"),
-    "cancelled": ("submitted", "admitted", "running"),
+    "suspend": ("running",),                 # circuit breaker quarantine
+    "resume": ("suspended",),                # explicit client un-quarantine
+    "cancel_request": ("submitted", "admitted", "running", "suspended"),
+    "cancelled": ("submitted", "admitted", "running", "suspended"),
 }
 
 #: the state each event lands in (checkpoint/cancel_request keep the state).
@@ -64,6 +76,8 @@ _LANDS_IN = {
     "running": "running",
     "done": "done",
     "failed": "failed",
+    "suspend": "suspended",
+    "resume": "admitted",
     "cancelled": "cancelled",
 }
 
@@ -96,6 +110,10 @@ class Job:
     recoveries: int = 0
     error: str = ""
     cancel_requested: bool = False
+    #: why the circuit breaker quarantined this job ("" unless suspended).
+    suspend_reason: str = ""
+    #: times the breaker tripped over the job's lifetime (across resumes).
+    suspensions: int = 0
     #: the job's record-store counters at its last checkpoint/done event —
     #: durability and damage-recovery visibility per job (see repro.store).
     store_stats: Dict = field(default_factory=dict)
@@ -109,6 +127,8 @@ class Job:
             "failed_runs": self.failed_runs, "checkpoints": self.checkpoints,
             "recoveries": self.recoveries, "error": self.error,
             "cancel_requested": self.cancel_requested,
+            "suspend_reason": self.suspend_reason,
+            "suspensions": self.suspensions,
             "store_stats": self.store_stats,
         }
 
@@ -126,6 +146,8 @@ class Job:
             "failed_runs": self.failed_runs, "checkpoints": self.checkpoints,
             "recoveries": self.recoveries, "error": self.error,
             "cancel_requested": self.cancel_requested,
+            "suspend_reason": self.suspend_reason,
+            "suspensions": self.suspensions,
             "created_ts": self.created_ts, "updated_ts": self.updated_ts,
             "store_stats": self.store_stats,
         }
@@ -164,11 +186,13 @@ class JobRegistry:
         back to ``admitted`` — with its recovery counter bumped — and
         returned for the scheduler to queue.  Checkpoint resume makes the
         re-run cheap: only runs the last durable checkpoint is missing
-        execute again.
+        execute again.  ``suspended`` jobs stay quarantined: the breaker
+        tripped on their *behavior*, which a restart does not change.
         """
         with self._lock:
             interrupted = [job for job in self.jobs.values()
-                           if job.state not in TERMINAL_STATES]
+                           if job.state not in TERMINAL_STATES
+                           and job.state != "suspended"]
             for job in sorted(interrupted, key=lambda j: j.created_ts):
                 self.transition("admit", job.job_id,
                                 recoveries=job.recoveries + 1)
@@ -284,6 +308,17 @@ class JobRegistry:
             job.recoveries = int(data.get("recoveries", job.recoveries))
         if event == "failed":
             job.error = str(data.get("error", ""))
+        if event == "suspend":
+            job.suspend_reason = str(data.get("reason", ""))
+            job.suspensions += 1
+            if data.get("records_done") is not None:
+                job.records_done = int(data["records_done"])
+            if data.get("failed_runs") is not None:
+                job.failed_runs = int(data["failed_runs"])
+            if data.get("store_counters"):
+                job.store_stats = dict(data["store_counters"])
+        if event == "resume":
+            job.suspend_reason = ""
         if event == "done":
             job.records_done = int(data.get("records_done", job.records_done))
             job.failed_runs = int(data.get("failed_runs", job.failed_runs))

@@ -42,18 +42,32 @@ the manifest, are the source of truth.
 Compaction merges the closed shards (never the one being appended), dropping
 superseded lines; it runs on demand (:meth:`compact`), from the audit CLI,
 or in a background thread once ``auto_compact_shards`` closed shards pile up.
+
+Disk exhaustion: an append that hits ``ENOSPC`` truncates any partial line
+back to the last clean boundary and defers the outcome to an in-memory
+backlog (``disk_full_errors`` counts the hits, :meth:`disk_degraded` reports
+the mode); every later append and every :meth:`flush` retries the backlog in
+FIFO order, so durability resumes by itself when space returns.  A manifest
+rewrite that hits ``ENOSPC`` is skipped outright — the shards, not the
+manifest, are the source of truth, and a stale manifest already self-heals
+on the next open.  Records lost with a crashed backlog were never
+acknowledged by a flush, which keeps them inside the store's existing
+re-run-is-harmless contract.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import logging
 import os
 import threading
 import warnings
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import (Deque, Dict, Iterator, List, Optional, Sequence, Set,
+                    Tuple, Union)
 
 from ..sweep import faults
 from ..sweep.records import FailedRun, RunRecord
@@ -219,10 +233,13 @@ class ShardedRecordStore(RecordStore):
         self._record_seq: Dict[str, int] = {}  # run_id -> winning record seq
         self._failed_seq: Dict[str, int] = {}  # run_id -> winning failed seq
         self._compactor: Optional[threading.Thread] = None
+        #: outcomes deferred by ENOSPC: (seq, kind, data, run_id), FIFO.
+        self._backlog: Deque[Tuple[int, str, Dict, str]] = deque()
         self._counters = {
             "appended_records": 0, "appended_failed": 0, "flushes": 0,
             "fsyncs": 0, "torn_tail_dropped": 0, "corrupt_lines_dropped": 0,
             "shards_quarantined": 0, "manifest_rebuilds": 0, "compactions": 0,
+            "disk_full_errors": 0,
         }
         os.makedirs(self.shards_dir, exist_ok=True)
         self._recover(_spec_dict(spec))
@@ -349,8 +366,24 @@ class ShardedRecordStore(RecordStore):
         }
         payload["integrity"] = {"algorithm": "sha256",
                                 "digest": _digest(payload, "integrity")}
-        _atomic_write(self.manifest_path,
-                      json.dumps(payload, indent=2).encode())
+        try:
+            faults.disk_full_fault(self.manifest_path, "manifest")
+            _atomic_write(self.manifest_path,
+                          json.dumps(payload, indent=2).encode())
+        except OSError as error:
+            if error.errno != errno.ENOSPC:
+                raise
+            # A stale manifest is already survivable (it rebuilds from the
+            # shards on the next open), so a full disk just skips the write.
+            self._counters["disk_full_errors"] += 1
+            logger.warning(
+                "record store %s: disk full writing manifest; leaving the "
+                "stale one (shards are the source of truth)", self.directory)
+            try:
+                os.unlink(f"{self.manifest_path}.tmp")
+            except OSError:
+                pass
+            return
         # Chaos sites: lose the manifest we just wrote (self-heal must cover
         # it), or kill the process right after the rewrite.
         faults.manifest_fault(self.manifest_path)
@@ -427,27 +460,99 @@ class ShardedRecordStore(RecordStore):
             # losing it entirely is within contract.
             faults.service_fault(f"recordstore:append:{run_id}")
             self._seq += 1
-            line = _render_line(self._seq, kind, data)
-            handle = self._shard_handle()
+            seq = self._seq
+            self._register(seq, kind, data)
+            self._drain_backlog_locked()
+            if self._backlog:
+                # Still out of space: keep FIFO order behind the backlog.
+                self._backlog.append((seq, kind, data, run_id))
+                return
+            try:
+                self._write_entry(seq, kind, data, run_id)
+            except OSError as error:
+                if error.errno != errno.ENOSPC:
+                    raise
+                self._counters["disk_full_errors"] += 1
+                self._backlog.append((seq, kind, data, run_id))
+                logger.warning(
+                    "record store %s: disk full appending %s %s; deferring "
+                    "(%d outcome(s) backlogged)", self.directory, kind,
+                    run_id, len(self._backlog))
+
+    def _write_entry(self, seq: int, kind: str, data: Dict,
+                     run_id: str) -> None:
+        """One durable shard-line write; no partial line survives a failure."""
+        path = self._current_path()
+        faults.disk_full_fault(path, f"shard:{run_id}")
+        line = _render_line(seq, kind, data)
+        start = os.path.getsize(path) if os.path.exists(path) else 0
+        handle = self._shard_handle()
+        try:
             handle.write(line)
             handle.flush()
-            # Torn-write site: between the write and any fsync, like the
-            # journal's.  Tears the line and kills the process.
-            faults.shard_fault(self._current_path(), len(line),
-                               f"{kind}:{run_id}")
-            self._pending += 1
-            self._shard_lines[self._current] += 1
-            self._register(self._seq, kind, data)
-            if self.fsync_interval is not None \
-                    and self._pending >= self.fsync_interval:
-                self._fsync_current()
-            if self._shard_lines[self._current] >= self.records_per_shard:
-                self._roll()
+        except OSError:
+            self._truncate_back(path, start)
+            raise
+        # Torn-write site: between the write and any fsync, like the
+        # journal's.  Tears the line and kills the process.
+        faults.shard_fault(path, len(line), f"{kind}:{run_id}")
+        self._pending += 1
+        self._shard_lines[self._current] += 1
+        if self.fsync_interval is not None \
+                and self._pending >= self.fsync_interval:
+            self._fsync_current()
+        if self._shard_lines[self._current] >= self.records_per_shard:
+            self._roll()
+
+    def _truncate_back(self, path: str, offset: int) -> None:
+        """Best-effort drop of a partial line (truncation releases space)."""
+        try:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            if os.path.exists(path) and os.path.getsize(path) > offset:
+                with open(path, "r+b") as handle:
+                    handle.truncate(offset)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        except OSError:                       # pragma: no cover - best effort
+            pass
+
+    def _drain_backlog_locked(self) -> None:
+        while self._backlog:
+            seq, kind, data, run_id = self._backlog[0]
+            try:
+                self._write_entry(seq, kind, data, run_id)
+            except OSError as error:
+                if error.errno != errno.ENOSPC:
+                    raise
+                self._counters["disk_full_errors"] += 1
+                return
+            self._backlog.popleft()
+
+    def disk_degraded(self) -> bool:
+        """True while ENOSPC-deferred outcomes are waiting for disk space."""
+        with self._lock:
+            return bool(self._backlog)
 
     def flush(self) -> None:
-        """Acknowledge everything appended so far (fsync + manifest)."""
+        """Acknowledge everything appended so far (fsync + manifest).
+
+        On a full disk the flush degrades instead of raising: the backlog is
+        retried, and when lines are still deferred the manifest rewrite is
+        skipped — an acknowledgement it cannot honestly give.
+        """
         with self._lock:
-            self._fsync_current()
+            try:
+                self._drain_backlog_locked()
+                self._fsync_current()
+            except OSError as error:
+                if error.errno != errno.ENOSPC:
+                    raise
+                self._counters["disk_full_errors"] += 1
+                return
+            if self._backlog:
+                return
             # Kill-after-fsync site: flushed records must survive this.
             faults.service_fault("recordstore:flush")
             self._write_manifest()
@@ -460,6 +565,11 @@ class ShardedRecordStore(RecordStore):
 
     def seal(self) -> None:
         with self._lock:
+            self._drain_backlog_locked()
+            if self._backlog:
+                raise StoreError(
+                    f"store {self.directory!r} cannot seal: {len(self._backlog)}"
+                    " outcome(s) are still deferred by a full disk")
             self._fsync_current()
             self._sealed = True
             self._write_manifest()
@@ -470,6 +580,10 @@ class ShardedRecordStore(RecordStore):
 
     def close(self) -> None:
         with self._lock:
+            try:
+                self._drain_backlog_locked()
+            except OSError:                   # pragma: no cover - best effort
+                pass
             if self._handle is not None:
                 self._handle.close()
                 self._handle = None
@@ -532,7 +646,8 @@ class ShardedRecordStore(RecordStore):
                               if run_id not in self._record_seq)
             stats = {"kind": self.kind, "records": len(self._record_seq),
                      "failed": live_failed, "sealed": self._sealed,
-                     "shards": len(self._shard_lines), "size_bytes": size}
+                     "shards": len(self._shard_lines), "size_bytes": size,
+                     "backlog": len(self._backlog)}
             stats.update(self._counters)
             return stats
 

@@ -54,7 +54,16 @@ a crash of the *long-running process itself*:
   behind, so the two are inseparable — a daemon that kept running after one
   would corrupt its own journal mid-file, which real torn writes cannot do.
   Targets look like ``"<path>#<event>:<job_id>"``, so ``match`` can select
-  the journal event to tear.
+  the journal event to tear;
+* ``"disk_full"`` — raise ``OSError(ENOSPC)`` at a durability write site
+  *before* the write happens (:func:`disk_full_fault` — journal appends,
+  record-store shard appends, manifest rewrites, shared-store publishes).
+  ``times`` bounds how many writes fail, after which "space returns": the
+  degraded-mode recovery paths must then drain their backlogs;
+* ``"lease_stolen"`` — rewrite the state-dir lease file with a foreign
+  owner right after a heartbeat renewal (:func:`lease_fault`), modelling an
+  operator or split-brain peer stealing the lease out from under a live
+  daemon.  The holder must notice on its next heartbeat and fence itself.
 
 Determinism contract
 --------------------
@@ -87,6 +96,7 @@ both in the calling process.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -104,9 +114,12 @@ __all__ = [
     "arm_faults",
     "checkpoint_fault",
     "current_attempt",
+    "describe_run_faults",
     "disarm_faults",
+    "disk_full_fault",
     "injected_faults",
     "journal_fault",
+    "lease_fault",
     "manifest_fault",
     "maybe_fail_run",
     "service_fault",
@@ -123,8 +136,9 @@ _RUN_KINDS = ("raise", "kill", "hang")
 _CHECKPOINT_KINDS = ("checkpoint_truncate", "checkpoint_corrupt")
 _SERVICE_KINDS = ("daemon_kill",)
 _STORE_KINDS = ("shard_torn", "shard_corrupt", "manifest_lost")
+_DEGRADED_KINDS = ("disk_full", "lease_stolen")
 _FILE_KINDS = _CHECKPOINT_KINDS + ("store_flip", "journal_torn") \
-    + _STORE_KINDS + _SERVICE_KINDS
+    + _STORE_KINDS + _SERVICE_KINDS + _DEGRADED_KINDS
 _ENV_VAR = "REPRO_FAULTS"
 
 
@@ -298,6 +312,27 @@ def maybe_fail_run(run_id: str) -> None:
             os._exit(KILL_EXIT_CODE)
 
 
+def describe_run_faults(run_id: str, attempts: int) -> str:
+    """Which armed run faults fired for ``run_id`` over ``attempts`` tries.
+
+    Because firing is a pure function of ``(salt, fault, run_id, attempt)``,
+    this is computable from *any* process holding the plan — including the
+    parent of a worker that the fault just killed.  The result is a compact
+    attribution string like ``"kill@1,kill@2"`` (kind @ attempt number),
+    empty when no plan is armed or nothing fired: exactly what a
+    :class:`~repro.sweep.records.FailedRun` wants to carry so a chaos
+    failure is explicable from the record alone.
+    """
+    plan = active_plan()
+    if plan is None:
+        return ""
+    fired = []
+    for attempt in range(1, max(1, int(attempts)) + 1):
+        for fault in plan.run_faults(run_id, attempt):
+            fired.append(f"{fault.kind}@{attempt}")
+    return ",".join(fired)
+
+
 def _flip_byte(path: str) -> None:
     """Invert one mid-file byte — content damage that keeps the size intact."""
     size = os.path.getsize(path)
@@ -402,6 +437,49 @@ def shard_corrupt_fault(path: str) -> None:
         return
     if plan.fire_file_faults(("shard_corrupt",), path):
         _flip_byte(path)
+
+
+def disk_full_fault(path: str, tag: str = "") -> None:
+    """Disk-exhaustion site (called *before* a durability write).
+
+    The match target is ``f"{path}#{tag}"`` — tags name the write class
+    (``"journal:<event>"``, ``"shard:<run_id>"``, ``"manifest"``,
+    ``"store"``), so a plan can exhaust one subsystem's disk and not
+    another's.  Firing raises ``OSError(ENOSPC)`` exactly as a full
+    filesystem would; ``times`` bounds how many writes fail before space
+    "returns", after which the caller's backlog-drain path must replay
+    everything it deferred.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.fire_file_faults(("disk_full",), f"{path}#{tag}"):
+        raise OSError(errno.ENOSPC,
+                      f"No space left on device (injected at {tag or path})",
+                      path)
+
+
+def lease_fault(path: str) -> None:
+    """Lease-theft site (called right after a heartbeat renewal lands).
+
+    Rewrites the lease file with a foreign owner and a fresh heartbeat —
+    the observable state an operator ``--force`` takeover or split-brain
+    peer leaves behind.  The legitimate holder must detect the foreign
+    owner on its next heartbeat read and fence itself (stop writing,
+    degrade, drain) rather than fight for the file.  The payload matches
+    :mod:`repro.service.lease`'s schema.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.fire_file_faults(("lease_stolen",), path):
+        payload = json.dumps({"owner": "injected:thief:0", "pid": 0,
+                              "host": "injected-thief",
+                              "heartbeat_ts": time.time()})
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
 
 
 def manifest_fault(path: str) -> None:

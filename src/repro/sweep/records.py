@@ -122,7 +122,11 @@ class FailedRun:
     on the first bad run.  ``error`` is the final attempt's failure rendered
     as text (exception repr, or a timeout/worker-death description);
     ``traceback`` is the final attempt's bounded traceback tail (empty when
-    none was capturable — e.g. the worker process died).
+    none was capturable — e.g. the worker process died).  ``fault`` is the
+    injected-fault attribution when a chaos plan is armed (e.g.
+    ``"kill@1,kill@2"`` — see :func:`repro.sweep.faults.describe_run_faults`),
+    empty in normal operation: a chaos-test failure is explicable from the
+    quarantined record alone.
     """
 
     run_id: str
@@ -131,26 +135,29 @@ class FailedRun:
     error: str
     attempts: int
     traceback: str = ""
+    fault: str = ""
 
     @classmethod
     def from_run(cls, run: RunSpec, error: str, attempts: int,
-                 traceback: str = "") -> "FailedRun":
+                 traceback: str = "", fault: str = "") -> "FailedRun":
         return cls(run_id=run.run_id, point_index=run.point_index,
                    seed_index=run.seed_index, error=error, attempts=attempts,
-                   traceback=bound_traceback(traceback))
+                   traceback=bound_traceback(traceback), fault=fault)
 
     def to_json_dict(self) -> Dict:
         return {"run_id": self.run_id, "point_index": self.point_index,
                 "seed_index": self.seed_index, "error": self.error,
-                "attempts": self.attempts, "traceback": self.traceback}
+                "attempts": self.attempts, "traceback": self.traceback,
+                "fault": self.fault}
 
     @classmethod
     def from_json_dict(cls, data: Dict) -> "FailedRun":
-        # `.get` keeps pre-traceback checkpoints loading unchanged.
+        # `.get` keeps pre-traceback / pre-fault checkpoints loading unchanged.
         return cls(run_id=data["run_id"], point_index=int(data["point_index"]),
                    seed_index=int(data["seed_index"]), error=data["error"],
                    attempts=int(data["attempts"]),
-                   traceback=data.get("traceback", ""))
+                   traceback=data.get("traceback", ""),
+                   fault=data.get("fault", ""))
 
 
 @dataclass(frozen=True)

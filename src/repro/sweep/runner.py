@@ -56,7 +56,7 @@ import traceback as traceback_module
 import warnings
 from collections import deque
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from math import ceil
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, Iterator, List, \
     Optional, Sequence, Tuple, Union
@@ -70,9 +70,9 @@ from .records import FailedRun, RunRecord, SweepResult
 from .spec import EnsembleSpec, RetryPolicy, RunSpec, SweepSpec, \
     group_into_ensembles
 
-__all__ = ["ExecutorStats", "SerialExecutor", "PoolExecutor", "SweepProgress",
-           "SweepRunner", "execute_ensemble", "execute_run", "execute_work",
-           "run_sweeps"]
+__all__ = ["ExecutorStats", "SerialExecutor", "PoolExecutor", "SweepPass",
+           "SweepProgress", "SweepRunner", "execute_ensemble", "execute_run",
+           "execute_work", "run_sweeps"]
 
 #: Progress/throughput log channel (enable with the standard logging config,
 #: e.g. ``logging.getLogger("repro.sweep").setLevel(logging.INFO)``).
@@ -101,11 +101,18 @@ class ExecutorStats:
     failure, ``rebuilds`` counts fleet teardowns.  Surfaced in the runner's
     checkpoint progress lines and the service's job heartbeats, so a long
     sweep reports degradation while it happens instead of at the post-mortem.
+
+    ``rebuild_victims`` attributes each fleet rebuild: one entry per
+    teardown, listing the run ids of the chunks whose deadline *expired*
+    (the suspects — innocent in-flight chunks are requeued but not listed).
+    The service's per-job circuit breaker folds these back onto jobs: a job
+    whose runs keep appearing here is poisoning the shared fleet.
     """
 
     retries: int = 0
     requeues: int = 0
     rebuilds: int = 0
+    rebuild_victims: List[List[str]] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -236,10 +243,12 @@ def _attempt_run(fn: Callable[[RunSpec], RunRecord], run: WorkItem,
                            attempt, policy.max_attempts, error)
             if attempt >= policy.max_attempts:
                 # The final attempt's traceback rides along (bounded tail)
-                # so quarantined runs stay diagnosable from the checkpoint.
+                # so quarantined runs stay diagnosable from the checkpoint;
+                # with a chaos plan armed, so does the fault attribution.
                 return FailedRun.from_run(
                     run, repr(error), attempts=attempt,
-                    traceback=traceback_module.format_exc())
+                    traceback=traceback_module.format_exc(),
+                    fault=faults.describe_run_faults(run.run_id, attempt))
             attempt += 1
         finally:
             faults.set_current_attempt(1)
@@ -532,7 +541,9 @@ class PoolExecutor:
                                     if first >= policy.max_attempts:
                                         yield FailedRun.from_run(
                                             run, repr(error), attempts=first,
-                                            traceback=chunk_traceback)
+                                            traceback=chunk_traceback,
+                                            fault=faults.describe_run_faults(
+                                                run.run_id, first))
                                     else:
                                         requeue_single.append((run, first + 1))
                         else:
@@ -547,6 +558,10 @@ class PoolExecutor:
                         # tear the fleet down and requeue what is unfinished.
                         rebuilds += 1
                         self.stats.rebuilds = rebuilds
+                        self.stats.rebuild_victims.append(
+                            [run.run_id for entry in expired
+                             for item, _ in entry[1]
+                             for run in _member_runs(item)])
                         logger.warning(
                             "sweep pool: %d chunk(s) exceeded their deadline "
                             "(hung run or dead worker); rebuilding fleet "
@@ -572,7 +587,9 @@ class PoolExecutor:
                                             f"worker after {first} attempt(s) "
                                             f"(run_timeout="
                                             f"{self.run_timeout}s)",
-                                            attempts=first)
+                                            attempts=first,
+                                            fault=faults.describe_run_faults(
+                                                run.run_id, first))
                                     else:
                                         requeue_single.append((run, first + 1))
                         in_flight = []
@@ -637,6 +654,211 @@ class PoolExecutor:
 
 
 Executor = Union[SerialExecutor, PoolExecutor]
+
+
+class SweepPass:
+    """One persistence-managed execution pass over a sweep's pending work.
+
+    The decomposition of :meth:`SweepRunner.run` into explicit phases:
+    :meth:`prepare` (expand the spec, merge/validate resumed records, open
+    the store, compute the pending work items), :meth:`consume` (per-outcome
+    bookkeeping, quarantine and checkpoint flushing) and
+    :meth:`finalize`/:meth:`summarize` (persist, seal a complete pass,
+    report).  :meth:`SweepRunner.run` is a thin loop over these phases; the
+    service daemon drives them directly so it can interleave work units from
+    *several* jobs onto one shared executor pass while every job keeps its
+    own independent resume/checkpoint/seal lifecycle — library and service
+    execution share one code path and cannot drift apart.
+    """
+
+    def __init__(self, runner: "SweepRunner",
+                 resume_from: Union[None, str, SweepResult] = None,
+                 save_path: Optional[str] = None,
+                 checkpoint_every: Optional[int] = None,
+                 progress: Optional[Callable[[SweepProgress], None]] = None,
+                 store: Union[None, str, "RecordStoreLike"] = None) -> None:
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be a positive record count")
+        if checkpoint_every is not None and save_path is None \
+                and store is None:
+            raise ValueError("checkpoint_every requires save_path or store — "
+                             "there is nowhere to write the checkpoints")
+        if store is not None and save_path is not None:
+            raise ValueError(
+                "pass either save_path (legacy single-JSON persistence) or "
+                "store (record-store persistence), not both — one "
+                "persistence authority per pass")
+        self.runner = runner
+        self.spec = runner.spec
+        self.executor = runner.executor
+        self.resume_from = resume_from
+        self.save_path = save_path
+        self.checkpoint_every = checkpoint_every
+        self.progress = progress
+        self.store = store
+        self.record_store: Optional["RecordStoreLike"] = None
+        self.store_opened_here = False
+        self.result: Optional[SweepResult] = None
+        self.work_fn: Callable = execute_run
+        self.runs: List[RunSpec] = []
+        self.pending: List[RunSpec] = []
+        self.pending_items: Sequence[WorkItem] = []
+        self.completed = 0
+        self._since_checkpoint = 0
+        self._started = 0.0
+        self._finalized = False
+
+    # ------------------------------------------------------------------ #
+    # phase 1: resume-merge and work planning
+    # ------------------------------------------------------------------ #
+    def prepare(self) -> Sequence[WorkItem]:
+        """Expand, resume, open persistence; returns the pending work items."""
+        runner = self.runner
+        self.runs = self.spec.expand()
+        by_id = {run.run_id: run for run in self.runs}
+
+        if self.store is not None:
+            from ..store import RecordStore, open_store  # lazy: import cycle
+            self.store_opened_here = not isinstance(self.store, RecordStore)
+            self.record_store = open_store(self.store, spec=self.spec)
+
+        prior: List[RunRecord] = []
+        if self.resume_from is not None:
+            loaded = SweepResult.load_resumable(self.resume_from) \
+                if isinstance(self.resume_from, str) else self.resume_from
+            if loaded.failed_runs:
+                logger.info(
+                    "sweep %s: retrying %d previously quarantined run(s) "
+                    "from the resumed checkpoint", self.spec.name,
+                    len(loaded.failed_runs))
+            prior = runner._validated_prior(loaded.records, by_id)
+        if self.record_store is not None:
+            if prior:
+                seeded = self.record_store.seed_from(prior)
+                if seeded:
+                    self.record_store.flush()
+                    logger.info(
+                        "sweep %s: seeded %d record(s) from %s into the %s "
+                        "store (migration resume)", self.spec.name, seeded,
+                        self.resume_from if isinstance(self.resume_from, str)
+                        else "the in-memory result", self.record_store.kind)
+            # The store is the persistence authority: what it holds (its own
+            # prior content plus anything just seeded) is the resume set.
+            prior = runner._validated_prior(
+                self.record_store.iter_records(), by_id)
+
+        done = {record.run_id for record in prior}
+        self.pending = [run for run in self.runs if run.run_id not in done]
+        self.result = SweepResult(spec=self.spec, records=list(prior))
+        self.work_fn = execute_run
+        self.pending_items = self.pending
+        if runner.ensembles and self.pending:
+            cap = 16 if runner.ensembles is True else int(runner.ensembles)
+            self.pending_items = group_into_ensembles(self.pending,
+                                                      max_members=cap)
+            self.work_fn = execute_work
+        self._started = time.perf_counter()
+        return self.pending_items
+
+    # ------------------------------------------------------------------ #
+    # phase 2: per-outcome consumption
+    # ------------------------------------------------------------------ #
+    def consume(self, record: RunOutcome) -> SweepProgress:
+        """Fold one flat executor outcome in; checkpoint when due.
+
+        Returns the progress snapshot (taken *after* any checkpoint flush it
+        triggered, so ``checkpointed=True`` means the records are durable)
+        and forwards it to the ``progress`` callback when one is set.
+        """
+        if isinstance(record, FailedRun):
+            self.result.failed_runs.append(record)
+            if self.record_store is not None:
+                self.record_store.append_failed(record)
+            logger.warning(
+                "sweep %s: run %s quarantined after %d "
+                "attempt(s): %s", self.spec.name, record.run_id,
+                record.attempts, record.error)
+        else:
+            self.result.add(record)
+            if self.record_store is not None:
+                self.record_store.append(record)
+        self._since_checkpoint += 1
+        self.completed += 1
+        elapsed = time.perf_counter() - self._started
+        rate = self.completed / elapsed if elapsed > 0 else 0.0
+        checkpointed = (
+            (self.save_path is not None or self.record_store is not None)
+            and self.checkpoint_every is not None
+            and self._since_checkpoint >= self.checkpoint_every)
+        if checkpointed:
+            if self.save_path is not None:
+                self.result.save(self.save_path)
+            if self.record_store is not None:
+                self.record_store.flush()
+            self._since_checkpoint = 0
+            stats = getattr(self.executor, "stats", None) \
+                or ExecutorStats()
+            logger.info(
+                "sweep %s: checkpoint at %d/%d runs (%.2f runs/s, "
+                "%d failed, %d retried, %d requeued, %d fleet "
+                "rebuild(s))", self.spec.name, self.completed,
+                len(self.pending), rate, len(self.result.failed_runs),
+                stats.retries, stats.requeues, stats.rebuilds)
+        snapshot = SweepProgress(
+            completed=self.completed, total=len(self.pending),
+            records=len(self.result.records),
+            failed=len(self.result.failed_runs),
+            runs_per_s=rate, checkpointed=checkpointed)
+        if self.progress is not None:
+            self.progress(snapshot)
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # phase 3: persistence finalization and reporting
+    # ------------------------------------------------------------------ #
+    @property
+    def complete(self) -> bool:
+        """Every run of the spec has a record (failed runs do not count)."""
+        return self.result is not None \
+            and len(self.result.records) == len(self.runs)
+
+    def finalize(self, stopped: bool) -> None:
+        """Persist whatever completed; seal the store on a full pass.
+
+        Idempotent, and safe after a mid-pass exception: the final result on
+        success, the freshest checkpoint on an executor error, interruption
+        or a deliberate drain (``stopped=True`` never seals).
+        """
+        if self._finalized or self.result is None:
+            return
+        self._finalized = True
+        if self.save_path is not None:
+            self.result.save(self.save_path)
+        if self.record_store is not None:
+            try:
+                self.record_store.flush()
+                if not stopped and len(self.result.records) == len(self.runs):
+                    # Every run of the spec has a record: the sweep is
+                    # complete, and the seal rejects stray late appends.
+                    self.record_store.seal()
+            finally:
+                if self.store_opened_here:
+                    self.record_store.close()
+
+    def summarize(self) -> SweepResult:
+        """Final logs + canonical record order; returns the merged result."""
+        if self.completed:
+            elapsed = time.perf_counter() - self._started
+            logger.info("sweep %s: %d runs in %.2fs (%.2f runs/s)",
+                        self.spec.name, self.completed, elapsed,
+                        self.completed / elapsed if elapsed > 0 else 0.0)
+        if self.result.failed_runs:
+            logger.warning(
+                "sweep %s: completed with %d quarantined run(s): %s",
+                self.spec.name, len(self.result.failed_runs),
+                ", ".join(f.run_id for f in self.result.failed_runs))
+        self.result.records = self.result.sorted_records()
+        return self.result
 
 
 class SweepRunner:
@@ -748,56 +970,16 @@ class SweepRunner:
         stream is closed (its fleet torn down), everything completed so far
         is persisted, and the partial result returns.  Resuming it later
         completes the sweep bit-identically.
+
+        Internally this is a thin loop over a :class:`SweepPass` — the
+        prepare/consume/finalize decomposition the service daemon drives
+        directly when it interleaves several jobs onto one executor.
         """
-        if checkpoint_every is not None and checkpoint_every <= 0:
-            raise ValueError("checkpoint_every must be a positive record count")
-        if checkpoint_every is not None and save_path is None \
-                and store is None:
-            raise ValueError("checkpoint_every requires save_path or store — "
-                             "there is nowhere to write the checkpoints")
-        if store is not None and save_path is not None:
-            raise ValueError(
-                "pass either save_path (legacy single-JSON persistence) or "
-                "store (record-store persistence), not both — one "
-                "persistence authority per pass")
-        runs = self.spec.expand()
-        by_id = {run.run_id: run for run in runs}
-
-        record_store = None
-        store_opened_here = False
-        if store is not None:
-            from ..store import RecordStore, open_store  # lazy: import cycle
-            store_opened_here = not isinstance(store, RecordStore)
-            record_store = open_store(store, spec=self.spec)
-
-        prior: List[RunRecord] = []
-        if resume_from is not None:
-            loaded = SweepResult.load_resumable(resume_from) \
-                if isinstance(resume_from, str) else resume_from
-            if loaded.failed_runs:
-                logger.info(
-                    "sweep %s: retrying %d previously quarantined run(s) "
-                    "from the resumed checkpoint", self.spec.name,
-                    len(loaded.failed_runs))
-            prior = self._validated_prior(loaded.records, by_id)
-        if record_store is not None:
-            if prior:
-                seeded = record_store.seed_from(prior)
-                if seeded:
-                    record_store.flush()
-                    logger.info(
-                        "sweep %s: seeded %d record(s) from %s into the %s "
-                        "store (migration resume)", self.spec.name, seeded,
-                        resume_from if isinstance(resume_from, str)
-                        else "the in-memory result", record_store.kind)
-            # The store is the persistence authority: what it holds (its own
-            # prior content plus anything just seeded) is the resume set.
-            prior = self._validated_prior(record_store.iter_records(), by_id)
-
-        done = {record.run_id for record in prior}
-        pending = [run for run in runs if run.run_id not in done]
-
-        result = SweepResult(spec=self.spec, records=list(prior))
+        sweep_pass = SweepPass(self, resume_from=resume_from,
+                               save_path=save_path,
+                               checkpoint_every=checkpoint_every,
+                               progress=progress, store=store)
+        pending_items = sweep_pass.prepare()
         # Custom executors predating the streaming interface only provide
         # map(); fall back to it — checkpointing then degrades to the
         # end-of-pass (and on-error) saves.
@@ -813,69 +995,22 @@ class SweepRunner:
                 "sweep %s: executor %s lacks imap_unordered; "
                 "checkpoint_every=%d degrades to end-of-pass saves",
                 self.spec.name, type(self.executor).__name__, checkpoint_every)
-        work_fn: Callable = execute_run
-        pending_items: Sequence[WorkItem] = pending
-        if self.ensembles and pending:
-            cap = 16 if self.ensembles is True else int(self.ensembles)
-            pending_items = group_into_ensembles(pending, max_members=cap)
-            work_fn = execute_work
-        stream = imap(work_fn, pending_items) if imap is not None \
-            else iter(self.executor.map(work_fn, pending_items))
-        since_checkpoint = 0
-        completed = 0
+        stream = imap(sweep_pass.work_fn, pending_items) if imap is not None \
+            else iter(self.executor.map(sweep_pass.work_fn, pending_items))
         stopped = False
-        started = time.perf_counter()
         try:
             for outcome in stream:
                 # Our executors yield flat per-run outcomes; _as_outcomes
                 # also absorbs a custom executor passing ensemble result
                 # lists through unflattened.
                 for record in _as_outcomes(outcome):
-                    if isinstance(record, FailedRun):
-                        result.failed_runs.append(record)
-                        if record_store is not None:
-                            record_store.append_failed(record)
-                        logger.warning(
-                            "sweep %s: run %s quarantined after %d "
-                            "attempt(s): %s", self.spec.name, record.run_id,
-                            record.attempts, record.error)
-                    else:
-                        result.add(record)
-                        if record_store is not None:
-                            record_store.append(record)
-                    since_checkpoint += 1
-                    completed += 1
-                    elapsed = time.perf_counter() - started
-                    rate = completed / elapsed if elapsed > 0 else 0.0
-                    checkpointed = (
-                        (save_path is not None or record_store is not None)
-                        and checkpoint_every is not None
-                        and since_checkpoint >= checkpoint_every)
-                    if checkpointed:
-                        if save_path is not None:
-                            result.save(save_path)
-                        if record_store is not None:
-                            record_store.flush()
-                        since_checkpoint = 0
-                        stats = getattr(self.executor, "stats", None) \
-                            or ExecutorStats()
-                        logger.info(
-                            "sweep %s: checkpoint at %d/%d runs (%.2f runs/s, "
-                            "%d failed, %d retried, %d requeued, %d fleet "
-                            "rebuild(s))", self.spec.name, completed,
-                            len(pending), rate, len(result.failed_runs),
-                            stats.retries, stats.requeues, stats.rebuilds)
-                    if progress is not None:
-                        progress(SweepProgress(
-                            completed=completed, total=len(pending),
-                            records=len(result.records),
-                            failed=len(result.failed_runs),
-                            runs_per_s=rate, checkpointed=checkpointed))
+                    sweep_pass.consume(record)
                 if should_stop is not None and should_stop():
                     stopped = True
                     logger.info(
                         "sweep %s: stop requested — draining at %d/%d runs",
-                        self.spec.name, completed, len(pending))
+                        self.spec.name, sweep_pass.completed,
+                        len(sweep_pass.pending))
                     break
         finally:
             if stopped:
@@ -887,30 +1022,8 @@ class SweepRunner:
                     close()
             # Persist whatever completed — the final result on success, the
             # freshest checkpoint on an executor error or interruption.
-            if save_path is not None:
-                result.save(save_path)
-            if record_store is not None:
-                try:
-                    record_store.flush()
-                    if not stopped and len(result.records) == len(runs):
-                        # Every run of the spec has a record: the sweep is
-                        # complete, and the seal rejects stray late appends.
-                        record_store.seal()
-                finally:
-                    if store_opened_here:
-                        record_store.close()
-        if completed:
-            elapsed = time.perf_counter() - started
-            logger.info("sweep %s: %d runs in %.2fs (%.2f runs/s)",
-                        self.spec.name, completed, elapsed,
-                        completed / elapsed if elapsed > 0 else 0.0)
-        if result.failed_runs:
-            logger.warning(
-                "sweep %s: completed with %d quarantined run(s): %s",
-                self.spec.name, len(result.failed_runs),
-                ", ".join(f.run_id for f in result.failed_runs))
-        result.records = result.sorted_records()
-        return result
+            sweep_pass.finalize(stopped)
+        return sweep_pass.summarize()
 
 
 def run_sweeps(specs: Sequence[SweepSpec],

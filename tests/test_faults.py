@@ -432,3 +432,30 @@ class TestRetryBudgetsAndTelemetry:
                  if "checkpoint at" in r.message]
         assert lines
         assert "1 failed, 0 retried" in lines[-1]
+
+
+# --------------------------------------------------------------------- #
+# fault attribution (FailedRun.fault)
+# --------------------------------------------------------------------- #
+class TestFaultAttribution:
+    def test_describe_run_faults_is_pure_and_parent_computable(self):
+        """Attribution is a pure function of the plan — computable from any
+        process holding it, including the parent of a killed worker."""
+        with injected_faults(FaultSpec(kind="kill", match="p0001", times=2),
+                             FaultSpec(kind="raise", match="p0001", times=1)):
+            assert faults.describe_run_faults("t/p0001/s000", 3) == \
+                "kill@1,raise@1,kill@2"
+            assert faults.describe_run_faults("t/p0000/s000", 3) == ""
+        assert faults.describe_run_faults("t/p0001/s000", 3) == ""
+
+    def test_failed_run_carries_fault_attribution(self):
+        executor = SerialExecutor(retry_policy=RetryPolicy(max_attempts=2))
+        with injected_faults(FaultSpec(kind="raise", match="p0001/s000",
+                                       times=99)):
+            result = SweepRunner(tiny_spec(), executor).run()
+        assert [f.fault for f in result.failed_runs] == ["raise@1,raise@2"]
+        # Round-trips through JSON; payloads predating the field still load.
+        payload = result.failed_runs[0].to_json_dict()
+        assert FailedRun.from_json_dict(payload).fault == "raise@1,raise@2"
+        payload.pop("fault")
+        assert FailedRun.from_json_dict(payload).fault == ""

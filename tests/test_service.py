@@ -483,7 +483,11 @@ class TestServiceLifecycle:
             assert health["store"]["entries"] >= 0
             assert health["journal"]["appended"] >= 1
             assert set(health["jobs"]) == {"submitted", "admitted", "running",
-                                           "done", "failed", "cancelled"}
+                                           "suspended", "done", "failed",
+                                           "cancelled"}
+            assert health["degraded_reasons"] == []
+            assert health["lease"] and not health["lease"]["lost"]
+            assert health["active_jobs"] == []
         finally:
             service.shutdown(timeout=30)
 
@@ -699,4 +703,534 @@ class TestDaemonChaos:
         job = registry.find_by_key("chaos")
         assert job.state == "done" and job.recoveries == 2
         stored = service_records(data_dir, job.job_id)
+        assert records_as_dicts(stored) == records_as_dicts(baseline)
+
+
+# --------------------------------------------------------------------- #
+# multi-job scheduling: fair share, isolation, circuit breaker, lease,
+# disk-exhaustion degraded mode (PR 10)
+# --------------------------------------------------------------------- #
+def second_spec(**overrides) -> SweepSpec:
+    """A second 16-run sweep with its own name (distinct run-id namespace)."""
+    defaults = dict(name="u", master_seed=11)
+    defaults.update(overrides)
+    return wide_spec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def second_baseline():
+    return SweepRunner(second_spec(), SerialExecutor()).run()
+
+
+def journal_events(data_dir: str):
+    events = []
+    with open(os.path.join(data_dir, "journal.jsonl"), encoding="utf-8") as fh:
+        for line in fh:
+            if line.strip():
+                events.append(json.loads(line))
+    return events
+
+
+class TestMultiJobScheduling:
+    def test_two_jobs_interleave_and_both_complete(self, tmp_path,
+                                                   wide_baseline,
+                                                   second_baseline):
+        service = SweepService(str(tmp_path), checkpoint_every=1,
+                               fair_share_quantum=4).start()
+        try:
+            a, _ = service.submit(wide_spec().to_json_dict(), job_key="a")
+            b, _ = service.submit(second_spec().to_json_dict(), job_key="b")
+            final_a = service.wait_for(a.job_id, timeout=120)
+            final_b = service.wait_for(b.job_id, timeout=120)
+            assert final_a["state"] == "done"
+            assert final_b["state"] == "done"
+            stored_a = service_records(str(tmp_path), a.job_id)
+            stored_b = service_records(str(tmp_path), b.job_id)
+            assert records_as_dicts(stored_a) == \
+                records_as_dicts(wide_baseline)
+            assert records_as_dicts(stored_b) == \
+                records_as_dicts(second_baseline)
+        finally:
+            service.shutdown(timeout=30)
+        # Fair share actually interleaved: each job checkpointed before the
+        # *other* finished — a serializing scheduler would run one job's 16
+        # checkpoints and its `done` before the other's first checkpoint.
+        events = journal_events(str(tmp_path))
+        first_done = min(i for i, e in enumerate(events)
+                         if e["event"] == "done")
+        checkpointed_before = {e.get("job_id") for e in events[:first_done]
+                               if e["event"] == "checkpoint"}
+        assert checkpointed_before == {a.job_id, b.job_id}
+
+    def test_run_id_collision_defers_not_corrupts(self, tmp_path, baseline):
+        """Two jobs over the *same spec name* share run ids; the slice
+        builder must never fly ambiguous ownership in one pass."""
+        service = SweepService(str(tmp_path), checkpoint_every=2).start()
+        try:
+            a, _ = service.submit(tiny_spec().to_json_dict(), job_key="a")
+            b, _ = service.submit(tiny_spec(master_seed=7).to_json_dict(),
+                                  job_key="b")
+            # Same fingerprint jobs under different keys are distinct jobs.
+            assert a.job_id != b.job_id
+            assert service.wait_for(a.job_id)["state"] == "done"
+            assert service.wait_for(b.job_id)["state"] == "done"
+            for job_id in (a.job_id, b.job_id):
+                stored = service_records(str(tmp_path), job_id)
+                assert records_as_dicts(stored) == records_as_dicts(baseline)
+        finally:
+            service.shutdown(timeout=30)
+
+    def test_failed_runs_record_which_fault_fired(self, tmp_path):
+        """Satellite: quarantined runs name the injected fault that killed
+        them (site@attempt), when a plan is armed."""
+        from repro.store import scan_store
+        spec = tiny_spec()
+        run_id = spec.expand()[0].run_id
+        service = SweepService(
+            str(tmp_path), checkpoint_every=1,
+            retry_policy=RetryPolicy(max_attempts=2, backoff=0.01))
+        with faults.injected_faults(
+                FaultSpec(kind="raise", match=run_id, times=2)):
+            service.start()
+            try:
+                job, _ = service.submit(spec.to_json_dict(), job_key="f")
+                final = service.wait_for(job.job_id, timeout=60)
+            finally:
+                service.shutdown(timeout=30)
+        assert final["state"] == "done"
+        assert final["failed_runs"] == 1
+        report = scan_store(service.store_path(job.job_id))
+        assert [f.run_id for f in report.failed] == [run_id]
+        assert report.failed[0].fault == "raise@1,raise@2"
+
+
+class TestCircuitBreaker:
+    def _poison_service(self, data_dir: str) -> SweepService:
+        from repro.sweep import PoolExecutor
+        policy = RetryPolicy(max_attempts=2, backoff=0.01)
+        executor = PoolExecutor(processes=2, retry_policy=policy,
+                                run_timeout=1.0)
+        return SweepService(data_dir, executor=executor, checkpoint_every=4,
+                            breaker_budget=2, fair_share_quantum=4,
+                            attach_store=False)
+
+    def test_poison_job_quarantined_healthy_job_unharmed(
+            self, tmp_path, wide_baseline):
+        """The tentpole chaos scenario, phase 1: a job whose runs kill
+        workers trips the breaker and lands in ``suspended``; a healthy
+        concurrent job completes bit-identically."""
+        from repro.store import scan_store
+        poison = second_spec(name="poison")
+        service = self._poison_service(str(tmp_path))
+        with faults.injected_faults(
+                FaultSpec(kind="kill", match="poison", times=3)):
+            service.start()
+            try:
+                bad, _ = service.submit(poison.to_json_dict(), job_key="bad")
+                good, _ = service.submit(wide_spec().to_json_dict(),
+                                         job_key="good")
+                suspended = service.wait_for(
+                    bad.job_id, timeout=120,
+                    states=("suspended", "done", "failed", "cancelled"))
+                healthy = service.wait_for(good.job_id, timeout=120)
+            finally:
+                service.shutdown(timeout=60)
+        assert suspended["state"] == "suspended"
+        assert "circuit breaker" in suspended["suspend_reason"]
+        assert suspended["suspensions"] == 1
+        assert healthy["state"] == "done"
+        stored = service_records(str(tmp_path), good.job_id)
+        assert records_as_dicts(stored) == records_as_dicts(wide_baseline)
+        # Satellite: the quarantined runs are attributed to the kill fault.
+        report = scan_store(service.store_path(bad.job_id))
+        assert report.failed, "poison runs should be quarantined in-store"
+        assert all(f.fault.startswith("kill@") for f in report.failed)
+
+        # Phase 2: suspension is sticky across restarts — the breaker
+        # tripped on behavior, which a restart does not change.
+        resumed_service = SweepService(str(tmp_path), checkpoint_every=4,
+                                       attach_store=False).start()
+        try:
+            assert resumed_service.status(bad.job_id)["state"] == "suspended"
+            health = resumed_service.health()
+            assert health["jobs"]["suspended"] == 1
+
+            # Phase 3: the explicit resume path retries the quarantined
+            # runs (faults disarmed now) to a bit-identical full result.
+            resumed_service.resume(bad.job_id)
+            final = resumed_service.wait_for(bad.job_id, timeout=120)
+            assert final["state"] == "done"
+            poison_baseline = SweepRunner(poison, SerialExecutor()).run()
+            stored = service_records(str(tmp_path), bad.job_id)
+            assert records_as_dicts(stored) == \
+                records_as_dicts(poison_baseline)
+        finally:
+            resumed_service.shutdown(timeout=60)
+
+    def test_resume_requires_suspended_state(self, tmp_path):
+        service = SweepService(str(tmp_path))     # not started
+        client = InProcessClient(ServiceAPI(service))
+        job = client.submit(tiny_spec(), job_key="r")
+        with pytest.raises(ServiceError) as info:
+            client.resume(job["job_id"])
+        assert info.value.status == 409
+        service.journal.close()
+
+    def test_cancel_suspended_job_is_instant(self, tmp_path):
+        """A quarantined job cancels without touching the fleet."""
+        service = SweepService(str(tmp_path))     # not started
+        job, _ = service.submit(tiny_spec().to_json_dict(), job_key="s")
+        service.registry.transition("running", job.job_id)
+        service.registry.transition("suspend", job.job_id, reason="test")
+        cancelled = service.cancel(job.job_id)
+        assert cancelled.state == "cancelled"
+        service.journal.close()
+
+
+class TestStateDirLease:
+    def test_second_daemon_refused_then_allowed_after_shutdown(
+            self, tmp_path):
+        from repro.service import LeaseHeld
+        first = SweepService(str(tmp_path), lease_ttl=5.0).start()
+        try:
+            second = SweepService(str(tmp_path), lease_ttl=5.0)
+            with pytest.raises(LeaseHeld) as info:
+                second.start()
+            assert "leased by" in str(info.value)
+            second.journal.close()
+        finally:
+            first.shutdown(timeout=30)
+        third = SweepService(str(tmp_path), lease_ttl=5.0).start()
+        third.shutdown(timeout=30)
+
+    def test_takeover_of_dead_same_host_holder_is_immediate(self, tmp_path):
+        """A kill -9'd holder leaves a fresh-looking lease; the same-host
+        pid liveness check lets the restart take over without a TTL wait."""
+        from repro.service.lease import LEASE_NAME
+        # Forge a lease held by a dead pid with a *fresh* heartbeat.
+        dead = {"owner": "host:999999:dead", "pid": 999_999,
+                "host": __import__("socket").gethostname(),
+                "heartbeat_ts": time.time()}
+        os.makedirs(str(tmp_path), exist_ok=True)
+        with open(os.path.join(str(tmp_path), LEASE_NAME), "w") as fh:
+            json.dump(dead, fh)
+        started = time.monotonic()
+        service = SweepService(str(tmp_path), lease_ttl=30.0).start()
+        try:
+            assert time.monotonic() - started < 5.0
+            assert service.health()["lease"]["takeovers"] == 1
+        finally:
+            service.shutdown(timeout=30)
+
+    def test_foreign_host_holder_needs_ttl_expiry(self, tmp_path):
+        from repro.service import LeaseHeld
+        from repro.service.lease import LEASE_NAME
+        foreign = {"owner": "elsewhere:1:abc", "pid": 1,
+                   "host": "some-other-host",
+                   "heartbeat_ts": time.time()}
+        os.makedirs(str(tmp_path), exist_ok=True)
+        with open(os.path.join(str(tmp_path), LEASE_NAME), "w") as fh:
+            json.dump(foreign, fh)
+        service = SweepService(str(tmp_path), lease_ttl=0.3)
+        with pytest.raises(LeaseHeld):
+            service.start()                      # heartbeat still fresh
+        time.sleep(0.4)                          # now older than the TTL
+        service.start()
+        service.shutdown(timeout=30)
+
+    def test_stolen_lease_fences_and_drains(self, tmp_path):
+        """The ``lease_stolen`` chaos fault rewrites the lease under a live
+        daemon; the holder must fence itself instead of fighting."""
+        service = SweepService(str(tmp_path), lease_ttl=0.2)
+        with faults.injected_faults(FaultSpec(kind="lease_stolen")):
+            service.start()
+            deadline = time.monotonic() + 10
+            while not service._lease_lost.is_set():
+                assert time.monotonic() < deadline, "theft never observed"
+                time.sleep(0.02)
+        health = service.health()
+        assert health["status"] == "draining"
+        assert health["degraded"]
+        assert "lease_stolen" in health["degraded_reasons"]
+        with pytest.raises(ServiceUnavailable):
+            service.submit(tiny_spec().to_json_dict(), job_key="late")
+        service.shutdown(timeout=30)
+        # Fenced: no service_stop was appended over the thief's journal.
+        assert all(e["event"] != "service_stop"
+                   for e in journal_events(str(tmp_path)))
+
+
+class TestDiskExhaustion:
+    def test_journal_buffers_enospc_and_drains(self, tmp_path):
+        """Unit level: appends during the outage buffer in order, health
+        counters show it, and the next good write drains everything."""
+        path = str(tmp_path / "j.jsonl")
+        journal = JobJournal(path)
+        journal.append("service_start", pid=1)
+        with faults.injected_faults(
+                FaultSpec(kind="disk_full", match="journal:", times=2)):
+            journal.append("submit", "j1", spec={"x": 1})
+            journal.append("admit", "j1")
+            assert journal.disk_degraded()
+            assert journal.pending_lines() == 2
+            assert journal.stats.disk_full_errors == 2
+        journal.append("running", "j1")          # space is back: drains all
+        assert not journal.disk_degraded()
+        assert journal.pending_lines() == 0
+        journal.close()
+        replayed = [e for e in JobJournal(path).replay()]
+        assert [e.event for e in replayed] == \
+            ["service_start", "submit", "admit", "running"]
+        assert [e.seq for e in replayed] == [1, 2, 3, 4]
+
+    def test_degraded_admission_returns_503_then_recovers(self, tmp_path):
+        """Service level: a full disk stops *new* admissions (503), keeps
+        the daemon alive, and admission resumes once space returns."""
+        service = SweepService(str(tmp_path))    # not started: deterministic
+        with faults.injected_faults(
+                FaultSpec(kind="disk_full", match="journal:", times=4)):
+            # This submit's journal appends hit ENOSPC and buffer.
+            job, created = service.submit(tiny_spec().to_json_dict(),
+                                          job_key="first")
+            assert created and service.journal.disk_degraded()
+            health = service.health()
+            assert health["degraded"]
+            assert any("journal" in r for r in health["degraded_reasons"])
+            with pytest.raises(ServiceUnavailable) as info:
+                service.submit(second_spec().to_json_dict(), job_key="second")
+            assert "disk full" in str(info.value)
+            # Idempotent re-attach to existing work stays allowed.
+            again, created = service.submit(tiny_spec().to_json_dict(),
+                                            job_key="first")
+            assert not created and again.job_id == job.job_id
+        # Space restored: the next append drains the backlog...
+        service.submit(second_spec().to_json_dict(), job_key="second")
+        assert not service.journal.disk_degraded()
+        assert not service.health()["degraded_reasons"]
+        service.journal.close()
+        # ...and nothing was lost or duplicated across the outage.
+        replayed = JobRegistry.open(
+            JobJournal(str(tmp_path / "journal.jsonl")))
+        assert len(replayed.list_jobs()) == 2
+        assert all(j.state == "admitted" for j in replayed.list_jobs())
+
+    def test_job_survives_store_enospc_and_audits_clean(self, tmp_path):
+        """A record store hitting ENOSPC mid-job degrades (backlog) instead
+        of failing the job; once space returns the job completes and its
+        store passes the audit doctor."""
+        from repro.store.audit import main as audit_main
+        service = SweepService(str(tmp_path), checkpoint_every=1,
+                               attach_store=False)
+        with faults.injected_faults(
+                FaultSpec(kind="disk_full", match="shard:", times=3)):
+            service.start()
+            try:
+                job, _ = service.submit(wide_spec().to_json_dict(),
+                                        job_key="d")
+                final = service.wait_for(job.job_id, timeout=120)
+            finally:
+                service.shutdown(timeout=60)
+        assert final["state"] == "done"
+        store_dir = service.store_path(job.job_id)
+        assert audit_main([store_dir]) == 0
+        stored = service_records(str(tmp_path), job.job_id)
+        baseline = SweepRunner(wide_spec(), SerialExecutor()).run()
+        assert records_as_dicts(stored) == records_as_dicts(baseline)
+
+
+class TestLongPollRecords:
+    def test_wait_seq_blocks_until_new_records(self, tmp_path):
+        service = SweepService(str(tmp_path), checkpoint_every=1).start()
+        try:
+            client = InProcessClient(ServiceAPI(service))
+            job = client.submit(wide_spec(), job_key="lp")
+            # Long-poll from zero: returns as soon as any record lands.
+            page = client.records(job["job_id"], wait_seq=0, wait_timeout=30)
+            assert page["seq"] >= 1
+            assert page["total_records"] == page["seq"]
+            # Stream the rest: each call waits for progress past `seq`.
+            seq = page["seq"]
+            deadline = time.monotonic() + 60
+            while not page["resting"]:
+                assert time.monotonic() < deadline
+                page = client.records(job["job_id"], wait_seq=seq,
+                                      wait_timeout=30)
+                assert page["seq"] >= seq        # never goes backwards
+                seq = page["seq"]
+            assert seq == wide_spec().n_runs
+            assert client.status(job["job_id"])["state"] == "done"
+        finally:
+            service.shutdown(timeout=30)
+
+    def test_wait_seq_on_resting_job_returns_immediately(self, tmp_path):
+        service = SweepService(str(tmp_path)).start()
+        try:
+            client = InProcessClient(ServiceAPI(service))
+            job = client.submit(tiny_spec(), job_key="done")
+            client.wait(job["job_id"])
+            started = time.monotonic()
+            page = client.records(job["job_id"],
+                                  wait_seq=tiny_spec().n_runs + 10,
+                                  wait_timeout=30)
+            assert time.monotonic() - started < 5.0
+            assert page["resting"] and page["state"] == "done"
+            assert page["seq"] == tiny_spec().n_runs
+        finally:
+            service.shutdown(timeout=30)
+
+    def test_wait_seq_over_http(self, tmp_path):
+        service = SweepService(str(tmp_path)).start()
+        http = ServiceHTTPServer(service).start()
+        try:
+            client = ServiceClient(http.url)
+            job = client.submit(tiny_spec(), job_key="h")
+            page = client.records(job["job_id"], wait_seq=0, wait_timeout=30)
+            assert page["seq"] >= 1
+        finally:
+            http.stop()
+            service.shutdown(timeout=30)
+
+
+class TestRegistryEventOrderProperty:
+    """Satellite: randomized interleavings of multi-job lifecycle events
+    never reach an illegal state and never lose (or fork) a journal seq."""
+
+    EVENTS = ("admit", "running", "checkpoint", "suspend", "resume",
+              "cancel_request", "cancelled", "done", "failed")
+    STATES = ("submitted", "admitted", "running", "suspended", "done",
+              "failed", "cancelled")
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_interleaved_event_orders_stay_legal(self, tmp_path, seed):
+        import random
+        rng = random.Random(seed)
+        path = str(tmp_path / "journal.jsonl")
+        journal = JobJournal(path)
+        registry = JobRegistry.open(journal)
+        job_ids = []
+        for i in range(3):
+            job, _ = registry.submit({"spec": i}, job_key=f"k{i}")
+            job_ids.append(job.job_id)
+        applied = rejected = 0
+        for _ in range(200):
+            event = rng.choice(self.EVENTS)
+            job_id = rng.choice(job_ids)
+            kwargs = {}
+            if event == "checkpoint":
+                kwargs = {"records_done": rng.randrange(10)}
+            elif event == "suspend":
+                kwargs = {"reason": "prop"}
+            elif event == "failed":
+                kwargs = {"error": "prop"}
+            before = journal._seq
+            try:
+                registry.transition(event, job_id, **kwargs)
+                applied += 1
+            except JobStateError:
+                rejected += 1
+                # A rejected event must leave no journal trace.
+                assert journal._seq == before
+            state = registry.get(job_id).state
+            assert state in self.STATES
+        assert applied and rejected        # the mix exercised both paths
+        journal.close()
+        # Replay reconstructs the exact same job table...
+        replayed = JobRegistry.open(JobJournal(path))
+        for job_id in job_ids:
+            live, back = registry.get(job_id), replayed.get(job_id)
+            assert live.state == back.state
+            assert live.records_done == back.records_done
+            assert live.suspensions == back.suspensions
+            assert live.suspend_reason == back.suspend_reason
+            assert live.cancel_requested == back.cancel_requested
+        # ...and the journal has a gapless, strictly increasing seq chain.
+        seqs = [e["seq"] for e in journal_events(str(tmp_path))]
+        assert seqs == list(range(1, len(seqs) + 1))
+
+
+# --------------------------------------------------------------------- #
+# multi-job daemon chaos: kill -9 with two concurrent jobs
+# --------------------------------------------------------------------- #
+def _multi_daemon_once(data_dir, spec_dicts, fault_dicts, job_keys):
+    faults.disarm_faults()
+    if fault_dicts:
+        faults.arm_faults(*[FaultSpec(**f) for f in fault_dicts])
+    service = SweepService(data_dir, checkpoint_every=1,
+                           attach_store=False).start()
+    job_ids = [service.submit(spec, job_key=key)[0].job_id
+               for spec, key in zip(spec_dicts, job_keys)]
+    for job_id in job_ids:
+        service.wait_for(job_id, timeout=120)
+    service.shutdown(timeout=60)
+    os._exit(0)
+
+
+def run_multi_daemon_once(data_dir, specs, fault_dicts=(),
+                          job_keys=("chaos-a", "chaos-b")) -> int:
+    context = multiprocessing.get_context("fork")
+    child = context.Process(
+        target=_multi_daemon_once,
+        args=(data_dir, [s.to_json_dict() for s in specs],
+              list(fault_dicts), list(job_keys)))
+    child.start()
+    child.join(timeout=180)
+    if child.is_alive():                      # pragma: no cover - deadline
+        child.kill()
+        child.join()
+        pytest.fail("daemon child did not exit within the deadline")
+    return child.exitcode
+
+
+MULTI_KILL_SITES = [
+    pytest.param({"kind": "daemon_kill", "match": "daemon:post_checkpoint"},
+                 id="between-checkpoint-and-journal-commit"),
+    pytest.param({"kind": "journal_torn", "match": "#checkpoint"},
+                 id="mid-journal-append-torn",
+                 marks=pytest.mark.skipif(not CHAOS_EXTENDED,
+                                          reason="REPRO_CHAOS=1 only")),
+    pytest.param({"kind": "daemon_kill", "match": "registry:done"},
+                 id="after-done-append",
+                 marks=pytest.mark.skipif(not CHAOS_EXTENDED,
+                                          reason="REPRO_CHAOS=1 only")),
+]
+
+
+class TestMultiJobDaemonChaos:
+    @pytest.mark.parametrize("fault", MULTI_KILL_SITES)
+    def test_kill_restart_completes_both_jobs_bit_identical(
+            self, tmp_path, baseline, fault):
+        data_dir = str(tmp_path / "svc")
+        specs = [tiny_spec(), tiny_spec(name="t2", master_seed=13)]
+        first = run_multi_daemon_once(data_dir, specs, [fault])
+        assert first == KILL_EXIT_CODE, \
+            f"fault {fault} never fired (exit {first})"
+        second = run_multi_daemon_once(data_dir, specs, [])
+        assert second == 0
+        registry = JobRegistry.open(
+            JobJournal(os.path.join(data_dir, "journal.jsonl")))
+        baselines = {
+            "chaos-a": baseline,
+            "chaos-b": SweepRunner(specs[1], SerialExecutor()).run(),
+        }
+        for key, expected in baselines.items():
+            job = registry.find_by_key(key)
+            assert job is not None and job.state == "done"
+            stored = service_records(data_dir, job.job_id)
+            assert records_as_dicts(stored) == records_as_dicts(expected)
+
+    def test_disk_full_daemon_survives_in_one_pass(self, tmp_path, baseline):
+        """ENOSPC during journaled checkpoints must not crash the child:
+        both jobs finish in a single daemon pass (exit 0, no restart)."""
+        data_dir = str(tmp_path / "svc")
+        specs = [tiny_spec(), tiny_spec(name="t2", master_seed=13)]
+        fault = {"kind": "disk_full", "match": "journal:checkpoint",
+                 "times": 3}
+        assert run_multi_daemon_once(data_dir, specs, [fault]) == 0
+        registry = JobRegistry.open(
+            JobJournal(os.path.join(data_dir, "journal.jsonl")))
+        for key in ("chaos-a", "chaos-b"):
+            job = registry.find_by_key(key)
+            assert job is not None and job.state == "done"
+        stored = service_records(data_dir,
+                                 registry.find_by_key("chaos-a").job_id)
         assert records_as_dicts(stored) == records_as_dicts(baseline)

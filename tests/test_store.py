@@ -835,3 +835,56 @@ class TestBootstrapDegenerates:
                                   0.95)
         assert math.isnan(low) or math.isnan(high) \
             or (low <= 1.0 <= high)
+
+
+class TestShardedDiskExhaustion:
+    """ENOSPC on the shard log is a degraded mode, not a crash (PR 10)."""
+
+    def test_enospc_backlog_defers_then_drains_in_order(self, tmp_path):
+        directory = str(tmp_path / "store")
+        store = ShardedRecordStore(directory)
+        with faults.injected_faults(
+                FaultSpec(kind="disk_full", match="shard:", times=4)):
+            store.append(make_record(0, 0))
+            store.append_failed(make_failed(0, 1))
+            assert store.disk_degraded()
+            stats = store.stats()
+            assert stats["backlog"] == 2
+            assert stats["disk_full_errors"] >= 2
+            # A flush during the outage must not pretend durability: the
+            # backlog stays deferred and the manifest rewrite is skipped.
+            store.flush()
+            assert store.disk_degraded()
+            # Sealing would be a lie while outcomes are deferred.
+            with pytest.raises(StoreError, match="cannot seal"):
+                store.seal()
+        # Space returns: the next append drains the backlog FIFO first.
+        store.append(make_record(1, 0))
+        assert not store.disk_degraded()
+        assert store.stats()["backlog"] == 0
+        store.append(make_record(1, 1))
+        store.flush()
+        store.seal()
+        store.close()
+        # Nothing acknowledged was lost, and the store audits clean.
+        report = scan_store(directory)
+        assert {(r.point_index, r.seed_index) for r in report.records} == \
+            {(0, 0), (1, 0), (1, 1)}
+        assert [(f.point_index, f.seed_index) for f in report.failed] == \
+            [(0, 1)]
+        assert audit_main([directory]) == 0
+
+    def test_manifest_enospc_skips_write_and_self_heals(self, tmp_path):
+        directory = str(tmp_path / "store")
+        store = ShardedRecordStore(directory)
+        store.append(make_record(0, 0))
+        with faults.injected_faults(
+                FaultSpec(kind="disk_full", match="manifest", times=1)):
+            store.flush()                  # manifest write hits ENOSPC
+        assert store.stats()["disk_full_errors"] == 1
+        store.append(make_record(0, 1))
+        store.flush()                      # space back: manifest rewrites
+        store.close()
+        reopened = ShardedRecordStore(directory)
+        assert len(list(reopened.iter_records())) == 2
+        reopened.close()
